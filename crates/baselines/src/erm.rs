@@ -1,0 +1,86 @@
+//! ERM: plain empirical-risk minimization (the paper's primary baseline).
+
+use datasets::ClassificationDataset;
+use nn::{softmax_cross_entropy, Layer, Mode, Optimizer, Sgd};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{trained::reshape_for, OutputDecoder, TrainConfig, TrainedModel};
+
+/// Runs standard mini-batch SGD cross-entropy training in place and returns
+/// the mean training loss of each epoch.
+pub fn train_epochs(
+    net: &mut dyn Layer,
+    data: &ClassificationDataset,
+    cfg: &TrainConfig,
+) -> Vec<f32> {
+    let mut opt = Sgd::new(cfg.lr).momentum(cfg.momentum).clip_norm(5.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        let shuffled = data.shuffled(&mut rng);
+        let mut loss_sum = 0.0;
+        let mut batches = 0;
+        for (x, labels) in shuffled.batches(cfg.batch_size) {
+            let x = reshape_for(net, &x);
+            let logits = net.forward(&x, Mode::Train);
+            let out = softmax_cross_entropy(&logits, &labels);
+            let _ = net.backward(&out.grad);
+            opt.step(net);
+            loss_sum += out.loss;
+            batches += 1;
+        }
+        epoch_losses.push(loss_sum / batches.max(1) as f32);
+    }
+    epoch_losses
+}
+
+/// Trains `net` with plain ERM and bundles it with a softmax decoder.
+///
+/// See the crate-level example.
+pub fn train_erm(
+    mut net: Box<dyn Layer>,
+    data: &ClassificationDataset,
+    cfg: &TrainConfig,
+) -> TrainedModel {
+    let _ = train_epochs(net.as_mut(), data, cfg);
+    TrainedModel {
+        net,
+        decoder: OutputDecoder::Softmax,
+        method: "erm",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::moons;
+    use models::{Mlp, MlpConfig};
+
+    #[test]
+    fn erm_learns_moons() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let data = moons(300, 0.1, &mut rng);
+        let net = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(24), &mut rng));
+        let cfg = TrainConfig {
+            epochs: 30,
+            ..TrainConfig::fast_test()
+        };
+        let mut model = train_erm(net, &data, &cfg);
+        let acc = model.accuracy(&data);
+        assert!(acc > 0.9, "ERM accuracy on moons: {acc}");
+    }
+
+    #[test]
+    fn epoch_losses_decrease() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data = moons(200, 0.1, &mut rng);
+        let mut net = Mlp::new(&MlpConfig::new(2, 2).hidden(16), &mut rng);
+        let losses = train_epochs(&mut net, &data, &TrainConfig::fast_test());
+        assert_eq!(losses.len(), 5);
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "losses {losses:?}"
+        );
+    }
+}

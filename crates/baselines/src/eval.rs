@@ -1,0 +1,104 @@
+//! Monte-Carlo drift evaluation of trained models (shared by all methods
+//! except ReRAM-V, which has its own calibration protocol).
+
+use datasets::ClassificationDataset;
+use reram::{monte_carlo, DriftModel, McStats};
+
+use crate::TrainedModel;
+
+/// Monte-Carlo accuracy of a trained model under a drift model: the
+/// estimator of the paper's Eq. (4) with the metric set to test accuracy.
+///
+/// Weights are restored between trials; the model is unchanged afterwards.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{drift_accuracy, train_erm, TrainConfig};
+/// use datasets::moons;
+/// use models::{Mlp, MlpConfig};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use reram::LogNormalDrift;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let data = moons(100, 0.1, &mut rng);
+/// let net = Box::new(Mlp::new(&MlpConfig::new(2, 2), &mut rng));
+/// let mut model = train_erm(net, &data, &TrainConfig::fast_test());
+/// let stats = drift_accuracy(&mut model, &data, &LogNormalDrift::new(0.5), 4, 7);
+/// assert_eq!(stats.values.len(), 4);
+/// ```
+pub fn drift_accuracy(
+    model: &mut TrainedModel,
+    data: &ClassificationDataset,
+    drift: &dyn DriftModel,
+    trials: usize,
+    seed: u64,
+) -> McStats {
+    // `monte_carlo` drives injection/restore; decoding happens inside the
+    // metric closure via the model's decoder.
+    let decoder = model.decoder.clone();
+    let net = model.net.as_mut();
+    monte_carlo(net, drift, trials, seed, |n| {
+        let mut preds = Vec::with_capacity(data.len());
+        let mut labels = Vec::with_capacity(data.len());
+        for (x, y) in data.batches(64) {
+            let x = crate::trained::reshape_for(n, &x);
+            let out = n.forward(&x, nn::Mode::Eval);
+            let p = match &decoder {
+                crate::OutputDecoder::Softmax => out.argmax_rows(),
+                crate::OutputDecoder::Codebook(cb) => cb.decode_batch(&out),
+            };
+            preds.extend(p);
+            labels.extend(y);
+        }
+        metrics::accuracy(&preds, &labels)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train_erm, TrainConfig};
+    use datasets::moons;
+    use models::{Mlp, MlpConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use reram::LogNormalDrift;
+
+    #[test]
+    fn accuracy_degrades_with_sigma() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let data = moons(300, 0.1, &mut rng);
+        let net = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(24), &mut rng));
+        let cfg = TrainConfig {
+            epochs: 30,
+            ..TrainConfig::fast_test()
+        };
+        let mut model = train_erm(net, &data, &cfg);
+        let low = drift_accuracy(&mut model, &data, &LogNormalDrift::new(0.1), 8, 1);
+        let high = drift_accuracy(&mut model, &data, &LogNormalDrift::new(2.5), 8, 1);
+        assert!(
+            low.mean > high.mean,
+            "drift must hurt: σ=0.1 → {}, σ=2.5 → {}",
+            low.mean,
+            high.mean
+        );
+    }
+
+    #[test]
+    fn sigma_zero_matches_clean_accuracy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data = moons(200, 0.1, &mut rng);
+        let net = Box::new(Mlp::new(&MlpConfig::new(2, 2), &mut rng));
+        let mut model = train_erm(net, &data, &TrainConfig::fast_test());
+        let clean = model.accuracy(&data);
+        let stats = drift_accuracy(&mut model, &data, &LogNormalDrift::new(0.0), 3, 2);
+        assert!((stats.mean - clean).abs() < 1e-6);
+        assert!(stats.std < 1e-9);
+    }
+}

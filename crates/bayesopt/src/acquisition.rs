@@ -1,0 +1,146 @@
+//! Acquisition functions for selecting the next trial point.
+
+use crate::Posterior;
+
+/// Rule for scoring candidate points given the GP posterior (maximization
+/// convention: higher score = more attractive trial).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Acquisition {
+    /// The paper's rule (§III-B, Algorithm 1 line 9): pick the candidate
+    /// with the highest posterior mean.
+    PosteriorMean,
+    /// Expected improvement over the incumbent, with exploration margin
+    /// `xi`.
+    ExpectedImprovement {
+        /// Exploration margin added to the incumbent.
+        xi: f64,
+    },
+    /// Upper confidence bound `µ + κσ`.
+    UpperConfidenceBound {
+        /// Exploration weight on the posterior standard deviation.
+        kappa: f64,
+    },
+}
+
+impl Default for Acquisition {
+    /// The paper's posterior-mean rule.
+    fn default() -> Self {
+        Acquisition::PosteriorMean
+    }
+}
+
+impl Acquisition {
+    /// Scores a candidate with posterior `p`, given the best observed
+    /// objective value `best` so far.
+    pub fn score(&self, p: &Posterior, best: f64) -> f64 {
+        match *self {
+            Acquisition::PosteriorMean => p.mean,
+            Acquisition::ExpectedImprovement { xi } => expected_improvement(p, best + xi),
+            Acquisition::UpperConfidenceBound { kappa } => p.mean + kappa * p.std(),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Acquisition::PosteriorMean => "posterior_mean",
+            Acquisition::ExpectedImprovement { .. } => "expected_improvement",
+            Acquisition::UpperConfidenceBound { .. } => "ucb",
+        }
+    }
+}
+
+impl std::fmt::Display for Acquisition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// EI for maximization: `E[max(f − f*, 0)]` under `f ~ N(µ, σ²)`.
+fn expected_improvement(p: &Posterior, incumbent: f64) -> f64 {
+    let sigma = p.std();
+    if sigma < 1e-12 {
+        return (p.mean - incumbent).max(0.0);
+    }
+    let z = (p.mean - incumbent) / sigma;
+    (p.mean - incumbent) * normal_cdf(z) + sigma * normal_pdf(z)
+}
+
+fn normal_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Φ(z) via the Abramowitz–Stegun erf approximation (|error| < 1.5e-7).
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn posterior_mean_ignores_variance() {
+        let a = Acquisition::PosteriorMean;
+        let p1 = Posterior { mean: 1.0, variance: 0.01 };
+        let p2 = Posterior { mean: 1.0, variance: 100.0 };
+        assert_eq!(a.score(&p1, 0.0), a.score(&p2, 0.0));
+    }
+
+    #[test]
+    fn ei_is_zero_for_certainly_worse_point() {
+        let a = Acquisition::ExpectedImprovement { xi: 0.0 };
+        let p = Posterior { mean: -1.0, variance: 0.0 };
+        assert_eq!(a.score(&p, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ei_grows_with_uncertainty() {
+        let a = Acquisition::ExpectedImprovement { xi: 0.0 };
+        let tight = Posterior { mean: 0.0, variance: 0.01 };
+        let loose = Posterior { mean: 0.0, variance: 1.0 };
+        assert!(a.score(&loose, 0.5) > a.score(&tight, 0.5));
+    }
+
+    #[test]
+    fn ei_at_zero_sigma_is_relu_of_gap() {
+        let a = Acquisition::ExpectedImprovement { xi: 0.0 };
+        let p = Posterior { mean: 2.0, variance: 0.0 };
+        assert_eq!(a.score(&p, 0.5), 1.5);
+    }
+
+    #[test]
+    fn ucb_trades_off_mean_and_std() {
+        let a = Acquisition::UpperConfidenceBound { kappa: 2.0 };
+        let p = Posterior { mean: 1.0, variance: 4.0 };
+        assert!((a.score(&p, 0.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Acquisition::PosteriorMean.to_string(), "posterior_mean");
+        assert_eq!(
+            Acquisition::UpperConfidenceBound { kappa: 1.0 }.name(),
+            "ucb"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Dense `f64` Cholesky factorization for the small, ill-conditioned kernel
+//! matrices of GP regression.
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Vec<f64>,
+    n: usize,
+}
+
+impl Cholesky {
+    /// The matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `L[i][j]` (zero above the diagonal).
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        if j > i {
+            0.0
+        } else {
+            self.l[i * self.n + j]
+        }
+    }
+
+    /// Solves `A·x = b` via forward + backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        // Forward: L·y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.l[i * n + j] * y[j];
+            }
+            y[i] = acc / self.l[i * n + i];
+        }
+        // Backward: Lᵀ·x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l[j * n + i] * x[j];
+            }
+            x[i] = acc / self.l[i * n + i];
+        }
+        x
+    }
+
+    /// Solves only the forward system `L·y = b` (used for posterior
+    /// variance: `σ² = k** − ‖L⁻¹k*‖²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.l[i * n + j] * y[j];
+            }
+            y[i] = acc / self.l[i * n + i];
+        }
+        y
+    }
+
+    /// Log-determinant of `A`: `2·Σ log L[i][i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.n)
+            .map(|i| self.l[i * self.n + i].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+/// Factorizes a symmetric positive-definite matrix given row-major.
+///
+/// Returns `None` if the matrix is not positive definite (a non-positive
+/// pivot is encountered); callers typically retry with added jitter.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n·n`.
+///
+/// # Example
+///
+/// ```
+/// use bayesopt::cholesky;
+///
+/// let a = [4.0, 2.0, 2.0, 3.0];
+/// let chol = cholesky(&a, 2).expect("SPD");
+/// assert!((chol.at(0, 0) - 2.0).abs() < 1e-12);
+/// ```
+pub fn cholesky(a: &[f64], n: usize) -> Option<Cholesky> {
+    assert_eq!(a.len(), n * n, "matrix must be n·n");
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut acc = a[i * n + j];
+            for k in 0..j {
+                acc -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if acc <= 0.0 || !acc.is_finite() {
+                    return None;
+                }
+                l[i * n + j] = acc.sqrt();
+            } else {
+                l[i * n + j] = acc / l[j * n + j];
+            }
+        }
+    }
+    Some(Cholesky { l, n })
+}
+
+/// Solves `A·x = b` for SPD `A`, adding exponentially growing diagonal
+/// jitter until the factorization succeeds.
+///
+/// Returns `None` only if the matrix stays indefinite after 8 jitter
+/// escalations (pathological input).
+pub fn cholesky_solve(a: &[f64], n: usize, b: &[f64]) -> Option<Vec<f64>> {
+    let mut jitter = 0.0;
+    for attempt in 0..8 {
+        let mut aj = a.to_vec();
+        if jitter > 0.0 {
+            for i in 0..n {
+                aj[i * n + i] += jitter;
+            }
+        }
+        if let Some(chol) = cholesky(&aj, n) {
+            return Some(chol.solve(b));
+        }
+        jitter = if attempt == 0 { 1e-10 } else { jitter * 100.0 };
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_known_matrix() {
+        // A = [[4, 12, -16], [12, 37, -43], [-16, -43, 98]]
+        // L = [[2, 0, 0], [6, 1, 0], [-8, 5, 3]]
+        let a = [
+            4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0,
+        ];
+        let c = cholesky(&a, 3).expect("SPD");
+        let expected = [2.0, 0.0, 0.0, 6.0, 1.0, 0.0, -8.0, 5.0, 3.0];
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.at(i, j) - expected[i * 3 + j]).abs() < 1e-10);
+            }
+        }
+        assert!((c.log_det() - (36.0f64).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let c = cholesky(&a, 2).unwrap();
+        // x = [1, 2] → b = A·x = [8, 8]
+        let x = c.solve(&[8.0, 8.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_solve_norm_gives_quadratic_form() {
+        // ‖L⁻¹b‖² = bᵀA⁻¹b
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let c = cholesky(&a, 2).unwrap();
+        let b = [1.0, -1.0];
+        let y = c.forward_solve(&b);
+        let quad: f64 = y.iter().map(|v| v * v).sum();
+        let x = c.solve(&b);
+        let direct: f64 = b.iter().zip(&x).map(|(bi, xi)| bi * xi).sum();
+        assert!((quad - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_returns_none() {
+        let a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky(&a, 2).is_none());
+    }
+
+    #[test]
+    fn jittered_solve_handles_singular() {
+        // Rank-1 matrix: plain Cholesky fails, jitter rescues.
+        let a = [1.0, 1.0, 1.0, 1.0];
+        let x = cholesky_solve(&a, 2, &[2.0, 2.0]).expect("jitter rescues");
+        // Solution of (A + εI)x = b is ≈ [1, 1].
+        assert!((x[0] - 1.0).abs() < 0.1 && (x[1] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let x = cholesky_solve(&a, 2, &[3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Gaussian-process regression (the paper's Eqs. 5–8).
+
+use std::fmt;
+
+use crate::{cholesky, Cholesky, Kernel};
+
+/// Error from GP fitting or prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GpError {
+    /// `fit` was given no observations.
+    NoObservations,
+    /// Observation coordinates have inconsistent dimensions.
+    DimensionMismatch,
+    /// The kernel matrix stayed indefinite even after jitter escalation.
+    SingularKernel,
+    /// Prediction was requested before any successful fit.
+    NotFitted,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::NoObservations => write!(f, "gaussian process needs at least one observation"),
+            GpError::DimensionMismatch => {
+                write!(f, "observation coordinates have inconsistent dimensions")
+            }
+            GpError::SingularKernel => {
+                write!(f, "kernel matrix is not positive definite even with jitter")
+            }
+            GpError::NotFitted => write!(f, "gaussian process has not been fitted"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// Posterior mean and variance at a query point (Eq. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// Posterior mean `µₙ(α)`.
+    pub mean: f64,
+    /// Posterior variance `σₙ²(α)` (clamped to be non-negative).
+    pub variance: f64,
+}
+
+impl Posterior {
+    /// Posterior standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// A Gaussian-process regressor with a fixed kernel and observation noise.
+///
+/// # Example
+///
+/// ```
+/// use bayesopt::{GaussianProcess, SquaredExponential};
+///
+/// let kernel = SquaredExponential::isotropic(1.0, 0.3);
+/// let mut gp = GaussianProcess::new(kernel, 1e-6);
+/// gp.fit(
+///     vec![vec![0.0], vec![1.0]],
+///     vec![0.0, 1.0],
+/// )?;
+/// let p = gp.posterior(&[0.0])?;
+/// assert!(p.mean.abs() < 1e-3);        // interpolates
+/// assert!(p.variance < 1e-3);          // confident at data
+/// let far = gp.posterior(&[10.0])?;
+/// assert!(far.variance > 0.9);         // uncertain far away
+/// # Ok::<(), bayesopt::GpError>(())
+/// ```
+pub struct GaussianProcess<K: Kernel> {
+    kernel: K,
+    noise: f64,
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Option<Cholesky>,
+    y_mean: f64,
+}
+
+impl<K: Kernel> GaussianProcess<K> {
+    /// Creates an unfitted GP with the given kernel and observation-noise
+    /// variance (also the base jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is negative.
+    pub fn new(kernel: K, noise: f64) -> Self {
+        assert!(noise >= 0.0, "noise variance must be non-negative");
+        GaussianProcess {
+            kernel,
+            noise,
+            x: Vec::new(),
+            alpha: Vec::new(),
+            chol: None,
+            y_mean: 0.0,
+        }
+    }
+
+    /// Fits the GP to observations `(x, y)`. Targets are internally
+    /// centered; predictions add the mean back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::NoObservations`] for empty input,
+    /// [`GpError::DimensionMismatch`] for ragged coordinates or
+    /// `x.len() != y.len()`, and [`GpError::SingularKernel`] if the kernel
+    /// matrix cannot be factorized even with jitter escalation.
+    pub fn fit(&mut self, x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<(), GpError> {
+        if x.is_empty() || y.is_empty() {
+            return Err(GpError::NoObservations);
+        }
+        if x.len() != y.len() {
+            return Err(GpError::DimensionMismatch);
+        }
+        let d = x[0].len();
+        if x.iter().any(|p| p.len() != d) {
+            return Err(GpError::DimensionMismatch);
+        }
+        let n = x.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.kernel.eval(&x[i], &x[j]);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+        let mut jitter = self.noise.max(1e-12);
+        let mut chol = None;
+        for _ in 0..10 {
+            let mut kj = k.clone();
+            for i in 0..n {
+                kj[i * n + i] += jitter;
+            }
+            if let Some(c) = cholesky(&kj, n) {
+                chol = Some(c);
+                break;
+            }
+            jitter *= 10.0;
+        }
+        let chol = chol.ok_or(GpError::SingularKernel)?;
+        self.alpha = chol.solve(&yc);
+        self.chol = Some(chol);
+        self.x = x;
+        self.y_mean = y_mean;
+        Ok(())
+    }
+
+    /// Posterior mean and variance at `query` (Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::NotFitted`] before the first successful fit, or
+    /// [`GpError::DimensionMismatch`] if `query` has the wrong dimension.
+    pub fn posterior(&self, query: &[f64]) -> Result<Posterior, GpError> {
+        let chol = self.chol.as_ref().ok_or(GpError::NotFitted)?;
+        if self.x[0].len() != query.len() {
+            return Err(GpError::DimensionMismatch);
+        }
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, query)).collect();
+        let mean: f64 = kstar
+            .iter()
+            .zip(&self.alpha)
+            .map(|(k, a)| k * a)
+            .sum::<f64>()
+            + self.y_mean;
+        let v = chol.forward_solve(&kstar);
+        let variance =
+            (self.kernel.diag(query) - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+        Ok(Posterior { mean, variance })
+    }
+
+    /// Number of fitted observations (0 before fitting).
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the GP has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Log marginal likelihood of the fitted data (model-selection
+    /// diagnostic): `−½ yᵀα − Σ log Lᵢᵢ − n/2 log 2π`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::NotFitted`] before the first successful fit.
+    pub fn log_marginal_likelihood(&self) -> Result<f64, GpError> {
+        let chol = self.chol.as_ref().ok_or(GpError::NotFitted)?;
+        let n = self.x.len() as f64;
+        // yᵀα where y is centered: recover from alpha through K·alpha = y.
+        // We stored only alpha; compute yᵀα = αᵀKα = ‖Lᵀα‖².
+        let mut yta = 0.0;
+        for i in 0..self.x.len() {
+            // (Lᵀ α)_i = Σ_{j>=i} L[j][i] α_j
+            let mut v = 0.0;
+            for j in i..self.x.len() {
+                v += chol.at(j, i) * self.alpha[j];
+            }
+            yta += v * v;
+        }
+        Ok(-0.5 * yta - 0.5 * chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
+    }
+}
+
+impl<K: Kernel + fmt::Debug> fmt::Debug for GaussianProcess<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GaussianProcess")
+            .field("kernel", &self.kernel)
+            .field("observations", &self.x.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SquaredExponential;
+
+    fn fitted_gp() -> GaussianProcess<SquaredExponential> {
+        let mut gp = GaussianProcess::new(SquaredExponential::isotropic(1.0, 0.3), 1e-8);
+        gp.fit(
+            vec![vec![0.0], vec![0.5], vec![1.0]],
+            vec![1.0, 0.0, 1.0],
+        )
+        .unwrap();
+        gp
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let gp = fitted_gp();
+        for (x, y) in [(0.0, 1.0), (0.5, 0.0), (1.0, 1.0)] {
+            let p = gp.posterior(&[x]).unwrap();
+            assert!((p.mean - y).abs() < 1e-3, "at {x}: {} vs {y}", p.mean);
+            assert!(p.variance < 1e-4, "variance at data point: {}", p.variance);
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let gp = fitted_gp();
+        let near = gp.posterior(&[0.45]).unwrap().variance;
+        let far = gp.posterior(&[5.0]).unwrap().variance;
+        assert!(far > near);
+        assert!((far - 1.0).abs() < 1e-6, "prior variance far away");
+    }
+
+    #[test]
+    fn mean_reverts_to_data_mean_far_away() {
+        let gp = fitted_gp();
+        let p = gp.posterior(&[100.0]).unwrap();
+        assert!((p.mean - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_point_posterior_matches_hand_computation() {
+        let mut gp = GaussianProcess::new(SquaredExponential::new(2.0, vec![1.0]), 0.0);
+        gp.fit(vec![vec![0.0]], vec![3.0]).unwrap();
+        // At the data point: mean = y, var ≈ 0.
+        let p = gp.posterior(&[0.0]).unwrap();
+        assert!((p.mean - 3.0).abs() < 1e-6);
+        // At distance 1: k* = 2e^{-1}, K = 2 (+jitter).
+        // mean = ȳ + k*·(y−ȳ)/K = 3 (single point: y−ȳ = 0 → mean = ȳ = 3).
+        let p = gp.posterior(&[1.0]).unwrap();
+        assert!((p.mean - 3.0).abs() < 1e-6);
+        // var = k0 − k*²/K = 2 − (2e⁻¹)²/2
+        let expected = 2.0 - (2.0 * (-1.0f64).exp()).powi(2) / 2.0;
+        assert!((p.variance - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut gp = GaussianProcess::new(SquaredExponential::isotropic(1.0, 1.0), 1e-6);
+        assert_eq!(gp.posterior(&[0.0]).unwrap_err(), GpError::NotFitted);
+        assert_eq!(gp.fit(vec![], vec![]).unwrap_err(), GpError::NoObservations);
+        assert_eq!(
+            gp.fit(vec![vec![0.0], vec![0.0, 1.0]], vec![1.0, 2.0])
+                .unwrap_err(),
+            GpError::DimensionMismatch
+        );
+        gp.fit(vec![vec![0.0]], vec![1.0]).unwrap();
+        assert_eq!(
+            gp.posterior(&[0.0, 1.0]).unwrap_err(),
+            GpError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        let mut gp = GaussianProcess::new(SquaredExponential::isotropic(1.0, 0.5), 1e-10);
+        gp.fit(
+            vec![vec![0.3], vec![0.3], vec![0.7]],
+            vec![1.0, 1.0, 2.0],
+        )
+        .expect("jitter escalation handles duplicates");
+        let p = gp.posterior(&[0.3]).unwrap();
+        assert!((p.mean - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_marginal_likelihood_is_finite_and_sane() {
+        let gp = fitted_gp();
+        let lml = gp.log_marginal_likelihood().unwrap();
+        assert!(lml.is_finite());
+        // Better-fitting model should have higher LML than an absurd one.
+        let mut bad = GaussianProcess::new(SquaredExponential::isotropic(1e-6, 1e-3), 1e-8);
+        bad.fit(
+            vec![vec![0.0], vec![0.5], vec![1.0]],
+            vec![1.0, 0.0, 1.0],
+        )
+        .unwrap();
+        assert!(lml > bad.log_marginal_likelihood().unwrap());
+    }
+}

@@ -1,0 +1,281 @@
+//! The Bayesian-optimization driver: tell observations, suggest the next
+//! trial (Algorithm 1 lines 8–9).
+
+use rand::Rng;
+
+use crate::{latin_hypercube, uniform_candidates, Acquisition, GaussianProcess, GpError, Kernel};
+
+/// One completed trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Trial coordinates in `[0, 1]^d`.
+    pub x: Vec<f64>,
+    /// Observed objective value (maximization convention).
+    pub y: f64,
+}
+
+/// Sequential Bayesian optimizer over the unit hypercube.
+///
+/// The paper's usage: dimensions are per-layer dropout rates `α ∈ [0,1]^{K−1}`,
+/// the objective is the Monte-Carlo drift-marginalized negative loss
+/// (Eq. 4), the surrogate is a GP with the exponential kernel (Eq. 9), and
+/// the next trial maximizes the posterior (Algorithm 1 line 9).
+///
+/// `suggest` scores a fresh batch of candidate points (Latin hypercube for
+/// the first call, uniform afterwards, always including a local
+/// perturbation of the incumbent) under the acquisition function.
+///
+/// See the crate-level example for end-to-end usage.
+pub struct BayesOpt<K: Kernel + Clone> {
+    dim: usize,
+    kernel: K,
+    acquisition: Acquisition,
+    noise: f64,
+    candidates_per_suggest: usize,
+    observations: Vec<Observation>,
+}
+
+impl<K: Kernel + Clone> BayesOpt<K> {
+    /// Creates an optimizer over `[0, 1]^dim` with the given kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize, kernel: K) -> Self {
+        assert!(dim > 0, "search space must have at least one dimension");
+        BayesOpt {
+            dim,
+            kernel,
+            acquisition: Acquisition::default(),
+            noise: 1e-6,
+            candidates_per_suggest: 256,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Sets the acquisition function (default: the paper's posterior mean).
+    pub fn acquisition(mut self, acq: Acquisition) -> Self {
+        self.acquisition = acq;
+        self
+    }
+
+    /// Sets the GP observation-noise variance.
+    pub fn noise(mut self, noise: f64) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets how many candidates each `suggest` call scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn candidates(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one candidate");
+        self.candidates_per_suggest = n;
+        self
+    }
+
+    /// Records a completed trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension or `y` is not finite.
+    pub fn tell(&mut self, x: Vec<f64>, y: f64) {
+        assert_eq!(x.len(), self.dim, "observation dimension mismatch");
+        assert!(y.is_finite(), "objective value must be finite");
+        self.observations.push(Observation { x, y });
+    }
+
+    /// Suggests the next trial point.
+    ///
+    /// With no observations this returns a random point; with fewer than two
+    /// it space-fills via Latin hypercube; afterwards it fits the GP and
+    /// maximizes the acquisition over sampled candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::SingularKernel`] if the surrogate cannot be
+    /// fitted even with jitter (duplicate-heavy degenerate histories).
+    pub fn suggest(&self, rng: &mut impl Rng) -> Result<Vec<f64>, GpError> {
+        if self.observations.len() < 2 {
+            let mut lhs = latin_hypercube(2, self.dim, rng);
+            return Ok(lhs.swap_remove(self.observations.len() % 2));
+        }
+        let mut gp = GaussianProcess::new(self.kernel.clone(), self.noise);
+        gp.fit(
+            self.observations.iter().map(|o| o.x.clone()).collect(),
+            self.observations.iter().map(|o| o.y).collect(),
+        )?;
+        let best = self
+            .best_observed()
+            .map(|(_, y)| y)
+            .unwrap_or(f64::NEG_INFINITY);
+
+        let mut candidates = uniform_candidates(self.candidates_per_suggest, self.dim, rng);
+        // Local refinement candidates around the incumbent.
+        if let Some((bx, _)) = self.best_observed() {
+            for scale in [0.05, 0.15] {
+                let mut c = bx.clone();
+                for v in &mut c {
+                    *v = (*v + scale * (rng.gen::<f64>() * 2.0 - 1.0)).clamp(0.0, 1.0);
+                }
+                candidates.push(c);
+            }
+        }
+
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best_point = candidates[0].clone();
+        for c in candidates {
+            let p = gp.posterior(&c)?;
+            let s = self.acquisition.score(&p, best);
+            if s > best_score {
+                best_score = s;
+                best_point = c;
+            }
+        }
+        Ok(best_point)
+    }
+
+    /// The best observation so far, if any.
+    pub fn best_observed(&self) -> Option<(Vec<f64>, f64)> {
+        self.observations
+            .iter()
+            .max_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|o| (o.x.clone(), o.y))
+    }
+
+    /// All recorded observations, in insertion order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Search-space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl<K: Kernel + Clone + std::fmt::Debug> std::fmt::Debug for BayesOpt<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BayesOpt")
+            .field("dim", &self.dim)
+            .field("acquisition", &self.acquisition)
+            .field("observations", &self.observations.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SquaredExponential;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run_bo(acq: Acquisition, trials: usize, target: &[f64]) -> f64 {
+        let dim = target.len();
+        let mut bo = BayesOpt::new(dim, SquaredExponential::isotropic(1.0, 0.25))
+            .acquisition(acq)
+            .candidates(128);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..trials {
+            let x = bo.suggest(&mut rng).unwrap();
+            let y = -x
+                .iter()
+                .zip(target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+            bo.tell(x, y);
+        }
+        bo.best_observed().unwrap().1
+    }
+
+    #[test]
+    fn finds_1d_optimum() {
+        let best = run_bo(Acquisition::ExpectedImprovement { xi: 0.01 }, 20, &[0.7]);
+        assert!(best > -0.01, "best objective {best}");
+    }
+
+    #[test]
+    fn posterior_mean_rule_also_converges() {
+        // The paper's own acquisition: posterior-mean maximization.
+        let best = run_bo(Acquisition::PosteriorMean, 25, &[0.4]);
+        assert!(best > -0.02, "best objective {best}");
+    }
+
+    #[test]
+    fn works_in_higher_dimensions() {
+        let best = run_bo(
+            Acquisition::UpperConfidenceBound { kappa: 1.5 },
+            30,
+            &[0.3, 0.6, 0.9],
+        );
+        assert!(best > -0.1, "best objective {best}");
+    }
+
+    #[test]
+    fn bo_beats_pure_random_search_on_budget() {
+        let target = [0.25, 0.75];
+        let objective = |x: &[f64]| {
+            -x.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        };
+        let bo_best = run_bo(Acquisition::ExpectedImprovement { xi: 0.01 }, 25, &target);
+        // Random search with the same budget, averaged over seeds.
+        let mut rand_best_sum = 0.0;
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let best = (0..25)
+                .map(|_| {
+                    let x: Vec<f64> = (0..2).map(|_| rng.gen::<f64>()).collect();
+                    objective(&x)
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            rand_best_sum += best;
+        }
+        assert!(
+            bo_best >= rand_best_sum / 5.0 - 1e-3,
+            "BO {bo_best} vs random avg {}",
+            rand_best_sum / 5.0
+        );
+    }
+
+    #[test]
+    fn suggestions_stay_in_unit_cube() {
+        let mut bo = BayesOpt::new(4, SquaredExponential::isotropic(1.0, 0.3));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for i in 0..10 {
+            let x = bo.suggest(&mut rng).unwrap();
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)), "trial {i}");
+            bo.tell(x, (i as f64).sin());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn tell_rejects_wrong_dimension() {
+        let mut bo = BayesOpt::new(2, SquaredExponential::isotropic(1.0, 0.3));
+        bo.tell(vec![0.5], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn tell_rejects_nan() {
+        let mut bo = BayesOpt::new(1, SquaredExponential::isotropic(1.0, 0.3));
+        bo.tell(vec![0.5], f64::NAN);
+    }
+
+    #[test]
+    fn best_observed_tracks_maximum() {
+        let mut bo = BayesOpt::new(1, SquaredExponential::isotropic(1.0, 0.3));
+        bo.tell(vec![0.1], 1.0);
+        bo.tell(vec![0.9], 3.0);
+        bo.tell(vec![0.5], 2.0);
+        let (x, y) = bo.best_observed().unwrap();
+        assert_eq!(y, 3.0);
+        assert_eq!(x, vec![0.9]);
+    }
+}

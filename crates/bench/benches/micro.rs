@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the performance-critical kernels under
+//! every figure: drift injection, Monte-Carlo objective evaluation, GP
+//! fit + suggest, convolution forward/backward, and full training steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use models::{LeNet5, Mlp, MlpConfig};
+use nn::{Layer, Mode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reram::{FaultInjector, LogNormalDrift};
+use tensor::{Matmul, Tensor};
+
+fn bench_drift_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drift_injection");
+    group.sample_size(20);
+    for depth in [3usize, 9] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = Mlp::new(&MlpConfig::new(196, 10).depth(depth).hidden(64), &mut rng);
+        let snapshot = FaultInjector::snapshot(&mut net);
+        let drift = LogNormalDrift::new(0.6);
+        group.bench_with_input(BenchmarkId::new("mlp_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                FaultInjector::inject(&mut net, &drift, &mut rng);
+                snapshot.restore(&mut net);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_objective");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let data = datasets::digits(8, &mut rng);
+    let mut net = Mlp::new(&MlpConfig::new(196, 10).hidden(48), &mut rng);
+    for t in [1usize, 4] {
+        let obj = bayesft::DriftObjective::new(0.6, t);
+        group.bench_with_input(BenchmarkId::new("samples", t), &t, |b, _| {
+            b.iter(|| obj.evaluate(&mut net, &data, 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_process");
+    group.sample_size(30);
+    for n in [8usize, 32] {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64 * 0.37).sin().abs(), (i as f64 * 0.73).cos().abs()])
+            .collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut gp = bayesopt::GaussianProcess::new(
+                    bayesopt::SquaredExponential::isotropic(1.0, 0.3),
+                    1e-6,
+                );
+                gp.fit(x.clone(), y.clone()).unwrap();
+                gp.posterior(&[0.5, 0.5]).unwrap()
+            })
+        });
+    }
+    // Full suggest cycle.
+    let mut bo = bayesopt::BayesOpt::new(4, bayesopt::SquaredExponential::isotropic(1.0, 0.3));
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for i in 0..16 {
+        let x: Vec<f64> = (0..4).map(|d| ((i * 7 + d) as f64 * 0.13) % 1.0).collect();
+        bo.tell(x, (i as f64 * 0.3).sin());
+    }
+    group.bench_function("suggest_16obs_4d", |b| {
+        b.iter(|| bo.suggest(&mut rng).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_forward_backward");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = LeNet5::new(1, 14, 10, &mut rng);
+    let x = Tensor::randn(&[8, 1, 14, 14], 0.0, 1.0, &mut rng);
+    group.bench_function("lenet_fwd_batch8", |b| {
+        b.iter(|| net.forward(&x, Mode::Eval))
+    });
+    group.bench_function("lenet_fwd_bwd_batch8", |b| {
+        b.iter(|| {
+            let y = net.forward(&x, Mode::Train);
+            net.backward(&Tensor::ones(y.dims()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(30);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    for n in [32usize, 128] {
+        let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        let b_mat = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |b, _| {
+            b.iter(|| a.matmul(&b_mat))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_drift_injection,
+    bench_mc_objective,
+    bench_gp,
+    bench_conv,
+    bench_matmul
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Fig. 2: ablation of architectural factors for drift tolerance, MLP on
+//! the digit task.
+//!
+//! Panels: (a) dropout vs alpha-dropout vs none, (b) normalization
+//! schemes, (c) model depth 3/6/9, (d) activation functions.
+//!
+//! Run: `cargo run --release -p bench --bin fig2_ablation -- [dropout|norm|depth|activation|all]`
+
+use baselines::train_erm;
+use bayesft::{accuracy_vs_sigma, MethodCurve, SweepTable, SIGMA_GRID};
+use bench::{make_task, train_config, Scale, Task};
+use models::{DropoutKind, Mlp, MlpConfig};
+use nn::{Activation, NormKind};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sweep_variant(label: &str, cfg: &MlpConfig, task: &Task, scale: Scale) -> MethodCurve {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let net = Box::new(Mlp::new(cfg, &mut rng));
+    let mut model = train_erm(net, &task.train, &train_config(scale, 7));
+    let sweep = accuracy_vs_sigma(&mut model, &task.test, &SIGMA_GRID, scale.mc_trials(), 7);
+    eprintln!("  [done] {label}");
+    MethodCurve::from_sweep(label, &sweep)
+}
+
+fn base_config(task: &Task) -> MlpConfig {
+    MlpConfig::new(task.in_channels * task.hw * task.hw, task.classes).hidden(48)
+}
+
+fn panel_dropout(task: &Task, scale: Scale) -> SweepTable {
+    let mut table = SweepTable::new("Fig. 2(a) — dropout ablation (MLP, digits)");
+    table.push(sweep_variant(
+        "original",
+        &base_config(task).dropout(DropoutKind::None),
+        task,
+        scale,
+    ));
+    table.push(sweep_variant(
+        "dropout-0.3",
+        &base_config(task).initial_rate(0.3),
+        task,
+        scale,
+    ));
+    table.push(sweep_variant(
+        "alpha-drop-0.15",
+        &base_config(task).dropout(DropoutKind::Alpha(0.15)),
+        task,
+        scale,
+    ));
+    table
+}
+
+fn panel_norm(task: &Task, scale: Scale) -> SweepTable {
+    let mut table = SweepTable::new("Fig. 2(b) — normalization ablation (MLP, digits)");
+    for norm in NormKind::all() {
+        table.push(sweep_variant(
+            &norm.to_string(),
+            &base_config(task).norm(norm).dropout(DropoutKind::None),
+            task,
+            scale,
+        ));
+    }
+    table
+}
+
+fn panel_depth(task: &Task, scale: Scale) -> SweepTable {
+    let mut table = SweepTable::new("Fig. 2(c) — depth ablation (MLP, digits)");
+    for depth in [3usize, 6, 9] {
+        table.push(sweep_variant(
+            &format!("{depth}-layer"),
+            &base_config(task).depth(depth).dropout(DropoutKind::None),
+            task,
+            scale,
+        ));
+    }
+    table
+}
+
+fn panel_activation(task: &Task, scale: Scale) -> SweepTable {
+    let mut table = SweepTable::new("Fig. 2(d) — activation ablation (MLP, digits)");
+    for act in Activation::all() {
+        table.push(sweep_variant(
+            &act.to_string(),
+            &base_config(task).activation(act).dropout(DropoutKind::None),
+            task,
+            scale,
+        ));
+    }
+    table
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let task = make_task("digits", scale, 3);
+    let panels: Vec<SweepTable> = match which.as_str() {
+        "dropout" => vec![panel_dropout(&task, scale)],
+        "norm" => vec![panel_norm(&task, scale)],
+        "depth" => vec![panel_depth(&task, scale)],
+        "activation" => vec![panel_activation(&task, scale)],
+        "all" => vec![
+            panel_dropout(&task, scale),
+            panel_norm(&task, scale),
+            panel_depth(&task, scale),
+            panel_activation(&task, scale),
+        ],
+        other => {
+            eprintln!("unknown panel {other:?}; expected dropout|norm|depth|activation|all");
+            std::process::exit(2);
+        }
+    };
+    for table in panels {
+        println!("{table}");
+    }
+    println!("expected shapes: dropout >> none; every norm ≤ none; deeper falls faster; activations ≈ tied");
+}

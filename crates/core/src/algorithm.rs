@@ -1,0 +1,302 @@
+//! Algorithm 1: alternating weight training and Bayesian-optimization
+//! updates over the dropout-rate architecture vector.
+
+use baselines::{OutputDecoder, TrainConfig, TrainedModel};
+use bayesopt::{Acquisition, BayesOpt, GpError, SquaredExponential};
+use datasets::ClassificationDataset;
+use nn::Layer;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{DriftObjective, DropoutSearchSpace};
+
+/// One completed Algorithm-1 trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Architecture coordinates in the unit cube.
+    pub alpha: Vec<f64>,
+    /// Monte-Carlo drift objective value (mean).
+    pub objective: f64,
+    /// Objective standard deviation across MC samples.
+    pub objective_std: f64,
+}
+
+/// Hyper-parameters of the BayesFT search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BayesFtConfig {
+    /// Number of Bayesian-optimization trials (outer iterations).
+    pub trials: usize,
+    /// SGD epochs per trial (`E` in Algorithm 1).
+    pub epochs_per_trial: usize,
+    /// Monte-Carlo samples per objective evaluation (`T` in Eq. 4).
+    pub mc_samples: usize,
+    /// Drift level the architecture is optimized for.
+    pub sigma: f32,
+    /// Acquisition rule (default: the paper's posterior mean).
+    pub acquisition: Acquisition,
+    /// GP kernel lengthscale over the unit cube.
+    pub lengthscale: f64,
+    /// Weight-training hyper-parameters.
+    pub train: TrainConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Largest dropout rate `α = 1` maps to.
+    pub max_rate: f32,
+    /// Fine-tuning epochs after the best architecture is locked in.
+    pub final_epochs: usize,
+}
+
+impl Default for BayesFtConfig {
+    fn default() -> Self {
+        BayesFtConfig {
+            trials: 12,
+            epochs_per_trial: 3,
+            mc_samples: 8,
+            sigma: 0.6,
+            acquisition: Acquisition::PosteriorMean,
+            lengthscale: 0.3,
+            train: TrainConfig::default(),
+            seed: 0,
+            max_rate: 0.8,
+            final_epochs: 10,
+        }
+    }
+}
+
+impl BayesFtConfig {
+    /// A deliberately tiny budget for unit tests.
+    pub fn fast_test() -> Self {
+        BayesFtConfig {
+            trials: 4,
+            epochs_per_trial: 2,
+            mc_samples: 3,
+            sigma: 0.5,
+            train: TrainConfig::fast_test(),
+            final_epochs: 2,
+            ..BayesFtConfig::default()
+        }
+    }
+}
+
+/// Result of a BayesFT search.
+pub struct BayesFtResult {
+    /// The trained network with the best architecture applied, bundled for
+    /// drift evaluation alongside the baselines.
+    pub model: TrainedModel,
+    /// Best architecture coordinates found.
+    pub best_alpha: Vec<f64>,
+    /// Full trial history, in order.
+    pub history: Vec<Trial>,
+}
+
+impl std::fmt::Debug for BayesFtResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BayesFtResult")
+            .field("best_alpha", &self.best_alpha)
+            .field("trials", &self.history.len())
+            .finish()
+    }
+}
+
+/// The BayesFT search driver (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct BayesFt {
+    config: BayesFtConfig,
+}
+
+impl BayesFt {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: BayesFtConfig) -> Self {
+        BayesFt { config }
+    }
+
+    /// Runs the alternating search on a classification task.
+    ///
+    /// Weights `θ` persist across trials (Algorithm 1 trains them
+    /// continuously); only the architecture vector `α` jumps between
+    /// Bayesian-optimization suggestions. After the search the best `α` is
+    /// re-applied and the weights are fine-tuned for one more trial's worth
+    /// of epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError`] if the GP surrogate cannot be fitted.
+    pub fn run(
+        &self,
+        mut net: Box<dyn Layer>,
+        train: &ClassificationDataset,
+        val: &ClassificationDataset,
+    ) -> Result<BayesFtResult, GpError> {
+        let cfg = &self.config;
+        let space = DropoutSearchSpace::probe(net.as_mut()).max_rate(cfg.max_rate);
+        // σ ladder {0, σ/2, σ}: robust at the target drift level without
+        // surrendering clean accuracy.
+        let objective =
+            DriftObjective::with_sigmas(vec![0.0, cfg.sigma / 2.0, cfg.sigma], cfg.mc_samples);
+        let epoch_cfg = TrainConfig {
+            epochs: cfg.epochs_per_trial,
+            ..cfg.train.clone()
+        };
+
+        let (best_alpha, history) = optimize_dropout(
+            net.as_mut(),
+            &space,
+            cfg.trials,
+            cfg.acquisition,
+            cfg.lengthscale,
+            cfg.seed,
+            |n| {
+                let _ = baselines::train_epochs(n, train, &epoch_cfg);
+            },
+            |n, trial_idx| {
+                let stats = objective.evaluate(n, val, cfg.seed ^ (trial_idx as u64) << 7);
+                (stats.mean as f64, stats.std as f64)
+            },
+        )?;
+
+        // Final: lock in the best architecture and fine-tune.
+        space.apply(net.as_mut(), &best_alpha);
+        let final_cfg = TrainConfig {
+            epochs: cfg.final_epochs,
+            ..cfg.train.clone()
+        };
+        let _ = baselines::train_epochs(net.as_mut(), train, &final_cfg);
+
+        Ok(BayesFtResult {
+            model: TrainedModel {
+                net,
+                decoder: OutputDecoder::Softmax,
+                method: "bayesft",
+            },
+            best_alpha,
+            history,
+        })
+    }
+}
+
+/// Generic Algorithm-1 loop, decoupled from the task: alternates a caller-
+/// supplied training step with Bayesian-optimization updates over the
+/// network's dropout rates.
+///
+/// `train_step` trains `θ` for one trial's budget; `objective` returns
+/// `(mean, std)` of the drift-marginalized utility. Used directly by the
+/// object-detection experiment, whose training loop and mAP objective do
+/// not fit the classification mold.
+///
+/// # Errors
+///
+/// Returns [`GpError`] if the GP surrogate cannot be fitted.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_dropout(
+    net: &mut dyn Layer,
+    space: &DropoutSearchSpace,
+    trials: usize,
+    acquisition: Acquisition,
+    lengthscale: f64,
+    seed: u64,
+    mut train_step: impl FnMut(&mut dyn Layer),
+    mut objective: impl FnMut(&mut dyn Layer, usize) -> (f64, f64),
+) -> Result<(Vec<f64>, Vec<Trial>), GpError> {
+    assert!(trials > 0, "need at least one trial");
+    let mut bo = BayesOpt::new(
+        space.dim(),
+        SquaredExponential::isotropic(1.0, lengthscale),
+    )
+    .acquisition(acquisition)
+    .candidates(192);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut history = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let alpha = bo.suggest(&mut rng)?;
+        space.apply(net, &alpha);
+        train_step(net);
+        let (mean, std) = objective(net, t);
+        bo.tell(alpha.clone(), mean);
+        history.push(Trial {
+            alpha,
+            objective: mean,
+            objective_std: std,
+        });
+    }
+    let best_alpha = bo
+        .best_observed()
+        .map(|(x, _)| x)
+        .expect("at least one trial was told");
+    Ok((best_alpha, history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{drift_accuracy, train_erm};
+    use datasets::moons;
+    use models::{Mlp, MlpConfig};
+    use reram::LogNormalDrift;
+
+    #[test]
+    fn search_produces_history_and_valid_alpha() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let data = moons(200, 0.1, &mut rng);
+        let (train, val) = data.split(0.8, &mut rng);
+        let net = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(16), &mut rng));
+        let result = BayesFt::new(BayesFtConfig::fast_test())
+            .run(net, &train, &val)
+            .unwrap();
+        assert_eq!(result.history.len(), 4);
+        assert_eq!(result.best_alpha.len(), 2);
+        assert!(result.best_alpha.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        assert_eq!(result.model.method, "bayesft");
+    }
+
+    #[test]
+    fn best_alpha_matches_best_history_entry() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data = moons(150, 0.1, &mut rng);
+        let (train, val) = data.split(0.8, &mut rng);
+        let net = Box::new(Mlp::new(&MlpConfig::new(2, 2), &mut rng));
+        let result = BayesFt::new(BayesFtConfig::fast_test())
+            .run(net, &train, &val)
+            .unwrap();
+        let best = result
+            .history
+            .iter()
+            .max_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap())
+            .unwrap();
+        assert_eq!(best.alpha, result.best_alpha);
+    }
+
+    #[test]
+    fn bayesft_beats_erm_under_drift_on_moons() {
+        // The paper's headline claim, at miniature scale: the searched
+        // architecture is more drift-robust than plain ERM.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let data = moons(400, 0.1, &mut rng);
+        let (train, val) = data.split(0.8, &mut rng);
+
+        let erm_net = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(24), &mut rng));
+        let cfg = TrainConfig {
+            epochs: 24,
+            ..TrainConfig::fast_test()
+        };
+        let mut erm = train_erm(erm_net, &train, &cfg);
+
+        let bft_net = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(24), &mut rng));
+        let bft_cfg = BayesFtConfig {
+            trials: 8,
+            epochs_per_trial: 3,
+            mc_samples: 6,
+            sigma: 0.8,
+            train: TrainConfig::fast_test(),
+            ..BayesFtConfig::default()
+        };
+        let mut bft = BayesFt::new(bft_cfg).run(bft_net, &train, &val).unwrap();
+
+        let sigma = LogNormalDrift::new(1.0);
+        let erm_acc = drift_accuracy(&mut erm, &val, &sigma, 12, 99).mean;
+        let bft_acc = drift_accuracy(&mut bft.model, &val, &sigma, 12, 99).mean;
+        assert!(
+            bft_acc >= erm_acc - 0.02,
+            "BayesFT ({bft_acc}) should not lose to ERM ({erm_acc}) under drift"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! **BayesFT** — Bayesian optimization for fault-tolerant neural network
+//! architecture (Ye et al., DAC 2021; reproduction).
+//!
+//! The paper's pipeline, end to end:
+//!
+//! 1. **Search space** ([`DropoutSearchSpace`]): instead of searching all
+//!    network topologies, append a dropout layer after every weighted layer
+//!    (except the output head) and search only the per-layer rates
+//!    `α ∈ [0, 1]^{K−1}` (§III-B).
+//! 2. **Objective** ([`DriftObjective`]): the drift-marginalized utility of
+//!    Eq. (3), estimated by Monte-Carlo sampling of the log-normal
+//!    memristance drift of Eq. (1) — Eq. (4).
+//! 3. **Optimizer** ([`BayesFt`], Algorithm 1): alternate SGD epochs on the
+//!    weights `θ` with Gaussian-process posterior updates over `α`; pick
+//!    each next `α` by maximizing the posterior (via
+//!    [`bayesopt::Acquisition`]).
+//! 4. **Reporting** ([`accuracy_vs_sigma`], [`SweepTable`],
+//!    [`robustness_gain`]): the accuracy-vs-σ curves of Figs. 2–3 and the
+//!    "BayesFT is 10–100× more robust" headline ratios.
+//!
+//! # Example
+//!
+//! ```
+//! use bayesft::{BayesFt, BayesFtConfig};
+//! use datasets::moons;
+//! use models::{Mlp, MlpConfig};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(0);
+//! let data = moons(200, 0.1, &mut rng);
+//! let (train, val) = data.split(0.8, &mut rng);
+//! let net = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(16), &mut rng));
+//! let cfg = BayesFtConfig::fast_test();
+//! let result = BayesFt::new(cfg).run(net, &train, &val)?;
+//! assert!(!result.best_alpha.is_empty());
+//! # Ok::<(), bayesopt::GpError>(())
+//! ```
+
+mod algorithm;
+mod objective;
+mod space;
+mod sweep;
+
+pub use algorithm::{optimize_dropout, BayesFt, BayesFtConfig, BayesFtResult, Trial};
+pub use objective::{DriftObjective, ObjectiveMetric};
+pub use space::DropoutSearchSpace;
+pub use sweep::{accuracy_vs_sigma, robustness_gain, MethodCurve, SweepTable, SIGMA_GRID};

@@ -1,0 +1,200 @@
+//! The drift-marginalized objective of Eqs. (3)–(4).
+
+use datasets::ClassificationDataset;
+use nn::{softmax_cross_entropy, Layer, Mode};
+use reram::{monte_carlo, LogNormalDrift, McStats};
+use tensor::Tensor;
+
+/// What the Monte-Carlo marginalization measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObjectiveMetric {
+    /// `−E[ℓ]`, the paper's Eq. (3) utility (higher is better).
+    NegLoss,
+    /// Expected test accuracy (higher is better) — monotonically related
+    /// and what Fig. 3 reports.
+    #[default]
+    Accuracy,
+}
+
+/// Evaluates `u(α, θ) ≈ (1/T) Σ_t metric(f(θ·e^{λ_t}))` on a held-out set.
+///
+/// # Example
+///
+/// ```
+/// use bayesft::DriftObjective;
+/// use datasets::moons;
+/// use models::{Mlp, MlpConfig};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let data = moons(100, 0.1, &mut rng);
+/// let mut net = Mlp::new(&MlpConfig::new(2, 2), &mut rng);
+/// let obj = DriftObjective::new(0.5, 4);
+/// let stats = obj.evaluate(&mut net, &data, 7);
+/// assert_eq!(stats.values.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftObjective {
+    /// Resistance-variation levels the objective averages over. The paper's
+    /// Eq. (3) uses a single σ; averaging over a small ladder (e.g.
+    /// `{0, σ/2, σ}`) trades a little fidelity for architectures that keep
+    /// their clean accuracy — used by the search driver.
+    pub sigmas: Vec<f32>,
+    /// Monte-Carlo sample count `T` (Eq. 4) per σ level.
+    pub trials: usize,
+    /// Measured quantity.
+    pub metric: ObjectiveMetric,
+}
+
+impl DriftObjective {
+    /// Creates the objective at a single drift level `sigma` with
+    /// `T = trials` MC samples, measuring accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `sigma` is negative.
+    pub fn new(sigma: f32, trials: usize) -> Self {
+        DriftObjective::with_sigmas(vec![sigma], trials)
+    }
+
+    /// Creates an objective that averages the metric over several drift
+    /// levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`, `sigmas` is empty, or any σ is negative.
+    pub fn with_sigmas(sigmas: Vec<f32>, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one Monte-Carlo sample");
+        assert!(!sigmas.is_empty(), "need at least one drift level");
+        assert!(
+            sigmas.iter().all(|&s| s >= 0.0),
+            "sigma must be non-negative"
+        );
+        DriftObjective {
+            sigmas,
+            trials,
+            metric: ObjectiveMetric::Accuracy,
+        }
+    }
+
+    /// Switches the measured quantity.
+    pub fn metric(mut self, metric: ObjectiveMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Monte-Carlo statistics of the metric under drift, pooled over all σ
+    /// levels; the objective value for Bayesian optimization is `.mean`.
+    ///
+    /// The network's weights are restored afterwards.
+    pub fn evaluate(
+        &self,
+        network: &mut dyn Layer,
+        data: &ClassificationDataset,
+        seed: u64,
+    ) -> McStats {
+        let metric = self.metric;
+        let mut values = Vec::with_capacity(self.sigmas.len() * self.trials);
+        for (i, &sigma) in self.sigmas.iter().enumerate() {
+            let stats = monte_carlo(
+                network,
+                &LogNormalDrift::new(sigma),
+                self.trials,
+                seed ^ ((i as u64 + 1) << 33),
+                |net| evaluate_once(net, data, metric),
+            );
+            values.extend(stats.values);
+        }
+        McStats::from_values(values)
+    }
+}
+
+fn evaluate_once(net: &mut dyn Layer, data: &ClassificationDataset, metric: ObjectiveMetric) -> f32 {
+    let mut total_loss = 0.0f32;
+    let mut correct = 0usize;
+    let mut batches = 0usize;
+    for (x, labels) in data.batches(64) {
+        let x = flatten_if_mlp(net, &x);
+        let logits = net.forward(&x, Mode::Eval);
+        match metric {
+            ObjectiveMetric::NegLoss => {
+                total_loss += softmax_cross_entropy(&logits, &labels).loss;
+                batches += 1;
+            }
+            ObjectiveMetric::Accuracy => {
+                correct += logits
+                    .argmax_rows()
+                    .iter()
+                    .zip(&labels)
+                    .filter(|(p, l)| p == l)
+                    .count();
+            }
+        }
+    }
+    match metric {
+        ObjectiveMetric::NegLoss => -total_loss / batches.max(1) as f32,
+        ObjectiveMetric::Accuracy => correct as f32 / data.len().max(1) as f32,
+    }
+}
+
+fn flatten_if_mlp(net: &mut dyn Layer, x: &Tensor) -> Tensor {
+    if net.name() == "mlp" && x.rank() > 2 {
+        let n = x.dims()[0];
+        let rest: usize = x.dims()[1..].iter().product();
+        x.reshaped(&[n, rest]).expect("element count preserved")
+    } else {
+        x.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::moons;
+    use models::{Mlp, MlpConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Mlp, ClassificationDataset) {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let data = moons(200, 0.1, &mut rng);
+        let net = Mlp::new(&MlpConfig::new(2, 2).hidden(16), &mut rng);
+        (net, data)
+    }
+
+    #[test]
+    fn zero_sigma_objective_is_deterministic() {
+        let (mut net, data) = setup();
+        let obj = DriftObjective::new(0.0, 3);
+        let stats = obj.evaluate(&mut net, &data, 1);
+        assert!(stats.std < 1e-9);
+    }
+
+    #[test]
+    fn neg_loss_is_negative_for_untrained_network() {
+        let (mut net, data) = setup();
+        let obj = DriftObjective::new(0.0, 1).metric(ObjectiveMetric::NegLoss);
+        let stats = obj.evaluate(&mut net, &data, 1);
+        assert!(stats.mean < 0.0, "cross-entropy is positive, so −ℓ < 0");
+    }
+
+    #[test]
+    fn objective_restores_weights() {
+        let (mut net, data) = setup();
+        let before = reram::FaultInjector::snapshot(&mut net);
+        let _ = DriftObjective::new(1.0, 5).evaluate(&mut net, &data, 3);
+        let after = reram::FaultInjector::snapshot(&mut net);
+        for (a, b) in before.tensors().iter().zip(after.tensors()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn higher_sigma_increases_variance() {
+        let (mut net, data) = setup();
+        let low = DriftObjective::new(0.05, 8).evaluate(&mut net, &data, 5);
+        let high = DriftObjective::new(2.0, 8).evaluate(&mut net, &data, 5);
+        assert!(high.std >= low.std);
+    }
+}

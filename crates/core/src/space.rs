@@ -1,0 +1,139 @@
+//! The dropout-rate search space (§III-B): `α ∈ [0, 1]^{K−1}`.
+
+use models::{dropout_count, dropout_rates, set_dropout_rates};
+use nn::Layer;
+
+/// Maps unit-cube Bayesian-optimization coordinates onto the per-layer
+/// dropout rates of a concrete network.
+///
+/// The unit interval is scaled by `max_rate` (default 0.8) before being
+/// written into the layers: rates near 1 would zero entire layers, which
+/// both the paper's clamp-free formulation and our training stability
+/// argue against.
+///
+/// # Example
+///
+/// ```
+/// use bayesft::DropoutSearchSpace;
+/// use models::{Mlp, MlpConfig};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut net = Mlp::new(&MlpConfig::new(4, 2).depth(3), &mut rng);
+/// let space = DropoutSearchSpace::probe(&mut net);
+/// assert_eq!(space.dim(), 2);
+/// space.apply(&mut net, &[0.5, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropoutSearchSpace {
+    dim: usize,
+    max_rate: f32,
+}
+
+impl DropoutSearchSpace {
+    /// Probes a network for its dropout layers and builds the matching
+    /// search space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no dropout layers (nothing to search).
+    pub fn probe(network: &mut dyn Layer) -> Self {
+        let dim = dropout_count(network);
+        assert!(
+            dim > 0,
+            "network has no dropout layers; BayesFT's search space is empty"
+        );
+        DropoutSearchSpace { dim, max_rate: 0.8 }
+    }
+
+    /// Overrides the maximum dropout rate that α = 1 maps to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate` is outside `(0, 0.95]`.
+    pub fn max_rate(mut self, max_rate: f32) -> Self {
+        assert!(
+            max_rate > 0.0 && max_rate <= 0.95,
+            "max rate must be in (0, 0.95]"
+        );
+        self.max_rate = max_rate;
+        self
+    }
+
+    /// Search-space dimension (`K − 1` in the paper's notation).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Writes unit-cube coordinates into the network's dropout layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha.len() != dim()`.
+    pub fn apply(&self, network: &mut dyn Layer, alpha: &[f64]) {
+        assert_eq!(alpha.len(), self.dim, "alpha dimension mismatch");
+        let rates: Vec<f32> = alpha
+            .iter()
+            .map(|&a| (a as f32).clamp(0.0, 1.0) * self.max_rate)
+            .collect();
+        set_dropout_rates(network, &rates);
+    }
+
+    /// Reads the network's current rates back as unit-cube coordinates.
+    pub fn read(&self, network: &mut dyn Layer) -> Vec<f64> {
+        dropout_rates(network)
+            .iter()
+            .map(|&r| (r / self.max_rate).clamp(0.0, 1.0) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::{Mlp, MlpConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn probe_counts_layers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = Mlp::new(&MlpConfig::new(4, 2).depth(6), &mut rng);
+        assert_eq!(DropoutSearchSpace::probe(&mut net).dim(), 5);
+    }
+
+    #[test]
+    fn apply_and_read_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = Mlp::new(&MlpConfig::new(4, 2).depth(4), &mut rng);
+        let space = DropoutSearchSpace::probe(&mut net);
+        let alpha = vec![0.25, 0.5, 1.0];
+        space.apply(&mut net, &alpha);
+        let back = space.read(&mut net);
+        for (a, b) in alpha.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn apply_scales_by_max_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut net = Mlp::new(&MlpConfig::new(4, 2), &mut rng);
+        let space = DropoutSearchSpace::probe(&mut net).max_rate(0.5);
+        space.apply(&mut net, &[1.0, 1.0]);
+        let rates = models::dropout_rates(&mut net);
+        assert!(rates.iter().all(|&r| (r - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "search space is empty")]
+    fn probing_dropout_free_network_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = Mlp::new(
+            &MlpConfig::new(4, 2).dropout(models::DropoutKind::None),
+            &mut rng,
+        );
+        let _ = DropoutSearchSpace::probe(&mut net);
+    }
+}

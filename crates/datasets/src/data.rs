@@ -1,0 +1,244 @@
+//! Labeled dataset container, splitting and batching.
+
+use rand::Rng;
+use tensor::Tensor;
+
+/// A labeled classification dataset.
+///
+/// Images/features are stored as one tensor whose first dimension is the
+/// sample index (`[N, D]` for tabular data, `[N, C, H, W]` for images).
+#[derive(Debug, Clone)]
+pub struct ClassificationDataset {
+    x: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl ClassificationDataset {
+    /// Wraps pre-built features and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample count and label count differ, or any label is
+    /// `>= classes`.
+    pub fn new(x: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(
+            x.dims()[0],
+            labels.len(),
+            "sample count {} != label count {}",
+            x.dims()[0],
+            labels.len()
+        );
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range for {classes} classes"
+        );
+        ClassificationDataset { x, labels, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The feature/image tensor (`[N, ...]`).
+    pub fn images(&self) -> &Tensor {
+        &self.x
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-sample feature count (product of non-batch dims).
+    pub fn feature_len(&self) -> usize {
+        self.x.dims()[1..].iter().product()
+    }
+
+    /// Extracts the samples at `indices` into a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> ClassificationDataset {
+        let f = self.feature_len();
+        let mut data = Vec::with_capacity(indices.len() * f);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of bounds");
+            data.extend_from_slice(&self.x.as_slice()[i * f..(i + 1) * f]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = self.x.dims().to_vec();
+        dims[0] = indices.len();
+        ClassificationDataset {
+            x: Tensor::from_vec(data, &dims).expect("subset length matches"),
+            labels,
+            classes: self.classes,
+        }
+    }
+
+    /// Randomly splits into `(train, test)` with `train_fraction` of the
+    /// samples in the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    pub fn split(
+        &self,
+        train_fraction: f32,
+        rng: &mut impl Rng,
+    ) -> (ClassificationDataset, ClassificationDataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0, 1)"
+        );
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in (1..indices.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            indices.swap(i, j);
+        }
+        let cut = ((self.len() as f32 * train_fraction).round() as usize)
+            .clamp(1, self.len().saturating_sub(1).max(1));
+        (
+            self.subset(&indices[..cut]),
+            self.subset(&indices[cut..]),
+        )
+    }
+
+    /// Iterates over consecutive mini-batches of at most `batch_size`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn batches(&self, batch_size: usize) -> Batches<'_> {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batches {
+            data: self,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Returns a copy with sample order shuffled (fresh epoch ordering).
+    pub fn shuffled(&self, rng: &mut impl Rng) -> ClassificationDataset {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in (1..indices.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            indices.swap(i, j);
+        }
+        self.subset(&indices)
+    }
+}
+
+/// Mini-batch iterator over a [`ClassificationDataset`].
+///
+/// Yields `(images, labels)` pairs; the final batch may be smaller.
+#[derive(Debug)]
+pub struct Batches<'a> {
+    data: &'a ClassificationDataset,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.data.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.data.len());
+        let indices: Vec<usize> = (self.cursor..end).collect();
+        let batch = self.data.subset(&indices);
+        self.cursor = end;
+        Some((batch.x, batch.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy() -> ClassificationDataset {
+        let x = Tensor::from_vec((0..20).map(|v| v as f32).collect(), &[10, 2]).unwrap();
+        ClassificationDataset::new(x, (0..10).map(|i| i % 2).collect(), 2)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let x = Tensor::zeros(&[3, 2]);
+        assert!(std::panic::catch_unwind(|| {
+            ClassificationDataset::new(x.clone(), vec![0, 1], 2)
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            ClassificationDataset::new(x, vec![0, 1, 5], 2)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy();
+        let s = d.subset(&[3, 7]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.images().row(0), &[6.0, 7.0]);
+        assert_eq!(s.labels(), &[1, 1]);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = toy();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (train, test) = d.split(0.7, &mut rng);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(train.len(), 7);
+    }
+
+    #[test]
+    fn batches_cover_dataset_in_order() {
+        let d = toy();
+        let batches: Vec<_> = d.batches(4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.dims(), &[4, 2]);
+        assert_eq!(batches[2].0.dims(), &[2, 2]); // remainder
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 10);
+        // First batch is rows 0..4.
+        assert_eq!(batches[0].0.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn shuffled_preserves_multiset() {
+        let d = toy();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = d.shuffled(&mut rng);
+        let mut a: Vec<f32> = d.images().as_slice().to_vec();
+        let mut b: Vec<f32> = s.images().as_slice().to_vec();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feature_len_for_images() {
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let d = ClassificationDataset::new(x, vec![0, 1], 2);
+        assert_eq!(d.feature_len(), 48);
+    }
+}

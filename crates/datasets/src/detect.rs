@@ -1,0 +1,305 @@
+//! PennFudanPed-like synthetic pedestrian-detection scenes.
+
+use rand::Rng;
+use tensor::Tensor;
+
+/// An axis-aligned bounding box in pixel coordinates (`x0 ≤ x1`, `y0 ≤ y1`,
+/// inclusive-exclusive on the max edge).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Left edge.
+    pub x0: f32,
+    /// Top edge.
+    pub y0: f32,
+    /// Right edge.
+    pub x1: f32,
+    /// Bottom edge.
+    pub y1: f32,
+}
+
+impl BBox {
+    /// Creates a box, normalizing corner order.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        BBox {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Box area (0 for degenerate boxes).
+    pub fn area(&self) -> f32 {
+        (self.x1 - self.x0).max(0.0) * (self.y1 - self.y0).max(0.0)
+    }
+
+    /// Intersection-over-union with another box, in `[0, 1]`.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let ix0 = self.x0.max(other.x0);
+        let iy0 = self.y0.max(other.y0);
+        let ix1 = self.x1.min(other.x1);
+        let iy1 = self.y1.min(other.y1);
+        let inter = (ix1 - ix0).max(0.0) * (iy1 - iy0).max(0.0);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Center coordinates `(cx, cy)`.
+    pub fn center(&self) -> (f32, f32) {
+        ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Width and height.
+    pub fn size(&self) -> (f32, f32) {
+        (self.x1 - self.x0, self.y1 - self.y0)
+    }
+}
+
+/// One detection scene: an image plus ground-truth pedestrian boxes.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// `[3, H, W]` image in `[0, 1]`.
+    pub image: Tensor,
+    /// Ground-truth boxes.
+    pub boxes: Vec<BBox>,
+}
+
+/// A detection dataset of independent scenes.
+#[derive(Debug, Clone)]
+pub struct DetectionDataset {
+    scenes: Vec<Scene>,
+    size: usize,
+}
+
+impl DetectionDataset {
+    /// The scenes.
+    pub fn scenes(&self) -> &[Scene] {
+        &self.scenes
+    }
+
+    /// Number of scenes.
+    pub fn len(&self) -> usize {
+        self.scenes.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenes.is_empty()
+    }
+
+    /// Image side length.
+    pub fn image_size(&self) -> usize {
+        self.size
+    }
+
+    /// Splits into `(train, test)` at `train_fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    pub fn split(&self, train_fraction: f32) -> (DetectionDataset, DetectionDataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0, 1)"
+        );
+        let cut = ((self.len() as f32 * train_fraction).round() as usize).clamp(1, self.len() - 1);
+        (
+            DetectionDataset {
+                scenes: self.scenes[..cut].to_vec(),
+                size: self.size,
+            },
+            DetectionDataset {
+                scenes: self.scenes[cut..].to_vec(),
+                size: self.size,
+            },
+        )
+    }
+}
+
+/// Generates `n` pedestrian scenes of `size`×`size` pixels, each containing
+/// 1 to `max_peds` "pedestrians" (vertically elongated two-tone figures on
+/// a textured street-like background) with ground-truth boxes.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `size < 16`, or `max_peds == 0`.
+///
+/// # Example
+///
+/// ```
+/// use datasets::ped_scenes;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let data = ped_scenes(4, 24, 2, &mut rng);
+/// assert_eq!(data.len(), 4);
+/// assert!(!data.scenes()[0].boxes.is_empty());
+/// ```
+pub fn ped_scenes(n: usize, size: usize, max_peds: usize, rng: &mut impl Rng) -> DetectionDataset {
+    assert!(n > 0, "need at least one scene");
+    assert!(size >= 16, "scene size must be at least 16");
+    assert!(max_peds > 0, "need at least one pedestrian per scene");
+    let mut scenes = Vec::with_capacity(n);
+    for _ in 0..n {
+        scenes.push(render_scene(size, max_peds, rng));
+    }
+    DetectionDataset { scenes, size }
+}
+
+fn render_scene(size: usize, max_peds: usize, rng: &mut impl Rng) -> Scene {
+    let mut img = vec![0.0f32; 3 * size * size];
+    // Street-like background: horizontal brightness gradient + noise.
+    for y in 0..size {
+        for x in 0..size {
+            let base = 0.3 + 0.2 * (y as f32 / size as f32);
+            for c in 0..3 {
+                img[c * size * size + y * size + x] =
+                    base + 0.06 * rng.gen::<f32>() + if c == 2 { 0.05 } else { 0.0 };
+            }
+        }
+    }
+    let count = rng.gen_range(1..=max_peds);
+    let mut boxes: Vec<BBox> = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Pedestrian dimensions: tall and narrow.
+        let h = rng.gen_range((size as f32 * 0.3)..(size as f32 * 0.55));
+        let w = h * rng.gen_range(0.3..0.45);
+        let x0 = rng.gen_range(1.0..(size as f32 - w - 1.0));
+        let y0 = rng.gen_range(1.0..(size as f32 - h - 1.0));
+        let bbox = BBox::new(x0, y0, x0 + w, y0 + h);
+        // Avoid heavy overlap so ground truth stays unambiguous.
+        if boxes.iter().any(|b| b.iou(&bbox) > 0.3) {
+            continue;
+        }
+        draw_pedestrian(&mut img, size, &bbox, rng);
+        boxes.push(bbox);
+    }
+    if boxes.is_empty() {
+        // Guarantee at least one pedestrian.
+        let bbox = BBox::new(
+            size as f32 * 0.3,
+            size as f32 * 0.25,
+            size as f32 * 0.45,
+            size as f32 * 0.7,
+        );
+        draw_pedestrian(&mut img, size, &bbox, rng);
+        boxes.push(bbox);
+    }
+    Scene {
+        image: Tensor::from_vec(img, &[3, size, size]).expect("length matches"),
+        boxes,
+    }
+}
+
+fn draw_pedestrian(img: &mut [f32], size: usize, bbox: &BBox, rng: &mut impl Rng) {
+    let shirt = [rng.gen_range(0.6..0.95), 0.15, 0.15];
+    let pants = [0.1, 0.1, rng.gen_range(0.3..0.6)];
+    let skin = [0.85, 0.7, 0.55];
+    let (cx, _) = bbox.center();
+    let (w, h) = bbox.size();
+    let head_r = (w * 0.45).max(1.0);
+    for y in (bbox.y0 as usize)..(bbox.y1 as usize).min(size) {
+        for x in (bbox.x0 as usize)..(bbox.x1 as usize).min(size) {
+            let fy = (y as f32 - bbox.y0) / h; // 0 head, 1 feet
+            let dx = (x as f32 - cx).abs();
+            let color = if fy < 0.2 {
+                if dx <= head_r {
+                    Some(skin)
+                } else {
+                    None
+                }
+            } else if fy < 0.6 {
+                if dx <= w * 0.5 {
+                    Some(shirt)
+                } else {
+                    None
+                }
+            } else if dx <= w * 0.4 {
+                Some(pants)
+            } else {
+                None
+            };
+            if let Some(c) = color {
+                for (ch, &v) in c.iter().enumerate() {
+                    img[ch * size * size + y * size + x] = v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn iou_identities() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        let b = BBox::new(20.0, 20.0, 30.0, 30.0);
+        assert_eq!(a.iou(&b), 0.0);
+        let c = BBox::new(5.0, 0.0, 15.0, 10.0);
+        // inter 50, union 150
+        assert!((a.iou(&c) - 1.0 / 3.0).abs() < 1e-6);
+        // Symmetry
+        assert_eq!(a.iou(&c), c.iou(&a));
+    }
+
+    #[test]
+    fn bbox_normalizes_corners() {
+        let b = BBox::new(10.0, 8.0, 2.0, 1.0);
+        assert_eq!(b.x0, 2.0);
+        assert_eq!(b.y1, 8.0);
+        assert_eq!(b.area(), 56.0);
+    }
+
+    #[test]
+    fn scenes_have_valid_boxes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = ped_scenes(10, 24, 3, &mut rng);
+        for scene in d.scenes() {
+            assert!(!scene.boxes.is_empty());
+            for b in &scene.boxes {
+                assert!(b.x0 >= 0.0 && b.y0 >= 0.0);
+                assert!(b.x1 <= 24.0 && b.y1 <= 24.0);
+                assert!(b.area() > 4.0, "degenerate pedestrian box");
+            }
+            assert_eq!(scene.image.dims(), &[3, 24, 24]);
+        }
+    }
+
+    #[test]
+    fn pedestrians_are_visible_against_background() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = ped_scenes(5, 24, 1, &mut rng);
+        for scene in d.scenes() {
+            let b = &scene.boxes[0];
+            let (cx, cy) = b.center();
+            // Shirt region (upper middle of the box) should be strongly red.
+            let y = (b.y0 + (b.y1 - b.y0) * 0.4) as usize;
+            let x = cx as usize;
+            let red = scene.image.at(&[0, y, x]);
+            let blue = scene.image.at(&[2, y, x]);
+            assert!(
+                red > blue,
+                "pedestrian shirt not visible at ({x},{y}): r={red} b={blue}; cy={cy}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_partitions_scenes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = ped_scenes(10, 20, 2, &mut rng);
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! MNIST-like synthetic digit images: a 5×7 bitmap font rendered onto a
+//! 14×14 canvas with random shift, intensity scaling, and pixel noise.
+
+use rand::Rng;
+use tensor::Tensor;
+
+use crate::ClassificationDataset;
+
+/// Canvas side length of generated digit images.
+pub const DIGIT_SIZE: usize = 14;
+
+/// 5×7 bitmap font for the digits 0–9 (row-major, 1 = ink).
+const FONT: [[u8; 35]; 10] = [
+    // 0
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 1, 1, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
+    // 1
+    [
+        0, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0,
+        0, 1, 1, 1, 0,
+    ],
+    // 2
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0,
+        1, 1, 1, 1, 1,
+    ],
+    // 3
+    [
+        1, 1, 1, 1, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
+    // 4
+    [
+        0, 0, 0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 1, 1, 1, 1, 0, 0, 0, 1, 0,
+        0, 0, 0, 1, 0,
+    ],
+    // 5
+    [
+        1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
+    // 6
+    [
+        0, 0, 1, 1, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
+    // 7
+    [
+        1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0,
+        0, 1, 0, 0, 0,
+    ],
+    // 8
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1,
+        0, 1, 1, 1, 0,
+    ],
+    // 9
+    [
+        0, 1, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0,
+        0, 1, 1, 0, 0,
+    ],
+];
+
+/// Returns the 5×7 bitmap (35 values, row-major) of a digit glyph.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+pub fn glyph_bitmap(digit: usize) -> &'static [u8; 35] {
+    assert!(digit < 10, "digit must be 0–9");
+    &FONT[digit]
+}
+
+/// Generates `per_class` jittered samples of each digit 0–9 as
+/// `[N, 1, 14, 14]` images with values in `[0, 1]`.
+///
+/// Jitter per sample: ±2 px translation, ink intensity in `[0.7, 1.0]`,
+/// additive uniform pixel noise up to 0.15, and a 2× nearest-neighbour
+/// upscale of the 5×7 glyph so strokes are 2 px wide.
+///
+/// # Panics
+///
+/// Panics if `per_class == 0`.
+pub fn digits(per_class: usize, rng: &mut impl Rng) -> ClassificationDataset {
+    assert!(per_class > 0, "need at least one sample per class");
+    let n = per_class * 10;
+    let hw = DIGIT_SIZE * DIGIT_SIZE;
+    let mut data = vec![0.0f32; n * hw];
+    let mut labels = Vec::with_capacity(n);
+    for s in 0..n {
+        let digit = s % 10;
+        labels.push(digit);
+        let dx = rng.gen_range(-2i32..=2);
+        let dy = rng.gen_range(-2i32..=2);
+        let ink = rng.gen_range(0.7..1.0f32);
+        let noise = rng.gen_range(0.0..0.15f32);
+        let img = &mut data[s * hw..(s + 1) * hw];
+        // Render the 5×7 glyph at 2× scale (10×14 area) centered-ish.
+        for gy in 0..7 {
+            for gx in 0..5 {
+                if FONT[digit][gy * 5 + gx] == 0 {
+                    continue;
+                }
+                for sy in 0..2 {
+                    for sx in 0..2 {
+                        let y = gy as i32 * 2 + sy + dy;
+                        let x = gx as i32 * 2 + sx + 2 + dx;
+                        if (0..DIGIT_SIZE as i32).contains(&y) && (0..DIGIT_SIZE as i32).contains(&x)
+                        {
+                            img[y as usize * DIGIT_SIZE + x as usize] = ink;
+                        }
+                    }
+                }
+            }
+        }
+        for p in img.iter_mut() {
+            *p = (*p + rng.gen::<f32>() * noise).min(1.0);
+        }
+    }
+    ClassificationDataset::new(
+        Tensor::from_vec(data, &[n, 1, DIGIT_SIZE, DIGIT_SIZE]).expect("length matches"),
+        labels,
+        10,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shape_and_balance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = digits(5, &mut rng);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.images().dims(), &[50, 1, 14, 14]);
+        for c in 0..10 {
+            assert_eq!(d.labels().iter().filter(|&&l| l == c).count(), 5);
+        }
+    }
+
+    #[test]
+    fn pixels_are_in_unit_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = digits(3, &mut rng);
+        assert!(d
+            .images()
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn glyphs_have_distinct_ink_patterns() {
+        // Any two font glyphs differ in at least 4 cells.
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let diff = glyph_bitmap(a)
+                    .iter()
+                    .zip(glyph_bitmap(b))
+                    .filter(|(x, y)| x != y)
+                    .count();
+                assert!(diff >= 4, "glyphs {a} and {b} differ in only {diff} cells");
+            }
+        }
+    }
+
+    #[test]
+    fn images_contain_ink() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = digits(2, &mut rng);
+        let hw = DIGIT_SIZE * DIGIT_SIZE;
+        for s in 0..d.len() {
+            let sum: f32 = d.images().as_slice()[s * hw..(s + 1) * hw].iter().sum();
+            assert!(sum > 3.0, "sample {s} looks blank (sum {sum})");
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = digits(2, &mut ChaCha8Rng::seed_from_u64(3));
+        let b = digits(2, &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(a.images().as_slice(), b.images().as_slice());
+    }
+}

@@ -1,0 +1,114 @@
+//! Two interleaved half-moons — the 2-D binary toy set behind the paper's
+//! Fig. 1 decision-boundary visualization (generated with scikit-learn in
+//! the paper).
+
+use rand::Rng;
+use tensor::Tensor;
+
+use crate::ClassificationDataset;
+
+/// Generates `n` samples of the two-moons dataset with Gaussian coordinate
+/// noise of standard deviation `noise`.
+///
+/// Class 0 is the upper moon, class 1 the lower interleaved moon; features
+/// are roughly in `[-1.5, 2.5] × [-1, 1.5]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `noise` is negative.
+///
+/// # Example
+///
+/// ```
+/// use datasets::moons;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let data = moons(100, 0.1, &mut rng);
+/// assert_eq!(data.len(), 100);
+/// assert_eq!(data.classes(), 2);
+/// ```
+pub fn moons(n: usize, noise: f32, rng: &mut impl Rng) -> ClassificationDataset {
+    assert!(n > 0, "need at least one sample");
+    assert!(noise >= 0.0, "noise must be non-negative");
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let t = rng.gen::<f32>() * std::f32::consts::PI;
+        let (mut x, mut y) = if label == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        x += noise * gaussian(rng);
+        y += noise * gaussian(rng);
+        data.push(x);
+        data.push(y);
+        labels.push(label);
+    }
+    ClassificationDataset::new(
+        Tensor::from_vec(data, &[n, 2]).expect("length matches"),
+        labels,
+        2,
+    )
+}
+
+fn gaussian(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn classes_are_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = moons(200, 0.05, &mut rng);
+        let ones = d.labels().iter().filter(|&&l| l == 1).count();
+        assert_eq!(ones, 100);
+    }
+
+    #[test]
+    fn noiseless_moons_lie_on_unit_arcs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = moons(50, 0.0, &mut rng);
+        for i in 0..d.len() {
+            let x = d.images().at(&[i, 0]);
+            let y = d.images().at(&[i, 1]);
+            let r = if d.labels()[i] == 0 {
+                (x * x + y * y).sqrt()
+            } else {
+                ((x - 1.0).powi(2) + (y - 0.5).powi(2)).sqrt()
+            };
+            assert!((r - 1.0).abs() < 1e-5, "sample {i} off its arc: r={r}");
+        }
+    }
+
+    #[test]
+    fn moons_are_linearly_inseparable_but_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = moons(400, 0.05, &mut rng);
+        // Class means differ (distinct clusters).
+        let mut mean = [[0.0f32; 2]; 2];
+        let mut cnt = [0usize; 2];
+        for i in 0..d.len() {
+            let l = d.labels()[i];
+            mean[l][0] += d.images().at(&[i, 0]);
+            mean[l][1] += d.images().at(&[i, 1]);
+            cnt[l] += 1;
+        }
+        for l in 0..2 {
+            mean[l][0] /= cnt[l] as f32;
+            mean[l][1] /= cnt[l] as f32;
+        }
+        let dist = ((mean[0][0] - mean[1][0]).powi(2) + (mean[0][1] - mean[1][1]).powi(2)).sqrt();
+        assert!(dist > 0.5, "class means too close: {dist}");
+    }
+}

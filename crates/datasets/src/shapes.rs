@@ -1,0 +1,162 @@
+//! CIFAR-10-like synthetic images: 10 classes of colored geometric shapes
+//! on textured 3×16×16 canvases.
+
+use rand::Rng;
+use tensor::Tensor;
+
+use crate::ClassificationDataset;
+
+/// Canvas side length of generated shape images.
+pub const SHAPE_SIZE: usize = 16;
+
+/// Generates `per_class` samples of each of 10 shape classes as
+/// `[N, 3, 16, 16]` images in `[0, 1]`.
+///
+/// The classes pair five geometries (disc, ring, square, triangle, cross)
+/// with two color schemes each, drawn at randomized position, scale and
+/// hue over a textured background — enough intra-class variance that a
+/// linear model cannot solve the task.
+///
+/// # Panics
+///
+/// Panics if `per_class == 0`.
+pub fn shapes(per_class: usize, rng: &mut impl Rng) -> ClassificationDataset {
+    assert!(per_class > 0, "need at least one sample per class");
+    let n = per_class * 10;
+    let chw = 3 * SHAPE_SIZE * SHAPE_SIZE;
+    let mut data = vec![0.0f32; n * chw];
+    let mut labels = Vec::with_capacity(n);
+    for s in 0..n {
+        let class = s % 10;
+        labels.push(class);
+        let img = &mut data[s * chw..(s + 1) * chw];
+        render_class(class, img, rng);
+    }
+    ClassificationDataset::new(
+        Tensor::from_vec(data, &[n, 3, SHAPE_SIZE, SHAPE_SIZE]).expect("length matches"),
+        labels,
+        10,
+    )
+}
+
+/// Base colors (RGB in `[0,1]`) for the two schemes of each geometry.
+const COLORS: [[f32; 3]; 4] = [
+    [0.9, 0.2, 0.2], // red
+    [0.2, 0.4, 0.9], // blue
+    [0.2, 0.8, 0.3], // green
+    [0.9, 0.8, 0.2], // yellow
+];
+
+fn render_class(class: usize, img: &mut [f32], rng: &mut impl Rng) {
+    let geometry = class % 5;
+    let scheme = class / 5; // 0 or 1
+    let color = COLORS[(geometry + scheme * 2) % 4];
+    let bg = COLORS[(geometry + scheme * 2 + 1) % 4];
+    let size = SHAPE_SIZE;
+
+    // Textured background: dimmed bg color plus per-pixel noise.
+    for y in 0..size {
+        for x in 0..size {
+            for c in 0..3 {
+                img[c * size * size + y * size + x] =
+                    0.25 * bg[c] + 0.1 * rng.gen::<f32>();
+            }
+        }
+    }
+
+    let cx = rng.gen_range(5.0..(size as f32 - 5.0));
+    let cy = rng.gen_range(5.0..(size as f32 - 5.0));
+    let r = rng.gen_range(3.0..5.0f32);
+    let jitter = rng.gen_range(0.85..1.0f32);
+
+    for y in 0..size {
+        for x in 0..size {
+            let fx = x as f32 - cx;
+            let fy = y as f32 - cy;
+            let inside = match geometry {
+                0 => fx * fx + fy * fy <= r * r, // disc
+                1 => {
+                    let d2 = fx * fx + fy * fy;
+                    d2 <= r * r && d2 >= (r - 1.8) * (r - 1.8) // ring
+                }
+                2 => fx.abs() <= r * 0.8 && fy.abs() <= r * 0.8, // square
+                3 => fy >= -r && fy <= r && fx.abs() <= (r - fy) * 0.5, // triangle
+                _ => fx.abs() <= 1.2 || fy.abs() <= 1.2, // cross (clipped below)
+            };
+            let in_bounds = geometry != 4 || (fx.abs() <= r && fy.abs() <= r);
+            if inside && in_bounds {
+                for c in 0..3 {
+                    img[c * size * size + y * size + x] = (color[c] * jitter).min(1.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shape_and_balance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = shapes(4, &mut rng);
+        assert_eq!(d.len(), 40);
+        assert_eq!(d.images().dims(), &[40, 3, 16, 16]);
+        assert_eq!(d.classes(), 10);
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = shapes(2, &mut rng);
+        assert!(d
+            .images()
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn classes_have_distinct_mean_images() {
+        // Average image per class should differ between classes — the signal
+        // a classifier learns.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = shapes(20, &mut rng);
+        let chw = 3 * 16 * 16;
+        let mut means = vec![vec![0.0f32; chw]; 10];
+        for s in 0..d.len() {
+            let c = d.labels()[s];
+            for (m, &v) in means[c]
+                .iter_mut()
+                .zip(&d.images().as_slice()[s * chw..(s + 1) * chw])
+            {
+                *m += v / 20.0;
+            }
+        }
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let dist: f32 = means[a]
+                    .iter()
+                    .zip(&means[b])
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                assert!(dist > 0.05, "classes {a} and {b} look identical ({dist})");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_class_variation_exists() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = shapes(2, &mut rng);
+        let chw = 3 * 16 * 16;
+        // Two samples of class 0 (indices 0 and 10) must differ.
+        let a = &d.images().as_slice()[0..chw];
+        let b = &d.images().as_slice()[10 * chw..11 * chw];
+        let dist: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!(dist > 0.01, "no intra-class variation");
+    }
+}

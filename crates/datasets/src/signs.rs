@@ -1,0 +1,167 @@
+//! GTSRB-like synthetic traffic-sign images: 43 classes formed by
+//! (border shape × background color × inner glyph) combinations on
+//! 3×16×16 canvases, with the randomized scale/position the paper's
+//! spatial-transformer model is meant to handle.
+
+use rand::Rng;
+use tensor::Tensor;
+
+use crate::digits::glyph_bitmap;
+use crate::ClassificationDataset;
+
+/// Canvas side length of generated sign images.
+pub const SIGN_SIZE: usize = 16;
+
+/// Number of traffic-sign classes, matching GTSRB.
+pub const SIGN_CLASSES: usize = 43;
+
+/// Generates `per_class` samples of each of the 43 sign classes as
+/// `[N, 3, 16, 16]` images in `[0, 1]`.
+///
+/// Class `c` decomposes as `shape = c % 4`, `color = (c / 4) % 3`,
+/// `glyph = c / 12` (mixed radix over 4 border shapes × 3 colors × 4
+/// glyphs = 48 combinations, of which the first 43 are used). Signs are
+/// drawn with randomized center and radius — the "randomized input shape"
+/// property the paper notes for this task.
+///
+/// # Panics
+///
+/// Panics if `per_class == 0`.
+pub fn signs(per_class: usize, rng: &mut impl Rng) -> ClassificationDataset {
+    assert!(per_class > 0, "need at least one sample per class");
+    let n = per_class * SIGN_CLASSES;
+    let chw = 3 * SIGN_SIZE * SIGN_SIZE;
+    let mut data = vec![0.0f32; n * chw];
+    let mut labels = Vec::with_capacity(n);
+    for s in 0..n {
+        let class = s % SIGN_CLASSES;
+        labels.push(class);
+        render_sign(class, &mut data[s * chw..(s + 1) * chw], rng);
+    }
+    ClassificationDataset::new(
+        Tensor::from_vec(data, &[n, 3, SIGN_SIZE, SIGN_SIZE]).expect("length matches"),
+        labels,
+        SIGN_CLASSES,
+    )
+}
+
+const SIGN_COLORS: [[f32; 3]; 3] = [
+    [0.85, 0.15, 0.15], // red
+    [0.15, 0.25, 0.85], // blue
+    [0.9, 0.85, 0.2],   // yellow
+];
+
+fn render_sign(class: usize, img: &mut [f32], rng: &mut impl Rng) {
+    let shape = class % 4;
+    let color = SIGN_COLORS[(class / 4) % 3];
+    let glyph = class / 12; // 0..=3
+    let size = SIGN_SIZE;
+
+    // Gray textured background.
+    for p in img.iter_mut() {
+        *p = 0.35 + 0.1 * rng.gen::<f32>();
+    }
+
+    let cx = rng.gen_range(6.5..(size as f32 - 6.5));
+    let cy = rng.gen_range(6.5..(size as f32 - 6.5));
+    let r = rng.gen_range(5.0..6.5f32);
+
+    for y in 0..size {
+        for x in 0..size {
+            let fx = x as f32 - cx;
+            let fy = y as f32 - cy;
+            let inside = match shape {
+                0 => fx * fx + fy * fy <= r * r,                        // circle
+                1 => fy >= -r && fy <= r && fx.abs() <= (r - fy) * 0.6, // triangle
+                2 => fx.abs() <= r * 0.85 && fy.abs() <= r * 0.85,      // square
+                _ => fx.abs() + fy.abs() <= r,                          // diamond
+            };
+            if inside {
+                for c in 0..3 {
+                    img[c * size * size + y * size + x] = color[c];
+                }
+            }
+        }
+    }
+
+    // White inner disc with a dark digit glyph (0–3).
+    let ir = r * 0.55;
+    for y in 0..size {
+        for x in 0..size {
+            let fx = x as f32 - cx;
+            let fy = y as f32 - cy;
+            if fx * fx + fy * fy <= ir * ir {
+                for c in 0..3 {
+                    img[c * size * size + y * size + x] = 0.95;
+                }
+            }
+        }
+    }
+    let bitmap = glyph_bitmap(glyph);
+    let gx0 = cx as i32 - 2;
+    let gy0 = cy as i32 - 3;
+    for gy in 0..7i32 {
+        for gx in 0..5i32 {
+            if bitmap[(gy * 5 + gx) as usize] == 0 {
+                continue;
+            }
+            let y = gy0 + gy;
+            let x = gx0 + gx;
+            if (0..size as i32).contains(&y) && (0..size as i32).contains(&x) {
+                for c in 0..3 {
+                    img[c * size * size + y as usize * size + x as usize] = 0.05;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn has_43_balanced_classes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = signs(2, &mut rng);
+        assert_eq!(d.classes(), 43);
+        assert_eq!(d.len(), 86);
+        for c in 0..43 {
+            assert_eq!(d.labels().iter().filter(|&&l| l == c).count(), 2);
+        }
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = signs(1, &mut rng);
+        assert!(d
+            .images()
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn class_factorization_is_injective_over_43() {
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..43 {
+            let key = (c % 4, (c / 4) % 3, c / 12);
+            assert!(seen.insert(key), "class {c} collides");
+        }
+    }
+
+    #[test]
+    fn sign_images_contain_colored_region() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = signs(1, &mut rng);
+        let chw = 3 * 16 * 16;
+        for s in 0..5 {
+            let img = &d.images().as_slice()[s * chw..(s + 1) * chw];
+            let bright = img.iter().filter(|&&v| v > 0.8).count();
+            assert!(bright > 5, "sample {s} has no bright sign area");
+        }
+    }
+}

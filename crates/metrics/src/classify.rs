@@ -1,0 +1,149 @@
+//! Classification metrics.
+
+use tensor::Tensor;
+
+/// Fraction of predictions equal to their labels, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use metrics::accuracy;
+///
+/// assert_eq!(accuracy(&[0, 1, 2, 2], &[0, 1, 1, 2]), 0.75);
+/// ```
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction/label count mismatch"
+    );
+    assert!(!labels.is_empty(), "accuracy of an empty set is undefined");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Accuracy computed directly from an `[N, C]` logit tensor via per-row
+/// argmax.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or the batch size differs from the
+/// label count.
+pub fn accuracy_from_logits(logits: &Tensor, labels: &[usize]) -> f32 {
+    accuracy(&logits.argmax_rows(), labels)
+}
+
+/// A `C×C` confusion matrix: `entry(true, predicted)` counts samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from prediction/label pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any index is `>= classes`.
+    pub fn new(predictions: &[usize], labels: &[usize], classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut counts = vec![0usize; classes * classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!(p < classes && l < classes, "class index out of range");
+            counts[l * classes + p] += 1;
+        }
+        ConfusionMatrix { counts, classes }
+    }
+
+    /// Count of samples with true class `truth` predicted as `pred`.
+    pub fn entry(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Per-class recall (`None` when a class has no samples).
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let row: usize = (0..self.classes).map(|p| self.entry(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.entry(class, class) as f32 / row as f32)
+        }
+    }
+
+    /// Per-class precision (`None` when a class is never predicted).
+    pub fn precision(&self, class: usize) -> Option<f32> {
+        let col: usize = (0..self.classes).map(|t| self.entry(t, class)).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.entry(class, class) as f32 / col as f32)
+        }
+    }
+
+    /// Overall accuracy (trace over total).
+    pub fn accuracy(&self) -> f32 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let trace: usize = (0..self.classes).map(|c| self.entry(c, c)).sum();
+        trace as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_bounds() {
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_accuracy_panics() {
+        let _ = accuracy(&[], &[]);
+    }
+
+    #[test]
+    fn logits_argmax_accuracy() {
+        let logits =
+            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        assert!((accuracy_from_logits(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = ConfusionMatrix::new(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(cm.entry(0, 0), 1);
+        assert_eq!(cm.entry(2, 1), 1);
+        assert_eq!(cm.entry(2, 2), 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn precision_recall() {
+        let cm = ConfusionMatrix::new(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(cm.recall(1), Some(2.0 / 3.0));
+        assert_eq!(cm.precision(0), Some(0.5));
+        let cm2 = ConfusionMatrix::new(&[0], &[0], 2);
+        assert_eq!(cm2.recall(1), None);
+        assert_eq!(cm2.precision(1), None);
+    }
+}

@@ -1,0 +1,175 @@
+//! Average precision / mAP for object detection (Fig. 3(j)).
+
+use datasets::BBox;
+
+/// One scored detection in one image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Index of the image the detection belongs to.
+    pub image: usize,
+    /// Predicted box.
+    pub bbox: BBox,
+    /// Confidence score (higher = more confident).
+    pub score: f32,
+}
+
+/// Average precision at the given IoU threshold over a set of images.
+///
+/// `ground_truth[i]` holds the true boxes of image `i`; detections may
+/// arrive in any order and are ranked globally by score. Uses the
+/// all-points interpolated AP (area under the precision envelope), the
+/// PASCAL-VOC-2010 convention.
+///
+/// Returns 0 when there are no ground-truth boxes.
+///
+/// # Example
+///
+/// ```
+/// use datasets::BBox;
+/// use metrics::{average_precision, Detection};
+///
+/// let gt = vec![vec![BBox::new(0.0, 0.0, 10.0, 10.0)]];
+/// let dets = vec![Detection { image: 0, bbox: BBox::new(0.0, 0.0, 10.0, 10.0), score: 0.9 }];
+/// assert!((average_precision(&dets, &gt, 0.5) - 1.0).abs() < 1e-6);
+/// ```
+pub fn average_precision(
+    detections: &[Detection],
+    ground_truth: &[Vec<BBox>],
+    iou_threshold: f32,
+) -> f32 {
+    let total_gt: usize = ground_truth.iter().map(Vec::len).sum();
+    if total_gt == 0 {
+        return 0.0;
+    }
+    let mut dets: Vec<&Detection> = detections.iter().collect();
+    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut matched: Vec<Vec<bool>> = ground_truth.iter().map(|g| vec![false; g.len()]).collect();
+    let mut tp = Vec::with_capacity(dets.len());
+    for det in dets {
+        let mut best_iou = 0.0f32;
+        let mut best_j = None;
+        if det.image < ground_truth.len() {
+            for (j, gt) in ground_truth[det.image].iter().enumerate() {
+                let iou = det.bbox.iou(gt);
+                if iou > best_iou {
+                    best_iou = iou;
+                    best_j = Some(j);
+                }
+            }
+        }
+        match best_j {
+            Some(j) if best_iou >= iou_threshold && !matched[det.image][j] => {
+                matched[det.image][j] = true;
+                tp.push(true);
+            }
+            _ => tp.push(false),
+        }
+    }
+
+    // Precision–recall curve.
+    let mut cum_tp = 0usize;
+    let mut points = Vec::with_capacity(tp.len());
+    for (i, &is_tp) in tp.iter().enumerate() {
+        if is_tp {
+            cum_tp += 1;
+        }
+        let precision = cum_tp as f32 / (i + 1) as f32;
+        let recall = cum_tp as f32 / total_gt as f32;
+        points.push((recall, precision));
+    }
+    // Area under the precision envelope (all-points interpolation).
+    let mut ap = 0.0f32;
+    let mut prev_recall = 0.0f32;
+    for i in 0..points.len() {
+        let max_prec_after = points[i..]
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(0.0f32, f32::max);
+        let (recall, _) = points[i];
+        if recall > prev_recall {
+            ap += (recall - prev_recall) * max_prec_after;
+            prev_recall = recall;
+        }
+    }
+    ap
+}
+
+/// Mean AP over IoU thresholds `0.5` (single-class detection with one
+/// threshold, as used for the paper's pedestrian task). Provided as a named
+/// wrapper so benches read like the paper's reported metric.
+pub fn mean_average_precision(detections: &[Detection], ground_truth: &[Vec<BBox>]) -> f32 {
+    average_precision(detections, ground_truth, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x0: f32, y0: f32, x1: f32, y1: f32) -> BBox {
+        BBox::new(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn perfect_detections_give_ap_one() {
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0), bb(20.0, 20.0, 30.0, 30.0)]];
+        let dets = vec![
+            Detection { image: 0, bbox: bb(0.0, 0.0, 10.0, 10.0), score: 0.9 },
+            Detection { image: 0, bbox: bb(20.0, 20.0, 30.0, 30.0), score: 0.8 },
+        ];
+        assert!((average_precision(&dets, &gt, 0.5) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_detections_give_zero() {
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]];
+        assert_eq!(average_precision(&[], &gt, 0.5), 0.0);
+    }
+
+    #[test]
+    fn duplicate_detections_count_once() {
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]];
+        let dets = vec![
+            Detection { image: 0, bbox: bb(0.0, 0.0, 10.0, 10.0), score: 0.9 },
+            Detection { image: 0, bbox: bb(0.5, 0.5, 10.0, 10.0), score: 0.8 },
+        ];
+        // Second match of the same GT is a false positive; AP stays 1.0
+        // because recall saturates at the first hit.
+        let ap = average_precision(&dets, &gt, 0.5);
+        assert!((ap - 1.0).abs() < 1e-6, "ap {ap}");
+    }
+
+    #[test]
+    fn false_positive_before_true_positive_lowers_ap() {
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]];
+        let dets = vec![
+            Detection { image: 0, bbox: bb(50.0, 50.0, 60.0, 60.0), score: 0.95 },
+            Detection { image: 0, bbox: bb(0.0, 0.0, 10.0, 10.0), score: 0.5 },
+        ];
+        let ap = average_precision(&dets, &gt, 0.5);
+        assert!((ap - 0.5).abs() < 1e-6, "ap {ap}");
+    }
+
+    #[test]
+    fn iou_threshold_gates_matches() {
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]];
+        let half = Detection { image: 0, bbox: bb(5.0, 0.0, 15.0, 10.0), score: 0.9 };
+        // IoU = 1/3 → matches at 0.3, not at 0.5.
+        assert!(average_precision(&[half], &gt, 0.3) > 0.9);
+        assert_eq!(average_precision(&[half], &gt, 0.5), 0.0);
+    }
+
+    #[test]
+    fn missed_ground_truth_bounds_recall() {
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)], vec![bb(0.0, 0.0, 10.0, 10.0)]];
+        let dets = vec![Detection { image: 0, bbox: bb(0.0, 0.0, 10.0, 10.0), score: 0.9 }];
+        // One of two GTs found, perfect precision → AP = 0.5.
+        assert!((average_precision(&dets, &gt, 0.5) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_ground_truth_is_zero() {
+        assert_eq!(average_precision(&[], &[], 0.5), 0.0);
+        assert_eq!(mean_average_precision(&[], &[vec![]]), 0.0);
+    }
+}

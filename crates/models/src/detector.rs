@@ -1,0 +1,291 @@
+//! TinyDetector (Fig. 3(j), Fig. 4): a single-stage grid detector standing
+//! in for the paper's Mask R-CNN on the synthetic pedestrian scenes.
+//!
+//! The image is divided into a `G×G` cell grid; for each cell the head
+//! predicts `[objectness, cx, cy, w, h]` (all squashed by a sigmoid). A cell
+//! is positive when a ground-truth pedestrian center falls inside it. This
+//! reproduces the failure mode the paper studies — weight drift corrupts
+//! both the confidence map and the box regressions — with the same dropout
+//! search space as the classifiers.
+
+use datasets::{BBox, Scene};
+use nn::{Conv2d, Dropout, Layer, MaxPool2d, Mode, Relu, Sequential};
+use rand::Rng;
+use tensor::Tensor;
+
+use crate::delegate_layer;
+
+/// Downsampling factor from image pixels to grid cells.
+pub const GRID: usize = 4;
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The detector network: conv backbone (two pooling stages) + 1×1 conv head
+/// emitting 5 channels per grid cell.
+pub struct TinyDetector {
+    net: Sequential,
+    image_hw: usize,
+}
+
+impl TinyDetector {
+    /// Builds a detector for 3-channel `hw`×`hw` scenes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hw` is not divisible by [`GRID`].
+    pub fn new(hw: usize, rng: &mut impl Rng) -> Self {
+        assert_eq!(hw % GRID, 0, "scene size must be divisible by {GRID}");
+        let net = Sequential::new(vec![
+            Box::new(Conv2d::new(3, 16, 3, 1, 1, rng)),
+            Box::new(Relu::new()),
+            Box::new(Dropout::new(0.0, 0xf1)),
+            Box::new(MaxPool2d::new(2, 2)),
+            Box::new(Conv2d::new(16, 32, 3, 1, 1, rng)),
+            Box::new(Relu::new()),
+            Box::new(Dropout::new(0.0, 0xf2)),
+            Box::new(MaxPool2d::new(2, 2)),
+            Box::new(Conv2d::new(32, 5, 1, 1, 0, rng)),
+        ]);
+        TinyDetector { net, image_hw: hw }
+    }
+
+    /// Image side length this detector was built for.
+    pub fn image_hw(&self) -> usize {
+        self.image_hw
+    }
+
+    /// Grid side length (`hw / GRID`).
+    pub fn grid(&self) -> usize {
+        self.image_hw / GRID
+    }
+
+    /// Decodes raw head output for one image into `(box, score)` pairs with
+    /// objectness above `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is not `[5, G, G]`.
+    pub fn decode(&self, raw: &Tensor, threshold: f32) -> Vec<(BBox, f32)> {
+        let g = self.grid();
+        assert_eq!(raw.dims(), &[5, g, g], "unexpected head output shape");
+        let cell = GRID as f32;
+        let size = self.image_hw as f32;
+        let mut out = Vec::new();
+        for i in 0..g {
+            for j in 0..g {
+                let score = sigmoid(raw.at(&[0, i, j]));
+                if score < threshold {
+                    continue;
+                }
+                let cx = (j as f32 + sigmoid(raw.at(&[1, i, j]))) * cell;
+                let cy = (i as f32 + sigmoid(raw.at(&[2, i, j]))) * cell;
+                let w = sigmoid(raw.at(&[3, i, j])) * size;
+                let h = sigmoid(raw.at(&[4, i, j])) * size;
+                out.push((
+                    BBox::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0),
+                    score,
+                ));
+            }
+        }
+        // Greedy NMS at IoU 0.4.
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut kept: Vec<(BBox, f32)> = Vec::new();
+        for (bbox, score) in out {
+            if kept.iter().all(|(k, _)| k.iou(&bbox) < 0.4) {
+                kept.push((bbox, score));
+            }
+        }
+        kept
+    }
+
+    /// Runs inference on a batch of scene images `[N, 3, H, W]` and decodes
+    /// per-image detections.
+    pub fn detect(&mut self, images: &Tensor, threshold: f32) -> Vec<Vec<(BBox, f32)>> {
+        let raw = self.net.forward(images, Mode::Eval);
+        let g = self.grid();
+        let n = images.dims()[0];
+        let per = 5 * g * g;
+        (0..n)
+            .map(|i| {
+                let slice =
+                    Tensor::from_vec(raw.as_slice()[i * per..(i + 1) * per].to_vec(), &[5, g, g])
+                        .expect("head slice length");
+                self.decode(&slice, threshold)
+            })
+            .collect()
+    }
+}
+
+delegate_layer!(TinyDetector, "tiny_detector");
+
+/// Builds training targets and the loss/gradient for [`TinyDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionLoss {
+    /// Weight on the box-regression terms relative to objectness.
+    pub box_weight: f32,
+}
+
+impl Default for DetectionLoss {
+    fn default() -> Self {
+        DetectionLoss { box_weight: 2.0 }
+    }
+}
+
+impl DetectionLoss {
+    /// Computes the mean loss and its gradient w.r.t. the raw head output
+    /// for a batch of scenes.
+    ///
+    /// Objectness: MSE between `σ(logit)` and the 0/1 cell target over all
+    /// cells. Box terms: MSE between the sigmoid-decoded offsets/sizes and
+    /// the encoded ground truth, on positive cells only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is not `[N, 5, G, G]` with `N == scenes.len()`.
+    pub fn loss_and_grad(
+        &self,
+        raw: &Tensor,
+        scenes: &[Scene],
+        image_hw: usize,
+    ) -> (f32, Tensor) {
+        let g = image_hw / GRID;
+        let n = scenes.len();
+        assert_eq!(raw.dims(), &[n, 5, g, g], "head output shape mismatch");
+        let cell = GRID as f32;
+        let size = image_hw as f32;
+        let mut grad = Tensor::zeros(raw.dims());
+        let mut loss = 0.0f32;
+        let cells = (n * g * g) as f32;
+        for (s, scene) in scenes.iter().enumerate() {
+            // Cell targets: (obj, cx-frac, cy-frac, w-frac, h-frac)
+            let mut targets = vec![None::<[f32; 4]>; g * g];
+            for b in &scene.boxes {
+                let (cx, cy) = b.center();
+                let (w, h) = b.size();
+                let j = ((cx / cell) as usize).min(g - 1);
+                let i = ((cy / cell) as usize).min(g - 1);
+                targets[i * g + j] = Some([
+                    (cx / cell - j as f32).clamp(0.01, 0.99),
+                    (cy / cell - i as f32).clamp(0.01, 0.99),
+                    (w / size).clamp(0.01, 0.99),
+                    (h / size).clamp(0.01, 0.99),
+                ]);
+            }
+            for i in 0..g {
+                for j in 0..g {
+                    let target = &targets[i * g + j];
+                    let obj_target = if target.is_some() { 1.0 } else { 0.0 };
+                    let logit = raw.at(&[s, 0, i, j]);
+                    let p = sigmoid(logit);
+                    let diff = p - obj_target;
+                    loss += diff * diff / cells;
+                    *grad.at_mut(&[s, 0, i, j]) = 2.0 * diff * p * (1.0 - p) / cells;
+                    if let Some(t) = target {
+                        for (k, &tk) in t.iter().enumerate() {
+                            let l = raw.at(&[s, k + 1, i, j]);
+                            let v = sigmoid(l);
+                            let d = v - tk;
+                            loss += self.box_weight * d * d / cells;
+                            *grad.at_mut(&[s, k + 1, i, j]) =
+                                2.0 * self.box_weight * d * v * (1.0 - v) / cells;
+                        }
+                    }
+                }
+            }
+        }
+        (loss, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::ped_scenes;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut det = TinyDetector::new(24, &mut rng);
+        let y = det.forward(&Tensor::ones(&[2, 3, 24, 24]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 5, 6, 6]);
+        assert_eq!(det.grid(), 6);
+    }
+
+    #[test]
+    fn decode_respects_threshold_and_nms() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let det = TinyDetector::new(24, &mut rng);
+        let mut raw = Tensor::full(&[5, 6, 6], -10.0); // all objectness ~0
+        *raw.at_mut(&[0, 2, 3]) = 10.0; // one confident cell
+        *raw.at_mut(&[1, 2, 3]) = 0.0; // cx at cell center
+        *raw.at_mut(&[2, 2, 3]) = 0.0; // cy at cell center
+        *raw.at_mut(&[3, 2, 3]) = 0.0; // w = 12 px
+        *raw.at_mut(&[4, 2, 3]) = 0.0; // h = 12 px
+        let dets = det.decode(&raw, 0.5);
+        assert_eq!(dets.len(), 1);
+        let (bbox, score) = dets[0];
+        assert!(score > 0.99);
+        let (cx, cy) = bbox.center();
+        assert!((cx - 14.0).abs() < 0.1 && (cy - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn loss_gradient_matches_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let scenes = ped_scenes(2, 24, 2, &mut rng);
+        let loss_fn = DetectionLoss::default();
+        let raw = Tensor::randn(&[2, 5, 6, 6], 0.0, 1.0, &mut rng);
+        let (_, grad) = loss_fn.loss_and_grad(&raw, scenes.scenes(), 24);
+        let eps = 1e-2;
+        let mut max_err = 0.0f32;
+        for i in (0..raw.len()).step_by(17) {
+            let mut hi = raw.clone();
+            hi.as_mut_slice()[i] += eps;
+            let mut lo = raw.clone();
+            lo.as_mut_slice()[i] -= eps;
+            let num = (loss_fn.loss_and_grad(&hi, scenes.scenes(), 24).0
+                - loss_fn.loss_and_grad(&lo, scenes.scenes(), 24).0)
+                / (2.0 * eps);
+            max_err = max_err.max((num - grad.as_slice()[i]).abs());
+        }
+        assert!(max_err < 1e-3, "gradient error {max_err}");
+    }
+
+    #[test]
+    fn detector_learns_on_tiny_set() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let scenes = ped_scenes(4, 24, 1, &mut rng);
+        let mut det = TinyDetector::new(24, &mut rng);
+        let loss_fn = DetectionLoss::default();
+        // Stack scene images into one batch.
+        let mut data = Vec::new();
+        for scene in scenes.scenes() {
+            data.extend_from_slice(scene.image.as_slice());
+        }
+        let images = Tensor::from_vec(data, &[4, 3, 24, 24]).unwrap();
+        let mut opt = nn::Adam::new(0.01);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            let raw = det.forward(&images, Mode::Train);
+            let (loss, grad) = loss_fn.loss_and_grad(&raw, scenes.scenes(), 24);
+            first.get_or_insert(loss);
+            last = loss;
+            let _ = det.backward(&grad);
+            nn::Optimizer::step(&mut opt, &mut det);
+        }
+        assert!(last < first.unwrap(), "detector loss must decrease");
+    }
+
+    #[test]
+    fn has_two_dropout_slots() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut det = TinyDetector::new(24, &mut rng);
+        assert_eq!(crate::dropout_count(&mut det), 2);
+    }
+}

@@ -1,0 +1,515 @@
+//! Convolution, pooling and flattening layers over `[N, C, H, W]` tensors.
+
+use rand::Rng;
+use tensor::{col2im, im2col, Conv2dSpec, Matmul, Pool2dSpec, Tensor};
+
+use crate::{Layer, Mode, Param, ParamKind};
+
+/// 2-D convolution lowered to `im2col` + matmul.
+///
+/// Input `[N, C, H, W]`, output `[N, OC, OH, OW]`. Weights are stored as a
+/// `[OC, C·k·k]` matrix, He-normal initialized.
+///
+/// # Example
+///
+/// ```
+/// use nn::{Conv2d, Layer, Mode};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use tensor::Tensor;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let y = conv.forward(&Tensor::ones(&[2, 3, 8, 8]), Mode::Eval);
+/// assert_eq!(y.dims(), &[2, 8, 8, 8]);
+/// ```
+pub struct Conv2d {
+    spec: Conv2dSpec,
+    weight: Param,
+    bias: Param,
+    cols: Vec<Tensor>,
+    input_hw: (usize, usize),
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with a square `kernel`, given `stride`
+    /// and `padding`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let spec = Conv2dSpec::new(in_channels, out_channels, kernel, stride, padding);
+        let fan_in = spec.patch_len();
+        let weight = Tensor::he_normal(&[out_channels, fan_in], fan_in, rng);
+        Conv2d {
+            spec,
+            weight: Param::new(weight, ParamKind::Weight),
+            bias: Param::new(Tensor::zeros(&[out_channels]), ParamKind::Bias),
+            cols: Vec::new(),
+            input_hw: (0, 0),
+            batch: 0,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "conv2d expects [N, C, H, W] input");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        assert_eq!(c, self.spec.in_channels, "conv2d channel mismatch");
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let oc = self.spec.out_channels;
+        self.cols.clear();
+        self.input_hw = (h, w);
+        self.batch = n;
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        let per_sample = c * h * w;
+        let out_per_sample = oc * oh * ow;
+        for i in 0..n {
+            let img = Tensor::from_vec(
+                input.as_slice()[i * per_sample..(i + 1) * per_sample].to_vec(),
+                &[c, h, w],
+            )
+            .expect("sample slice has correct length");
+            let col = im2col(&img, &self.spec, h, w);
+            let y = self.weight.value.matmul(&col); // [OC, OH·OW]
+            let dst = &mut out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample];
+            for och in 0..oc {
+                let b = self.bias.value.as_slice()[och];
+                let src = &y.as_slice()[och * oh * ow..(och + 1) * oh * ow];
+                for (d, &s) in dst[och * oh * ow..(och + 1) * oh * ow]
+                    .iter_mut()
+                    .zip(src)
+                {
+                    *d = s + b;
+                }
+            }
+            self.cols.push(col);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.cols.is_empty(),
+            "backward called before forward on conv2d"
+        );
+        let (h, w) = self.input_hw;
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let oc = self.spec.out_channels;
+        let c = self.spec.in_channels;
+        let n = self.batch;
+        assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d gradient shape");
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let out_per_sample = oc * oh * ow;
+        let in_per_sample = c * h * w;
+        for i in 0..n {
+            let g = Tensor::from_vec(
+                grad_out.as_slice()[i * out_per_sample..(i + 1) * out_per_sample].to_vec(),
+                &[oc, oh * ow],
+            )
+            .expect("gradient slice has correct length");
+            let col = &self.cols[i];
+            // dW += g · colᵀ ; db += row sums of g ; dcol = Wᵀ · g
+            self.weight.grad.add_assign(&g.matmul_nt(col));
+            for och in 0..oc {
+                let row_sum: f32 = g.row(och).iter().sum();
+                self.bias.grad.as_mut_slice()[och] += row_sum;
+            }
+            let dcol = self.weight.value.matmul_tn(&g);
+            let dimg = col2im(&dcol, &self.spec, h, w);
+            grad_in.as_mut_slice()[i * in_per_sample..(i + 1) * in_per_sample]
+                .copy_from_slice(dimg.as_slice());
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+impl std::fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conv2d").field("spec", &self.spec).finish()
+    }
+}
+
+/// Max pooling over `[N, C, H, W]`.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    spec: Pool2dSpec,
+    argmax: Vec<Vec<usize>>,
+    input_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a square `window` and `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        MaxPool2d {
+            spec: Pool2dSpec::new(window, stride),
+            argmax: Vec::new(),
+            input_dims: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "max_pool2d expects [N, C, H, W] input");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (oh, ow) = self.spec.output_hw(h, w);
+        self.argmax.clear();
+        self.input_dims = input.dims().to_vec();
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let per_sample = c * h * w;
+        let out_per_sample = c * oh * ow;
+        for i in 0..n {
+            let img = Tensor::from_vec(
+                input.as_slice()[i * per_sample..(i + 1) * per_sample].to_vec(),
+                &[c, h, w],
+            )
+            .expect("sample slice length");
+            let (pooled, idx) = tensor::max_pool2d(&img, &self.spec);
+            out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample]
+                .copy_from_slice(pooled.as_slice());
+            self.argmax.push(idx);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.argmax.is_empty(),
+            "backward called before forward on max_pool2d"
+        );
+        let n = self.input_dims[0];
+        let per_sample: usize = self.input_dims[1..].iter().product();
+        let out_per_sample = grad_out.len() / n;
+        let mut grad_in = Tensor::zeros(&self.input_dims);
+        for i in 0..n {
+            let g = Tensor::from_vec(
+                grad_out.as_slice()[i * out_per_sample..(i + 1) * out_per_sample].to_vec(),
+                &[out_per_sample],
+            )
+            .expect("gradient slice length");
+            let gi = &mut grad_in.as_mut_slice()[i * per_sample..(i + 1) * per_sample];
+            for (&gv, &idx) in g.as_slice().iter().zip(&self.argmax[i]) {
+                gi[idx] += gv;
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+}
+
+/// Average pooling over `[N, C, H, W]`.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    spec: Pool2dSpec,
+    input_dims: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with a square `window` and `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        AvgPool2d {
+            spec: Pool2dSpec::new(window, stride),
+            input_dims: Vec::new(),
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "avg_pool2d expects [N, C, H, W] input");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (oh, ow) = self.spec.output_hw(h, w);
+        self.input_dims = input.dims().to_vec();
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let per_sample = c * h * w;
+        let out_per_sample = c * oh * ow;
+        for i in 0..n {
+            let img = Tensor::from_vec(
+                input.as_slice()[i * per_sample..(i + 1) * per_sample].to_vec(),
+                &[c, h, w],
+            )
+            .expect("sample slice length");
+            let pooled = tensor::avg_pool2d(&img, &self.spec);
+            out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample]
+                .copy_from_slice(pooled.as_slice());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.input_dims.is_empty(),
+            "backward called before forward on avg_pool2d"
+        );
+        let n = self.input_dims[0];
+        let (c, h, w) = (self.input_dims[1], self.input_dims[2], self.input_dims[3]);
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let per_sample = c * h * w;
+        let out_per_sample = c * oh * ow;
+        let mut grad_in = Tensor::zeros(&self.input_dims);
+        for i in 0..n {
+            let g = Tensor::from_vec(
+                grad_out.as_slice()[i * out_per_sample..(i + 1) * out_per_sample].to_vec(),
+                &[c, oh, ow],
+            )
+            .expect("gradient slice length");
+            let gi = tensor::avg_pool2d_backward(&g, &self.spec, &[c, h, w]);
+            grad_in.as_mut_slice()[i * per_sample..(i + 1) * per_sample]
+                .copy_from_slice(gi.as_slice());
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "avg_pool2d"
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    input_dims: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool {
+            input_dims: Vec::new(),
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "global_avg_pool expects [N, C, H, W]");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        self.input_dims = input.dims().to_vec();
+        let mut out = Tensor::zeros(&[n, c]);
+        let s = (h * w) as f32;
+        for i in 0..n {
+            for ch in 0..c {
+                let start = (i * c + ch) * h * w;
+                let sum: f32 = input.as_slice()[start..start + h * w].iter().sum();
+                out.as_mut_slice()[i * c + ch] = sum / s;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.input_dims.is_empty(),
+            "backward called before forward on global_avg_pool"
+        );
+        let (n, c, h, w) = (
+            self.input_dims[0],
+            self.input_dims[1],
+            self.input_dims[2],
+            self.input_dims[3],
+        );
+        let mut grad_in = Tensor::zeros(&self.input_dims);
+        let inv = 1.0 / (h * w) as f32;
+        for i in 0..n {
+            for ch in 0..c {
+                let g = grad_out.as_slice()[i * c + ch] * inv;
+                let start = (i * c + ch) * h * w;
+                for v in &mut grad_in.as_mut_slice()[start..start + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+/// Flattens `[N, ...]` to `[N, prod(...)]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten {
+            input_dims: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.input_dims = input.dims().to_vec();
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        input.reshaped(&[n, rest]).expect("element count preserved")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.input_dims.is_empty(),
+            "backward called before forward on flatten"
+        );
+        grad_out
+            .reshaped(&self.input_dims)
+            .expect("element count preserved")
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GradCheck;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn conv_output_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 4, 3, 1, 0, &mut rng);
+        let y = conv.forward(&Tensor::ones(&[2, 1, 5, 5]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 4, 3, 3]);
+    }
+
+    #[test]
+    fn conv_identity_kernel_reproduces_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.visit_params(&mut |p| match p.kind {
+            ParamKind::Weight => p.value = Tensor::ones(&[1, 1]),
+            _ => p.value = Tensor::zeros(&[1]),
+        });
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let gc = GradCheck::new().eps(1e-2);
+        let ierr = gc.max_input_error(&mut conv, &x);
+        assert!(ierr < 5e-2, "input grad error {ierr}");
+        let perr = gc.max_param_error(&mut conv, &x);
+        assert!(perr < 5e-2, "param grad error {perr}");
+    }
+
+    #[test]
+    fn strided_conv_gradients() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut conv = Conv2d::new(1, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        let gc = GradCheck::new().eps(1e-2);
+        assert!(gc.max_input_error(&mut conv, &x) < 5e-2);
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0],
+            &[2, 1, 2, 2],
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[4.0, 8.0]);
+        let g = pool.backward(&Tensor::from_vec(vec![1.0, 1.0], &[2, 1, 1, 1]).unwrap());
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_gradcheck() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let x = Tensor::randn(&[2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        assert!(GradCheck::new().max_input_error(&mut pool, &x) < 1e-2);
+    }
+
+    #[test]
+    fn global_avg_pool_averages_maps() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let y = gap.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[1, 1]);
+        assert_eq!(y.as_slice(), &[4.0]);
+        let g = gap.backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap());
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut fl = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 5]);
+        let y = fl.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 60]);
+        let g = fl.backward(&y);
+        assert_eq!(g.dims(), &[2, 3, 4, 5]);
+    }
+}

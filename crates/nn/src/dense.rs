@@ -1,0 +1,178 @@
+//! Fully connected layer.
+
+use rand::Rng;
+use tensor::{Matmul, Tensor};
+
+use crate::{Layer, Mode, Param, ParamKind};
+
+/// A fully connected layer: `y = x·W + b` with `x: [N, in]`, `W: [in, out]`.
+///
+/// Weights use Xavier-uniform initialization as in the paper (Algorithm 1,
+/// initialization step, ref. [17]).
+///
+/// # Example
+///
+/// ```
+/// use nn::{Dense, Layer, Mode};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use tensor::Tensor;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut fc = Dense::new(3, 5, &mut rng);
+/// let y = fc.forward(&Tensor::ones(&[2, 3]), Mode::Eval);
+/// assert_eq!(y.dims(), &[2, 5]);
+/// ```
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    input: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        let weight = Tensor::xavier_uniform(
+            &[in_features, out_features],
+            in_features,
+            out_features,
+            rng,
+        );
+        Dense {
+            weight: Param::new(weight, ParamKind::Weight),
+            bias: Param::new(Tensor::zeros(&[out_features]), ParamKind::Bias),
+            input: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix (for inspection in tests/reports).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(
+            input.dims().last().copied(),
+            Some(self.in_features),
+            "dense input feature mismatch: got {}, expected {}",
+            input.shape(),
+            self.in_features
+        );
+        let x = if input.rank() == 2 {
+            input.clone()
+        } else {
+            let n: usize = input.len() / self.in_features;
+            input
+                .reshaped(&[n, self.in_features])
+                .expect("element count preserved")
+        };
+        self.input = Some(x.clone());
+        x.matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .input
+            .as_ref()
+            .expect("backward called before forward on dense layer");
+        // dW = xᵀ·g, db = Σ_rows g, dx = g·Wᵀ
+        self.weight.grad.add_assign(&x.matmul_tn(grad_out));
+        self.bias.grad.add_assign(&grad_out.sum_axis0());
+        grad_out.matmul_nt(&self.weight.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+impl std::fmt::Debug for Dense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dense")
+            .field("in_features", &self.in_features)
+            .field("out_features", &self.out_features)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut fc = Dense::new(2, 3, &mut rng);
+        // Zero the weights so output equals the bias.
+        fc.weight.value.map_inplace(|_| 0.0);
+        fc.bias.value = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = fc.forward(&Tensor::ones(&[4, 2]), Mode::Eval);
+        assert_eq!(y.dims(), &[4, 3]);
+        assert_eq!(y.row(2), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn param_count_matches() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut fc = Dense::new(4, 7, &mut rng);
+        assert_eq!(fc.param_count(), 4 * 7 + 7);
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut fc = Dense::new(2, 2, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let _ = fc.forward(&x, Mode::Train);
+        let g = Tensor::ones(&[2, 2]);
+        let gx = fc.backward(&g);
+        assert_eq!(gx.dims(), &[2, 2]);
+        // db = column sums of g = [2, 2]
+        assert_eq!(fc.bias.grad.as_slice(), &[2.0, 2.0]);
+        // dW = xᵀ g = [[4,4],[6,6]]
+        assert_eq!(fc.weight.grad.as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut fc = Dense::new(2, 2, &mut rng);
+        let _ = fc.backward(&Tensor::ones(&[1, 2]));
+    }
+
+    #[test]
+    fn rank4_input_is_flattened() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut fc = Dense::new(4, 2, &mut rng);
+        let x = Tensor::ones(&[3, 1, 2, 2]);
+        // 3 samples, 4 features each — trailing dims are folded.
+        let x = x.reshaped(&[3, 4]).unwrap();
+        let y = fc.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[3, 2]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Dropout and alpha dropout — the architectural component the paper finds
+//! to dominate weight-drift robustness (Fig. 2(a)) and the sole knob of the
+//! BayesFT search space.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tensor::Tensor;
+
+use crate::{Layer, Mode};
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `rate` and survivors are scaled by `1/(1−rate)`; evaluation is identity.
+///
+/// The dropout **rate is mutable at run time** ([`Dropout::set_rate`]) —
+/// BayesFT re-uses one trained-architecture skeleton and lets the Bayesian
+/// optimizer move the per-layer rates between trials.
+///
+/// # Example
+///
+/// ```
+/// use nn::{Dropout, Layer, Mode};
+/// use tensor::Tensor;
+///
+/// let mut drop = Dropout::new(0.5, 42);
+/// let x = Tensor::ones(&[4, 4]);
+/// // Identity at evaluation time:
+/// assert_eq!(drop.forward(&x, Mode::Eval).as_slice(), x.as_slice());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    rate: f32,
+    rng: ChaCha8Rng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with the given rate and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
+        Dropout {
+            rate,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// Current dropout rate.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// Updates the dropout rate (clamped to `[0, 0.95]` for stability — a
+    /// rate of 1 would zero the whole layer).
+    pub fn set_rate(&mut self, rate: f32) {
+        self.rate = rate.clamp(0.0, 0.95);
+    }
+
+    /// The mask sampled by the last training-mode forward (testing hook).
+    pub fn last_mask(&self) -> Option<&Tensor> {
+        self.mask.as_ref()
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.rate == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(input.dims());
+        for m in mask.as_mut_slice() {
+            *m = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+        }
+        let out = input.mul(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_out.mul(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn visit_dropout(&mut self, f: &mut dyn FnMut(&mut Dropout)) {
+        f(self);
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+/// Alpha dropout (Klambauer et al., ref. [9]): drops to the SELU saturation
+/// value `α′` and rescales affinely so the input mean and variance are
+/// preserved.
+///
+/// The paper finds its robustness benefit matches plain dropout at higher
+/// compute cost (Fig. 2(a)), which is why BayesFT searches plain dropout.
+#[derive(Debug, Clone)]
+pub struct AlphaDropout {
+    rate: f32,
+    rng: ChaCha8Rng,
+    /// Cached per-element multiplier of the last forward: `a` where kept,
+    /// `0` where dropped (the additive part has zero derivative).
+    mask: Option<Tensor>,
+}
+
+/// SELU saturation constant `α′ = −λα`.
+const ALPHA_PRIME: f32 = -1.758_099_3;
+
+impl AlphaDropout {
+    /// Creates an alpha-dropout layer with the given rate and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "alpha dropout rate must be in [0, 1), got {rate}"
+        );
+        AlphaDropout {
+            rate,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// Current dropout rate.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// Updates the dropout rate (clamped to `[0, 0.95]`).
+    pub fn set_rate(&mut self, rate: f32) {
+        self.rate = rate.clamp(0.0, 0.95);
+    }
+
+    /// Affine correction `(a, b)` such that `a·(x·I + α′·(1−I)) + b`
+    /// preserves zero mean / unit variance.
+    fn affine(&self) -> (f32, f32) {
+        let p = self.rate;
+        let q = 1.0 - p;
+        let a = (q + ALPHA_PRIME * ALPHA_PRIME * q * p).powf(-0.5);
+        let b = -a * p * ALPHA_PRIME;
+        (a, b)
+    }
+}
+
+impl Layer for AlphaDropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.rate == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let (a, b) = self.affine();
+        let mut mult = Tensor::zeros(input.dims());
+        let mut out = input.clone();
+        for (o, m) in out.as_mut_slice().iter_mut().zip(mult.as_mut_slice()) {
+            if self.rng.gen::<f32>() < keep {
+                *m = a;
+                *o = a * *o + b;
+            } else {
+                *m = 0.0;
+                *o = a * ALPHA_PRIME + b;
+            }
+        }
+        self.mask = Some(mult);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_out.mul(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "alpha_dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.7, 0);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, Mode::Eval).as_slice(), x.as_slice());
+        let mut ad = AlphaDropout::new(0.7, 0);
+        assert_eq!(ad.forward(&x, Mode::Eval).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 123);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Mode::Train);
+        // E[y] = 1: half survive with scale 2.
+        assert!((y.mean() - 1.0).abs() < 0.1, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn zero_rate_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, 7);
+        let x = Tensor::from_slice(&[5.0, -5.0]);
+        assert_eq!(d.forward(&x, Mode::Train).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn backward_uses_same_mask_as_forward() {
+        let mut d = Dropout::new(0.5, 9);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::ones(&[64]));
+        // Gradient flows exactly where activations survived.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv, gv);
+        }
+    }
+
+    #[test]
+    fn set_rate_clamps() {
+        let mut d = Dropout::new(0.1, 0);
+        d.set_rate(2.0);
+        assert!((d.rate() - 0.95).abs() < 1e-6);
+        d.set_rate(-1.0);
+        assert_eq!(d.rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate must be in [0, 1)")]
+    fn invalid_rate_panics() {
+        let _ = Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn alpha_dropout_preserves_moments_approximately() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x = Tensor::randn(&[50_000], 0.0, 1.0, &mut rng);
+        let mut ad = AlphaDropout::new(0.3, 17);
+        let y = ad.forward(&x, Mode::Train);
+        let mean = y.mean();
+        let var = y.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
+            / y.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn alpha_dropout_dropped_elements_get_constant() {
+        let mut ad = AlphaDropout::new(0.5, 11);
+        let (a, b) = ad.affine();
+        let x = Tensor::ones(&[256]);
+        let y = ad.forward(&x, Mode::Train);
+        let dropped = a * ALPHA_PRIME + b;
+        let kept = a + b;
+        for &v in y.as_slice() {
+            assert!(
+                (v - dropped).abs() < 1e-5 || (v - kept).abs() < 1e-5,
+                "unexpected value {v}"
+            );
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The [`Layer`] trait and basic containers.
+
+use tensor::Tensor;
+
+use crate::{Mode, Param};
+
+/// A differentiable network component.
+///
+/// `forward` caches activations; `backward` consumes them, accumulates
+/// parameter gradients, and returns the gradient with respect to the layer's
+/// input. Calling `backward` without a preceding `forward` on the same input
+/// is a programming error and panics.
+///
+/// The trait is object-safe: networks are built as `Vec<Box<dyn Layer>>`
+/// ([`Sequential`]).
+pub trait Layer: Send {
+    /// Computes the layer output for `input`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backpropagates `grad_out` (gradient w.r.t. this layer's output),
+    /// accumulating parameter gradients and returning the gradient w.r.t.
+    /// the layer's input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has been run.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter in a stable order.
+    ///
+    /// The default implementation visits nothing (parameter-free layer).
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Visits every [`Dropout`](crate::Dropout) layer in a stable order.
+    ///
+    /// This is the hook BayesFT uses to re-target per-layer dropout rates
+    /// between Bayesian-optimization trials without rebuilding the network.
+    /// The default implementation visits nothing.
+    fn visit_dropout(&mut self, _f: &mut dyn FnMut(&mut crate::Dropout)) {}
+
+    /// Short human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+
+    /// Zeroes all parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+/// The identity layer (useful as a residual shortcut or norm placeholder).
+///
+/// # Example
+///
+/// ```
+/// use nn::{Identity, Layer, Mode};
+/// use tensor::Tensor;
+///
+/// let mut id = Identity::new();
+/// let x = Tensor::ones(&[2, 3]);
+/// assert_eq!(id.forward(&x, Mode::Eval).as_slice(), x.as_slice());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Identity;
+
+impl Identity {
+    /// Creates an identity layer.
+    pub fn new() -> Self {
+        Identity
+    }
+}
+
+impl Layer for Identity {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+/// An ordered chain of layers, itself a [`Layer`].
+///
+/// # Example
+///
+/// ```
+/// use nn::{Identity, Layer, Mode, Sequential};
+/// use tensor::Tensor;
+///
+/// let mut net = Sequential::new(vec![Box::new(Identity::new()), Box::new(Identity::new())]);
+/// let x = Tensor::ones(&[1, 2]);
+/// assert_eq!(net.forward(&x, Mode::Eval).as_slice(), x.as_slice());
+/// assert_eq!(net.len(), 2);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Builds a chain from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// An empty chain (identity behaviour).
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the chain.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Inserts a layer at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    pub fn insert(&mut self, index: usize, layer: Box<dyn Layer>) {
+        self.layers.insert(index, layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut Vec<Box<dyn Layer>> {
+        &mut self.layers
+    }
+
+    /// Names of all layers in order (for summaries and tests).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_dropout(&mut self, f: &mut dyn FnMut(&mut crate::Dropout)) {
+        for layer in &mut self.layers {
+            layer.visit_dropout(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layer_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trips() {
+        let mut id = Identity::new();
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(id.forward(&x, Mode::Train).as_slice(), x.as_slice());
+        assert_eq!(id.backward(&x).as_slice(), x.as_slice());
+        assert_eq!(id.param_count(), 0);
+    }
+
+    #[test]
+    fn sequential_composes_in_order() {
+        struct AddOne;
+        impl Layer for AddOne {
+            fn forward(&mut self, input: &Tensor, _m: Mode) -> Tensor {
+                input.add_scalar(1.0)
+            }
+            fn backward(&mut self, g: &Tensor) -> Tensor {
+                g.clone()
+            }
+            fn name(&self) -> &'static str {
+                "add_one"
+            }
+        }
+        let mut net = Sequential::new(vec![Box::new(AddOne), Box::new(AddOne)]);
+        let y = net.forward(&Tensor::scalar(0.0), Mode::Eval);
+        assert_eq!(y.as_slice(), &[2.0]);
+        assert_eq!(net.layer_names(), vec!["add_one", "add_one"]);
+    }
+
+    #[test]
+    fn sequential_insert_and_push() {
+        let mut net = Sequential::empty();
+        assert!(net.is_empty());
+        net.push(Box::new(Identity::new()));
+        net.insert(0, Box::new(Identity::new()));
+        assert_eq!(net.len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Loss functions: softmax cross-entropy (classification) and mean squared
+//! error (regression heads in the detector).
+
+use tensor::Tensor;
+
+/// Value and input gradient of a loss evaluation.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the input logits.
+    pub grad: Tensor,
+}
+
+/// Softmax + cross-entropy, fused for numerical stability.
+///
+/// `logits: [N, C]`, `labels: [N]` with class indices `< C`. Returns the mean
+/// cross-entropy and its gradient `softmax(logits) − onehot(labels)` scaled
+/// by `1/N`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, label count differs from the batch
+/// size, or any label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use nn::softmax_cross_entropy;
+/// use tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2])?;
+/// let out = softmax_cross_entropy(&logits, &[0, 1]);
+/// assert!(out.loss < 1e-3); // confidently correct
+/// # Ok::<(), tensor::TensorError>(())
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.rank(), 2, "softmax_cross_entropy expects [N, C] logits");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "label count must equal batch size");
+    let probs = logits.softmax_rows();
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let p = probs.at(&[i, label]).max(1e-12);
+        loss -= p.ln();
+        *grad.at_mut(&[i, label]) -= 1.0;
+    }
+    grad.scale_inplace(inv_n);
+    LossOutput {
+        loss: loss * inv_n,
+        grad,
+    }
+}
+
+/// Mean squared error between `pred` and `target` (same shape), averaged
+/// over all elements. Gradient is `2(pred − target)/len`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> LossOutput {
+    assert_eq!(pred.dims(), target.dims(), "mse shape mismatch");
+    let diff = pred.sub(target);
+    let n = pred.len().max(1) as f32;
+    LossOutput {
+        loss: diff.norm_sq() / n,
+        grad: diff.scale(2.0 / n),
+    }
+}
+
+/// One-hot encodes labels into an `[N, C]` tensor.
+///
+/// # Panics
+///
+/// Panics if any label is `>= classes`.
+pub fn one_hot(labels: &[usize], classes: usize) -> Tensor {
+    let mut t = Tensor::zeros(&[labels.len(), classes]);
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range");
+        *t.at_mut(&[i, label]) = 1.0;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = out.grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.9, -0.7, 0.3], &[2, 3]).unwrap();
+        let labels = [1usize, 2];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut hi = logits.clone();
+            hi.as_mut_slice()[i] += eps;
+            let mut lo = logits.clone();
+            lo.as_mut_slice()[i] -= eps;
+            let num = (softmax_cross_entropy(&hi, &labels).loss
+                - softmax_cross_entropy(&lo, &labels).loss)
+                / (2.0 * eps);
+            assert!(
+                (num - out.grad.as_slice()[i]).abs() < 1e-3,
+                "element {i}: {num} vs {}",
+                out.grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let _ = softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+
+    #[test]
+    fn mse_of_equal_tensors_is_zero() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let out = mse_loss(&a, &a);
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.grad.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let pred = Tensor::from_slice(&[2.0]);
+        let target = Tensor::from_slice(&[0.0]);
+        let out = mse_loss(&pred, &target);
+        assert_eq!(out.loss, 4.0);
+        assert_eq!(out.grad.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn one_hot_rows() {
+        let t = one_hot(&[1, 0], 3);
+        assert_eq!(t.row(0), &[0.0, 1.0, 0.0]);
+        assert_eq!(t.row(1), &[1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Optimizers: plain/momentum SGD (Algorithm 1 line 6) and Adam.
+
+use tensor::Tensor;
+
+use crate::{Layer, Param, ParamKind};
+
+/// A gradient-descent update rule applied to a network's parameters.
+///
+/// Optimizers carry per-parameter state (momentum buffers, Adam moments)
+/// keyed by visit order, which is stable for a fixed network.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated in
+    /// the network's parameters, then zeroes the gradients.
+    fn step(&mut self, network: &mut dyn Layer);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Updates the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and decoupled weight
+/// decay (decay applies only to [`ParamKind::Weight`] parameters).
+///
+/// # Example
+///
+/// ```
+/// use nn::{Dense, Layer, Mode, Optimizer, Sgd};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use tensor::Tensor;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut net = Dense::new(2, 1, &mut rng);
+/// let mut opt = Sgd::new(0.1).momentum(0.9);
+/// let _ = net.forward(&Tensor::ones(&[1, 2]), Mode::Train);
+/// let _ = net.backward(&Tensor::ones(&[1, 1]));
+/// opt.step(&mut net); // weights moved against the gradient
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    clip_norm: Option<f32>,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            clip_norm: None,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Enables classical momentum.
+    pub fn momentum(mut self, beta: f32) -> Self {
+        self.momentum = beta;
+        self
+    }
+
+    /// Enables L2 weight decay on weight matrices.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Enables global-norm gradient clipping: if the concatenated gradient
+    /// norm exceeds `max_norm`, every gradient is scaled down to meet it.
+    /// Stabilizes training when Bayesian-optimization trials visit extreme
+    /// dropout rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_norm` is not positive.
+    pub fn clip_norm(mut self, max_norm: f32) -> Self {
+        assert!(max_norm > 0.0, "clip norm must be positive");
+        self.clip_norm = Some(max_norm);
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, network: &mut dyn Layer) {
+        if let Some(max_norm) = self.clip_norm {
+            let mut norm_sq = 0.0f32;
+            network.visit_params(&mut |p| norm_sq += p.grad.norm_sq());
+            let norm = norm_sq.sqrt();
+            if norm > max_norm && norm.is_finite() {
+                let scale = max_norm / norm;
+                network.visit_params(&mut |p| p.grad.scale_inplace(scale));
+            } else if !norm.is_finite() {
+                // A NaN/inf gradient would permanently poison the weights:
+                // drop the update entirely.
+                network.visit_params(&mut |p| p.zero_grad());
+            }
+        }
+        let lr = self.lr;
+        let beta = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        network.visit_params(&mut |p: &mut Param| {
+            if wd > 0.0 && p.kind == ParamKind::Weight {
+                let decay = p.value.scale(wd);
+                p.grad.add_assign(&decay);
+            }
+            if beta > 0.0 {
+                if velocity.len() <= idx {
+                    velocity.push(Tensor::zeros(p.value.dims()));
+                }
+                let v = &mut velocity[idx];
+                v.scale_inplace(beta);
+                v.add_assign(&p.grad);
+                p.value.add_scaled(v, -lr);
+            } else {
+                let g = p.grad.clone();
+                p.value.add_scaled(&g, -lr);
+            }
+            p.zero_grad();
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<(Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Creates Adam with learning rate `lr` and the standard
+    /// `β₁ = 0.9, β₂ = 0.999`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, network: &mut dyn Layer) {
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        let moments = &mut self.moments;
+        let mut idx = 0usize;
+        network.visit_params(&mut |p: &mut Param| {
+            if moments.len() <= idx {
+                moments.push((Tensor::zeros(p.value.dims()), Tensor::zeros(p.value.dims())));
+            }
+            let (m, v) = &mut moments[idx];
+            for ((mv, vv), (&g, w)) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(p.grad.as_slice().iter().zip(p.value.as_mut_slice()))
+            {
+                *mv = b1 * *mv + (1.0 - b1) * g;
+                *vv = b2 * *vv + (1.0 - b2) * g * g;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            p.zero_grad();
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Mode};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tensor::Tensor;
+
+    /// Trains y = 2x with a 1-unit dense layer; the loss must shrink.
+    fn converges(opt: &mut dyn Optimizer) -> bool {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = Dense::new(1, 1, &mut rng);
+        let x = Tensor::from_vec(vec![0.5, 1.0, -1.0, 2.0], &[4, 1]).unwrap();
+        let y = x.scale(2.0);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let pred = net.forward(&x, Mode::Train);
+            let out = crate::mse_loss(&pred, &y);
+            last = out.loss;
+            first.get_or_insert(out.loss);
+            let _ = net.backward(&out.grad);
+            opt.step(&mut net);
+        }
+        last < 0.01 * first.unwrap().max(1e-6) || last < 1e-4
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_problem() {
+        assert!(converges(&mut Sgd::new(0.1)));
+    }
+
+    #[test]
+    fn momentum_sgd_converges() {
+        assert!(converges(&mut Sgd::new(0.05).momentum(0.9)));
+    }
+
+    #[test]
+    fn adam_converges() {
+        assert!(converges(&mut Adam::new(0.05)));
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = Dense::new(2, 2, &mut rng);
+        let _ = net.forward(&Tensor::ones(&[1, 2]), Mode::Train);
+        let _ = net.backward(&Tensor::ones(&[1, 2]));
+        let mut opt = Sgd::new(0.01);
+        opt.step(&mut net);
+        let mut all_zero = true;
+        net.visit_params(&mut |p| all_zero &= p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(all_zero);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut net = Dense::new(2, 2, &mut rng);
+        let norm_before = {
+            let mut n = 0.0;
+            net.visit_params(&mut |p| {
+                if p.kind == ParamKind::Weight {
+                    n += p.value.norm_sq()
+                }
+            });
+            n
+        };
+        // No backward pass: gradients are zero, only decay acts.
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        opt.step(&mut net);
+        let mut norm_after = 0.0;
+        net.visit_params(&mut |p| {
+            if p.kind == ParamKind::Weight {
+                norm_after += p.value.norm_sq()
+            }
+        });
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = Adam::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn invalid_lr_panics() {
+        let _ = Sgd::new(-0.1);
+    }
+}

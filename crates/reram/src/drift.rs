@@ -1,0 +1,388 @@
+//! Weight-drift distributions.
+
+use rand::Rng;
+
+/// A memristance-drift distribution applied independently to each stored
+/// weight.
+///
+/// Object-safe so experiments can mix models at run time; the RNG is passed
+/// as a dynamic trait object for the same reason.
+pub trait DriftModel: Send + Sync {
+    /// Returns the drifted version of `value`.
+    fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// One standard-normal sample via Box–Muller (object-safe RNG variant).
+pub(crate) fn normal_sample(rng: &mut dyn rand::RngCore) -> f32 {
+    standard_normal(rng)
+}
+
+fn standard_normal(rng: &mut dyn rand::RngCore) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// The paper's memristance-drift model (Eq. 1): `θ′ = θ·e^λ, λ ~ N(0, σ²)`,
+/// i.e. multiplicative log-normal drift. `σ` is the "resistance variation"
+/// swept on every x-axis of Figs. 2–3.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use reram::{DriftModel, LogNormalDrift};
+///
+/// let drift = LogNormalDrift::new(0.0); // σ = 0 → identity
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// assert_eq!(drift.perturb(1.5, &mut rng), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalDrift {
+    sigma: f32,
+}
+
+impl LogNormalDrift {
+    /// Creates log-normal drift with resistance variation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn new(sigma: f32) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        LogNormalDrift { sigma }
+    }
+
+    /// The resistance-variation parameter σ.
+    pub fn sigma(&self) -> f32 {
+        self.sigma
+    }
+}
+
+impl DriftModel for LogNormalDrift {
+    fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
+        if self.sigma == 0.0 {
+            return value;
+        }
+        value * (self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "log_normal"
+    }
+}
+
+/// Additive Gaussian noise: `θ′ = θ + ε, ε ~ N(0, σ²)` (drift-transfer
+/// ablation; models electrical read noise rather than memristance drift).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianAdditive {
+    sigma: f32,
+}
+
+impl GaussianAdditive {
+    /// Creates additive Gaussian noise with standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn new(sigma: f32) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        GaussianAdditive { sigma }
+    }
+}
+
+impl DriftModel for GaussianAdditive {
+    fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
+        value + self.sigma * standard_normal(rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian_additive"
+    }
+}
+
+/// Uniform multiplicative drift: `θ′ = θ·(1 + U(−δ, δ))` (bounded process
+/// variation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformDrift {
+    delta: f32,
+}
+
+impl UniformDrift {
+    /// Creates uniform drift with half-width `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative or non-finite.
+    pub fn new(delta: f32) -> Self {
+        assert!(delta >= 0.0 && delta.is_finite(), "delta must be >= 0");
+        UniformDrift { delta }
+    }
+}
+
+impl DriftModel for UniformDrift {
+    fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
+        if self.delta == 0.0 {
+            return value;
+        }
+        value * (1.0 + rng.gen_range(-self.delta..self.delta))
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Stuck-at faults: with probability `p_zero` a cell reads as `0`
+/// (stuck-off), with probability `p_max` it saturates to ±`max_value`
+/// keeping the original sign (stuck-on). Models hard device defects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckAtFault {
+    p_zero: f32,
+    p_max: f32,
+    max_value: f32,
+}
+
+impl StuckAtFault {
+    /// Creates a stuck-at model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are outside `[0, 1]` or sum above 1.
+    pub fn new(p_zero: f32, p_max: f32, max_value: f32) -> Self {
+        assert!((0.0..=1.0).contains(&p_zero), "p_zero must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&p_max), "p_max must be in [0, 1]");
+        assert!(p_zero + p_max <= 1.0, "fault probabilities exceed 1");
+        StuckAtFault {
+            p_zero,
+            p_max,
+            max_value,
+        }
+    }
+}
+
+impl DriftModel for StuckAtFault {
+    fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
+        let u: f32 = rng.gen();
+        if u < self.p_zero {
+            0.0
+        } else if u < self.p_zero + self.p_max {
+            self.max_value.copysign(value)
+        } else {
+            value
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stuck_at"
+    }
+}
+
+/// Bit flips in a quantized weight representation: the value is quantized
+/// to a signed fixed-point code of `bits` bits over `[-range, range]`, each
+/// bit flips independently with probability `p_flip`, and the code is
+/// dequantized. Models digital storage corruption (e.g. SLC/MLC read
+/// upsets) as opposed to analog conductance drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitFlipFault {
+    p_flip: f32,
+    bits: u32,
+    range: f32,
+}
+
+impl BitFlipFault {
+    /// Creates a bit-flip model over a `bits`-bit signed code spanning
+    /// `[-range, range]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_flip` is outside `[0, 1]`, `bits` is not in `2..=16`,
+    /// or `range` is not positive.
+    pub fn new(p_flip: f32, bits: u32, range: f32) -> Self {
+        assert!((0.0..=1.0).contains(&p_flip), "p_flip must be in [0, 1]");
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        assert!(range > 0.0, "range must be positive");
+        BitFlipFault {
+            p_flip,
+            bits,
+            range,
+        }
+    }
+}
+
+impl DriftModel for BitFlipFault {
+    fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
+        let levels = (1u32 << self.bits) - 1;
+        let step = 2.0 * self.range / levels as f32;
+        // Quantize to an unsigned code centered at range.
+        let mut code = (((value + self.range) / step).round() as i64)
+            .clamp(0, levels as i64) as u32;
+        for bit in 0..self.bits {
+            if rng.gen::<f32>() < self.p_flip {
+                code ^= 1 << bit;
+            }
+        }
+        (code.min(levels) as f32) * step - self.range
+    }
+
+    fn name(&self) -> &'static str {
+        "bit_flip"
+    }
+}
+
+/// Applies several drift models in sequence (e.g. log-normal drift plus
+/// stuck-at defects).
+pub struct CompositeDrift {
+    models: Vec<Box<dyn DriftModel>>,
+}
+
+impl CompositeDrift {
+    /// Chains the given models; they are applied in order.
+    pub fn new(models: Vec<Box<dyn DriftModel>>) -> Self {
+        CompositeDrift { models }
+    }
+}
+
+impl DriftModel for CompositeDrift {
+    fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
+        self.models
+            .iter()
+            .fold(value, |v, m| m.perturb(v, rng))
+    }
+
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn samples(model: &dyn DriftModel, value: f32, n: usize) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        (0..n).map(|_| model.perturb(value, &mut rng)).collect()
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        assert_eq!(LogNormalDrift::new(0.0).perturb(2.5, &mut ChaCha8Rng::seed_from_u64(0)), 2.5);
+        assert_eq!(UniformDrift::new(0.0).perturb(2.5, &mut ChaCha8Rng::seed_from_u64(0)), 2.5);
+    }
+
+    #[test]
+    fn log_normal_preserves_sign_and_median() {
+        let model = LogNormalDrift::new(0.8);
+        let s = samples(&model, 2.0, 20_000);
+        assert!(s.iter().all(|&v| v > 0.0), "multiplicative drift keeps sign");
+        // Median of θ·e^λ is θ (λ symmetric around 0).
+        let mut sorted = s.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 2.0).abs() < 0.1, "median {median}");
+        // Mean is θ·e^{σ²/2} ≈ 2·1.377 = 2.754.
+        let mean: f32 = s.iter().sum::<f32>() / s.len() as f32;
+        assert!((mean - 2.0 * (0.32f32).exp()).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_negative_weights_stay_negative() {
+        let model = LogNormalDrift::new(1.0);
+        assert!(samples(&model, -1.0, 1000).iter().all(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn gaussian_additive_moments() {
+        let model = GaussianAdditive::new(0.5);
+        let s = samples(&model, 1.0, 20_000);
+        let mean: f32 = s.iter().sum::<f32>() / s.len() as f32;
+        let var: f32 = s.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / s.len() as f32;
+        assert!((mean - 1.0).abs() < 0.02);
+        assert!((var - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_drift_is_bounded() {
+        let model = UniformDrift::new(0.2);
+        assert!(samples(&model, 10.0, 5000)
+            .iter()
+            .all(|&v| (8.0..12.0).contains(&v)));
+    }
+
+    #[test]
+    fn stuck_at_rates_are_respected() {
+        let model = StuckAtFault::new(0.1, 0.05, 3.0);
+        let s = samples(&model, -1.0, 50_000);
+        let zeros = s.iter().filter(|&&v| v == 0.0).count() as f32 / s.len() as f32;
+        let maxed = s.iter().filter(|&&v| v == -3.0).count() as f32 / s.len() as f32;
+        assert!((zeros - 0.1).abs() < 0.01, "zero rate {zeros}");
+        assert!((maxed - 0.05).abs() < 0.01, "saturation rate {maxed}");
+        // Stuck-on keeps the sign.
+        assert!(s.iter().all(|&v| v <= 0.0));
+    }
+
+    #[test]
+    fn composite_applies_in_sequence() {
+        let comp = CompositeDrift::new(vec![
+            Box::new(StuckAtFault::new(1.0, 0.0, 0.0)), // everything sticks to zero
+            Box::new(GaussianAdditive::new(0.0)),
+        ]);
+        assert_eq!(comp.perturb(5.0, &mut ChaCha8Rng::seed_from_u64(1)), 0.0);
+        assert_eq!(comp.name(), "composite");
+    }
+
+    #[test]
+    fn bit_flip_zero_probability_is_quantization_only() {
+        let model = BitFlipFault::new(0.0, 8, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Error bounded by half a quantization step.
+        let step = 2.0 / 255.0;
+        for &w in &[0.0f32, 0.5, -0.73, 0.99, -1.0] {
+            let out = model.perturb(w, &mut rng);
+            assert!((out - w).abs() <= step / 2.0 + 1e-6, "{w} -> {out}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_rate_matches_probability() {
+        let model = BitFlipFault::new(0.5, 8, 1.0);
+        let s = samples(&model, 0.25, 20_000);
+        let changed = s
+            .iter()
+            .filter(|&&v| (v - 0.25).abs() > 2.0 / 255.0)
+            .count() as f32
+            / s.len() as f32;
+        // With p=0.5 per bit, essentially every sample changes.
+        assert!(changed > 0.95, "changed fraction {changed}");
+        // Outputs stay within the code range.
+        assert!(s.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn bit_flip_high_bits_cause_large_errors() {
+        // Flipping the MSB moves the value by ~range — the failure mode that
+        // makes digital storage brittle without ECC.
+        let model = BitFlipFault::new(0.2, 4, 1.0);
+        let s = samples(&model, 0.8, 5_000);
+        let max_err = s.iter().map(|v| (v - 0.8f32).abs()).fold(0.0f32, f32::max);
+        assert!(max_err > 0.5, "expected MSB-flip scale errors, got {max_err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be >= 0")]
+    fn negative_sigma_panics() {
+        let _ = LogNormalDrift::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probabilities exceed 1")]
+    fn stuck_at_rejects_excess_probability() {
+        let _ = StuckAtFault::new(0.7, 0.6, 1.0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Snapshot/inject/restore machinery and Monte-Carlo drift evaluation.
+
+use nn::Layer;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tensor::Tensor;
+
+use crate::DriftModel;
+
+/// A copy of every trainable parameter of a network, in visit order.
+///
+/// Obtained from [`FaultInjector::snapshot`]; call [`WeightSnapshot::restore`]
+/// to return the network to its pristine state after drift injection.
+#[derive(Debug, Clone)]
+pub struct WeightSnapshot {
+    values: Vec<Tensor>,
+}
+
+impl WeightSnapshot {
+    /// Writes the saved values back into `network`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's parameter structure changed since the
+    /// snapshot was taken.
+    pub fn restore(&self, network: &mut dyn Layer) {
+        let mut idx = 0usize;
+        network.visit_params(&mut |p| {
+            assert!(
+                idx < self.values.len(),
+                "network has more parameters than the snapshot"
+            );
+            assert_eq!(
+                p.value.dims(),
+                self.values[idx].dims(),
+                "parameter {idx} changed shape since snapshot"
+            );
+            p.value = self.values[idx].clone();
+            idx += 1;
+        });
+        assert_eq!(
+            idx,
+            self.values.len(),
+            "network has fewer parameters than the snapshot"
+        );
+    }
+
+    /// Number of parameter tensors captured.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights captured.
+    pub fn scalar_count(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// The captured parameter tensors, in visit order.
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.values
+    }
+
+    /// Serializes the snapshot to a writer in a simple self-describing
+    /// little-endian binary format (magic, tensor count, then per tensor:
+    /// rank, dims, f32 data). A `&mut` reference can be passed as the
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        w.write_all(b"BFTW")?;
+        w.write_all(&(self.values.len() as u64).to_le_bytes())?;
+        for t in &self.values {
+            w.write_all(&(t.rank() as u64).to_le_bytes())?;
+            for &d in t.dims() {
+                w.write_all(&(d as u64).to_le_bytes())?;
+            }
+            for &v in t.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a snapshot previously produced by
+    /// [`WeightSnapshot::write_to`]. A `&mut` reference can be passed as
+    /// the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic header or truncated stream.
+    pub fn read_from<R: std::io::Read>(mut r: R) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"BFTW" {
+            return Err(Error::new(ErrorKind::InvalidData, "bad weight-file magic"));
+        }
+        let mut u64buf = [0u8; 8];
+        r.read_exact(&mut u64buf)?;
+        let count = u64::from_le_bytes(u64buf) as usize;
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            r.read_exact(&mut u64buf)?;
+            let rank = u64::from_le_bytes(u64buf) as usize;
+            if rank > 8 {
+                return Err(Error::new(ErrorKind::InvalidData, "implausible tensor rank"));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                r.read_exact(&mut u64buf)?;
+                dims.push(u64::from_le_bytes(u64buf) as usize);
+            }
+            let len: usize = dims.iter().product();
+            let mut data = Vec::with_capacity(len);
+            let mut f32buf = [0u8; 4];
+            for _ in 0..len {
+                r.read_exact(&mut f32buf)?;
+                data.push(f32::from_le_bytes(f32buf));
+            }
+            values.push(
+                Tensor::from_vec(data, &dims)
+                    .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?,
+            );
+        }
+        Ok(WeightSnapshot { values })
+    }
+}
+
+/// Stateless namespace for drift injection on [`nn::Layer`] networks.
+///
+/// Injection perturbs **every** trainable parameter — dense and convolution
+/// kernels, biases, and normalization γ/β. This mirrors deployment on a
+/// crossbar, where all stored coefficients live in drifting cells, and is
+/// what makes the paper's normalization "Achilles heel" observable.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector;
+
+impl FaultInjector {
+    /// Captures the current parameter values of `network`.
+    pub fn snapshot(network: &mut dyn Layer) -> WeightSnapshot {
+        let mut values = Vec::new();
+        network.visit_params(&mut |p| values.push(p.value.clone()));
+        WeightSnapshot { values }
+    }
+
+    /// Applies `model` to every trainable scalar of `network` in place.
+    pub fn inject(network: &mut dyn Layer, model: &dyn DriftModel, rng: &mut dyn RngCore) {
+        network.visit_params(&mut |p| {
+            for v in p.value.as_mut_slice() {
+                *v = model.perturb(*v, rng);
+            }
+        });
+    }
+
+    /// Runs `f` on a drifted copy of the network, restoring the pristine
+    /// weights before returning.
+    pub fn with_drift<R>(
+        network: &mut dyn Layer,
+        model: &dyn DriftModel,
+        rng: &mut dyn RngCore,
+        f: impl FnOnce(&mut dyn Layer) -> R,
+    ) -> R {
+        let snapshot = FaultInjector::snapshot(network);
+        FaultInjector::inject(network, model, rng);
+        let result = f(network);
+        snapshot.restore(network);
+        result
+    }
+}
+
+/// Summary statistics of a Monte-Carlo drift evaluation (Eq. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct McStats {
+    /// Per-trial metric values.
+    pub values: Vec<f32>,
+    /// Sample mean.
+    pub mean: f32,
+    /// Sample standard deviation (0 for a single trial).
+    pub std: f32,
+}
+
+impl McStats {
+    /// Computes statistics from raw per-trial values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: Vec<f32>) -> Self {
+        assert!(!values.is_empty(), "Monte-Carlo needs at least one trial");
+        let mean = values.iter().sum::<f32>() / values.len() as f32;
+        let var = values
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f32>()
+            / values.len() as f32;
+        McStats {
+            mean,
+            std: var.sqrt(),
+            values,
+        }
+    }
+}
+
+/// Monte-Carlo marginalization of a metric over the drift distribution
+/// (the tractable estimator of the paper's Eq. 3/4):
+///
+/// `u ≈ (1/T) Σ_t metric(f(θ·e^{λ_t}))`
+///
+/// Each trial drifts from the same pristine snapshot with an independent
+/// seed derived from `seed`, and the network is restored afterwards.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+///
+/// # Example
+///
+/// ```
+/// use nn::{Dense, Layer, Mode};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use reram::{monte_carlo, LogNormalDrift};
+/// use tensor::Tensor;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut net = Dense::new(2, 2, &mut rng);
+/// let x = Tensor::ones(&[1, 2]);
+/// let stats = monte_carlo(&mut net, &LogNormalDrift::new(0.3), 8, 7, |n| {
+///     n.forward(&x, Mode::Eval).sum()
+/// });
+/// assert_eq!(stats.values.len(), 8);
+/// ```
+pub fn monte_carlo(
+    network: &mut dyn Layer,
+    model: &dyn DriftModel,
+    trials: usize,
+    seed: u64,
+    mut metric: impl FnMut(&mut dyn Layer) -> f32,
+) -> McStats {
+    assert!(trials > 0, "Monte-Carlo needs at least one trial");
+    let snapshot = FaultInjector::snapshot(network);
+    let mut values = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+        FaultInjector::inject(network, model, &mut rng);
+        values.push(metric(network));
+        snapshot.restore(network);
+    }
+    McStats::from_values(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaussianAdditive, LogNormalDrift, StuckAtFault};
+    use nn::{Dense, Mode, Sequential};
+    use rand::SeedableRng;
+
+    fn test_net(seed: u64) -> Sequential {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(3, 4, &mut rng)),
+            Box::new(nn::Relu::new()),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut net = test_net(0);
+        let snap = FaultInjector::snapshot(&mut net);
+        assert_eq!(snap.len(), 4); // 2 weights + 2 biases
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        FaultInjector::inject(&mut net, &LogNormalDrift::new(1.0), &mut rng);
+        snap.restore(&mut net);
+        let snap2 = FaultInjector::snapshot(&mut net);
+        for (a, b) in snap.scalar_count_pairs(&snap2) {
+            assert_eq!(a, b);
+        }
+    }
+
+    impl WeightSnapshot {
+        fn scalar_count_pairs<'a>(
+            &'a self,
+            other: &'a WeightSnapshot,
+        ) -> impl Iterator<Item = (f32, f32)> + 'a {
+            self.values
+                .iter()
+                .zip(&other.values)
+                .flat_map(|(a, b)| a.as_slice().iter().copied().zip(b.as_slice().iter().copied()))
+        }
+    }
+
+    #[test]
+    fn injection_changes_weights() {
+        let mut net = test_net(2);
+        let before = FaultInjector::snapshot(&mut net);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        FaultInjector::inject(&mut net, &GaussianAdditive::new(0.5), &mut rng);
+        let after = FaultInjector::snapshot(&mut net);
+        let changed = before
+            .scalar_count_pairs(&after)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 0, "injection must modify weights");
+    }
+
+    #[test]
+    fn with_drift_restores_automatically() {
+        let mut net = test_net(4);
+        let x = Tensor::ones(&[1, 3]);
+        let clean = net.forward(&x, Mode::Eval);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = FaultInjector::with_drift(&mut net, &StuckAtFault::new(0.9, 0.0, 0.0), &mut rng, |n| {
+            n.forward(&x, Mode::Eval).sum()
+        });
+        let restored = net.forward(&x, Mode::Eval);
+        assert_eq!(clean.as_slice(), restored.as_slice());
+    }
+
+    #[test]
+    fn monte_carlo_sigma_zero_has_no_variance() {
+        let mut net = test_net(6);
+        let x = Tensor::ones(&[2, 3]);
+        let stats = monte_carlo(&mut net, &LogNormalDrift::new(0.0), 5, 1, |n| {
+            n.forward(&x, Mode::Eval).sum()
+        });
+        assert!(stats.std < 1e-9, "σ=0 drift must be deterministic");
+    }
+
+    #[test]
+    fn monte_carlo_trials_are_independent() {
+        let mut net = test_net(7);
+        let x = Tensor::ones(&[2, 3]);
+        let stats = monte_carlo(&mut net, &LogNormalDrift::new(0.8), 16, 2, |n| {
+            n.forward(&x, Mode::Eval).sum()
+        });
+        assert_eq!(stats.values.len(), 16);
+        assert!(stats.std > 0.0, "independent drifted trials must vary");
+    }
+
+    #[test]
+    fn monte_carlo_is_reproducible() {
+        let x = Tensor::ones(&[2, 3]);
+        let mut net1 = test_net(8);
+        let s1 = monte_carlo(&mut net1, &LogNormalDrift::new(0.5), 4, 11, |n| {
+            n.forward(&x, Mode::Eval).sum()
+        });
+        let mut net2 = test_net(8);
+        let s2 = monte_carlo(&mut net2, &LogNormalDrift::new(0.5), 4, 11, |n| {
+            n.forward(&x, Mode::Eval).sum()
+        });
+        assert_eq!(s1.values, s2.values);
+    }
+
+    #[test]
+    fn mc_stats_mean_and_std() {
+        let s = McStats::from_values(vec![1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn empty_mc_panics() {
+        let _ = McStats::from_values(vec![]);
+    }
+
+    #[test]
+    fn snapshot_binary_round_trip() {
+        let mut net = test_net(9);
+        let snap = FaultInjector::snapshot(&mut net);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        let loaded = WeightSnapshot::read_from(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), snap.len());
+        for (a, b) in snap.tensors().iter().zip(loaded.tensors()) {
+            assert_eq!(a.dims(), b.dims());
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // Loaded snapshot can restore the network (deployment round trip).
+        loaded.restore(&mut net);
+    }
+
+    #[test]
+    fn snapshot_read_rejects_garbage() {
+        assert!(WeightSnapshot::read_from(&b"NOPE1234"[..]).is_err());
+        assert!(WeightSnapshot::read_from(&b"BF"[..]).is_err()); // truncated
+    }
+}

@@ -1,0 +1,53 @@
+//! ReRAM fault-injection substrate for the BayesFT reproduction.
+//!
+//! The paper deploys trained networks onto resistive-RAM crossbars whose
+//! conductances drift with temperature, programming error and age. This
+//! crate simulates that deployment:
+//!
+//! * [`DriftModel`] — pluggable weight-perturbation distributions. The
+//!   paper's model (Eq. 1) is [`LogNormalDrift`]: `θ′ = θ·e^λ` with
+//!   `λ ~ N(0, σ²)`. Gaussian-additive, uniform-multiplicative, and
+//!   stuck-at fault models are provided for the drift-transfer ablation.
+//! * [`FaultInjector`] — snapshots a trained network's parameters, applies
+//!   a drift model to every trainable value (dense/conv weights, biases,
+//!   and normalization γ/β — the paper's "Achilles heel"), and restores the
+//!   pristine weights afterwards.
+//! * [`monte_carlo`] — the Monte-Carlo marginalization of Eq. (4): evaluate
+//!   a metric under `T` independent drift samples.
+//! * [`Crossbar`] — a device-level model (differential conductance pairs,
+//!   programming noise, quantized levels, read noise) that gives the
+//!   ReRAM-V baseline something to diagnose and re-program.
+//!
+//! # Example
+//!
+//! ```
+//! use nn::{Dense, Layer, Mode};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use reram::{FaultInjector, LogNormalDrift};
+//! use tensor::Tensor;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(0);
+//! let mut net = Dense::new(4, 2, &mut rng);
+//! let x = Tensor::ones(&[1, 4]);
+//! let clean = net.forward(&x, Mode::Eval);
+//!
+//! let snapshot = FaultInjector::snapshot(&mut net);
+//! FaultInjector::inject(&mut net, &LogNormalDrift::new(0.5), &mut rng);
+//! let drifted = net.forward(&x, Mode::Eval); // degraded output
+//! snapshot.restore(&mut net);
+//! let restored = net.forward(&x, Mode::Eval);
+//! assert_eq!(clean.as_slice(), restored.as_slice());
+//! # let _ = drifted;
+//! ```
+
+mod crossbar;
+mod drift;
+mod inject;
+
+pub use crossbar::{Crossbar, CrossbarConfig, DriftReport};
+pub use drift::{
+    BitFlipFault, CompositeDrift, DriftModel, GaussianAdditive, LogNormalDrift, StuckAtFault,
+    UniformDrift,
+};
+pub use inject::{monte_carlo, FaultInjector, McStats, WeightSnapshot};

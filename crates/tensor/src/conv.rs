@@ -1,0 +1,256 @@
+//! `im2col`/`col2im` lowering for 2-D convolution.
+//!
+//! Convolution is lowered to a matrix product: a `[C, H, W]` image patch
+//! matrix of shape `[C·kh·kw, OH·OW]` is built by [`im2col`], multiplied by a
+//! `[OC, C·kh·kw]` weight matrix, and the backward pass scatters gradients
+//! back with [`col2im`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::Tensor;
+
+/// Static description of a 2-D convolution (or pooling) geometry.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new(3, 16, 3, 1, 1);
+/// assert_eq!(spec.output_hw(32, 32), (32, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count.
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a convolution spec with a square kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dSpec {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an `h`×`w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        assert!(
+            ph >= self.kernel && pw >= self.kernel,
+            "padded input {ph}x{pw} smaller than kernel {}",
+            self.kernel
+        );
+        (
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Rows of the patch matrix: `C·kh·kw`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers one `[C, H, W]` image to a `[C·kh·kw, OH·OW]` patch matrix.
+///
+/// # Panics
+///
+/// Panics if `image` is not rank 3 or its channel count differs from the
+/// spec.
+pub fn im2col(image: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
+    assert_eq!(image.rank(), 3, "im2col expects a [C, H, W] tensor");
+    assert_eq!(
+        image.dims()[0],
+        spec.in_channels,
+        "im2col channel mismatch"
+    );
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let mut col = Tensor::zeros(&[spec.patch_len(), oh * ow]);
+    let src = image.as_slice();
+    let dst = col.as_mut_slice();
+    let ncols = oh * ow;
+    for c in 0..spec.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        dst[row * ncols + oy * ow + ox] =
+                            src[(c * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+/// Scatters a `[C·kh·kw, OH·OW]` patch-gradient matrix back to a `[C, H, W]`
+/// image gradient (the adjoint of [`im2col`]).
+///
+/// # Panics
+///
+/// Panics if `col` does not have the shape implied by `spec` and the spatial
+/// size.
+pub fn col2im(col: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(
+        col.dims(),
+        &[spec.patch_len(), oh * ow],
+        "col2im shape mismatch"
+    );
+    let k = spec.kernel;
+    let mut image = Tensor::zeros(&[spec.in_channels, h, w]);
+    let src = col.as_slice();
+    let dst = image.as_mut_slice();
+    let ncols = oh * ow;
+    for c in 0..spec.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        dst[(c * h + iy as usize) * w + ix as usize] +=
+                            src[row * ncols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_hw_formula() {
+        let spec = Conv2dSpec::new(1, 1, 3, 1, 0);
+        assert_eq!(spec.output_hw(5, 5), (3, 3));
+        let spec = Conv2dSpec::new(1, 1, 3, 1, 1);
+        assert_eq!(spec.output_hw(5, 5), (5, 5));
+        let spec = Conv2dSpec::new(1, 1, 2, 2, 0);
+        assert_eq!(spec.output_hw(4, 4), (2, 2));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with stride 1 should reproduce the image as one row.
+        let img = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let spec = Conv2dSpec::new(1, 1, 1, 1, 0);
+        let col = im2col(&img, &spec, 2, 2);
+        assert_eq!(col.dims(), &[1, 4]);
+        assert_eq!(col.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn im2col_extracts_patches() {
+        // 3x3 image, 2x2 kernel, stride 1: 4 patches.
+        let img =
+            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let spec = Conv2dSpec::new(1, 1, 2, 1, 0);
+        let col = im2col(&img, &spec, 3, 3);
+        assert_eq!(col.dims(), &[4, 4]);
+        // First patch (top-left) down the first column: 1, 2, 4, 5.
+        assert_eq!(col.at(&[0, 0]), 1.0);
+        assert_eq!(col.at(&[1, 0]), 2.0);
+        assert_eq!(col.at(&[2, 0]), 4.0);
+        assert_eq!(col.at(&[3, 0]), 5.0);
+        // Last patch (bottom-right): 5, 6, 8, 9.
+        assert_eq!(col.at(&[0, 3]), 5.0);
+        assert_eq!(col.at(&[3, 3]), 9.0);
+    }
+
+    #[test]
+    fn im2col_zero_pads() {
+        let img = Tensor::from_vec(vec![1.0], &[1, 1, 1]).unwrap();
+        let spec = Conv2dSpec::new(1, 1, 3, 1, 1);
+        let col = im2col(&img, &spec, 1, 1);
+        assert_eq!(col.dims(), &[9, 1]);
+        // Only the center tap sees the pixel.
+        assert_eq!(col.at(&[4, 0]), 1.0);
+        assert_eq!(col.sum(), 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let spec = Conv2dSpec::new(2, 1, 3, 2, 1);
+        let (h, w) = (5, 4);
+        let x = Tensor::from_vec(
+            (0..2 * h * w).map(|i| (i as f32 * 0.37).sin()).collect(),
+            &[2, h, w],
+        )
+        .unwrap();
+        let (oh, ow) = spec.output_hw(h, w);
+        let y = Tensor::from_vec(
+            (0..spec.patch_len() * oh * ow)
+                .map(|i| (i as f32 * 0.11).cos())
+                .collect(),
+            &[spec.patch_len(), oh * ow],
+        )
+        .unwrap();
+        let lhs: f32 = im2col(&x, &spec, h, w)
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(col2im(&y, &spec, h, w).as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+}

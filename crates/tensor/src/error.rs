@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Error returned by fallible tensor constructors and converters.
+///
+/// Hot-path operations (arithmetic, matmul, convolution) treat shape
+/// mismatches as programming errors and panic instead; see the `# Panics`
+/// sections on those methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A shape with zero dimensions (or an otherwise unusable shape) was given
+    /// where a non-empty one is required.
+    EmptyShape,
+    /// A reshape was requested whose element count differs from the source.
+    ReshapeMismatch {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::EmptyShape => write!(f, "shape must have at least one dimension"),
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape tensor of {from} elements into shape of {to} elements"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        let text = err.to_string();
+        assert!(text.contains('3') && text.contains('4'));
+        assert!(text.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

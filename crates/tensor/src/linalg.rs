@@ -1,0 +1,201 @@
+//! Rank-2 matrix products, including the transposed variants used by
+//! backpropagation.
+
+use crate::Tensor;
+
+/// Matrix-product operations on rank-2 tensors.
+///
+/// Implemented for [`Tensor`]; the trait exists so downstream crates can
+/// write generic code over alternative matrix backends in tests.
+pub trait Matmul {
+    /// `self @ other` for `[m, k] x [k, n] -> [m, n]`.
+    fn matmul(&self, other: &Self) -> Self;
+    /// `selfᵀ @ other` for `[k, m] x [k, n] -> [m, n]` without materializing
+    /// the transpose.
+    fn matmul_tn(&self, other: &Self) -> Self;
+    /// `self @ otherᵀ` for `[m, k] x [n, k] -> [m, n]` without materializing
+    /// the transpose.
+    fn matmul_nt(&self, other: &Self) -> Self;
+}
+
+impl Matmul for Tensor {
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions differ.
+    fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let c = out.as_mut_slice();
+        // i-k-j ordering keeps the inner loop streaming over contiguous rows.
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the shared leading
+    /// dimensions differ.
+    fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_tn leading dimension mismatch");
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let c = out.as_mut_slice();
+        for kk in 0..k {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the trailing dimensions
+    /// differ.
+    fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_nt trailing dimension mismatch");
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let c = out.as_mut_slice();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        out
+    }
+}
+
+/// Outer product of two rank-1 tensors: `[m] x [n] -> [m, n]`.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 1.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{outer, Tensor};
+///
+/// let u = Tensor::from_slice(&[1.0, 2.0]);
+/// let v = Tensor::from_slice(&[3.0, 4.0]);
+/// assert_eq!(outer(&u, &v).as_slice(), &[3.0, 4.0, 6.0, 8.0]);
+/// ```
+pub fn outer(u: &Tensor, v: &Tensor) -> Tensor {
+    assert_eq!(u.rank(), 1, "outer lhs must be rank 1");
+    assert_eq!(v.rank(), 1, "outer rhs must be rank 1");
+    let (m, n) = (u.len(), v.len());
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        let ui = u.as_slice()[i];
+        let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+        for (o, &vv) in row.iter_mut().zip(v.as_slice()) {
+            *o = ui * vv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(a.matmul(&Tensor::eye(2)).as_slice(), a.as_slice());
+        assert_eq!(Tensor::eye(2).matmul(&a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 4.0, -1.0], &[3, 2]).unwrap();
+        let b = Tensor::from_vec(vec![2.0, 1.0, 0.0, -1.0, 1.5, 2.5], &[3, 2]).unwrap();
+        let tn = a.matmul_tn(&b);
+        let expected = a.transposed().matmul(&b);
+        for (x, y) in tn.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+
+        let c = Tensor::from_vec(vec![1.0, 0.0, 2.0, -1.0], &[2, 2]).unwrap();
+        let d = Tensor::from_vec(vec![2.0, 1.0, 0.0, -1.0, 1.5, 2.5], &[3, 2]).unwrap();
+        let nt = c.matmul_nt(&d);
+        let expected = c.matmul(&d.transposed());
+        for (x, y) in nt.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn outer_product() {
+        let u = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let v = Tensor::from_slice(&[4.0, 5.0]);
+        let o = outer(&u, &v);
+        assert_eq!(o.dims(), &[3, 2]);
+        assert_eq!(o.at(&[2, 1]), 15.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Max and average 2-D pooling with the index bookkeeping needed for
+//! backpropagation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Tensor;
+
+/// Geometry of a 2-D pooling window.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Pool2dSpec;
+///
+/// let spec = Pool2dSpec::new(2, 2);
+/// assert_eq!(spec.output_hw(8, 8), (4, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pool2dSpec {
+    /// Square window side length.
+    pub window: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+}
+
+impl Pool2dSpec {
+    /// Creates a pooling spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Pool2dSpec { window, stride }
+    }
+
+    /// Output spatial size for an `h`×`w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the window.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.window && w >= self.window,
+            "input {h}x{w} smaller than pooling window {}",
+            self.window
+        );
+        ((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1)
+    }
+}
+
+/// Max-pools a `[C, H, W]` image; returns the pooled image and the flat
+/// argmax index of each output cell (for the backward pass).
+///
+/// # Panics
+///
+/// Panics if `image` is not rank 3.
+pub fn max_pool2d(image: &Tensor, spec: &Pool2dSpec) -> (Tensor, Vec<usize>) {
+    assert_eq!(image.rank(), 3, "max_pool2d expects a [C, H, W] tensor");
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    let mut argmax = vec![0usize; c * oh * ow];
+    let src = image.as_slice();
+    let dst = out.as_mut_slice();
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        let idx = (ch * h + iy) * w + ix;
+                        if src[idx] > best {
+                            best = src[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let o = (ch * oh + oy) * ow + ox;
+                dst[o] = best;
+                argmax[o] = best_idx;
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Scatters output gradients back through a recorded max-pool.
+///
+/// `argmax` must come from the matching [`max_pool2d`] call.
+///
+/// # Panics
+///
+/// Panics if `grad_out.len() != argmax.len()`.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "gradient / argmax length mismatch"
+    );
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.as_mut_slice();
+    for (&g, &idx) in grad_out.as_slice().iter().zip(argmax) {
+        gi[idx] += g;
+    }
+    grad_in
+}
+
+/// Average-pools a `[C, H, W]` image.
+///
+/// # Panics
+///
+/// Panics if `image` is not rank 3.
+pub fn avg_pool2d(image: &Tensor, spec: &Pool2dSpec) -> Tensor {
+    assert_eq!(image.rank(), 3, "avg_pool2d expects a [C, H, W] tensor");
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    let norm = 1.0 / (spec.window * spec.window) as f32;
+    let src = image.as_slice();
+    let dst = out.as_mut_slice();
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        acc += src[(ch * h + iy) * w + ix];
+                    }
+                }
+                dst[(ch * oh + oy) * ow + ox] = acc * norm;
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
+/// over its window.
+///
+/// # Panics
+///
+/// Panics if `grad_out` is not rank 3 or inconsistent with `input_dims`.
+pub fn avg_pool2d_backward(grad_out: &Tensor, spec: &Pool2dSpec, input_dims: &[usize]) -> Tensor {
+    assert_eq!(grad_out.rank(), 3, "avg_pool2d_backward expects rank 3");
+    let (c, h, w) = (input_dims[0], input_dims[1], input_dims[2]);
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(grad_out.dims(), &[c, oh, ow], "gradient shape mismatch");
+    let mut grad_in = Tensor::zeros(input_dims);
+    let norm = 1.0 / (spec.window * spec.window) as f32;
+    let go = grad_out.as_slice();
+    let gi = grad_in.as_mut_slice();
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = go[(ch * oh + oy) * ow + ox] * norm;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        gi[(ch * h + iy) * w + ix] += g;
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let img = Tensor::from_vec(
+            vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, 1.0, 2.0, 8.0, 7.0, 0.0, 1.0, 6.0, 5.0, 2.0, 3.0],
+            &[1, 4, 4],
+        )
+        .unwrap();
+        let (out, argmax) = max_pool2d(&img, &Pool2dSpec::new(2, 2));
+        assert_eq!(out.dims(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4.0, 5.0, 8.0, 3.0]);
+        assert_eq!(argmax[0], 4); // position of 4.0 in the flat input
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let img = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let (_, argmax) = max_pool2d(&img, &Pool2dSpec::new(2, 2));
+        let grad_out = Tensor::from_vec(vec![10.0], &[1, 1, 1]).unwrap();
+        let grad_in = max_pool2d_backward(&grad_out, &argmax, &[1, 2, 2]);
+        assert_eq!(grad_in.as_slice(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let img = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 2, 2]).unwrap();
+        let out = avg_pool2d(&img, &Pool2dSpec::new(2, 2));
+        assert_eq!(out.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let grad_out = Tensor::from_vec(vec![8.0], &[1, 1, 1]).unwrap();
+        let grad_in = avg_pool2d_backward(&grad_out, &Pool2dSpec::new(2, 2), &[1, 2, 2]);
+        assert_eq!(grad_in.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pooling_gradient_conservation() {
+        // Sum of input gradients equals sum of output gradients for both pools.
+        let img = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]).unwrap();
+        let spec = Pool2dSpec::new(2, 2);
+        let (out, argmax) = max_pool2d(&img, &spec);
+        let go = Tensor::ones(out.dims());
+        assert!((max_pool2d_backward(&go, &argmax, &[1, 4, 4]).sum() - go.sum()).abs() < 1e-6);
+        assert!((avg_pool2d_backward(&go, &spec, &[1, 4, 4]).sum() - go.sum()).abs() < 1e-6);
+    }
+}

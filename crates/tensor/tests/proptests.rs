@@ -1,0 +1,123 @@
+//! Property-based tests for tensor invariants.
+
+use proptest::prelude::*;
+use tensor::{im2col, outer, Conv2dSpec, Matmul, Shape, Tensor};
+
+fn small_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]).expect("length matches"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn shape_len_is_product(dims in proptest::collection::vec(1usize..6, 1..4)) {
+        let s = Shape::new(&dims);
+        prop_assert_eq!(s.len(), dims.iter().product::<usize>());
+        prop_assert_eq!(s.rank(), dims.len());
+    }
+
+    #[test]
+    fn strides_decrease_row_major(dims in proptest::collection::vec(1usize..6, 1..4)) {
+        let strides = Shape::new(&dims).strides();
+        for w in strides.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert_eq!(*strides.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn add_commutes(a in small_matrix()) {
+        let b = a.map(|v| v * 0.5 - 1.0);
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+    }
+
+    #[test]
+    fn sub_self_is_zero(a in small_matrix()) {
+        prop_assert!(a.sub(&a).as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scale_is_linear_in_sum(a in small_matrix(), k in -4.0f32..4.0) {
+        let scaled_sum = a.scale(k).sum();
+        prop_assert!((scaled_sum - k * a.sum()).abs() < 1e-2 * (1.0 + a.sum().abs() * k.abs()));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in small_matrix()) {
+        let tt = a.transposed().transposed();
+        prop_assert_eq!(tt.as_slice(), a.as_slice());
+        prop_assert_eq!(tt.dims(), a.dims());
+    }
+
+    #[test]
+    fn matmul_identity_right(a in small_matrix()) {
+        let i = Tensor::eye(a.dims()[1]);
+        let out = a.matmul(&i);
+        for (x, y) in out.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose(a in small_matrix(), seed in 0u64..100) {
+        // b with compatible leading dim.
+        let k = a.dims()[0];
+        let n = 1 + (seed as usize % 4);
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| ((i as f32) + seed as f32).sin()).collect(),
+            &[k, n],
+        ).unwrap();
+        let tn = a.matmul_tn(&b);
+        let explicit = a.transposed().matmul(&b);
+        for (x, y) in tn.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in small_matrix()) {
+        let s = a.softmax_rows();
+        for r in 0..s.dims()[0] {
+            let row = s.row(r);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn outer_rank_one_structure(u in proptest::collection::vec(-5.0f32..5.0, 1..5),
+                                v in proptest::collection::vec(-5.0f32..5.0, 1..5)) {
+        let o = outer(&Tensor::from_slice(&u), &Tensor::from_slice(&v));
+        prop_assert_eq!(o.dims(), &[u.len(), v.len()]);
+        for (i, &ui) in u.iter().enumerate() {
+            for (j, &vj) in v.iter().enumerate() {
+                prop_assert!((o.at(&[i, j]) - ui * vj).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_preserves_energy_without_padding_stride_kernel1(
+        vals in proptest::collection::vec(-3.0f32..3.0, 9)
+    ) {
+        // 1x1 kernel im2col is a bijection on elements.
+        let img = Tensor::from_vec(vals.clone(), &[1, 3, 3]).unwrap();
+        let spec = Conv2dSpec::new(1, 1, 1, 1, 0);
+        let col = im2col(&img, &spec, 3, 3);
+        prop_assert_eq!(col.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn argmax_rows_is_row_maximum(a in small_matrix()) {
+        let idx = a.argmax_rows();
+        for (r, &i) in idx.iter().enumerate() {
+            let row = a.row(r);
+            prop_assert!(row.iter().all(|&v| v <= row[i]));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: search a fault-tolerant architecture for a small classifier
+//! and compare it with plain training under memristance drift.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use baselines::{drift_accuracy, train_erm, TrainConfig};
+use bayesft::{BayesFt, BayesFtConfig};
+use datasets::moons;
+use models::{Mlp, MlpConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reram::LogNormalDrift;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: the two-moons toy task from the paper's Fig. 1.
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let data = moons(400, 0.1, &mut rng);
+    let (train, test) = data.split(0.8, &mut rng);
+
+    // 2. Baseline: plain empirical-risk minimization.
+    let net = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(24), &mut rng));
+    let cfg = TrainConfig {
+        epochs: 25,
+        ..TrainConfig::default()
+    };
+    let mut erm = train_erm(net, &train, &cfg);
+
+    // 3. BayesFT: alternate weight training with Bayesian optimization over
+    //    per-layer dropout rates (Algorithm 1).
+    let net = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(24), &mut rng));
+    let search = BayesFtConfig {
+        trials: 8,
+        epochs_per_trial: 4,
+        mc_samples: 6,
+        sigma: 0.8,
+        train: cfg,
+        ..BayesFtConfig::default()
+    };
+    let result = BayesFt::new(search).run(net, &train, &test)?;
+    let mut bayesft_model = result.model;
+    println!("searched dropout rates (unit-cube alpha): {:?}", result.best_alpha);
+
+    // 4. Deploy both on a drifting ReRAM device and compare.
+    println!("\naccuracy under log-normal weight drift (mean of 10 devices):");
+    println!("{:<8}{:>10}{:>10}", "sigma", "ERM", "BayesFT");
+    for sigma in [0.0f32, 0.4, 0.8, 1.2] {
+        let drift = LogNormalDrift::new(sigma);
+        let e = drift_accuracy(&mut erm, &test, &drift, 10, 7).mean;
+        let b = drift_accuracy(&mut bayesft_model, &test, &drift, 10, 7).mean;
+        println!("{sigma:<8}{:>9.1}%{:>9.1}%", e * 100.0, b * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate for the BayesFT reproduction workspace; see member crates.
