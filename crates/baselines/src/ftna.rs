@@ -108,7 +108,9 @@ impl Codebook {
     /// Panics if the column count differs from the codeword length.
     pub fn decode_batch(&self, out: &Tensor) -> Vec<usize> {
         assert_eq!(out.dims()[1], self.bits, "output width != codeword length");
-        (0..out.dims()[0]).map(|r| self.decode(out.row(r))).collect()
+        (0..out.dims()[0])
+            .map(|r| self.decode(out.row(r)))
+            .collect()
     }
 
     /// Binary cross-entropy (with logits) against the class codewords, plus
@@ -177,7 +179,7 @@ mod tests {
     fn hadamard_codebook_has_half_distance() {
         for classes in [2usize, 10, 43] {
             let cb = Codebook::hadamard(classes);
-            assert!(cb.bits() >= classes + 1);
+            assert!(cb.bits() > classes);
             assert_eq!(
                 cb.min_distance(),
                 cb.bits() / 2,
@@ -225,7 +227,9 @@ mod tests {
     fn bce_gradient_matches_finite_difference() {
         let cb = Codebook::hadamard(3);
         let logits = Tensor::from_vec(
-            (0..2 * cb.bits()).map(|i| (i as f32 * 0.37).sin()).collect(),
+            (0..2 * cb.bits())
+                .map(|i| (i as f32 * 0.37).sin())
+                .collect(),
             &[2, cb.bits()],
         )
         .unwrap();
@@ -252,10 +256,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let data = moons(300, 0.1, &mut rng);
         let cb = Codebook::hadamard(2);
-        let net = Box::new(Mlp::new(
-            &MlpConfig::new(2, cb.bits()).hidden(24),
-            &mut rng,
-        ));
+        let net = Box::new(Mlp::new(&MlpConfig::new(2, cb.bits()).hidden(24), &mut rng));
         let cfg = TrainConfig {
             epochs: 40,
             lr: 0.1,

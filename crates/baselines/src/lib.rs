@@ -41,7 +41,7 @@ mod reram_v;
 mod trained;
 
 pub use awp::{train_awp, AwpConfig};
-pub use erm::{train_erm, train_epochs};
+pub use erm::{train_epochs, train_erm};
 pub use eval::drift_accuracy;
 pub use ftna::{train_ftna, Codebook};
 pub use reram_v::{reram_v_accuracy, ReRamVConfig};

@@ -82,7 +82,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -101,37 +102,58 @@ mod tests {
     #[test]
     fn posterior_mean_ignores_variance() {
         let a = Acquisition::PosteriorMean;
-        let p1 = Posterior { mean: 1.0, variance: 0.01 };
-        let p2 = Posterior { mean: 1.0, variance: 100.0 };
+        let p1 = Posterior {
+            mean: 1.0,
+            variance: 0.01,
+        };
+        let p2 = Posterior {
+            mean: 1.0,
+            variance: 100.0,
+        };
         assert_eq!(a.score(&p1, 0.0), a.score(&p2, 0.0));
     }
 
     #[test]
     fn ei_is_zero_for_certainly_worse_point() {
         let a = Acquisition::ExpectedImprovement { xi: 0.0 };
-        let p = Posterior { mean: -1.0, variance: 0.0 };
+        let p = Posterior {
+            mean: -1.0,
+            variance: 0.0,
+        };
         assert_eq!(a.score(&p, 0.0), 0.0);
     }
 
     #[test]
     fn ei_grows_with_uncertainty() {
         let a = Acquisition::ExpectedImprovement { xi: 0.0 };
-        let tight = Posterior { mean: 0.0, variance: 0.01 };
-        let loose = Posterior { mean: 0.0, variance: 1.0 };
+        let tight = Posterior {
+            mean: 0.0,
+            variance: 0.01,
+        };
+        let loose = Posterior {
+            mean: 0.0,
+            variance: 1.0,
+        };
         assert!(a.score(&loose, 0.5) > a.score(&tight, 0.5));
     }
 
     #[test]
     fn ei_at_zero_sigma_is_relu_of_gap() {
         let a = Acquisition::ExpectedImprovement { xi: 0.0 };
-        let p = Posterior { mean: 2.0, variance: 0.0 };
+        let p = Posterior {
+            mean: 2.0,
+            variance: 0.0,
+        };
         assert_eq!(a.score(&p, 0.5), 1.5);
     }
 
     #[test]
     fn ucb_trades_off_mean_and_std() {
         let a = Acquisition::UpperConfidenceBound { kappa: 2.0 };
-        let p = Posterior { mean: 1.0, variance: 4.0 };
+        let p = Posterior {
+            mean: 1.0,
+            variance: 4.0,
+        };
         assert!((a.score(&p, 0.0) - 5.0).abs() < 1e-12);
     }
 

@@ -28,6 +28,8 @@ impl Cholesky {
     /// # Panics
     ///
     /// Panics if `b.len() != dim()`.
+    // Triangular indexing: numeric loops mirror the textbook algorithm.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
         let n = self.n;
@@ -58,6 +60,7 @@ impl Cholesky {
     /// # Panics
     ///
     /// Panics if `b.len() != dim()`.
+    #[allow(clippy::needless_range_loop)]
     pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
         let n = self.n;
@@ -151,9 +154,7 @@ mod tests {
     fn factors_known_matrix() {
         // A = [[4, 12, -16], [12, 37, -43], [-16, -43, 98]]
         // L = [[2, 0, 0], [6, 1, 0], [-8, 5, 3]]
-        let a = [
-            4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0,
-        ];
+        let a = [4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0];
         let c = cholesky(&a, 3).expect("SPD");
         let expected = [2.0, 0.0, 0.0, 6.0, 1.0, 0.0, -8.0, 5.0, 3.0];
         for i in 0..3 {

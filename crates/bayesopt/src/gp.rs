@@ -163,7 +163,11 @@ impl<K: Kernel> GaussianProcess<K> {
         if self.x[0].len() != query.len() {
             return Err(GpError::DimensionMismatch);
         }
-        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, query)).collect();
+        let kstar: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| self.kernel.eval(xi, query))
+            .collect();
         let mean: f64 = kstar
             .iter()
             .zip(&self.alpha)
@@ -171,8 +175,7 @@ impl<K: Kernel> GaussianProcess<K> {
             .sum::<f64>()
             + self.y_mean;
         let v = chol.forward_solve(&kstar);
-        let variance =
-            (self.kernel.diag(query) - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+        let variance = (self.kernel.diag(query) - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
         Ok(Posterior { mean, variance })
     }
 
@@ -226,11 +229,8 @@ mod tests {
 
     fn fitted_gp() -> GaussianProcess<SquaredExponential> {
         let mut gp = GaussianProcess::new(SquaredExponential::isotropic(1.0, 0.3), 1e-8);
-        gp.fit(
-            vec![vec![0.0], vec![0.5], vec![1.0]],
-            vec![1.0, 0.0, 1.0],
-        )
-        .unwrap();
+        gp.fit(vec![vec![0.0], vec![0.5], vec![1.0]], vec![1.0, 0.0, 1.0])
+            .unwrap();
         gp
     }
 
@@ -296,11 +296,8 @@ mod tests {
     #[test]
     fn duplicate_points_survive_via_jitter() {
         let mut gp = GaussianProcess::new(SquaredExponential::isotropic(1.0, 0.5), 1e-10);
-        gp.fit(
-            vec![vec![0.3], vec![0.3], vec![0.7]],
-            vec![1.0, 1.0, 2.0],
-        )
-        .expect("jitter escalation handles duplicates");
+        gp.fit(vec![vec![0.3], vec![0.3], vec![0.7]], vec![1.0, 1.0, 2.0])
+            .expect("jitter escalation handles duplicates");
         let p = gp.posterior(&[0.3]).unwrap();
         assert!((p.mean - 1.0).abs() < 0.05);
     }
@@ -312,11 +309,8 @@ mod tests {
         assert!(lml.is_finite());
         // Better-fitting model should have higher LML than an absurd one.
         let mut bad = GaussianProcess::new(SquaredExponential::isotropic(1e-6, 1e-3), 1e-8);
-        bad.fit(
-            vec![vec![0.0], vec![0.5], vec![1.0]],
-            vec![1.0, 0.0, 1.0],
-        )
-        .unwrap();
+        bad.fit(vec![vec![0.0], vec![0.5], vec![1.0]], vec![1.0, 0.0, 1.0])
+            .unwrap();
         assert!(lml > bad.log_marginal_likelihood().unwrap());
     }
 }

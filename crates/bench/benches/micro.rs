@@ -41,6 +41,16 @@ fn bench_mc_objective(c: &mut Criterion) {
             b.iter(|| obj.evaluate(&mut net, &data, 3))
         });
     }
+    // The engine's hot path: the same marginalization fanned out over
+    // worker threads (results are bit-identical to serial).
+    let obj = bayesft::DriftObjective::new(0.6, 16);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("samples16_workers", workers),
+            &workers,
+            |b, &w| b.iter(|| obj.evaluate_parallel(&mut net, &data, 3, w)),
+        );
+    }
     group.finish();
 }
 

@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p bench --bin ablate_acquisition`
 
 use baselines::TrainConfig;
-use bayesft::{BayesFt, BayesFtConfig};
+use bayesft::{Engine, SearchSpace};
 use bayesopt::Acquisition;
 use bench::{drift_point, make_task, Scale};
 use models::{Mlp, MlpConfig};
@@ -43,28 +43,32 @@ fn main() {
         ));
         let mut model = match acq {
             Some(acquisition) => {
-                let cfg = BayesFtConfig {
-                    trials: scale.bo_trials(),
-                    epochs_per_trial: (scale.epochs() / 3).max(1),
-                    mc_samples: trials,
-                    sigma: 0.6,
-                    acquisition,
-                    train: bench::train_config(scale, 31),
-                    seed: 31,
-                    ..BayesFtConfig::default()
-                };
-                BayesFt::new(cfg)
+                Engine::builder()
+                    .trials(scale.bo_trials())
+                    .epochs_per_trial((scale.epochs() / 3).max(1))
+                    .mc_samples(trials)
+                    .sigma(0.6)
+                    .acquisition(acquisition)
+                    .train(bench::train_config(scale, 31))
+                    .seed(31)
+                    .parallelism(0) // one MC worker per core; results match serial
                     .run(net, &task.train, &task.test)
-                    .expect("GP fit")
+                    .expect("engine run")
                     .model
             }
             None => random_search(net, &task, scale, trials),
         };
         let clean = drift_point(&mut model, &task.test, 0.0, trials);
         let drifted = drift_point(&mut model, &task.test, eval_sigma, trials);
-        println!("{label:<20}{:>11.1}%{:>13.1}%", clean * 100.0, drifted * 100.0);
+        println!(
+            "{label:<20}{:>11.1}%{:>13.1}%",
+            clean * 100.0,
+            drifted * 100.0
+        );
     }
-    println!("expected shape: all BO rules ≥ random search; posterior-mean competitive (paper's choice)");
+    println!(
+        "expected shape: all BO rules ≥ random search; posterior-mean competitive (paper's choice)"
+    );
 }
 
 /// Random-search control: same alternation as Algorithm 1 but α is sampled
@@ -85,14 +89,18 @@ fn random_search(
     let mut best = (Vec::new(), f32::NEG_INFINITY);
     for t in 0..scale.bo_trials() {
         let alpha: Vec<f64> = (0..space.dim()).map(|_| rng.gen::<f64>()).collect();
-        space.apply(net.as_mut(), &alpha);
+        space
+            .apply(net.as_mut(), &alpha)
+            .expect("alpha matches probed dimension");
         let _ = baselines::train_epochs(net.as_mut(), &task.train, &cfg);
         let score = objective.evaluate(net.as_mut(), &task.test, t as u64).mean;
         if score > best.1 {
             best = (alpha, score);
         }
     }
-    space.apply(net.as_mut(), &best.0);
+    space
+        .apply(net.as_mut(), &best.0)
+        .expect("alpha matches probed dimension");
     let _ = baselines::train_epochs(net.as_mut(), &task.train, &cfg);
     baselines::TrainedModel {
         net,

@@ -55,7 +55,9 @@ fn run(name: &str, scale: Scale) {
 
 fn main() {
     let scale = Scale::from_env();
-    let which = std::env::args().nth(1).unwrap_or_else(|| "mlp-digits".into());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mlp-digits".into());
     if which == "all" {
         for name in ALL {
             run(name, scale);

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin fig3_detection`
 
-use bayesft::DropoutSearchSpace;
+use bayesft::{DropoutSearchSpace, SearchSpace};
 use bayesopt::{Acquisition, BayesOpt, SquaredExponential};
 use bench::detection::{drift_map, train_detector};
 use bench::Scale;
@@ -41,13 +41,17 @@ fn main() {
     let mut bo_rng = ChaCha8Rng::seed_from_u64(6);
     for t in 0..bo_trials {
         let alpha = bo.suggest(&mut bo_rng).expect("GP fit");
-        space.apply(&mut bft, &alpha);
+        space
+            .apply(&mut bft, &alpha)
+            .expect("alpha matches probed dimension");
         train_detector(&mut bft, &train, epochs_per_trial, 0.01);
         let objective = drift_map(&mut bft, &test, 0.3, mc, 60 + t as u64).mean;
         bo.tell(alpha, objective as f64);
     }
     let (alpha_star, _) = bo.best_observed().expect("trials ran");
-    space.apply(&mut bft, &alpha_star);
+    space
+        .apply(&mut bft, &alpha_star)
+        .expect("alpha matches probed dimension");
     train_detector(&mut bft, &train, epochs_per_trial, 0.01);
     eprintln!("  [done] BayesFT detector (alpha = {alpha_star:?})");
 

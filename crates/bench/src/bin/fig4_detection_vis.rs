@@ -15,6 +15,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use reram::{FaultInjector, LogNormalDrift};
 
+#[allow(clippy::needless_range_loop)] // (y, x) address both image and grid
 fn render(scene: &Scene, predictions: &[(BBox, f32)], size: usize) -> String {
     let mut grid = vec![vec![' '; size]; size];
     // Pedestrian body pixels: bright red channel.

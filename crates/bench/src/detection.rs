@@ -61,8 +61,7 @@ pub fn drift_map(
     let snapshot = reram::FaultInjector::snapshot(det);
     let mut values = Vec::with_capacity(trials);
     for t in 0..trials {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9u64.wrapping_mul(t as u64 + 1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9u64.wrapping_mul(t as u64 + 1)));
         reram::FaultInjector::inject(det, &LogNormalDrift::new(sigma), &mut rng);
         values.push(detector_map(det, data, 0.5));
         snapshot.restore(det);

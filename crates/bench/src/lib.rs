@@ -15,7 +15,7 @@ use baselines::{
     drift_accuracy, reram_v_accuracy, train_awp, train_erm, train_ftna, AwpConfig, Codebook,
     ReRamVConfig, TrainConfig, TrainedModel,
 };
-use bayesft::{accuracy_vs_sigma, BayesFt, BayesFtConfig, MethodCurve, SweepTable, SIGMA_GRID};
+use bayesft::{accuracy_vs_sigma, Engine, MethodCurve, SweepTable, SIGMA_GRID};
 use datasets::ClassificationDataset;
 use models::ModelKind;
 use rand::SeedableRng;
@@ -165,7 +165,12 @@ pub fn train_config(scale: Scale, seed: u64) -> TrainConfig {
 ///
 /// `include_ftna` is false for the traffic-sign task (Fig. 3(i) omits FTNA,
 /// mirroring the paper).
-pub fn compare_methods(kind: ModelKind, task: &Task, scale: Scale, include_ftna: bool) -> SweepTable {
+pub fn compare_methods(
+    kind: ModelKind,
+    task: &Task,
+    scale: Scale,
+    include_ftna: bool,
+) -> SweepTable {
     let seed = 42u64;
     let cfg = train_config(scale, seed);
     let trials = scale.mc_trials();
@@ -213,25 +218,29 @@ pub fn compare_methods(kind: ModelKind, task: &Task, scale: Scale, include_ftna:
     table.push(MethodCurve::from_sweep("AWP", &sweep));
     eprintln!("  [done] AWP");
 
-    // BayesFT
+    // BayesFT, through the engine: Monte-Carlo drift samples fan out over
+    // all cores (bit-identical to a serial run), and the run record keeps
+    // per-stage timings for the log.
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let net = kind.build(task.in_channels, task.hw, task.classes, &mut rng);
-    let bft_cfg = BayesFtConfig {
-        trials: scale.bo_trials(),
-        epochs_per_trial: (scale.epochs() / 3).max(1),
-        mc_samples: trials,
-        sigma: 0.9,
-        train: cfg.clone(),
-        seed,
-        ..BayesFtConfig::default()
-    };
-    let result = BayesFt::new(bft_cfg)
+    let result = Engine::builder()
+        .trials(scale.bo_trials())
+        .epochs_per_trial((scale.epochs() / 3).max(1))
+        .mc_samples(trials)
+        .sigma(0.9)
+        .train(cfg.clone())
+        .seed(seed)
+        .parallelism(0)
         .run(net, &task.train, &task.test)
-        .expect("GP surrogate fit");
+        .expect("engine run");
+    let report = result.report;
     let mut bft = result.model;
     let sweep = accuracy_vs_sigma(&mut bft, &task.test, &SIGMA_GRID, trials, seed);
     table.push(MethodCurve::from_sweep("BayesFT", &sweep));
-    eprintln!("  [done] BayesFT (alpha = {:?})", result.best_alpha);
+    eprintln!(
+        "  [done] BayesFT (alpha = {:?}; train {:.0} ms, eval {:.0} ms over {} workers)",
+        report.best_alpha, report.timings.train_ms, report.timings.eval_ms, report.parallelism
+    );
 
     table
 }
@@ -264,7 +273,12 @@ pub fn erm_model(kind: ModelKind, task: &Task, scale: Scale, seed: u64) -> Train
 }
 
 /// Single-σ drift accuracy shortcut.
-pub fn drift_point(model: &mut TrainedModel, data: &ClassificationDataset, sigma: f32, trials: usize) -> f32 {
+pub fn drift_point(
+    model: &mut TrainedModel,
+    data: &ClassificationDataset,
+    sigma: f32,
+    trials: usize,
+) -> f32 {
     drift_accuracy(model, data, &LogNormalDrift::new(sigma), trials, 7).mean
 }
 
@@ -276,7 +290,7 @@ mod tests {
     fn tasks_build_at_quick_scale() {
         for name in ["digits", "shapes", "signs"] {
             let task = make_task(name, Scale::Quick, 0);
-            assert!(task.train.len() > 0 && task.test.len() > 0, "{name}");
+            assert!(!task.train.is_empty() && !task.test.is_empty(), "{name}");
             assert_eq!(task.train.classes(), task.classes);
         }
     }

@@ -1,14 +1,14 @@
-//! Algorithm 1: alternating weight training and Bayesian-optimization
-//! updates over the dropout-rate architecture vector.
+//! Algorithm 1 compatibility layer: [`BayesFt`] (a thin shim over the
+//! [`Engine`](crate::Engine)) and the generic [`optimize_dropout`] loop.
 
-use baselines::{OutputDecoder, TrainConfig, TrainedModel};
-use bayesopt::{Acquisition, BayesOpt, GpError, SquaredExponential};
+use baselines::{TrainConfig, TrainedModel};
+use bayesopt::{Acquisition, BayesOpt, SquaredExponential};
 use datasets::ClassificationDataset;
 use nn::Layer;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::{DriftObjective, DropoutSearchSpace};
+use crate::{BayesFtError, Engine, ExperimentResult, SearchSpace};
 
 /// One completed Algorithm-1 trial.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +44,9 @@ pub struct BayesFtConfig {
     pub max_rate: f32,
     /// Fine-tuning epochs after the best architecture is locked in.
     pub final_epochs: usize,
+    /// Monte-Carlo worker threads (`0` = one per CPU core, `1` = serial).
+    /// Any value produces identical results.
+    pub parallelism: usize,
 }
 
 impl Default for BayesFtConfig {
@@ -59,6 +62,7 @@ impl Default for BayesFtConfig {
             seed: 0,
             max_rate: 0.8,
             final_epochs: 10,
+            parallelism: 1,
         }
     }
 }
@@ -98,7 +102,32 @@ impl std::fmt::Debug for BayesFtResult {
     }
 }
 
-/// The BayesFT search driver (Algorithm 1).
+impl From<ExperimentResult> for BayesFtResult {
+    fn from(outcome: ExperimentResult) -> Self {
+        BayesFtResult {
+            model: outcome.model,
+            best_alpha: outcome.report.best_alpha,
+            history: outcome
+                .report
+                .trials
+                .into_iter()
+                .map(|t| Trial {
+                    alpha: t.alpha,
+                    objective: t.objective,
+                    objective_std: t.objective_std,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The BayesFT search driver (Algorithm 1) — kept as a compatibility shim
+/// over [`Engine`](crate::Engine), which it delegates to verbatim.
+///
+/// New code should prefer the builder API directly:
+/// `Engine::builder().trials(..).sigma(..).run(net, train, val)?` exposes
+/// the same search plus pluggable spaces/objectives, Monte-Carlo
+/// parallelism, and the serializable [`RunReport`](crate::RunReport).
 #[derive(Debug, Clone)]
 pub struct BayesFt {
     config: BayesFtConfig,
@@ -110,105 +139,77 @@ impl BayesFt {
         BayesFt { config }
     }
 
-    /// Runs the alternating search on a classification task.
-    ///
-    /// Weights `θ` persist across trials (Algorithm 1 trains them
-    /// continuously); only the architecture vector `α` jumps between
-    /// Bayesian-optimization suggestions. After the search the best `α` is
-    /// re-applied and the weights are fine-tuned for one more trial's worth
-    /// of epochs.
+    /// Runs the alternating search on a classification task; see
+    /// [`Engine::run`](crate::Engine::run).
     ///
     /// # Errors
     ///
-    /// Returns [`GpError`] if the GP surrogate cannot be fitted.
+    /// Returns [`BayesFtError`] if the configuration is invalid, the
+    /// network has no dropout layers, or the GP surrogate cannot be
+    /// fitted.
     pub fn run(
         &self,
-        mut net: Box<dyn Layer>,
+        net: Box<dyn Layer>,
         train: &ClassificationDataset,
         val: &ClassificationDataset,
-    ) -> Result<BayesFtResult, GpError> {
+    ) -> Result<BayesFtResult, BayesFtError> {
         let cfg = &self.config;
-        let space = DropoutSearchSpace::probe(net.as_mut()).max_rate(cfg.max_rate);
-        // σ ladder {0, σ/2, σ}: robust at the target drift level without
-        // surrendering clean accuracy.
-        let objective =
-            DriftObjective::with_sigmas(vec![0.0, cfg.sigma / 2.0, cfg.sigma], cfg.mc_samples);
-        let epoch_cfg = TrainConfig {
-            epochs: cfg.epochs_per_trial,
-            ..cfg.train.clone()
-        };
-
-        let (best_alpha, history) = optimize_dropout(
-            net.as_mut(),
-            &space,
-            cfg.trials,
-            cfg.acquisition,
-            cfg.lengthscale,
-            cfg.seed,
-            |n| {
-                let _ = baselines::train_epochs(n, train, &epoch_cfg);
-            },
-            |n, trial_idx| {
-                let stats = objective.evaluate(n, val, cfg.seed ^ (trial_idx as u64) << 7);
-                (stats.mean as f64, stats.std as f64)
-            },
-        )?;
-
-        // Final: lock in the best architecture and fine-tune.
-        space.apply(net.as_mut(), &best_alpha);
-        let final_cfg = TrainConfig {
-            epochs: cfg.final_epochs,
-            ..cfg.train.clone()
-        };
-        let _ = baselines::train_epochs(net.as_mut(), train, &final_cfg);
-
-        Ok(BayesFtResult {
-            model: TrainedModel {
-                net,
-                decoder: OutputDecoder::Softmax,
-                method: "bayesft",
-            },
-            best_alpha,
-            history,
-        })
+        let outcome = Engine::builder()
+            .trials(cfg.trials)
+            .epochs_per_trial(cfg.epochs_per_trial)
+            .mc_samples(cfg.mc_samples)
+            .sigma(cfg.sigma)
+            .acquisition(cfg.acquisition)
+            .lengthscale(cfg.lengthscale)
+            .train(cfg.train.clone())
+            .seed(cfg.seed)
+            .max_rate(cfg.max_rate)
+            .final_epochs(cfg.final_epochs)
+            .parallelism(cfg.parallelism)
+            .run(net, train, val)?;
+        Ok(BayesFtResult::from(outcome))
     }
 }
 
 /// Generic Algorithm-1 loop, decoupled from the task: alternates a caller-
-/// supplied training step with Bayesian-optimization updates over the
-/// network's dropout rates.
+/// supplied training step with Bayesian-optimization updates over any
+/// [`SearchSpace`].
 ///
 /// `train_step` trains `θ` for one trial's budget; `objective` returns
-/// `(mean, std)` of the drift-marginalized utility. Used directly by the
-/// object-detection experiment, whose training loop and mAP objective do
-/// not fit the classification mold.
+/// `(mean, std)` of the drift-marginalized utility for trial `t` (derive
+/// per-trial seeds with [`reram::mix_seed`]). Used by experiments whose
+/// training loop does not fit the classification mold (e.g. the
+/// object-detection mAP objective).
 ///
 /// # Errors
 ///
-/// Returns [`GpError`] if the GP surrogate cannot be fitted.
+/// Returns [`BayesFtError::InvalidConfig`] for a zero trial budget,
+/// [`BayesFtError::DimensionMismatch`] if the space does not fit the
+/// network, and [`BayesFtError::Gp`] if the surrogate cannot be fitted.
 #[allow(clippy::too_many_arguments)]
 pub fn optimize_dropout(
     net: &mut dyn Layer,
-    space: &DropoutSearchSpace,
+    space: &dyn SearchSpace,
     trials: usize,
     acquisition: Acquisition,
     lengthscale: f64,
     seed: u64,
     mut train_step: impl FnMut(&mut dyn Layer),
     mut objective: impl FnMut(&mut dyn Layer, usize) -> (f64, f64),
-) -> Result<(Vec<f64>, Vec<Trial>), GpError> {
-    assert!(trials > 0, "need at least one trial");
-    let mut bo = BayesOpt::new(
-        space.dim(),
-        SquaredExponential::isotropic(1.0, lengthscale),
-    )
-    .acquisition(acquisition)
-    .candidates(192);
+) -> Result<(Vec<f64>, Vec<Trial>), BayesFtError> {
+    if trials == 0 {
+        return Err(BayesFtError::InvalidConfig(
+            "need at least one search trial".into(),
+        ));
+    }
+    let mut bo = BayesOpt::new(space.dim(), SquaredExponential::isotropic(1.0, lengthscale))
+        .acquisition(acquisition)
+        .candidates(192);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut history = Vec::with_capacity(trials);
     for t in 0..trials {
         let alpha = bo.suggest(&mut rng)?;
-        space.apply(net, &alpha);
+        space.apply(net, &alpha)?;
         train_step(net);
         let (mean, std) = objective(net, t);
         bo.tell(alpha.clone(), mean);
@@ -221,7 +222,7 @@ pub fn optimize_dropout(
     let best_alpha = bo
         .best_observed()
         .map(|(x, _)| x)
-        .expect("at least one trial was told");
+        .ok_or_else(|| BayesFtError::InvalidConfig("no trials completed".into()))?;
     Ok((best_alpha, history))
 }
 
@@ -266,6 +267,28 @@ mod tests {
     }
 
     #[test]
+    fn shim_parallelism_matches_serial() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let data = moons(150, 0.1, &mut rng);
+        let (train, val) = data.split(0.8, &mut rng);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(6);
+        let net_a = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(12), &mut rng_a));
+        let mut rng_b = ChaCha8Rng::seed_from_u64(6);
+        let net_b = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(12), &mut rng_b));
+        let serial = BayesFt::new(BayesFtConfig::fast_test())
+            .run(net_a, &train, &val)
+            .unwrap();
+        let parallel = BayesFt::new(BayesFtConfig {
+            parallelism: 4,
+            ..BayesFtConfig::fast_test()
+        })
+        .run(net_b, &train, &val)
+        .unwrap();
+        assert_eq!(serial.history, parallel.history);
+        assert_eq!(serial.best_alpha, parallel.best_alpha);
+    }
+
+    #[test]
     fn bayesft_beats_erm_under_drift_on_moons() {
         // The paper's headline claim, at miniature scale: the searched
         // architecture is more drift-robust than plain ERM.
@@ -298,5 +321,24 @@ mod tests {
             bft_acc >= erm_acc - 0.02,
             "BayesFT ({bft_acc}) should not lose to ERM ({erm_acc}) under drift"
         );
+    }
+
+    #[test]
+    fn generic_loop_rejects_zero_trials() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = Mlp::new(&MlpConfig::new(2, 2), &mut rng);
+        let space = crate::DropoutSearchSpace::probe(&mut net);
+        let err = optimize_dropout(
+            &mut net,
+            &space,
+            0,
+            Acquisition::PosteriorMean,
+            0.3,
+            0,
+            |_| {},
+            |_, _| (0.0, 0.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BayesFtError::InvalidConfig(_)));
     }
 }

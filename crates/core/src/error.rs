@@ -1,0 +1,109 @@
+//! The unified error type of the experiment engine.
+
+use bayesopt::GpError;
+use std::fmt;
+
+/// Everything that can go wrong while configuring or running a BayesFT
+/// experiment.
+///
+/// Failure modes that used to be `assert!`/`expect` panics scattered across
+/// `core`, `bayesopt`, and `baselines` plumbing — dimension mismatches
+/// between a search space and its network, empty search spaces, nonsensical
+/// budgets — surface here as values, with the Gaussian-process layer's
+/// [`GpError`] wrapped rather than re-encoded.
+///
+/// # Example
+///
+/// ```
+/// use bayesft::BayesFtError;
+/// use bayesopt::GpError;
+///
+/// let err = BayesFtError::from(GpError::NotFitted);
+/// assert!(matches!(err, BayesFtError::Gp(_)));
+/// assert!(err.to_string().contains("fitted"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BayesFtError {
+    /// The Gaussian-process surrogate failed (singular kernel, not fitted,
+    /// ragged observations).
+    Gp(GpError),
+    /// A coordinate vector does not match the search-space dimension, or a
+    /// space does not match its network.
+    DimensionMismatch {
+        /// What was being matched (e.g. `"alpha"`, `"group index"`).
+        what: &'static str,
+        /// The dimension the receiver expected.
+        expected: usize,
+        /// The dimension actually supplied.
+        got: usize,
+    },
+    /// The network exposes no searchable degrees of freedom.
+    EmptySearchSpace,
+    /// A builder or config value is out of its valid domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for BayesFtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesFtError::Gp(e) => write!(f, "gaussian-process surrogate: {e}"),
+            BayesFtError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} dimension mismatch: expected {expected}, got {got}"
+            ),
+            BayesFtError::EmptySearchSpace => {
+                write!(
+                    f,
+                    "network has no searchable layers; the search space is empty"
+                )
+            }
+            BayesFtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BayesFtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BayesFtError::Gp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpError> for BayesFtError {
+    fn from(e: GpError) -> Self {
+        BayesFtError::Gp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BayesFtError::DimensionMismatch {
+            what: "alpha",
+            expected: 3,
+            got: 2,
+        };
+        assert_eq!(e.to_string(), "alpha dimension mismatch: expected 3, got 2");
+        assert!(BayesFtError::EmptySearchSpace.to_string().contains("empty"));
+        assert!(BayesFtError::InvalidConfig("trials must be > 0".into())
+            .to_string()
+            .contains("trials"));
+    }
+
+    #[test]
+    fn gp_errors_wrap_with_source() {
+        use std::error::Error;
+        let e = BayesFtError::from(GpError::SingularKernel);
+        assert!(e.source().is_some());
+    }
+}

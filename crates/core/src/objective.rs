@@ -1,9 +1,70 @@
-//! The drift-marginalized objective of Eqs. (3)–(4).
+//! Objectives: the drift-marginalized utility of Eqs. (3)–(4), behind a
+//! pluggable trait.
+
+use std::sync::Arc;
 
 use datasets::ClassificationDataset;
 use nn::{softmax_cross_entropy, Layer, Mode};
-use reram::{monte_carlo, LogNormalDrift, McStats};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reram::{DriftModel, FaultInjector, LogNormalDrift, McStats};
 use tensor::Tensor;
+
+/// Per-evaluation metadata handed to an [`Objective`] by the engine.
+///
+/// Carries the already-decorrelated seed for this trial (see
+/// [`reram::mix_seed`]) plus scheduling information, so objectives never
+/// derive their own streams from a raw master seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalCtx {
+    /// Zero-based trial index within the search.
+    pub trial: usize,
+    /// Decorrelated RNG seed for this evaluation.
+    pub seed: u64,
+    /// Worker threads the objective may fan Monte-Carlo samples over
+    /// (`<= 1` means serial).
+    pub parallelism: usize,
+}
+
+impl EvalCtx {
+    /// A serial evaluation context.
+    pub fn new(trial: usize, seed: u64) -> Self {
+        EvalCtx {
+            trial,
+            seed,
+            parallelism: 1,
+        }
+    }
+
+    /// Sets the worker budget.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+}
+
+/// A scalar utility of a network on a validation set, to be maximized by
+/// the Bayesian-optimization loop.
+///
+/// Implementations must be deterministic in `(network weights, data, ctx)`:
+/// given the same inputs they must return identical statistics regardless
+/// of `ctx.parallelism` — the engine's reproducibility guarantee leans on
+/// this.
+pub trait Objective: Send + Sync {
+    /// Evaluates the utility; `.mean` is what the optimizer maximizes.
+    fn evaluate(
+        &self,
+        network: &mut dyn Layer,
+        data: &ClassificationDataset,
+        ctx: &EvalCtx,
+    ) -> McStats;
+
+    /// Short label identifying the objective in a
+    /// [`RunReport`](crate::RunReport).
+    fn label(&self) -> String {
+        "custom".to_string()
+    }
+}
 
 /// What the Monte-Carlo marginalization measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -16,7 +77,12 @@ pub enum ObjectiveMetric {
     Accuracy,
 }
 
-/// Evaluates `u(α, θ) ≈ (1/T) Σ_t metric(f(θ·e^{λ_t}))` on a held-out set.
+/// Evaluates `u(α, θ) ≈ (1/T) Σ_t metric(f(drift_t(θ)))` on a held-out set.
+///
+/// Generic over the fault distribution: any set of
+/// [`reram::DriftModel`]s — log-normal (the paper's Eq. 1), additive
+/// Gaussian, uniform, stuck-at, bit-flip, or composites — can be averaged
+/// over, not just the log-normal σ-ladder of the original formulation.
 ///
 /// # Example
 ///
@@ -26,30 +92,51 @@ pub enum ObjectiveMetric {
 /// use models::{Mlp, MlpConfig};
 /// use rand::SeedableRng;
 /// use rand_chacha::ChaCha8Rng;
+/// use reram::StuckAtFault;
+/// use std::sync::Arc;
 ///
 /// let mut rng = ChaCha8Rng::seed_from_u64(0);
 /// let data = moons(100, 0.1, &mut rng);
 /// let mut net = Mlp::new(&MlpConfig::new(2, 2), &mut rng);
+///
+/// // The paper's log-normal objective…
 /// let obj = DriftObjective::new(0.5, 4);
-/// let stats = obj.evaluate(&mut net, &data, 7);
-/// assert_eq!(stats.values.len(), 4);
+/// assert_eq!(obj.evaluate(&mut net, &data, 7).values.len(), 4);
+///
+/// // …or any other fault model.
+/// let stuck = DriftObjective::with_models(
+///     vec![Arc::new(StuckAtFault::new(0.1, 0.0, 1.0))], 4);
+/// assert_eq!(stuck.evaluate(&mut net, &data, 7).values.len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct DriftObjective {
-    /// Resistance-variation levels the objective averages over. The paper's
-    /// Eq. (3) uses a single σ; averaging over a small ladder (e.g.
-    /// `{0, σ/2, σ}`) trades a little fidelity for architectures that keep
-    /// their clean accuracy — used by the search driver.
-    pub sigmas: Vec<f32>,
-    /// Monte-Carlo sample count `T` (Eq. 4) per σ level.
-    pub trials: usize,
+    /// Fault distributions the objective averages over. The paper's
+    /// Eq. (3) uses a single log-normal σ; averaging over a small ladder
+    /// (e.g. `{0, σ/2, σ}`) trades a little fidelity for architectures
+    /// that keep their clean accuracy — used by the search driver.
+    levels: Vec<Arc<dyn DriftModel>>,
+    /// Monte-Carlo sample count `T` (Eq. 4) per fault level.
+    trials: usize,
     /// Measured quantity.
-    pub metric: ObjectiveMetric,
+    metric: ObjectiveMetric,
+}
+
+impl std::fmt::Debug for DriftObjective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriftObjective")
+            .field(
+                "levels",
+                &self.levels.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
+            .field("trials", &self.trials)
+            .field("metric", &self.metric)
+            .finish()
+    }
 }
 
 impl DriftObjective {
-    /// Creates the objective at a single drift level `sigma` with
-    /// `T = trials` MC samples, measuring accuracy.
+    /// Creates the objective at a single log-normal drift level `sigma`
+    /// with `T = trials` MC samples, measuring accuracy.
     ///
     /// # Panics
     ///
@@ -58,21 +145,31 @@ impl DriftObjective {
         DriftObjective::with_sigmas(vec![sigma], trials)
     }
 
-    /// Creates an objective that averages the metric over several drift
-    /// levels.
+    /// Creates an objective that averages the metric over several
+    /// log-normal drift levels.
     ///
     /// # Panics
     ///
     /// Panics if `trials == 0`, `sigmas` is empty, or any σ is negative.
     pub fn with_sigmas(sigmas: Vec<f32>, trials: usize) -> Self {
-        assert!(trials > 0, "need at least one Monte-Carlo sample");
         assert!(!sigmas.is_empty(), "need at least one drift level");
-        assert!(
-            sigmas.iter().all(|&s| s >= 0.0),
-            "sigma must be non-negative"
-        );
+        let levels: Vec<Arc<dyn DriftModel>> = sigmas
+            .into_iter()
+            .map(|s| Arc::new(LogNormalDrift::new(s)) as Arc<dyn DriftModel>)
+            .collect();
+        DriftObjective::with_models(levels, trials)
+    }
+
+    /// Creates an objective averaging over arbitrary fault models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `models` is empty.
+    pub fn with_models(models: Vec<Arc<dyn DriftModel>>, trials: usize) -> Self {
+        assert!(trials > 0, "need at least one Monte-Carlo sample");
+        assert!(!models.is_empty(), "need at least one fault model");
         DriftObjective {
-            sigmas,
+            levels: models,
             trials,
             metric: ObjectiveMetric::Accuracy,
         }
@@ -84,33 +181,123 @@ impl DriftObjective {
         self
     }
 
-    /// Monte-Carlo statistics of the metric under drift, pooled over all σ
-    /// levels; the objective value for Bayesian optimization is `.mean`.
-    ///
-    /// The network's weights are restored afterwards.
+    /// Monte-Carlo samples per fault level.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The fault models averaged over.
+    pub fn levels(&self) -> &[Arc<dyn DriftModel>] {
+        &self.levels
+    }
+
+    /// Monte-Carlo statistics of the metric under drift, pooled over all
+    /// fault levels; the objective value for Bayesian optimization is
+    /// `.mean`. Serial evaluation; the network's weights are restored
+    /// afterwards.
     pub fn evaluate(
         &self,
         network: &mut dyn Layer,
         data: &ClassificationDataset,
         seed: u64,
     ) -> McStats {
+        self.evaluate_parallel(network, data, seed, 1)
+    }
+
+    /// [`DriftObjective::evaluate`] with the Monte-Carlo samples of **all**
+    /// fault levels fanned out over one pool of `workers` threads.
+    /// Replicas are cloned and threads spawned once per evaluation, not per
+    /// level. Bit-identical to the serial path for every worker count:
+    /// sample `(i, t)` uses the same RNG seed either way, and results are
+    /// reassembled in level-major order.
+    pub fn evaluate_parallel(
+        &self,
+        network: &mut dyn Layer,
+        data: &ClassificationDataset,
+        seed: u64,
+        workers: usize,
+    ) -> McStats {
         let metric = self.metric;
-        let mut values = Vec::with_capacity(self.sigmas.len() * self.trials);
-        for (i, &sigma) in self.sigmas.iter().enumerate() {
-            let stats = monte_carlo(
-                network,
-                &LogNormalDrift::new(sigma),
-                self.trials,
-                seed ^ ((i as u64 + 1) << 33),
-                |net| evaluate_once(net, data, metric),
-            );
-            values.extend(stats.values);
+        let trials = self.trials;
+        let total = self.levels.len() * trials;
+        let workers = workers.min(total);
+        // Per-sample seed, shared by both paths. The inner mix matches
+        // what `reram::monte_carlo` derives for trial `t` of a run seeded
+        // with the outer mix — the equality the serial path relies on.
+        let sample_seed =
+            |i: usize, t: usize| reram::mix_seed(reram::mix_seed(seed, i as u64 + 1), t as u64);
+
+        if workers <= 1 {
+            let mut values = Vec::with_capacity(total);
+            for (i, level) in self.levels.iter().enumerate() {
+                let stats = reram::monte_carlo(
+                    network,
+                    level.as_ref(),
+                    trials,
+                    reram::mix_seed(seed, i as u64 + 1),
+                    |net| evaluate_once(net, data, metric),
+                );
+                values.extend(stats.values);
+            }
+            return McStats::from_values(values);
         }
+
+        let snapshot = FaultInjector::snapshot(network);
+        let snapshot_ref = &snapshot;
+        let levels = &self.levels;
+        let replicas: Vec<Box<dyn Layer>> = (0..workers).map(|_| network.clone_box()).collect();
+        let mut values = vec![0.0f32; total];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = replicas
+                .into_iter()
+                .enumerate()
+                .map(|(w, mut replica)| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut k = w;
+                        while k < total {
+                            let (i, t) = (k / trials, k % trials);
+                            let mut rng = ChaCha8Rng::seed_from_u64(sample_seed(i, t));
+                            FaultInjector::inject(replica.as_mut(), levels[i].as_ref(), &mut rng);
+                            local.push((k, evaluate_once(replica.as_mut(), data, metric)));
+                            snapshot_ref.restore(replica.as_mut());
+                            k += workers;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (k, v) in handle.join().expect("objective worker panicked") {
+                    values[k] = v;
+                }
+            }
+        });
         McStats::from_values(values)
     }
 }
 
-fn evaluate_once(net: &mut dyn Layer, data: &ClassificationDataset, metric: ObjectiveMetric) -> f32 {
+impl Objective for DriftObjective {
+    fn evaluate(
+        &self,
+        network: &mut dyn Layer,
+        data: &ClassificationDataset,
+        ctx: &EvalCtx,
+    ) -> McStats {
+        self.evaluate_parallel(network, data, ctx.seed, ctx.parallelism)
+    }
+
+    fn label(&self) -> String {
+        let levels: Vec<&str> = self.levels.iter().map(|m| m.name()).collect();
+        format!("drift[{}]x{}", levels.join(","), self.trials)
+    }
+}
+
+fn evaluate_once(
+    net: &mut dyn Layer,
+    data: &ClassificationDataset,
+    metric: ObjectiveMetric,
+) -> f32 {
     let mut total_loss = 0.0f32;
     let mut correct = 0usize;
     let mut batches = 0usize;
@@ -155,6 +342,7 @@ mod tests {
     use models::{Mlp, MlpConfig};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use reram::{GaussianAdditive, StuckAtFault, UniformDrift};
 
     fn setup() -> (Mlp, ClassificationDataset) {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
@@ -196,5 +384,41 @@ mod tests {
         let low = DriftObjective::new(0.05, 8).evaluate(&mut net, &data, 5);
         let high = DriftObjective::new(2.0, 8).evaluate(&mut net, &data, 5);
         assert!(high.std >= low.std);
+    }
+
+    #[test]
+    fn arbitrary_models_are_accepted() {
+        let (mut net, data) = setup();
+        let obj = DriftObjective::with_models(
+            vec![
+                Arc::new(GaussianAdditive::new(0.2)),
+                Arc::new(UniformDrift::new(0.3)),
+                Arc::new(StuckAtFault::new(0.05, 0.0, 1.0)),
+            ],
+            2,
+        );
+        let stats = obj.evaluate(&mut net, &data, 9);
+        assert_eq!(stats.values.len(), 6, "2 samples x 3 fault levels");
+        assert!(obj.label().starts_with("drift[gaussian_additive,"));
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bitwise_equal_to_serial() {
+        let (mut net, data) = setup();
+        let obj = DriftObjective::with_sigmas(vec![0.0, 0.4, 0.8], 4);
+        let serial = obj.evaluate(&mut net, &data, 11);
+        for workers in [2usize, 4, 16] {
+            let parallel = obj.evaluate_parallel(&mut net, &data, 11, workers);
+            assert_eq!(serial.values, parallel.values, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let (mut net, data) = setup();
+        let obj: Box<dyn Objective> = Box::new(DriftObjective::new(0.3, 2));
+        let ctx = EvalCtx::new(0, 42).parallelism(2);
+        let stats = obj.evaluate(&mut net, &data, &ctx);
+        assert_eq!(stats.values.len(), 2);
     }
 }

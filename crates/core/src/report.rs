@@ -1,0 +1,218 @@
+//! Structured, serializable record of one engine run.
+
+use serde_json::Value;
+
+/// One completed search trial, as recorded in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Zero-based trial index.
+    pub trial: usize,
+    /// Architecture coordinates in the unit cube.
+    pub alpha: Vec<f64>,
+    /// Monte-Carlo objective value (mean).
+    pub objective: f64,
+    /// Objective standard deviation across MC samples.
+    pub objective_std: f64,
+}
+
+/// Wall-clock spent in each stage of a run, in milliseconds.
+///
+/// Timings are measurements, not results: two runs of the same seed produce
+/// identical trials but different timings, which is why
+/// [`RunReport::deterministic_eq`] ignores this struct.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    /// Bayesian-optimization suggestion (GP fit + acquisition argmax).
+    pub suggest_ms: f64,
+    /// Weight training across all trials.
+    pub train_ms: f64,
+    /// Monte-Carlo objective evaluation across all trials (the Eq. 4 hot
+    /// path the engine parallelizes).
+    pub eval_ms: f64,
+    /// Final fine-tuning after the best architecture is locked in.
+    pub finetune_ms: f64,
+    /// End-to-end run time.
+    pub total_ms: f64,
+}
+
+/// Everything a finished search produced, minus the trained model itself.
+///
+/// Serializes to JSON via [`RunReport::to_json`] for downstream tooling;
+/// object key order is fixed, so equal reports serialize to equal strings.
+///
+/// # Example
+///
+/// ```
+/// use bayesft::{RunReport, StageTimings, TrialRecord};
+///
+/// let report = RunReport {
+///     space: "per_layer".into(),
+///     objective: "drift[log_normal]x4".into(),
+///     dim: 2,
+///     seed: 7,
+///     parallelism: 1,
+///     trials: vec![TrialRecord { trial: 0, alpha: vec![0.5, 0.25], objective: 0.9, objective_std: 0.01 }],
+///     best_alpha: vec![0.5, 0.25],
+///     best_objective: 0.9,
+///     timings: StageTimings::default(),
+/// };
+/// let json = report.to_json_string();
+/// assert!(json.contains("\"best_alpha\":[0.5,0.25]"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Label of the search space ([`SearchSpace::label`](crate::SearchSpace::label)).
+    pub space: String,
+    /// Label of the objective ([`Objective::label`](crate::Objective::label)).
+    pub objective: String,
+    /// Search-space dimensionality.
+    pub dim: usize,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Monte-Carlo worker threads used.
+    pub parallelism: usize,
+    /// Full trial history, in order.
+    pub trials: Vec<TrialRecord>,
+    /// Best architecture coordinates found.
+    pub best_alpha: Vec<f64>,
+    /// Objective value of the best trial.
+    pub best_objective: f64,
+    /// Per-stage wall-clock breakdown.
+    pub timings: StageTimings,
+}
+
+impl RunReport {
+    /// Builds the JSON tree of the report.
+    pub fn to_json(&self) -> Value {
+        let mut root = Value::object();
+        root.insert("space", self.space.as_str());
+        root.insert("objective", self.objective.as_str());
+        root.insert("dim", self.dim);
+        root.insert("seed", self.seed);
+        root.insert("parallelism", self.parallelism);
+        root.insert(
+            "trials",
+            Value::Array(
+                self.trials
+                    .iter()
+                    .map(|t| {
+                        let mut obj = Value::object();
+                        obj.insert("trial", t.trial);
+                        obj.insert("alpha", t.alpha.clone());
+                        obj.insert("objective", t.objective);
+                        obj.insert("objective_std", t.objective_std);
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert("best_alpha", self.best_alpha.clone());
+        root.insert("best_objective", self.best_objective);
+        let mut timings = Value::object();
+        timings.insert("suggest_ms", self.timings.suggest_ms);
+        timings.insert("train_ms", self.timings.train_ms);
+        timings.insert("eval_ms", self.timings.eval_ms);
+        timings.insert("finetune_ms", self.timings.finetune_ms);
+        timings.insert("total_ms", self.timings.total_ms);
+        root.insert("timings", timings);
+        root
+    }
+
+    /// Compact JSON string of the report.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string(&self.to_json())
+    }
+
+    /// Pretty-printed JSON string of the report.
+    pub fn to_json_string_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json())
+    }
+
+    /// Equality over everything the search *computed* — trials, best
+    /// vector, labels, seed — ignoring wall-clock timings and the worker
+    /// count that produced them.
+    ///
+    /// This is the relation the engine's determinism guarantee is stated
+    /// in: serial and parallel runs of the same seed are
+    /// `deterministic_eq`, never `==` (their timings differ).
+    pub fn deterministic_eq(&self, other: &RunReport) -> bool {
+        self.space == other.space
+            && self.objective == other.objective
+            && self.dim == other.dim
+            && self.seed == other.seed
+            && self.trials == other.trials
+            && self.best_alpha == other.best_alpha
+            && self.best_objective == other.best_objective
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            space: "per_layer".into(),
+            objective: "drift[log_normal]x2".into(),
+            dim: 2,
+            seed: 3,
+            parallelism: 4,
+            trials: vec![
+                TrialRecord {
+                    trial: 0,
+                    alpha: vec![0.1, 0.9],
+                    objective: 0.8,
+                    objective_std: 0.02,
+                },
+                TrialRecord {
+                    trial: 1,
+                    alpha: vec![0.3, 0.4],
+                    objective: 0.85,
+                    objective_std: 0.01,
+                },
+            ],
+            best_alpha: vec![0.3, 0.4],
+            best_objective: 0.85,
+            timings: StageTimings {
+                suggest_ms: 1.0,
+                train_ms: 10.0,
+                eval_ms: 5.0,
+                finetune_ms: 3.0,
+                total_ms: 19.5,
+            },
+        }
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let json = sample().to_json();
+        assert_eq!(json.get("dim").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(
+            json.get("trials")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+        assert!(json.get("timings").is_some());
+        let s = sample().to_json_string();
+        assert!(s.contains("\"best_objective\":0.85"), "{s}");
+    }
+
+    #[test]
+    fn equal_reports_serialize_identically() {
+        assert_eq!(sample().to_json_string(), sample().to_json_string());
+    }
+
+    #[test]
+    fn deterministic_eq_ignores_timings_and_parallelism() {
+        let a = sample();
+        let mut b = sample();
+        b.parallelism = 1;
+        b.timings = StageTimings::default();
+        assert_ne!(a, b);
+        assert!(a.deterministic_eq(&b));
+        let mut c = sample();
+        c.best_objective = 0.9;
+        assert!(!a.deterministic_eq(&c));
+    }
+}

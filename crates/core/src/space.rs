@@ -1,20 +1,115 @@
-//! The dropout-rate search space (§III-B): `α ∈ [0, 1]^{K−1}`.
+//! Search spaces over network architecture knobs (§III-B and extensions).
+//!
+//! The paper searches the per-layer dropout rates `α ∈ [0, 1]^{K−1}`. The
+//! [`SearchSpace`] trait generalizes that: any object that can map a
+//! unit-cube coordinate vector onto a concrete network is a valid search
+//! space, and the [`Engine`](crate::Engine) is generic over it. Three
+//! implementations ship here:
+//!
+//! * [`DropoutSearchSpace`] — the paper's space: one coordinate per dropout
+//!   layer.
+//! * [`SharedDropoutSpace`] — a single coordinate driving every dropout
+//!   layer in lockstep (1-D search; the cheapest possible space and a
+//!   strong baseline when layers behave similarly).
+//! * [`GroupedDropoutSpace`] — coordinates tied across explicit groups of
+//!   dropout layers (e.g. all conv-block layers share one rate, all dense
+//!   layers another), interpolating between the two extremes above.
 
 use models::{dropout_count, dropout_rates, set_dropout_rates};
 use nn::Layer;
 
-/// Maps unit-cube Bayesian-optimization coordinates onto the per-layer
-/// dropout rates of a concrete network.
+use crate::BayesFtError;
+
+/// A mapping from unit-cube Bayesian-optimization coordinates onto a
+/// concrete network's architecture knobs.
+///
+/// Implementations must be deterministic: applying the same `alpha` twice
+/// must configure the network identically (the engine re-applies the best
+/// vector after the search).
+pub trait SearchSpace: Send + Sync {
+    /// Number of coordinates (the Bayesian-optimization dimensionality).
+    fn dim(&self) -> usize;
+
+    /// Checks that this space actually fits `network` — called once by the
+    /// engine before the search starts, so a space probed from one network
+    /// cannot silently drive a prefix of another.
+    ///
+    /// The default accepts every network (for spaces with no structural
+    /// expectations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesFtError::DimensionMismatch`] if the network's
+    /// structure does not match what the space was built for.
+    fn validate(&self, network: &mut dyn Layer) -> Result<(), BayesFtError> {
+        let _ = network;
+        Ok(())
+    }
+
+    /// Writes unit-cube coordinates into the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesFtError::DimensionMismatch`] if `alpha.len() != dim()`.
+    fn apply(&self, network: &mut dyn Layer, alpha: &[f64]) -> Result<(), BayesFtError>;
+
+    /// Human-readable coordinate names, in order (used by reports).
+    fn names(&self) -> Vec<String>;
+
+    /// Short label identifying the space kind in a [`RunReport`](crate::RunReport).
+    fn label(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// Checks an alpha vector against a space dimension.
+fn check_dim(expected: usize, alpha: &[f64]) -> Result<(), BayesFtError> {
+    if alpha.len() != expected {
+        return Err(BayesFtError::DimensionMismatch {
+            what: "alpha",
+            expected,
+            got: alpha.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Checks that a network exposes exactly the dropout-layer count a space
+/// was probed for.
+fn check_layer_count(expected: usize, network: &mut dyn Layer) -> Result<(), BayesFtError> {
+    let got = dropout_count(network);
+    if got != expected {
+        return Err(BayesFtError::DimensionMismatch {
+            what: "network dropout-layer",
+            expected,
+            got,
+        });
+    }
+    Ok(())
+}
+
+/// Validates a `max_rate` override (shared with the engine builder).
+pub(crate) fn check_max_rate(max_rate: f32) -> Result<(), BayesFtError> {
+    if !(max_rate > 0.0 && max_rate <= 0.95) {
+        return Err(BayesFtError::InvalidConfig(format!(
+            "max dropout rate must be in (0, 0.95], got {max_rate}"
+        )));
+    }
+    Ok(())
+}
+
+/// The paper's search space: one coordinate per dropout layer
+/// (`α ∈ [0, 1]^{K−1}`, §III-B).
 ///
 /// The unit interval is scaled by `max_rate` (default 0.8) before being
 /// written into the layers: rates near 1 would zero entire layers, which
-/// both the paper's clamp-free formulation and our training stability
-/// argue against.
+/// both the paper's clamp-free formulation and training stability argue
+/// against.
 ///
 /// # Example
 ///
 /// ```
-/// use bayesft::DropoutSearchSpace;
+/// use bayesft::{DropoutSearchSpace, SearchSpace};
 /// use models::{Mlp, MlpConfig};
 /// use rand::SeedableRng;
 /// use rand_chacha::ChaCha8Rng;
@@ -23,7 +118,8 @@ use nn::Layer;
 /// let mut net = Mlp::new(&MlpConfig::new(4, 2).depth(3), &mut rng);
 /// let space = DropoutSearchSpace::probe(&mut net);
 /// assert_eq!(space.dim(), 2);
-/// space.apply(&mut net, &[0.5, 1.0]);
+/// space.apply(&mut net, &[0.5, 1.0])?;
+/// # Ok::<(), bayesft::BayesFtError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DropoutSearchSpace {
@@ -37,14 +133,25 @@ impl DropoutSearchSpace {
     ///
     /// # Panics
     ///
-    /// Panics if the network has no dropout layers (nothing to search).
+    /// Panics if the network has no dropout layers; use
+    /// [`DropoutSearchSpace::try_probe`] for a fallible variant.
     pub fn probe(network: &mut dyn Layer) -> Self {
+        Self::try_probe(network)
+            .expect("network has no dropout layers; BayesFT's search space is empty")
+    }
+
+    /// Fallible [`DropoutSearchSpace::probe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesFtError::EmptySearchSpace`] if the network has no
+    /// dropout layers.
+    pub fn try_probe(network: &mut dyn Layer) -> Result<Self, BayesFtError> {
         let dim = dropout_count(network);
-        assert!(
-            dim > 0,
-            "network has no dropout layers; BayesFT's search space is empty"
-        );
-        DropoutSearchSpace { dim, max_rate: 0.8 }
+        if dim == 0 {
+            return Err(BayesFtError::EmptySearchSpace);
+        }
+        Ok(DropoutSearchSpace { dim, max_rate: 0.8 })
     }
 
     /// Overrides the maximum dropout rate that α = 1 maps to.
@@ -53,31 +160,9 @@ impl DropoutSearchSpace {
     ///
     /// Panics if `max_rate` is outside `(0, 0.95]`.
     pub fn max_rate(mut self, max_rate: f32) -> Self {
-        assert!(
-            max_rate > 0.0 && max_rate <= 0.95,
-            "max rate must be in (0, 0.95]"
-        );
+        check_max_rate(max_rate).unwrap_or_else(|e| panic!("{e}"));
         self.max_rate = max_rate;
         self
-    }
-
-    /// Search-space dimension (`K − 1` in the paper's notation).
-    pub fn dim(&self) -> usize {
-        self.dim
-    }
-
-    /// Writes unit-cube coordinates into the network's dropout layers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `alpha.len() != dim()`.
-    pub fn apply(&self, network: &mut dyn Layer, alpha: &[f64]) {
-        assert_eq!(alpha.len(), self.dim, "alpha dimension mismatch");
-        let rates: Vec<f32> = alpha
-            .iter()
-            .map(|&a| (a as f32).clamp(0.0, 1.0) * self.max_rate)
-            .collect();
-        set_dropout_rates(network, &rates);
     }
 
     /// Reads the network's current rates back as unit-cube coordinates.
@@ -89,6 +174,280 @@ impl DropoutSearchSpace {
     }
 }
 
+impl SearchSpace for DropoutSearchSpace {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn validate(&self, network: &mut dyn Layer) -> Result<(), BayesFtError> {
+        check_layer_count(self.dim, network)
+    }
+
+    fn apply(&self, network: &mut dyn Layer, alpha: &[f64]) -> Result<(), BayesFtError> {
+        check_dim(self.dim, alpha)?;
+        let rates: Vec<f32> = alpha
+            .iter()
+            .map(|&a| (a as f32).clamp(0.0, 1.0) * self.max_rate)
+            .collect();
+        set_dropout_rates(network, &rates);
+        Ok(())
+    }
+
+    fn names(&self) -> Vec<String> {
+        (0..self.dim).map(|i| format!("dropout[{i}]")).collect()
+    }
+
+    fn label(&self) -> &'static str {
+        "per_layer"
+    }
+}
+
+/// A one-dimensional space: a single shared rate drives every dropout
+/// layer.
+///
+/// Collapsing the paper's `K−1` coordinates to one makes the Bayesian
+/// optimization dramatically cheaper (the GP is over `[0, 1]`) at the cost
+/// of per-layer expressiveness — the right trade on homogeneous stacks or
+/// tiny trial budgets.
+///
+/// # Example
+///
+/// ```
+/// use bayesft::{SearchSpace, SharedDropoutSpace};
+/// use models::{dropout_rates, Mlp, MlpConfig};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut net = Mlp::new(&MlpConfig::new(4, 2).depth(4), &mut rng);
+/// let space = SharedDropoutSpace::probe(&mut net);
+/// assert_eq!(space.dim(), 1);
+/// space.apply(&mut net, &[1.0])?;
+/// let rates = dropout_rates(&mut net);
+/// assert!(rates.iter().all(|&r| (r - 0.8).abs() < 1e-6));
+/// # Ok::<(), bayesft::BayesFtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedDropoutSpace {
+    layers: usize,
+    max_rate: f32,
+}
+
+impl SharedDropoutSpace {
+    /// Builds the shared-rate space for a network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesFtError::EmptySearchSpace`] if the network has no
+    /// dropout layers.
+    pub fn try_probe(network: &mut dyn Layer) -> Result<Self, BayesFtError> {
+        let layers = dropout_count(network);
+        if layers == 0 {
+            return Err(BayesFtError::EmptySearchSpace);
+        }
+        Ok(SharedDropoutSpace {
+            layers,
+            max_rate: 0.8,
+        })
+    }
+
+    /// Infallible [`SharedDropoutSpace::try_probe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no dropout layers.
+    pub fn probe(network: &mut dyn Layer) -> Self {
+        Self::try_probe(network).expect("network has no dropout layers")
+    }
+
+    /// Overrides the maximum dropout rate that α = 1 maps to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate` is outside `(0, 0.95]`.
+    pub fn max_rate(mut self, max_rate: f32) -> Self {
+        check_max_rate(max_rate).unwrap_or_else(|e| panic!("{e}"));
+        self.max_rate = max_rate;
+        self
+    }
+}
+
+impl SearchSpace for SharedDropoutSpace {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn validate(&self, network: &mut dyn Layer) -> Result<(), BayesFtError> {
+        check_layer_count(self.layers, network)
+    }
+
+    fn apply(&self, network: &mut dyn Layer, alpha: &[f64]) -> Result<(), BayesFtError> {
+        check_dim(1, alpha)?;
+        let rate = (alpha[0] as f32).clamp(0.0, 1.0) * self.max_rate;
+        set_dropout_rates(network, &vec![rate; self.layers]);
+        Ok(())
+    }
+
+    fn names(&self) -> Vec<String> {
+        vec!["dropout[shared]".to_string()]
+    }
+
+    fn label(&self) -> &'static str {
+        "shared_rate"
+    }
+}
+
+/// Coordinates tied across explicit groups of dropout layers.
+///
+/// Each group of layer indices shares one coordinate, so the search runs in
+/// `groups.len()` dimensions while still distinguishing structurally
+/// different parts of the network — the classic split being "all conv-stage
+/// dropouts" vs "all dense-stage dropouts". Layers not mentioned in any
+/// group keep whatever rate they already have.
+///
+/// # Example
+///
+/// ```
+/// use bayesft::{GroupedDropoutSpace, SearchSpace};
+/// use models::{dropout_rates, Mlp, MlpConfig};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(0);
+/// let mut net = Mlp::new(&MlpConfig::new(4, 2).depth(5), &mut rng); // 4 dropouts
+/// let space = GroupedDropoutSpace::new(&mut net, vec![vec![0, 1], vec![2, 3]])?;
+/// assert_eq!(space.dim(), 2);
+/// space.apply(&mut net, &[0.0, 1.0])?;
+/// let rates = dropout_rates(&mut net);
+/// assert!(rates[0] < 1e-6 && (rates[3] - 0.8).abs() < 1e-6);
+/// # Ok::<(), bayesft::BayesFtError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedDropoutSpace {
+    groups: Vec<Vec<usize>>,
+    layers: usize,
+    max_rate: f32,
+}
+
+impl GroupedDropoutSpace {
+    /// Builds a grouped space over `network` with the given groups of
+    /// dropout-layer indices (in `visit_dropout` order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesFtError::EmptySearchSpace`] if `groups` is empty or
+    /// any group is empty, [`BayesFtError::DimensionMismatch`] if an index
+    /// exceeds the network's dropout count, and
+    /// [`BayesFtError::InvalidConfig`] if an index appears in two groups.
+    pub fn new(network: &mut dyn Layer, groups: Vec<Vec<usize>>) -> Result<Self, BayesFtError> {
+        let layers = dropout_count(network);
+        if groups.is_empty() || groups.iter().any(Vec::is_empty) {
+            return Err(BayesFtError::EmptySearchSpace);
+        }
+        let mut seen = vec![false; layers];
+        for &idx in groups.iter().flatten() {
+            if idx >= layers {
+                return Err(BayesFtError::DimensionMismatch {
+                    what: "group index",
+                    expected: layers,
+                    got: idx,
+                });
+            }
+            if seen[idx] {
+                return Err(BayesFtError::InvalidConfig(format!(
+                    "dropout layer {idx} appears in more than one group"
+                )));
+            }
+            seen[idx] = true;
+        }
+        Ok(GroupedDropoutSpace {
+            groups,
+            layers,
+            max_rate: 0.8,
+        })
+    }
+
+    /// Splits a network's dropout layers into `k` contiguous groups of
+    /// (as close as possible to) equal size — a structure-agnostic default
+    /// that ties neighbouring stages together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesFtError::EmptySearchSpace`] for dropout-free
+    /// networks and [`BayesFtError::InvalidConfig`] if `k` is zero or
+    /// exceeds the layer count.
+    pub fn chunked(network: &mut dyn Layer, k: usize) -> Result<Self, BayesFtError> {
+        let layers = dropout_count(network);
+        if layers == 0 {
+            return Err(BayesFtError::EmptySearchSpace);
+        }
+        if k == 0 || k > layers {
+            return Err(BayesFtError::InvalidConfig(format!(
+                "cannot split {layers} dropout layers into {k} groups"
+            )));
+        }
+        let base = layers / k;
+        let extra = layers % k;
+        let mut groups = Vec::with_capacity(k);
+        let mut next = 0usize;
+        for g in 0..k {
+            let size = base + usize::from(g < extra);
+            groups.push((next..next + size).collect());
+            next += size;
+        }
+        Self::new(network, groups)
+    }
+
+    /// Overrides the maximum dropout rate that α = 1 maps to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate` is outside `(0, 0.95]`.
+    pub fn max_rate(mut self, max_rate: f32) -> Self {
+        check_max_rate(max_rate).unwrap_or_else(|e| panic!("{e}"));
+        self.max_rate = max_rate;
+        self
+    }
+}
+
+impl SearchSpace for GroupedDropoutSpace {
+    fn dim(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn validate(&self, network: &mut dyn Layer) -> Result<(), BayesFtError> {
+        check_layer_count(self.layers, network)
+    }
+
+    fn apply(&self, network: &mut dyn Layer, alpha: &[f64]) -> Result<(), BayesFtError> {
+        check_dim(self.groups.len(), alpha)?;
+        // Start from the network's current rates so ungrouped layers keep
+        // their values.
+        let mut rates = dropout_rates(network);
+        rates.resize(self.layers, 0.0);
+        for (group, &a) in self.groups.iter().zip(alpha) {
+            let rate = (a as f32).clamp(0.0, 1.0) * self.max_rate;
+            for &idx in group {
+                rates[idx] = rate;
+            }
+        }
+        set_dropout_rates(network, &rates);
+        Ok(())
+    }
+
+    fn names(&self) -> Vec<String> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(g, members)| format!("dropout[group{g}:{members:?}]"))
+            .collect()
+    }
+
+    fn label(&self) -> &'static str {
+        "layer_group"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,20 +455,23 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
+    fn mlp(depth: usize) -> Mlp {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        Mlp::new(&MlpConfig::new(4, 2).depth(depth), &mut rng)
+    }
+
     #[test]
     fn probe_counts_layers() {
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let mut net = Mlp::new(&MlpConfig::new(4, 2).depth(6), &mut rng);
+        let mut net = mlp(6);
         assert_eq!(DropoutSearchSpace::probe(&mut net).dim(), 5);
     }
 
     #[test]
     fn apply_and_read_round_trip() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut net = Mlp::new(&MlpConfig::new(4, 2).depth(4), &mut rng);
+        let mut net = mlp(4);
         let space = DropoutSearchSpace::probe(&mut net);
         let alpha = vec![0.25, 0.5, 1.0];
-        space.apply(&mut net, &alpha);
+        space.apply(&mut net, &alpha).unwrap();
         let back = space.read(&mut net);
         for (a, b) in alpha.iter().zip(&back) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
@@ -118,12 +480,26 @@ mod tests {
 
     #[test]
     fn apply_scales_by_max_rate() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let mut net = Mlp::new(&MlpConfig::new(4, 2), &mut rng);
+        let mut net = mlp(3);
         let space = DropoutSearchSpace::probe(&mut net).max_rate(0.5);
-        space.apply(&mut net, &[1.0, 1.0]);
+        space.apply(&mut net, &[1.0, 1.0]).unwrap();
         let rates = models::dropout_rates(&mut net);
         assert!(rates.iter().all(|&r| (r - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn apply_rejects_wrong_dimension() {
+        let mut net = mlp(3);
+        let space = DropoutSearchSpace::probe(&mut net);
+        let err = space.apply(&mut net, &[0.5]).unwrap_err();
+        assert!(matches!(
+            err,
+            BayesFtError::DimensionMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -135,5 +511,83 @@ mod tests {
             &mut rng,
         );
         let _ = DropoutSearchSpace::probe(&mut net);
+    }
+
+    #[test]
+    fn try_probe_reports_empty_space() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = Mlp::new(
+            &MlpConfig::new(4, 2).dropout(models::DropoutKind::None),
+            &mut rng,
+        );
+        assert_eq!(
+            DropoutSearchSpace::try_probe(&mut net).unwrap_err(),
+            BayesFtError::EmptySearchSpace
+        );
+        assert_eq!(
+            SharedDropoutSpace::try_probe(&mut net).unwrap_err(),
+            BayesFtError::EmptySearchSpace
+        );
+    }
+
+    #[test]
+    fn shared_space_drives_all_layers() {
+        let mut net = mlp(5);
+        let space = SharedDropoutSpace::probe(&mut net);
+        assert_eq!(space.dim(), 1);
+        space.apply(&mut net, &[0.5]).unwrap();
+        let rates = models::dropout_rates(&mut net);
+        assert_eq!(rates.len(), 4);
+        assert!(rates.iter().all(|&r| (r - 0.4).abs() < 1e-6));
+    }
+
+    #[test]
+    fn grouped_space_ties_members_and_spares_others() {
+        let mut net = mlp(5); // 4 dropout layers
+        models::set_dropout_rates(&mut net, &[0.1, 0.1, 0.1, 0.1]);
+        let space = GroupedDropoutSpace::new(&mut net, vec![vec![0, 2]]).unwrap();
+        space.apply(&mut net, &[1.0]).unwrap();
+        let rates = models::dropout_rates(&mut net);
+        assert!((rates[0] - 0.8).abs() < 1e-6);
+        assert!((rates[2] - 0.8).abs() < 1e-6);
+        assert!((rates[1] - 0.1).abs() < 1e-6, "ungrouped layer changed");
+        assert!((rates[3] - 0.1).abs() < 1e-6, "ungrouped layer changed");
+    }
+
+    #[test]
+    fn grouped_space_validates_input() {
+        let mut net = mlp(4); // 3 dropout layers
+        assert!(GroupedDropoutSpace::new(&mut net, vec![]).is_err());
+        assert!(GroupedDropoutSpace::new(&mut net, vec![vec![]]).is_err());
+        assert!(GroupedDropoutSpace::new(&mut net, vec![vec![7]]).is_err());
+        assert!(GroupedDropoutSpace::new(&mut net, vec![vec![0], vec![0]]).is_err());
+    }
+
+    #[test]
+    fn chunked_covers_all_layers_evenly() {
+        let mut net = mlp(6); // 5 dropout layers
+        let space = GroupedDropoutSpace::chunked(&mut net, 2).unwrap();
+        assert_eq!(space.dim(), 2);
+        space.apply(&mut net, &[1.0, 0.0]).unwrap();
+        let rates = models::dropout_rates(&mut net);
+        // First chunk gets 3 layers, second 2.
+        assert!(rates[..3].iter().all(|&r| (r - 0.8).abs() < 1e-6));
+        assert!(rates[3..].iter().all(|&r| r < 1e-6));
+        assert!(GroupedDropoutSpace::chunked(&mut net, 0).is_err());
+        assert!(GroupedDropoutSpace::chunked(&mut net, 9).is_err());
+    }
+
+    #[test]
+    fn names_match_dimensions() {
+        let mut net = mlp(4);
+        let per_layer = DropoutSearchSpace::probe(&mut net);
+        assert_eq!(per_layer.names().len(), per_layer.dim());
+        let shared = SharedDropoutSpace::probe(&mut net);
+        assert_eq!(shared.names().len(), 1);
+        let grouped = GroupedDropoutSpace::chunked(&mut net, 3).unwrap();
+        assert_eq!(grouped.names().len(), 3);
+        assert_eq!(per_layer.label(), "per_layer");
+        assert_eq!(shared.label(), "shared_rate");
+        assert_eq!(grouped.label(), "layer_group");
     }
 }

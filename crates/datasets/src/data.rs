@@ -111,10 +111,7 @@ impl ClassificationDataset {
         }
         let cut = ((self.len() as f32 * train_fraction).round() as usize)
             .clamp(1, self.len().saturating_sub(1).max(1));
-        (
-            self.subset(&indices[..cut]),
-            self.subset(&indices[cut..]),
-        )
+        (self.subset(&indices[..cut]), self.subset(&indices[cut..]))
     }
 
     /// Iterates over consecutive mini-batches of at most `batch_size`
@@ -186,10 +183,10 @@ mod tests {
             ClassificationDataset::new(x.clone(), vec![0, 1], 2)
         })
         .is_err());
-        assert!(std::panic::catch_unwind(|| {
-            ClassificationDataset::new(x, vec![0, 1, 5], 2)
-        })
-        .is_err());
+        assert!(
+            std::panic::catch_unwind(|| { ClassificationDataset::new(x, vec![0, 1, 5], 2) })
+                .is_err()
+        );
     }
 
     #[test]

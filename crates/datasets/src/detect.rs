@@ -168,7 +168,7 @@ fn render_scene(size: usize, max_peds: usize, rng: &mut impl Rng) -> Scene {
     for _ in 0..count {
         // Pedestrian dimensions: tall and narrow.
         let h = rng.gen_range((size as f32 * 0.3)..(size as f32 * 0.55));
-        let w = h * rng.gen_range(0.3..0.45);
+        let w = h * rng.gen_range(0.3..0.45f32);
         let x0 = rng.gen_range(1.0..(size as f32 - w - 1.0));
         let y0 = rng.gen_range(1.0..(size as f32 - h - 1.0));
         let bbox = BBox::new(x0, y0, x0 + w, y0 + h);

@@ -107,7 +107,8 @@ pub fn digits(per_class: usize, rng: &mut impl Rng) -> ClassificationDataset {
                     for sx in 0..2 {
                         let y = gy as i32 * 2 + sy + dy;
                         let x = gx as i32 * 2 + sx + 2 + dx;
-                        if (0..DIGIT_SIZE as i32).contains(&y) && (0..DIGIT_SIZE as i32).contains(&x)
+                        if (0..DIGIT_SIZE as i32).contains(&y)
+                            && (0..DIGIT_SIZE as i32).contains(&x)
                         {
                             img[y as usize * DIGIT_SIZE + x as usize] = ink;
                         }

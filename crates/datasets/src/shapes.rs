@@ -58,8 +58,7 @@ fn render_class(class: usize, img: &mut [f32], rng: &mut impl Rng) {
     for y in 0..size {
         for x in 0..size {
             for c in 0..3 {
-                img[c * size * size + y * size + x] =
-                    0.25 * bg[c] + 0.1 * rng.gen::<f32>();
+                img[c * size * size + y * size + x] = 0.25 * bg[c] + 0.1 * rng.gen::<f32>();
             }
         }
     }
@@ -81,7 +80,7 @@ fn render_class(class: usize, img: &mut [f32], rng: &mut impl Rng) {
                 }
                 2 => fx.abs() <= r * 0.8 && fy.abs() <= r * 0.8, // square
                 3 => fy >= -r && fy <= r && fx.abs() <= (r - fy) * 0.5, // triangle
-                _ => fx.abs() <= 1.2 || fy.abs() <= 1.2, // cross (clipped below)
+                _ => fx.abs() <= 1.2 || fy.abs() <= 1.2,         // cross (clipped below)
             };
             let in_bounds = geometry != 4 || (fx.abs() <= r && fy.abs() <= r);
             if inside && in_bounds {

@@ -123,8 +123,7 @@ mod tests {
 
     #[test]
     fn logits_argmax_accuracy() {
-        let logits =
-            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
         assert!((accuracy_from_logits(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
     }
 

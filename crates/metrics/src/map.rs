@@ -42,7 +42,11 @@ pub fn average_precision(
         return 0.0;
     }
     let mut dets: Vec<&Detection> = detections.iter().collect();
-    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    dets.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut matched: Vec<Vec<bool>> = ground_truth.iter().map(|g| vec![false; g.len()]).collect();
     let mut tp = Vec::with_capacity(dets.len());
@@ -82,10 +86,7 @@ pub fn average_precision(
     let mut ap = 0.0f32;
     let mut prev_recall = 0.0f32;
     for i in 0..points.len() {
-        let max_prec_after = points[i..]
-            .iter()
-            .map(|&(_, p)| p)
-            .fold(0.0f32, f32::max);
+        let max_prec_after = points[i..].iter().map(|&(_, p)| p).fold(0.0f32, f32::max);
         let (recall, _) = points[i];
         if recall > prev_recall {
             ap += (recall - prev_recall) * max_prec_after;
@@ -114,8 +115,16 @@ mod tests {
     fn perfect_detections_give_ap_one() {
         let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0), bb(20.0, 20.0, 30.0, 30.0)]];
         let dets = vec![
-            Detection { image: 0, bbox: bb(0.0, 0.0, 10.0, 10.0), score: 0.9 },
-            Detection { image: 0, bbox: bb(20.0, 20.0, 30.0, 30.0), score: 0.8 },
+            Detection {
+                image: 0,
+                bbox: bb(0.0, 0.0, 10.0, 10.0),
+                score: 0.9,
+            },
+            Detection {
+                image: 0,
+                bbox: bb(20.0, 20.0, 30.0, 30.0),
+                score: 0.8,
+            },
         ];
         assert!((average_precision(&dets, &gt, 0.5) - 1.0).abs() < 1e-6);
     }
@@ -130,8 +139,16 @@ mod tests {
     fn duplicate_detections_count_once() {
         let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]];
         let dets = vec![
-            Detection { image: 0, bbox: bb(0.0, 0.0, 10.0, 10.0), score: 0.9 },
-            Detection { image: 0, bbox: bb(0.5, 0.5, 10.0, 10.0), score: 0.8 },
+            Detection {
+                image: 0,
+                bbox: bb(0.0, 0.0, 10.0, 10.0),
+                score: 0.9,
+            },
+            Detection {
+                image: 0,
+                bbox: bb(0.5, 0.5, 10.0, 10.0),
+                score: 0.8,
+            },
         ];
         // Second match of the same GT is a false positive; AP stays 1.0
         // because recall saturates at the first hit.
@@ -143,8 +160,16 @@ mod tests {
     fn false_positive_before_true_positive_lowers_ap() {
         let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]];
         let dets = vec![
-            Detection { image: 0, bbox: bb(50.0, 50.0, 60.0, 60.0), score: 0.95 },
-            Detection { image: 0, bbox: bb(0.0, 0.0, 10.0, 10.0), score: 0.5 },
+            Detection {
+                image: 0,
+                bbox: bb(50.0, 50.0, 60.0, 60.0),
+                score: 0.95,
+            },
+            Detection {
+                image: 0,
+                bbox: bb(0.0, 0.0, 10.0, 10.0),
+                score: 0.5,
+            },
         ];
         let ap = average_precision(&dets, &gt, 0.5);
         assert!((ap - 0.5).abs() < 1e-6, "ap {ap}");
@@ -153,7 +178,11 @@ mod tests {
     #[test]
     fn iou_threshold_gates_matches() {
         let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]];
-        let half = Detection { image: 0, bbox: bb(5.0, 0.0, 15.0, 10.0), score: 0.9 };
+        let half = Detection {
+            image: 0,
+            bbox: bb(5.0, 0.0, 15.0, 10.0),
+            score: 0.9,
+        };
         // IoU = 1/3 → matches at 0.3, not at 0.5.
         assert!(average_precision(&[half], &gt, 0.3) > 0.9);
         assert_eq!(average_precision(&[half], &gt, 0.5), 0.0);
@@ -161,8 +190,15 @@ mod tests {
 
     #[test]
     fn missed_ground_truth_bounds_recall() {
-        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)], vec![bb(0.0, 0.0, 10.0, 10.0)]];
-        let dets = vec![Detection { image: 0, bbox: bb(0.0, 0.0, 10.0, 10.0), score: 0.9 }];
+        let gt = vec![
+            vec![bb(0.0, 0.0, 10.0, 10.0)],
+            vec![bb(0.0, 0.0, 10.0, 10.0)],
+        ];
+        let dets = vec![Detection {
+            image: 0,
+            bbox: bb(0.0, 0.0, 10.0, 10.0),
+            score: 0.9,
+        }];
         // One of two GTs found, perfect precision → AP = 0.5.
         assert!((average_precision(&dets, &gt, 0.5) - 0.5).abs() < 1e-6);
     }

@@ -34,6 +34,7 @@ fn conv_block(
 /// let y = net.forward(&Tensor::ones(&[1, 3, 16, 16]), Mode::Eval);
 /// assert_eq!(y.dims(), &[1, 10]);
 /// ```
+#[derive(Clone)]
 pub struct AlexNetS {
     net: Sequential,
 }
@@ -69,6 +70,7 @@ delegate_layer!(AlexNetS, "alexnet_s");
 
 /// VGG-11-S (Fig. 3(e)): the VGG-11 stage layout
 /// `[C, M, C, M, C, C, M, C, C, M]` with scaled widths, for 16×16 inputs.
+#[derive(Clone)]
 pub struct Vgg11S {
     net: Sequential,
 }

@@ -25,6 +25,7 @@ fn sigmoid(x: f32) -> f32 {
 
 /// The detector network: conv backbone (two pooling stages) + 1×1 conv head
 /// emitting 5 channels per grid cell.
+#[derive(Clone)]
 pub struct TinyDetector {
     net: Sequential,
     image_hw: usize,
@@ -145,12 +146,7 @@ impl DetectionLoss {
     /// # Panics
     ///
     /// Panics if `raw` is not `[N, 5, G, G]` with `N == scenes.len()`.
-    pub fn loss_and_grad(
-        &self,
-        raw: &Tensor,
-        scenes: &[Scene],
-        image_hw: usize,
-    ) -> (f32, Tensor) {
+    pub fn loss_and_grad(&self, raw: &Tensor, scenes: &[Scene], image_hw: usize) -> (f32, Tensor) {
         let g = image_hw / GRID;
         let n = scenes.len();
         assert_eq!(raw.dims(), &[n, 5, g, g], "head output shape mismatch");

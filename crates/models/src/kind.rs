@@ -5,8 +5,7 @@ use nn::Layer;
 use rand::Rng;
 
 use crate::{
-    AlexNetS, LeNet5, Mlp, MlpConfig, PreActDepth, PreActResNetS, ResNet18S, StnClassifier,
-    Vgg11S,
+    AlexNetS, LeNet5, Mlp, MlpConfig, PreActDepth, PreActResNetS, ResNet18S, StnClassifier, Vgg11S,
 };
 
 /// Every classification architecture evaluated in Fig. 3.
@@ -134,7 +133,10 @@ mod tests {
             };
             let y = net.forward(&x, Mode::Eval);
             assert_eq!(y.dims(), &[2, 10], "{kind} output shape");
-            assert!(crate::dropout_count(net.as_mut()) > 0, "{kind} has no search space");
+            assert!(
+                crate::dropout_count(net.as_mut()) > 0,
+                "{kind} has no search space"
+            );
         }
     }
 

@@ -26,6 +26,7 @@ use crate::delegate_layer;
 /// let y = net.forward(&Tensor::ones(&[2, 1, 14, 14]), Mode::Eval);
 /// assert_eq!(y.dims(), &[2, 10]);
 /// ```
+#[derive(Clone)]
 pub struct LeNet5 {
     net: Sequential,
 }

@@ -109,6 +109,10 @@ macro_rules! delegate_layer {
             fn name(&self) -> &'static str {
                 $tag
             }
+
+            fn clone_box(&self) -> Box<dyn nn::Layer> {
+                Box::new(self.clone())
+            }
         }
 
         impl std::fmt::Debug for $ty {

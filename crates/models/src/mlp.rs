@@ -107,6 +107,7 @@ impl MlpConfig {
 /// normalization, activation and dropout, ending in raw class logits.
 ///
 /// See the crate-level example for usage.
+#[derive(Clone)]
 pub struct Mlp {
     net: Sequential,
 }
@@ -178,10 +179,7 @@ mod tests {
     #[test]
     fn norm_variant_adds_norm_params() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let mut with_norm = Mlp::new(
-            &MlpConfig::new(4, 2).norm(NormKind::Batch),
-            &mut rng,
-        );
+        let mut with_norm = Mlp::new(&MlpConfig::new(4, 2).norm(NormKind::Batch), &mut rng);
         let mut norm_params = 0;
         with_norm.visit_params(&mut |p| {
             if matches!(p.kind, nn::ParamKind::NormGain | nn::ParamKind::NormBias) {

@@ -76,6 +76,7 @@ fn preact_block(
 /// let y = net.forward(&Tensor::ones(&[1, 3, 16, 16]), Mode::Eval);
 /// assert_eq!(y.dims(), &[1, 10]);
 /// ```
+#[derive(Clone)]
 pub struct ResNet18S {
     net: Sequential,
 }
@@ -145,6 +146,7 @@ impl PreActDepth {
 /// Pre-activation ResNet-S family (Fig. 3(f–h)): stem conv + three stages
 /// of pre-activation blocks + global average pooling + classifier, widths
 /// `[8, 16, 32]`.
+#[derive(Clone)]
 pub struct PreActResNetS {
     net: Sequential,
     depth: PreActDepth,
@@ -155,14 +157,8 @@ impl PreActResNetS {
     pub fn new(depth: PreActDepth, in_channels: usize, classes: usize, rng: &mut impl Rng) -> Self {
         let widths = [8usize, 16, 32];
         let blocks = depth.blocks();
-        let mut layers: Vec<Box<dyn nn::Layer>> = vec![Box::new(Conv2d::new(
-            in_channels,
-            widths[0],
-            3,
-            1,
-            1,
-            rng,
-        ))];
+        let mut layers: Vec<Box<dyn nn::Layer>> =
+            vec![Box::new(Conv2d::new(in_channels, widths[0], 3, 1, 1, rng))];
         let mut ch = widths[0];
         let mut seed = 0xd0u64;
         for (stage, (&w, &nblocks)) in widths.iter().zip(blocks.iter()).enumerate() {
@@ -253,6 +249,9 @@ mod tests {
             let _ = net.backward(&out.grad);
             nn::Optimizer::step(&mut opt, &mut net);
         }
-        assert!(last < first.unwrap(), "loss should decrease: {last} vs {first:?}");
+        assert!(
+            last < first.unwrap(),
+            "loss should decrease: {last} vs {first:?}"
+        );
     }
 }

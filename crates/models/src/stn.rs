@@ -15,11 +15,13 @@ use crate::delegate_layer;
 ///
 /// The localization head is initialized to the identity transform (zero
 /// weights, bias `[1,0,0,0,1,0]`), so an untrained STN is a no-op.
+#[derive(Clone)]
 pub struct SpatialTransformer {
     loc: Sequential,
     cache: Option<StnCache>,
 }
 
+#[derive(Clone)]
 struct StnCache {
     input: Tensor,
     theta: Tensor,
@@ -216,6 +218,10 @@ impl Layer for SpatialTransformer {
     fn name(&self) -> &'static str {
         "spatial_transformer"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 impl std::fmt::Debug for SpatialTransformer {
@@ -226,6 +232,7 @@ impl std::fmt::Debug for SpatialTransformer {
 
 /// STN classifier (Fig. 3(i)): [`SpatialTransformer`] front-end followed by
 /// a small CNN classifier, for the 43-class synthetic traffic-sign task.
+#[derive(Clone)]
 pub struct StnClassifier {
     net: Sequential,
 }

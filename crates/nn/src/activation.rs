@@ -83,6 +83,10 @@ macro_rules! elementwise_activation {
             fn name(&self) -> &'static str {
                 $tag
             }
+
+            fn clone_box(&self) -> Box<dyn Layer> {
+                Box::new(self.clone())
+            }
         }
     };
 }
@@ -109,7 +113,10 @@ elementwise_activation!(
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new() -> Self {
-        Relu { input: None, alpha: 0.0 }
+        Relu {
+            input: None,
+            alpha: 0.0,
+        }
     }
 }
 
@@ -174,7 +181,10 @@ elementwise_activation!(
 impl Gelu {
     /// Creates a GELU layer.
     pub fn new() -> Self {
-        Gelu { input: None, alpha: 0.0 }
+        Gelu {
+            input: None,
+            alpha: 0.0,
+        }
     }
 }
 

@@ -23,6 +23,7 @@ use crate::{Layer, Mode, Param, ParamKind};
 /// let y = conv.forward(&Tensor::ones(&[2, 3, 8, 8]), Mode::Eval);
 /// assert_eq!(y.dims(), &[2, 8, 8, 8]);
 /// ```
+#[derive(Clone)]
 pub struct Conv2d {
     spec: Conv2dSpec,
     weight: Param,
@@ -96,10 +97,7 @@ impl Layer for Conv2d {
             for och in 0..oc {
                 let b = self.bias.value.as_slice()[och];
                 let src = &y.as_slice()[och * oh * ow..(och + 1) * oh * ow];
-                for (d, &s) in dst[och * oh * ow..(och + 1) * oh * ow]
-                    .iter_mut()
-                    .zip(src)
-                {
+                for (d, &s) in dst[och * oh * ow..(och + 1) * oh * ow].iter_mut().zip(src) {
                     *d = s + b;
                 }
             }
@@ -150,6 +148,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -237,6 +239,10 @@ impl Layer for MaxPool2d {
     fn name(&self) -> &'static str {
         "max_pool2d"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Average pooling over `[N, C, H, W]`.
@@ -314,6 +320,10 @@ impl Layer for AvgPool2d {
     fn name(&self) -> &'static str {
         "avg_pool2d"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Global average pooling: `[N, C, H, W] -> [N, C]`.
@@ -381,6 +391,10 @@ impl Layer for GlobalAvgPool {
     fn name(&self) -> &'static str {
         "global_avg_pool"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Flattens `[N, ...]` to `[N, prod(...)]`.
@@ -418,6 +432,10 @@ impl Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -473,11 +491,8 @@ mod tests {
     #[test]
     fn max_pool_forward_and_backward() {
         let mut pool = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0],
-            &[2, 1, 2, 2],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0], &[2, 1, 2, 2]).unwrap();
         let y = pool.forward(&x, Mode::Eval);
         assert_eq!(y.as_slice(), &[4.0, 8.0]);
         let g = pool.backward(&Tensor::from_vec(vec![1.0, 1.0], &[2, 1, 1, 1]).unwrap());

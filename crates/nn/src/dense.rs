@@ -23,6 +23,7 @@ use crate::{Layer, Mode, Param, ParamKind};
 /// let y = fc.forward(&Tensor::ones(&[2, 3]), Mode::Eval);
 /// assert_eq!(y.dims(), &[2, 5]);
 /// ```
+#[derive(Clone)]
 pub struct Dense {
     weight: Param,
     bias: Param,
@@ -34,12 +35,8 @@ pub struct Dense {
 impl Dense {
     /// Creates a dense layer with Xavier-uniform weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
-        let weight = Tensor::xavier_uniform(
-            &[in_features, out_features],
-            in_features,
-            out_features,
-            rng,
-        );
+        let weight =
+            Tensor::xavier_uniform(&[in_features, out_features], in_features, out_features, rng);
         Dense {
             weight: Param::new(weight, ParamKind::Weight),
             bias: Param::new(Tensor::zeros(&[out_features]), ParamKind::Bias),
@@ -105,6 +102,10 @@ impl Layer for Dense {
 
     fn name(&self) -> &'static str {
         "dense"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -78,7 +78,11 @@ impl Layer for Dropout {
         let scale = 1.0 / keep;
         let mut mask = Tensor::zeros(input.dims());
         for m in mask.as_mut_slice() {
-            *m = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+            *m = if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            };
         }
         let out = input.mul(&mask);
         self.mask = Some(mask);
@@ -98,6 +102,10 @@ impl Layer for Dropout {
 
     fn name(&self) -> &'static str {
         "dropout"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -191,6 +199,10 @@ impl Layer for AlphaDropout {
     fn name(&self) -> &'static str {
         "alpha_dropout"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -256,8 +268,7 @@ mod tests {
         let mut ad = AlphaDropout::new(0.3, 17);
         let y = ad.forward(&x, Mode::Train);
         let mean = y.mean();
-        let var = y.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / y.len() as f32;
+        let var = y.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / y.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -82,6 +82,7 @@ impl GradCheck {
 
         let mut max_err = 0.0f32;
         let n_params = analytic.len();
+        #[allow(clippy::needless_range_loop)] // pi also addresses the layer's params
         for pi in 0..n_params {
             let plen = analytic[pi].len();
             for ei in 0..plen {

@@ -41,6 +41,16 @@ pub trait Layer: Send {
     /// Short human-readable layer name for summaries.
     fn name(&self) -> &'static str;
 
+    /// Deep-copies the layer (weights, caches, RNG state) behind a fresh
+    /// box.
+    ///
+    /// This is what lets the experiment engine evaluate independent
+    /// Monte-Carlo drift samples on per-thread replicas of one trained
+    /// network: each worker clones the pristine model, injects its own
+    /// drift, and runs forward passes without synchronizing on the
+    /// original.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
     /// Zeroes all parameter gradients.
     fn zero_grads(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());
@@ -88,6 +98,10 @@ impl Layer for Identity {
     fn name(&self) -> &'static str {
         "identity"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// An ordered chain of layers, itself a [`Layer`].
@@ -105,6 +119,14 @@ impl Layer for Identity {
 /// ```
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+        }
+    }
 }
 
 impl Sequential {
@@ -190,6 +212,10 @@ impl Layer for Sequential {
     fn name(&self) -> &'static str {
         "sequential"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 impl std::fmt::Debug for Sequential {
@@ -215,6 +241,7 @@ mod tests {
 
     #[test]
     fn sequential_composes_in_order() {
+        #[derive(Clone)]
         struct AddOne;
         impl Layer for AddOne {
             fn forward(&mut self, input: &Tensor, _m: Mode) -> Tensor {
@@ -225,6 +252,9 @@ mod tests {
             }
             fn name(&self) -> &'static str {
                 "add_one"
+            }
+            fn clone_box(&self) -> Box<dyn Layer> {
+                Box::new(self.clone())
             }
         }
         let mut net = Sequential::new(vec![Box::new(AddOne), Box::new(AddOne)]);

@@ -35,7 +35,11 @@ pub struct LossOutput {
 /// # Ok::<(), tensor::TensorError>(())
 /// ```
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
-    assert_eq!(logits.rank(), 2, "softmax_cross_entropy expects [N, C] logits");
+    assert_eq!(
+        logits.rank(),
+        2,
+        "softmax_cross_entropy expects [N, C] logits"
+    );
     let (n, c) = (logits.dims()[0], logits.dims()[1]);
     assert_eq!(labels.len(), n, "label count must equal batch size");
     let probs = logits.softmax_rows();

@@ -263,6 +263,7 @@ macro_rules! norm_common_impl {
 /// assert!((y.at(&[0, 0]) + y.at(&[1, 0])).abs() < 1e-4);
 /// # Ok::<(), tensor::TensorError>(())
 /// ```
+#[derive(Clone)]
 pub struct BatchNorm {
     num_features: usize,
     gamma: Param,
@@ -331,8 +332,7 @@ impl Layer for BatchNorm {
                 let mut out = input.clone();
                 for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
                     let (_, c) = coords(i, &lay);
-                    let xh = (*v - self.running_mean[c])
-                        / (self.running_var[c] + EPS).sqrt();
+                    let xh = (*v - self.running_mean[c]) / (self.running_var[c] + EPS).sqrt();
                     *v = self.gamma.value.as_slice()[c] * xh + self.beta.value.as_slice()[c];
                 }
                 self.cache = None;
@@ -369,6 +369,10 @@ impl Layer for BatchNorm {
     fn name(&self) -> &'static str {
         "batch_norm"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 impl std::fmt::Debug for BatchNorm {
@@ -382,6 +386,7 @@ impl std::fmt::Debug for BatchNorm {
 macro_rules! sample_group_norm {
     ($(#[$doc:meta])* $ty:ident, $tag:literal, $n_groups:expr, $group_of:expr) => {
         $(#[$doc])*
+        #[derive(Clone)]
         pub struct $ty {
             num_features: usize,
             groups: usize,
@@ -434,6 +439,10 @@ macro_rules! sample_group_norm {
 
             fn name(&self) -> &'static str {
                 $tag
+            }
+
+            fn clone_box(&self) -> Box<dyn Layer> {
+                Box::new(self.clone())
             }
         }
 
@@ -597,7 +606,11 @@ mod tests {
                         }
                     }
                 }
-                assert!(sum.abs() / 18.0 < 1e-3, "block ({n},{g}) mean {}", sum / 18.0);
+                assert!(
+                    sum.abs() / 18.0 < 1e-3,
+                    "block ({n},{g}) mean {}",
+                    sum / 18.0
+                );
             }
         }
     }

@@ -24,6 +24,7 @@ use crate::{Layer, Mode, Param, Sequential};
 /// let y = block.forward(&Tensor::ones(&[1, 4]), Mode::Eval);
 /// assert_eq!(y.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
 /// ```
+#[derive(Clone)]
 pub struct Residual {
     main: Sequential,
     shortcut: Option<Sequential>,
@@ -84,6 +85,10 @@ impl Layer for Residual {
     fn name(&self) -> &'static str {
         "residual"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 impl std::fmt::Debug for Residual {
@@ -99,6 +104,7 @@ impl std::fmt::Debug for Residual {
 /// convolutions inside `main`, and the skip connection is pure identity (or
 /// a projection when shapes change). Structurally this is just [`Residual`];
 /// the type exists so model summaries distinguish the two families.
+#[derive(Clone)]
 pub struct PreActBlock {
     inner: Residual,
 }
@@ -137,6 +143,10 @@ impl Layer for PreActBlock {
     fn name(&self) -> &'static str {
         "preact_block"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 impl std::fmt::Debug for PreActBlock {
@@ -154,10 +164,7 @@ mod tests {
 
     #[test]
     fn identity_residual_doubles() {
-        let mut block = Residual::new(
-            Sequential::new(vec![Box::new(Identity::new())]),
-            None,
-        );
+        let mut block = Residual::new(Sequential::new(vec![Box::new(Identity::new())]), None);
         let x = Tensor::from_slice(&[1.0, -2.0]);
         assert_eq!(block.forward(&x, Mode::Eval).as_slice(), &[2.0, -4.0]);
         // Backward: gradient doubles too.
@@ -195,10 +202,7 @@ mod tests {
 
     #[test]
     fn preact_block_delegates() {
-        let mut block = PreActBlock::new(
-            Sequential::new(vec![Box::new(Identity::new())]),
-            None,
-        );
+        let mut block = PreActBlock::new(Sequential::new(vec![Box::new(Identity::new())]), None);
         let x = Tensor::from_slice(&[3.0]);
         assert_eq!(block.forward(&x, Mode::Eval).as_slice(), &[6.0]);
         assert_eq!(block.name(), "preact_block");

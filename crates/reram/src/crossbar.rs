@@ -107,7 +107,10 @@ impl Crossbar {
     /// The scale is chosen so the largest |weight| maps to the full
     /// conductance range.
     pub fn program(weights: &Tensor, config: CrossbarConfig, rng: &mut dyn RngCore) -> Self {
-        let w_max = weights.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let w_max = weights
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()));
         let range = config.g_max - config.g_min;
         let scale = if w_max > 0.0 { w_max / range } else { 1.0 };
         let mut g_pos = Tensor::zeros(weights.dims());
@@ -119,7 +122,11 @@ impl Crossbar {
             .zip(weights.as_slice())
         {
             let target = (w / scale).abs().min(range);
-            let (pos_t, neg_t) = if w >= 0.0 { (target, 0.0) } else { (0.0, target) };
+            let (pos_t, neg_t) = if w >= 0.0 {
+                (target, 0.0)
+            } else {
+                (0.0, target)
+            };
             *gp = config.g_min + Self::quantize_and_noise(pos_t, &config, rng);
             *gn = config.g_min + Self::quantize_and_noise(neg_t, &config, rng);
         }
@@ -256,7 +263,11 @@ mod tests {
         let w_max = 1.2f32;
         let step = w_max / 15.0;
         for (r, t) in read.as_slice().iter().zip(w.as_slice()) {
-            assert!((r - t).abs() <= step, "error {} above half-step bound", (r - t).abs());
+            assert!(
+                (r - t).abs() <= step,
+                "error {} above half-step bound",
+                (r - t).abs()
+            );
         }
     }
 
@@ -280,7 +291,10 @@ mod tests {
         xbar.drift(&LogNormalDrift::new(1.0), &mut rng);
         xbar.reprogram(&w, &mut rng);
         let report = xbar.diagnose(&w, &mut rng);
-        assert!(report.mean_abs_error < 1e-3, "reprogramming must restore weights");
+        assert!(
+            report.mean_abs_error < 1e-3,
+            "reprogramming must restore weights"
+        );
     }
 
     #[test]

@@ -219,8 +219,8 @@ impl DriftModel for BitFlipFault {
         let levels = (1u32 << self.bits) - 1;
         let step = 2.0 * self.range / levels as f32;
         // Quantize to an unsigned code centered at range.
-        let mut code = (((value + self.range) / step).round() as i64)
-            .clamp(0, levels as i64) as u32;
+        let mut code =
+            (((value + self.range) / step).round() as i64).clamp(0, levels as i64) as u32;
         for bit in 0..self.bits {
             if rng.gen::<f32>() < self.p_flip {
                 code ^= 1 << bit;
@@ -249,9 +249,7 @@ impl CompositeDrift {
 
 impl DriftModel for CompositeDrift {
     fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
-        self.models
-            .iter()
-            .fold(value, |v, m| m.perturb(v, rng))
+        self.models.iter().fold(value, |v, m| m.perturb(v, rng))
     }
 
     fn name(&self) -> &'static str {
@@ -272,15 +270,24 @@ mod tests {
 
     #[test]
     fn zero_sigma_is_identity() {
-        assert_eq!(LogNormalDrift::new(0.0).perturb(2.5, &mut ChaCha8Rng::seed_from_u64(0)), 2.5);
-        assert_eq!(UniformDrift::new(0.0).perturb(2.5, &mut ChaCha8Rng::seed_from_u64(0)), 2.5);
+        assert_eq!(
+            LogNormalDrift::new(0.0).perturb(2.5, &mut ChaCha8Rng::seed_from_u64(0)),
+            2.5
+        );
+        assert_eq!(
+            UniformDrift::new(0.0).perturb(2.5, &mut ChaCha8Rng::seed_from_u64(0)),
+            2.5
+        );
     }
 
     #[test]
     fn log_normal_preserves_sign_and_median() {
         let model = LogNormalDrift::new(0.8);
         let s = samples(&model, 2.0, 20_000);
-        assert!(s.iter().all(|&v| v > 0.0), "multiplicative drift keeps sign");
+        assert!(
+            s.iter().all(|&v| v > 0.0),
+            "multiplicative drift keeps sign"
+        );
         // Median of θ·e^λ is θ (λ symmetric around 0).
         let mut sorted = s.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -371,7 +378,10 @@ mod tests {
         let model = BitFlipFault::new(0.2, 4, 1.0);
         let s = samples(&model, 0.8, 5_000);
         let max_err = s.iter().map(|v| (v - 0.8f32).abs()).fold(0.0f32, f32::max);
-        assert!(max_err > 0.5, "expected MSB-flip scale errors, got {max_err}");
+        assert!(
+            max_err > 0.5,
+            "expected MSB-flip scale errors, got {max_err}"
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl WeightSnapshot {
             r.read_exact(&mut u64buf)?;
             let rank = u64::from_le_bytes(u64buf) as usize;
             if rank > 8 {
-                return Err(Error::new(ErrorKind::InvalidData, "implausible tensor rank"));
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    "implausible tensor rank",
+                ));
             }
             let mut dims = Vec::with_capacity(rank);
             for _ in 0..rank {
@@ -194,12 +197,18 @@ impl McStats {
     /// Panics if `values` is empty.
     pub fn from_values(values: Vec<f32>) -> Self {
         assert!(!values.is_empty(), "Monte-Carlo needs at least one trial");
+        // Identical samples (e.g. σ = 0 drift) must report exactly zero
+        // spread; the general path below can round the mean and leak a
+        // ~1e-7 phantom deviation.
+        if values.iter().all(|&v| v == values[0]) {
+            return McStats {
+                mean: values[0],
+                std: 0.0,
+                values,
+            };
+        }
         let mean = values.iter().sum::<f32>() / values.len() as f32;
-        let var = values
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f32>()
-            / values.len() as f32;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / values.len() as f32;
         McStats {
             mean,
             std: var.sqrt(),
@@ -208,13 +217,50 @@ impl McStats {
     }
 }
 
+/// Mixes a master seed with a stream index through a SplitMix64-style
+/// finalizer.
+///
+/// Plain XOR-with-index schemes (`seed ^ (i << k)`) leave stream 0 equal to
+/// the master seed and neighbouring streams differing in a couple of bits —
+/// both of which correlate Monte-Carlo draws with other consumers of the
+/// master seed (e.g. the training shuffler). The multiply–xor–shift cascade
+/// here decorrelates every `(master, stream)` pair, including `stream == 0`.
+///
+/// # Example
+///
+/// ```
+/// use reram::mix_seed;
+///
+/// assert_ne!(mix_seed(42, 0), 42, "stream 0 must not reuse the master seed");
+/// assert_ne!(mix_seed(42, 0), mix_seed(42, 1));
+/// assert_ne!(mix_seed(42, 1), mix_seed(43, 1));
+/// ```
+pub fn mix_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0xD6E8_FEB8_6659_FD93)
+        .rotate_left(23)
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed of Monte-Carlo trial `t` under master seed `seed`.
+///
+/// Shared by [`monte_carlo`] and [`monte_carlo_parallel`] so the two
+/// produce bit-identical trial streams.
+fn trial_seed(seed: u64, t: usize) -> u64 {
+    mix_seed(seed, t as u64)
+}
+
 /// Monte-Carlo marginalization of a metric over the drift distribution
 /// (the tractable estimator of the paper's Eq. 3/4):
 ///
 /// `u ≈ (1/T) Σ_t metric(f(θ·e^{λ_t}))`
 ///
 /// Each trial drifts from the same pristine snapshot with an independent
-/// seed derived from `seed`, and the network is restored afterwards.
+/// seed derived from `seed` via [`mix_seed`], and the network is restored
+/// afterwards.
 ///
 /// # Panics
 ///
@@ -248,11 +294,77 @@ pub fn monte_carlo(
     let snapshot = FaultInjector::snapshot(network);
     let mut values = Vec::with_capacity(trials);
     for t in 0..trials {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, t));
         FaultInjector::inject(network, model, &mut rng);
         values.push(metric(network));
         snapshot.restore(network);
     }
+    McStats::from_values(values)
+}
+
+/// [`monte_carlo`] with the independent drift trials fanned out over
+/// `workers` scoped threads.
+///
+/// Each worker clones the pristine network once
+/// ([`nn::Layer::clone_box`]), then repeatedly injects drift into its
+/// replica, evaluates `metric`, and restores from a shared
+/// [`WeightSnapshot`]. Trial `t` uses the same RNG seed as in the serial
+/// driver and results are reassembled in trial order, so for any worker
+/// count the returned statistics are **bit-identical** to
+/// `monte_carlo(..)` with the same arguments — parallelism is a pure
+/// wall-clock optimization of the Eq. 4 hot path.
+///
+/// `workers <= 1` runs the serial driver in place (no clones).
+///
+/// # Panics
+///
+/// Panics if `trials` is zero, or if a worker thread panics.
+pub fn monte_carlo_parallel(
+    network: &mut dyn Layer,
+    model: &dyn DriftModel,
+    trials: usize,
+    seed: u64,
+    workers: usize,
+    metric: &(dyn Fn(&mut dyn Layer) -> f32 + Sync),
+) -> McStats {
+    assert!(trials > 0, "Monte-Carlo needs at least one trial");
+    let workers = workers.min(trials);
+    if workers <= 1 {
+        return monte_carlo(network, model, trials, seed, metric);
+    }
+
+    let snapshot = FaultInjector::snapshot(network);
+    let snapshot_ref = &snapshot;
+    // `dyn Layer` is Send but not Sync, so replicas are cloned here and
+    // moved into their worker threads rather than cloned from a shared
+    // reference inside them.
+    let replicas: Vec<Box<dyn Layer>> = (0..workers).map(|_| network.clone_box()).collect();
+    let mut values = vec![0.0f32; trials];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut replica)| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut t = w;
+                    while t < trials {
+                        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, t));
+                        FaultInjector::inject(replica.as_mut(), model, &mut rng);
+                        local.push((t, metric(replica.as_mut())));
+                        snapshot_ref.restore(replica.as_mut());
+                        t += workers;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (t, v) in handle.join().expect("Monte-Carlo worker panicked") {
+                values[t] = v;
+            }
+        }
+    });
     McStats::from_values(values)
 }
 
@@ -291,10 +403,12 @@ mod tests {
             &'a self,
             other: &'a WeightSnapshot,
         ) -> impl Iterator<Item = (f32, f32)> + 'a {
-            self.values
-                .iter()
-                .zip(&other.values)
-                .flat_map(|(a, b)| a.as_slice().iter().copied().zip(b.as_slice().iter().copied()))
+            self.values.iter().zip(&other.values).flat_map(|(a, b)| {
+                a.as_slice()
+                    .iter()
+                    .copied()
+                    .zip(b.as_slice().iter().copied())
+            })
         }
     }
 
@@ -318,9 +432,10 @@ mod tests {
         let x = Tensor::ones(&[1, 3]);
         let clean = net.forward(&x, Mode::Eval);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let _ = FaultInjector::with_drift(&mut net, &StuckAtFault::new(0.9, 0.0, 0.0), &mut rng, |n| {
-            n.forward(&x, Mode::Eval).sum()
-        });
+        let _ =
+            FaultInjector::with_drift(&mut net, &StuckAtFault::new(0.9, 0.0, 0.0), &mut rng, |n| {
+                n.forward(&x, Mode::Eval).sum()
+            });
         let restored = net.forward(&x, Mode::Eval);
         assert_eq!(clean.as_slice(), restored.as_slice());
     }
@@ -358,6 +473,51 @@ mod tests {
             n.forward(&x, Mode::Eval).sum()
         });
         assert_eq!(s1.values, s2.values);
+    }
+
+    #[test]
+    fn parallel_monte_carlo_matches_serial_bitwise() {
+        let x = Tensor::ones(&[2, 3]);
+        let metric = move |n: &mut dyn Layer| n.forward(&x, Mode::Eval).sum();
+        for workers in [1usize, 2, 3, 8, 32] {
+            let mut net_a = test_net(12);
+            let serial = monte_carlo(&mut net_a, &LogNormalDrift::new(0.7), 9, 5, &metric);
+            let mut net_b = test_net(12);
+            let parallel = monte_carlo_parallel(
+                &mut net_b,
+                &LogNormalDrift::new(0.7),
+                9,
+                5,
+                workers,
+                &metric,
+            );
+            assert_eq!(
+                serial.values, parallel.values,
+                "{workers} workers diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_monte_carlo_leaves_network_untouched() {
+        let mut net = test_net(13);
+        let x = Tensor::ones(&[1, 3]);
+        let clean = net.forward(&x, Mode::Eval);
+        let metric = move |n: &mut dyn Layer| n.forward(&x, Mode::Eval).sum();
+        let _ = monte_carlo_parallel(&mut net, &GaussianAdditive::new(0.4), 6, 3, 3, &metric);
+        let x = Tensor::ones(&[1, 3]);
+        assert_eq!(clean.as_slice(), net.forward(&x, Mode::Eval).as_slice());
+    }
+
+    #[test]
+    fn mix_seed_decorrelates_stream_zero() {
+        assert_ne!(mix_seed(0, 0), 0);
+        assert_ne!(mix_seed(7, 0), 7);
+        let streams: Vec<u64> = (0..64).map(|i| mix_seed(123, i)).collect();
+        let mut unique = streams.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), streams.len(), "stream collision");
     }
 
     #[test]

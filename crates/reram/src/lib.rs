@@ -12,8 +12,10 @@
 //!   a drift model to every trainable value (dense/conv weights, biases,
 //!   and normalization γ/β — the paper's "Achilles heel"), and restores the
 //!   pristine weights afterwards.
-//! * [`monte_carlo`] — the Monte-Carlo marginalization of Eq. (4): evaluate
-//!   a metric under `T` independent drift samples.
+//! * [`monte_carlo`] / [`monte_carlo_parallel`] — the Monte-Carlo
+//!   marginalization of Eq. (4): evaluate a metric under `T` independent
+//!   drift samples, serially or fanned out over scoped worker threads with
+//!   per-thread network replicas (bit-identical results either way).
 //! * [`Crossbar`] — a device-level model (differential conductance pairs,
 //!   programming noise, quantized levels, read noise) that gives the
 //!   ReRAM-V baseline something to diagnose and re-program.
@@ -50,4 +52,6 @@ pub use drift::{
     BitFlipFault, CompositeDrift, DriftModel, GaussianAdditive, LogNormalDrift, StuckAtFault,
     UniformDrift,
 };
-pub use inject::{monte_carlo, FaultInjector, McStats, WeightSnapshot};
+pub use inject::{
+    mix_seed, monte_carlo, monte_carlo_parallel, FaultInjector, McStats, WeightSnapshot,
+};

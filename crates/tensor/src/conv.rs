@@ -90,11 +90,7 @@ impl Conv2dSpec {
 /// spec.
 pub fn im2col(image: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
     assert_eq!(image.rank(), 3, "im2col expects a [C, H, W] tensor");
-    assert_eq!(
-        image.dims()[0],
-        spec.in_channels,
-        "im2col channel mismatch"
-    );
+    assert_eq!(image.dims()[0], spec.in_channels, "im2col channel mismatch");
     let (oh, ow) = spec.output_hw(h, w);
     let k = spec.kernel;
     let mut col = Tensor::zeros(&[spec.patch_len(), oh * ow]);
@@ -195,8 +191,7 @@ mod tests {
     #[test]
     fn im2col_extracts_patches() {
         // 3x3 image, 2x2 kernel, stride 1: 4 patches.
-        let img =
-            Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let img = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
         let spec = Conv2dSpec::new(1, 1, 2, 1, 0);
         let col = im2col(&img, &spec, 3, 3);
         assert_eq!(col.dims(), &[4, 4]);

@@ -74,8 +74,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let t = Tensor::randn(&[20_000], 1.0, 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / t.len() as f32;
+        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.len() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

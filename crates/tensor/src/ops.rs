@@ -133,12 +133,18 @@ impl Tensor {
 
     /// Maximum element (negative infinity for an empty tensor).
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (positive infinity for an empty tensor).
     pub fn min(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Sum over axis 0 of a rank-2 tensor, producing a length-`cols` tensor.
@@ -165,7 +171,10 @@ impl Tensor {
     /// Panics if the tensor is not rank 2 or has zero columns.
     pub fn argmax_rows(&self) -> Vec<usize> {
         assert_eq!(self.rank(), 2, "argmax_rows requires a rank-2 tensor");
-        assert!(self.dims()[1] > 0, "argmax_rows requires at least one column");
+        assert!(
+            self.dims()[1] > 0,
+            "argmax_rows requires at least one column"
+        );
         (0..self.dims()[0])
             .map(|r| {
                 let row = self.row(r);

@@ -46,7 +46,10 @@ impl Pool2dSpec {
             "input {h}x{w} smaller than pooling window {}",
             self.window
         );
-        ((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1)
+        (
+            (h - self.window) / self.stride + 1,
+            (w - self.window) / self.stride + 1,
+        )
     }
 }
 
@@ -96,11 +99,7 @@ pub fn max_pool2d(image: &Tensor, spec: &Pool2dSpec) -> (Tensor, Vec<usize>) {
 /// # Panics
 ///
 /// Panics if `grad_out.len() != argmax.len()`.
-pub fn max_pool2d_backward(
-    grad_out: &Tensor,
-    argmax: &[usize],
-    input_dims: &[usize],
-) -> Tensor {
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_dims: &[usize]) -> Tensor {
     assert_eq!(
         grad_out.len(),
         argmax.len(),
@@ -184,7 +183,9 @@ mod tests {
     #[test]
     fn max_pool_picks_window_maxima() {
         let img = Tensor::from_vec(
-            vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, 1.0, 2.0, 8.0, 7.0, 0.0, 1.0, 6.0, 5.0, 2.0, 3.0],
+            vec![
+                1.0, 2.0, 5.0, 3.0, 4.0, 0.0, 1.0, 2.0, 8.0, 7.0, 0.0, 1.0, 6.0, 5.0, 2.0, 3.0,
+            ],
             &[1, 4, 4],
         )
         .unwrap();

@@ -72,7 +72,10 @@ impl Shape {
         let strides = self.strides();
         let mut off = 0usize;
         for (d, (&i, &n)) in index.iter().zip(self.0.iter()).enumerate() {
-            assert!(i < n, "index {i} out of bounds for dimension {d} of extent {n}");
+            assert!(
+                i < n,
+                "index {i} out of bounds for dimension {d} of extent {n}"
+            );
             off += i * strides[d];
         }
         off

@@ -242,7 +242,12 @@ impl std::fmt::Display for Tensor {
             .take(8)
             .map(|v| format!("{v:.4}"))
             .collect();
-        write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", …" } else { "" })
+        write!(
+            f,
+            "[{}{}]",
+            preview.join(", "),
+            if self.len() > 8 { ", …" } else { "" }
+        )
     }
 }
 
@@ -254,7 +259,10 @@ mod tests {
     fn zeros_ones_full() {
         assert!(Tensor::zeros(&[3, 2]).as_slice().iter().all(|&v| v == 0.0));
         assert!(Tensor::ones(&[4]).as_slice().iter().all(|&v| v == 1.0));
-        assert!(Tensor::full(&[2, 2], 3.5).as_slice().iter().all(|&v| v == 3.5));
+        assert!(Tensor::full(&[2, 2], 3.5)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 3.5));
     }
 
     #[test]

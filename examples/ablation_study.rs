@@ -25,7 +25,10 @@ fn main() {
     let variants: Vec<(&str, MlpConfig)> = vec![
         ("plain (no dropout)", base().dropout(DropoutKind::None)),
         ("dropout 0.3", base().initial_rate(0.3)),
-        ("batch norm", base().norm(NormKind::Batch).dropout(DropoutKind::None)),
+        (
+            "batch norm",
+            base().norm(NormKind::Batch).dropout(DropoutKind::None),
+        ),
         ("6 layers deep", base().depth(6).dropout(DropoutKind::None)),
     ];
 

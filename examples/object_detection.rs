@@ -54,7 +54,10 @@ fn main() {
     let data = ped_scenes(24, 24, 2, &mut rng);
     let (train_set, test_set) = data.split(0.75);
 
-    println!("training grid detector on {} synthetic street scenes…", train_set.len());
+    println!(
+        "training grid detector on {} synthetic street scenes…",
+        train_set.len()
+    );
     let mut det = TinyDetector::new(24, &mut rng);
     // A drift-robust dropout setting (found by the fig3_detection search).
     models::set_dropout_rates(&mut det, &[0.15, 0.15]);

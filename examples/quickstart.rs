@@ -1,10 +1,11 @@
 //! Quickstart: search a fault-tolerant architecture for a small classifier
-//! and compare it with plain training under memristance drift.
+//! with the experiment engine and compare it with plain training under
+//! memristance drift.
 //!
 //! Run: `cargo run --release --example quickstart`
 
 use baselines::{drift_accuracy, train_erm, TrainConfig};
-use bayesft::{BayesFt, BayesFtConfig};
+use bayesft::Engine;
 use datasets::moons;
 use models::{Mlp, MlpConfig};
 use rand::SeedableRng;
@@ -26,19 +27,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut erm = train_erm(net, &train, &cfg);
 
     // 3. BayesFT: alternate weight training with Bayesian optimization over
-    //    per-layer dropout rates (Algorithm 1).
+    //    per-layer dropout rates (Algorithm 1), via the fluent engine.
+    //    Monte-Carlo drift samples fan out over all CPU cores
+    //    (`parallelism(0)`); any worker count gives identical results.
     let net = Box::new(Mlp::new(&MlpConfig::new(2, 2).hidden(24), &mut rng));
-    let search = BayesFtConfig {
-        trials: 8,
-        epochs_per_trial: 4,
-        mc_samples: 6,
-        sigma: 0.8,
-        train: cfg,
-        ..BayesFtConfig::default()
-    };
-    let result = BayesFt::new(search).run(net, &train, &test)?;
+    let result = Engine::builder()
+        .trials(8)
+        .epochs_per_trial(4)
+        .mc_samples(6)
+        .sigma(0.8)
+        .train(cfg)
+        .parallelism(0)
+        .run(net, &train, &test)?;
     let mut bayesft_model = result.model;
-    println!("searched dropout rates (unit-cube alpha): {:?}", result.best_alpha);
+    println!(
+        "searched dropout rates (unit-cube alpha): {:?}",
+        result.report.best_alpha
+    );
+    println!(
+        "stage timings: train {:.0} ms, MC eval {:.0} ms ({} workers)",
+        result.report.timings.train_ms, result.report.timings.eval_ms, result.report.parallelism
+    );
 
     // 4. Deploy both on a drifting ReRAM device and compare.
     println!("\naccuracy under log-normal weight drift (mean of 10 devices):");
@@ -49,5 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let b = drift_accuracy(&mut bayesft_model, &test, &drift, 10, 7).mean;
         println!("{sigma:<8}{:>9.1}%{:>9.1}%", e * 100.0, b * 100.0);
     }
+
+    // 5. The full run record serializes to JSON for downstream tooling.
+    println!("\nrun report:\n{}", result.report.to_json_string_pretty());
     Ok(())
 }

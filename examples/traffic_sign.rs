@@ -5,7 +5,7 @@
 //! Run: `cargo run --release --example traffic_sign`
 
 use baselines::{drift_accuracy, train_erm, TrainConfig};
-use bayesft::{BayesFt, BayesFtConfig};
+use bayesft::Engine;
 use datasets::signs;
 use models::StnClassifier;
 use rand::SeedableRng;
@@ -28,17 +28,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("running BayesFT dropout-rate search…");
     let net = Box::new(StnClassifier::new(3, 16, 43, &mut rng));
-    let search = BayesFtConfig {
-        trials: 5,
-        epochs_per_trial: 3,
-        mc_samples: 4,
-        sigma: 0.5,
-        train: cfg,
-        ..BayesFtConfig::default()
-    };
-    let result = BayesFt::new(search).run(net, &train, &test)?;
+    let result = Engine::builder()
+        .trials(5)
+        .epochs_per_trial(3)
+        .mc_samples(4)
+        .sigma(0.5)
+        .train(cfg)
+        .parallelism(0)
+        .run(net, &train, &test)?;
     let mut bft = result.model;
-    println!("searched rates: {:?}", result.best_alpha);
+    println!("searched rates: {:?}", result.report.best_alpha);
 
     println!("\n{:<8}{:>10}{:>10}", "sigma", "ERM", "BayesFT");
     for sigma in [0.0f32, 0.3, 0.6] {

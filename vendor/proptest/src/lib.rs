@@ -1,0 +1,311 @@
+//! Minimal offline stub of `proptest`.
+//!
+//! Implements the subset this workspace's property tests use, with the
+//! upstream syntax: the [`proptest!`] macro (with optional
+//! `#![proptest_config(..)]` header), `prop_assert!` / `prop_assert_eq!`,
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, and `proptest::collection::vec`.
+//!
+//! Unlike upstream there is no shrinking: a failing case reports its case
+//! index and seed so it can be replayed, which is enough for the small
+//! deterministic generators used here.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies; one per test case, deterministically
+/// seeded from the case index.
+pub type TestRng = ChaCha8Rng;
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Something usable as a vector length: a fixed size or a range.
+    pub trait IntoLen {
+        /// Draws a concrete length.
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoLen for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLen for Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// from `len`.
+    pub fn vec<S: Strategy, L: IntoLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.draw_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property, failing the current case with a
+/// formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property (requires `Debug` operands).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Supports the upstream shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0.0f32..1.0, v in proptest::collection::vec(0u64..9, 3)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut proptest_case_rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_case_rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name), case, config.cases, message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    (config = ($cfg:expr);) => {};
+}
+
+/// Builds the deterministic RNG for (`test`, `case`).
+pub fn case_rng(test: &str, case: u32) -> TestRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash ^ ((case as u64) << 32 | case as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.0f32..2.0, n in 3usize..7) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..7).contains(&n), "n = {n}");
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u64..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(
+            t in (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+                crate::collection::vec(0.0f64..1.0, r * c).prop_map(move |v| (r, c, v))
+            })
+        ) {
+            let (r, c, v) = t;
+            prop_assert_eq!(v.len(), r * c);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,16 @@
+//! Minimal offline stub of `serde`.
+//!
+//! Re-exports the no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! attributes compile, plus empty marker traits under the same names (the
+//! derive and the trait live in different namespaces, exactly as upstream).
+//! No actual serialization machinery exists; the workspace's JSON output is
+//! hand-built on the `serde_json` stub's `Value` tree.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; never implemented by the no-op
+/// derive and never required by workspace code.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; see [`Serialize`].
+pub trait Deserialize<'de> {}

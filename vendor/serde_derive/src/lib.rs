@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The workspace decorates a handful of config enums/structs with
+//! `#[derive(Serialize, Deserialize)]` for forward compatibility but never
+//! routes them through serde serialization (JSON output is hand-built via
+//! the `serde_json` stub's `Value`). These derives therefore expand to
+//! nothing: the attribute compiles, no trait impl is generated.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any input item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any input item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

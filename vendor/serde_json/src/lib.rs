@@ -1,0 +1,306 @@
+//! Minimal offline stub of `serde_json`: a [`Value`] tree with compact and
+//! pretty printers. Objects preserve insertion order (like upstream's
+//! `preserve_order` feature), which keeps emitted reports byte-stable —
+//! the property the workspace's determinism tests rely on.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (non-finite values print as `null`, as upstream).
+    Number(f64),
+    /// An unsigned integer, kept exact — `f64` loses precision above
+    /// 2^53, which matters for 64-bit RNG seeds.
+    UInt(u64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Inserts (or replaces) `key` in an object; panics on non-objects.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        match self {
+            Value::Object(entries) => {
+                let key = key.into();
+                let value = value.into();
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = value;
+                } else {
+                    entries.push((key, value));
+                }
+                self
+            }
+            other => panic!("insert on non-object JSON value: {other:?}"),
+        }
+    }
+
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number (lossy above 2^53 for
+    /// [`Value::UInt`]; use [`Value::as_u64`] for exactness).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact unsigned payload, if this is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(out, *n),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, level + 1);
+                })
+            }
+            Value::Object(entries) => {
+                write_seq(out, indent, level, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = &entries[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                })
+            }
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * level));
+        }
+    }
+    out.push(close);
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+macro_rules! from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Number(n as f64)
+            }
+        }
+    )*};
+}
+
+from_number!(f32, f64, i8, i16, i32, i64, isize);
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::UInt(n as u64)
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Serializes a [`Value`] compactly.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    value.write(&mut out, None, 0);
+    out
+}
+
+/// Serializes a [`Value`] with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    value.write(&mut out, Some(2), 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        let mut obj = Value::object();
+        obj.insert("name", "bayesft");
+        obj.insert("trials", 4u32);
+        obj.insert("alpha", vec![0.25f64, 0.5]);
+        obj.insert("nested", {
+            let mut inner = Value::object();
+            inner.insert("ok", true);
+            inner
+        });
+        obj
+    }
+
+    #[test]
+    fn compact_round_trip_shape() {
+        let s = to_string(&sample());
+        assert_eq!(
+            s,
+            r#"{"name":"bayesft","trials":4,"alpha":[0.25,0.5],"nested":{"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_is_indented() {
+        let s = to_string_pretty(&sample());
+        assert!(s.contains("\n  \"name\": \"bayesft\""), "got: {s}");
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn escaping_handles_control_chars() {
+        let v = Value::String("a\"b\\c\nd\u{1}".into());
+        assert_eq!(to_string(&v), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Number(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn insert_replaces_existing_keys() {
+        let mut obj = Value::object();
+        obj.insert("k", 1u32);
+        obj.insert("k", 2u32);
+        assert_eq!(obj.get("k").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(to_string(&Value::Number(3.0)), "3");
+        assert_eq!(to_string(&Value::Number(3.5)), "3.5");
+    }
+
+    #[test]
+    fn u64_values_are_exact_at_full_width() {
+        let v = Value::from(u64::MAX);
+        assert_eq!(to_string(&v), "18446744073709551615");
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+}
