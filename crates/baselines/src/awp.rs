@@ -67,7 +67,9 @@ pub fn train_awp(
             //    step.
             let mut grads = Vec::new();
             net.visit_params(&mut |p| grads.push(p.grad.clone()));
-            snapshot.restore(net.as_mut());
+            snapshot
+                .restore(net.as_mut())
+                .expect("snapshot was taken from this network");
             let mut i = 0;
             net.visit_params(&mut |p| {
                 p.grad = grads[i].clone();

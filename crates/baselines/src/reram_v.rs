@@ -95,7 +95,9 @@ pub fn reram_v_accuracy(
             &mut rng,
         );
         values.push(model.accuracy(data));
-        reference.restore(model.net.as_mut());
+        reference
+            .restore(model.net.as_mut())
+            .expect("snapshot was taken from this network");
     }
     McStats::from_values(values)
 }

@@ -22,7 +22,7 @@ fn bench_drift_injection(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(1);
                 FaultInjector::inject(&mut net, &drift, &mut rng);
-                snapshot.restore(&mut net);
+                snapshot.restore(&mut net).unwrap();
             })
         });
     }

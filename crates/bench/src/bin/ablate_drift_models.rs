@@ -1,16 +1,19 @@
 //! Ablation (beyond the paper): does an architecture searched under
 //! log-normal drift stay robust under *other* fault distributions
-//! (additive Gaussian, uniform multiplicative, stuck-at defects)?
-//! The paper claims its methodology "can be seamlessly extended to other
-//! weight drifting distributions" — this bench quantifies the transfer,
-//! and adds a third arm that takes the claim literally: a search whose
-//! objective averages over a *mixture* of fault models
-//! (`DriftObjective::with_models`), which the engine accepts like any
-//! other objective.
+//! (additive Gaussian, uniform multiplicative, stuck-at defects, quantized
+//! analog pipelines)? The paper claims its methodology "can be seamlessly
+//! extended to other weight drifting distributions" — this bench
+//! quantifies the transfer, and adds a third arm that takes the claim
+//! literally: a search whose objective averages over a *mixture* of fault
+//! models (`DriftObjective::from_specs`), which the engine accepts like
+//! any other objective.
+//!
+//! Fault models are given in the shared [`reram::FaultSpec`] grammar —
+//! the same strings campaign files use — and the transfer list can be
+//! overridden from the command line:
 //!
 //! Run: `cargo run --release -p bench --bin ablate_drift_models`
-
-use std::sync::Arc;
+//!   or: `... --bin ablate_drift_models -- lognormal:0.9 quantize:8+devvar:0.2`
 
 use baselines::{drift_accuracy, train_erm};
 use bayesft::{DriftObjective, Engine};
@@ -18,7 +21,29 @@ use bench::{make_task, Scale};
 use models::{Mlp, MlpConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use reram::{DriftModel, GaussianAdditive, LogNormalDrift, StuckAtFault, UniformDrift};
+use reram::{DriftModel, FaultSpec};
+
+/// Fault mix the third search arm optimizes for.
+const MIXTURE_SPECS: [&str; 3] = ["lognormal:0.6", "gaussian:0.2", "stuckat:0.05,0.01,2"];
+
+/// Default off-distribution transfer suite.
+const TRANSFER_SPECS: [&str; 5] = [
+    "lognormal:0.9",
+    "gaussian:0.3",
+    "uniform:0.8",
+    "stuckat:0.1,0.02,2",
+    "quantize:16+lognormal:0.4",
+];
+
+fn parse_specs(specs: &[String]) -> Vec<FaultSpec> {
+    specs
+        .iter()
+        .map(|s| {
+            s.parse::<FaultSpec>()
+                .unwrap_or_else(|e| panic!("bad fault spec: {e}"))
+        })
+        .collect()
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -53,15 +78,10 @@ fn main() {
         .expect("engine run")
         .model;
 
-    // BayesFT searched under a mixture of fault distributions.
-    let mixture = DriftObjective::with_models(
-        vec![
-            Arc::new(LogNormalDrift::new(0.6)),
-            Arc::new(GaussianAdditive::new(0.2)),
-            Arc::new(StuckAtFault::new(0.05, 0.01, 2.0)),
-        ],
-        trials,
-    );
+    // BayesFT searched under a mixture of fault distributions, built from
+    // the same spec strings a campaign file would use.
+    let mixture_specs = parse_specs(&MIXTURE_SPECS.map(String::from));
+    let mixture = DriftObjective::from_specs(&mixture_specs, trials).expect("mixture objective");
     let mixed = search()
         .objective(mixture)
         .run(fresh_net(1), &task.train, &task.test)
@@ -73,19 +93,21 @@ fn main() {
     );
     let mut mixed = mixed.model;
 
-    let faults: Vec<(&str, Box<dyn DriftModel>)> = vec![
-        ("lognormal σ=0.9", Box::new(LogNormalDrift::new(0.9))),
-        ("gaussian σ=0.3", Box::new(GaussianAdditive::new(0.3))),
-        ("uniform δ=0.8", Box::new(UniformDrift::new(0.8))),
-        (
-            "stuck-at 10%/2%",
-            Box::new(StuckAtFault::new(0.10, 0.02, 2.0)),
-        ),
-    ];
+    // Transfer suite: CLI args override the default list.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let transfer_specs = if args.is_empty() {
+        parse_specs(&TRANSFER_SPECS.map(String::from))
+    } else {
+        parse_specs(&args)
+    };
+    let faults: Vec<(String, Box<dyn DriftModel>)> = transfer_specs
+        .iter()
+        .map(|spec| (spec.to_string(), spec.build().expect("validated spec")))
+        .collect();
 
     println!("Drift-model transfer — searched under log-normal vs fault mixture");
     println!(
-        "{:<20}{:>10}{:>12}{:>12}",
+        "{:<28}{:>10}{:>12}{:>12}",
         "fault model", "ERM", "BayesFT-LN", "BayesFT-mix"
     );
     for (label, fault) in &faults {
@@ -93,7 +115,7 @@ fn main() {
         let b = drift_accuracy(&mut bft, &task.test, fault.as_ref(), trials, 44).mean;
         let m = drift_accuracy(&mut mixed, &task.test, fault.as_ref(), trials, 44).mean;
         println!(
-            "{label:<20}{:>9.1}%{:>11.1}%{:>11.1}%",
+            "{label:<28}{:>9.1}%{:>11.1}%{:>11.1}%",
             e * 100.0,
             b * 100.0,
             m * 100.0

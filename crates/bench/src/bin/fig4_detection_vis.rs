@@ -59,7 +59,9 @@ fn show(det: &mut TinyDetector, data: &DetectionDataset, label: &str) {
         let mut rng = ChaCha8Rng::seed_from_u64(23);
         FaultInjector::inject(det, &LogNormalDrift::new(sigma), &mut rng);
         let dets = det.detect(&images, 0.5);
-        snapshot.restore(det);
+        snapshot
+            .restore(det)
+            .expect("snapshot was taken from this network");
         let scene = &data.scenes()[0];
         println!(
             "--- {label}, drift {sigma} — {} detection(s), {} ground truth ---",

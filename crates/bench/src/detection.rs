@@ -64,7 +64,9 @@ pub fn drift_map(
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9u64.wrapping_mul(t as u64 + 1)));
         reram::FaultInjector::inject(det, &LogNormalDrift::new(sigma), &mut rng);
         values.push(detector_map(det, data, 0.5));
-        snapshot.restore(det);
+        snapshot
+            .restore(det)
+            .expect("snapshot was taken from this network");
     }
     McStats::from_values(values)
 }

@@ -416,6 +416,7 @@ impl Engine {
                 best_alpha,
                 best_objective,
                 timings,
+                scenario: None,
             },
         })
     }

@@ -1,6 +1,7 @@
 //! The unified error type of the experiment engine.
 
 use bayesopt::GpError;
+use reram::FaultError;
 use std::fmt;
 
 /// Everything that can go wrong while configuring or running a BayesFT
@@ -42,6 +43,9 @@ pub enum BayesFtError {
     EmptySearchSpace,
     /// A builder or config value is out of its valid domain.
     InvalidConfig(String),
+    /// The fault-injection layer rejected a model parameter, fault spec,
+    /// or snapshot (see [`reram::FaultError`]).
+    Fault(FaultError),
 }
 
 impl fmt::Display for BayesFtError {
@@ -63,6 +67,7 @@ impl fmt::Display for BayesFtError {
                 )
             }
             BayesFtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BayesFtError::Fault(e) => write!(f, "fault model: {e}"),
         }
     }
 }
@@ -71,6 +76,7 @@ impl std::error::Error for BayesFtError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BayesFtError::Gp(e) => Some(e),
+            BayesFtError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -79,6 +85,12 @@ impl std::error::Error for BayesFtError {
 impl From<GpError> for BayesFtError {
     fn from(e: GpError) -> Self {
         BayesFtError::Gp(e)
+    }
+}
+
+impl From<FaultError> for BayesFtError {
+    fn from(e: FaultError) -> Self {
+        BayesFtError::Fault(e)
     }
 }
 
@@ -105,5 +117,15 @@ mod tests {
         use std::error::Error;
         let e = BayesFtError::from(GpError::SingularKernel);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn fault_errors_wrap_with_source() {
+        use std::error::Error;
+        let fault = "lognormal:bogus".parse::<reram::FaultSpec>().unwrap_err();
+        let e = BayesFtError::from(fault);
+        assert!(matches!(e, BayesFtError::Fault(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("lognormal:bogus"), "{e}");
     }
 }

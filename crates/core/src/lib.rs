@@ -70,6 +70,6 @@ pub use algorithm::{optimize_dropout, BayesFt, BayesFtConfig, BayesFtResult, Tri
 pub use engine::{Engine, ExperimentBuilder, ExperimentResult};
 pub use error::BayesFtError;
 pub use objective::{DriftObjective, EvalCtx, Objective, ObjectiveMetric};
-pub use report::{RunReport, StageTimings, TrialRecord};
+pub use report::{RunReport, ScenarioMeta, StageTimings, TrialRecord};
 pub use space::{DropoutSearchSpace, GroupedDropoutSpace, SearchSpace, SharedDropoutSpace};
 pub use sweep::{accuracy_vs_sigma, robustness_gain, MethodCurve, SweepTable, SIGMA_GRID};

@@ -160,6 +160,35 @@ impl DriftObjective {
         DriftObjective::with_models(levels, trials)
     }
 
+    /// Creates an objective averaging over the fault mix described by
+    /// textual/config [`reram::FaultSpec`]s — the entry point scenario
+    /// files and CLIs share (`lognormal:0.3`, `quantize:16+stuckat:0.01`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesFtError::InvalidConfig`] for an empty spec list or
+    /// `trials == 0`, and [`BayesFtError::Fault`] if a spec fails to build.
+    pub fn from_specs(
+        specs: &[reram::FaultSpec],
+        trials: usize,
+    ) -> Result<Self, crate::BayesFtError> {
+        if specs.is_empty() {
+            return Err(crate::BayesFtError::InvalidConfig(
+                "need at least one fault spec".into(),
+            ));
+        }
+        if trials == 0 {
+            return Err(crate::BayesFtError::InvalidConfig(
+                "need at least one Monte-Carlo sample".into(),
+            ));
+        }
+        let models = specs
+            .iter()
+            .map(reram::FaultSpec::build_arc)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DriftObjective::with_models(models, trials))
+    }
+
     /// Creates an objective averaging over arbitrary fault models.
     ///
     /// # Panics
@@ -260,7 +289,9 @@ impl DriftObjective {
                             let mut rng = ChaCha8Rng::seed_from_u64(sample_seed(i, t));
                             FaultInjector::inject(replica.as_mut(), levels[i].as_ref(), &mut rng);
                             local.push((k, evaluate_once(replica.as_mut(), data, metric)));
-                            snapshot_ref.restore(replica.as_mut());
+                            snapshot_ref
+                                .restore(replica.as_mut())
+                                .expect("snapshot was taken from this network's replica");
                             k += workers;
                         }
                         local
@@ -411,6 +442,47 @@ mod tests {
             let parallel = obj.evaluate_parallel(&mut net, &data, 11, workers);
             assert_eq!(serial.values, parallel.values, "{workers} workers");
         }
+    }
+
+    #[test]
+    fn from_specs_matches_hand_built_objective() {
+        let (mut net, data) = setup();
+        let specs: Vec<reram::FaultSpec> = ["lognormal:0.4", "stuckat:0.05"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let from_specs = DriftObjective::from_specs(&specs, 3).unwrap();
+        let by_hand = DriftObjective::with_models(
+            vec![
+                Arc::new(reram::LogNormalDrift::new(0.4)),
+                Arc::new(StuckAtFault::new(0.05, 0.0, 1.0)),
+            ],
+            3,
+        );
+        let a = from_specs.evaluate(&mut net, &data, 17);
+        let b = by_hand.evaluate(&mut net, &data, 17);
+        assert_eq!(a.values, b.values, "spec-built objective must be identical");
+    }
+
+    #[test]
+    fn from_specs_rejects_bad_configs() {
+        use crate::BayesFtError;
+        assert!(matches!(
+            DriftObjective::from_specs(&[], 3).unwrap_err(),
+            BayesFtError::InvalidConfig(_)
+        ));
+        let spec: reram::FaultSpec = "lognormal:0.3".parse().unwrap();
+        assert!(matches!(
+            DriftObjective::from_specs(&[spec], 0).unwrap_err(),
+            BayesFtError::InvalidConfig(_)
+        ));
+        // A spec built by hand (bypassing the validating parser) still
+        // surfaces a recoverable Fault error, not a panic.
+        let bad = reram::FaultSpec::LogNormal { sigma: -1.0 };
+        assert!(matches!(
+            DriftObjective::from_specs(&[bad], 3).unwrap_err(),
+            BayesFtError::Fault(_)
+        ));
     }
 
     #[test]

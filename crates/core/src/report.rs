@@ -35,6 +35,17 @@ pub struct StageTimings {
     pub total_ms: f64,
 }
 
+/// Which campaign scenario produced a report, when the engine was driven
+/// by a scenario runner rather than called directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioMeta {
+    /// Human-readable scenario name from the campaign file.
+    pub name: String,
+    /// Content digest of the scenario spec (hex), the memoization key
+    /// alongside the seed.
+    pub digest: String,
+}
+
 /// Everything a finished search produced, minus the trained model itself.
 ///
 /// Serializes to JSON via [`RunReport::to_json`] for downstream tooling;
@@ -55,6 +66,7 @@ pub struct StageTimings {
 ///     best_alpha: vec![0.5, 0.25],
 ///     best_objective: 0.9,
 ///     timings: StageTimings::default(),
+///     scenario: None,
 /// };
 /// let json = report.to_json_string();
 /// assert!(json.contains("\"best_alpha\":[0.5,0.25]"));
@@ -79,12 +91,28 @@ pub struct RunReport {
     pub best_objective: f64,
     /// Per-stage wall-clock breakdown.
     pub timings: StageTimings,
+    /// Campaign scenario that requested this run, if any (`None` for
+    /// direct [`Engine`](crate::Engine) calls).
+    pub scenario: Option<ScenarioMeta>,
 }
 
 impl RunReport {
+    /// Tags the report with the campaign scenario that produced it.
+    pub fn with_scenario(mut self, name: impl Into<String>, digest: impl Into<String>) -> Self {
+        self.scenario = Some(ScenarioMeta {
+            name: name.into(),
+            digest: digest.into(),
+        });
+        self
+    }
+
     /// Builds the JSON tree of the report.
     pub fn to_json(&self) -> Value {
         let mut root = Value::object();
+        if let Some(meta) = &self.scenario {
+            root.insert("scenario", meta.name.as_str());
+            root.insert("scenario_digest", meta.digest.as_str());
+        }
         root.insert("space", self.space.as_str());
         root.insert("objective", self.objective.as_str());
         root.insert("dim", self.dim);
@@ -143,6 +171,7 @@ impl RunReport {
             && self.trials == other.trials
             && self.best_alpha == other.best_alpha
             && self.best_objective == other.best_objective
+            && self.scenario == other.scenario
     }
 }
 
@@ -180,6 +209,7 @@ mod tests {
                 finetune_ms: 3.0,
                 total_ms: 19.5,
             },
+            scenario: None,
         }
     }
 
@@ -214,5 +244,17 @@ mod tests {
         let mut c = sample();
         c.best_objective = 0.9;
         assert!(!a.deterministic_eq(&c));
+    }
+
+    #[test]
+    fn scenario_metadata_serializes_and_distinguishes_reports() {
+        let plain = sample();
+        assert!(plain.to_json().get("scenario").is_none());
+        let tagged = sample().with_scenario("stuckat-sweep", "a1b2c3");
+        let json = tagged.to_json_string();
+        assert!(json.contains("\"scenario\":\"stuckat-sweep\""), "{json}");
+        assert!(json.contains("\"scenario_digest\":\"a1b2c3\""), "{json}");
+        assert!(!plain.deterministic_eq(&tagged));
+        assert!(tagged.deterministic_eq(&sample().with_scenario("stuckat-sweep", "a1b2c3")));
     }
 }

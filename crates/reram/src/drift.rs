@@ -1,6 +1,8 @@
-//! Weight-drift distributions.
+//! Weight-drift and device-fault distributions.
 
 use rand::Rng;
+
+use crate::FaultError;
 
 /// A memristance-drift distribution applied independently to each stored
 /// weight.
@@ -24,6 +26,28 @@ fn standard_normal(rng: &mut dyn rand::RngCore) -> f32 {
     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
     let u2: f32 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Checks that a spread-style parameter is finite and non-negative.
+fn check_spread(model: &'static str, name: &str, v: f32) -> Result<(), FaultError> {
+    if !(v >= 0.0 && v.is_finite()) {
+        return Err(FaultError::InvalidParam {
+            model,
+            reason: format!("{name} must be >= 0 and finite, got {v}"),
+        });
+    }
+    Ok(())
+}
+
+/// Checks that a probability lies in `[0, 1]`.
+fn check_prob(model: &'static str, name: &str, p: f32) -> Result<(), FaultError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FaultError::InvalidParam {
+            model,
+            reason: format!("{name} must be in [0, 1], got {p}"),
+        });
+    }
+    Ok(())
 }
 
 /// The paper's memristance-drift model (Eq. 1): `θ′ = θ·e^λ, λ ~ N(0, σ²)`,
@@ -51,10 +75,21 @@ impl LogNormalDrift {
     ///
     /// # Panics
     ///
-    /// Panics if `sigma` is negative or non-finite.
+    /// Panics if `sigma` is negative or non-finite; use
+    /// [`LogNormalDrift::try_new`] for a recoverable error.
     pub fn new(sigma: f32) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
-        LogNormalDrift { sigma }
+        Self::try_new(sigma).expect("sigma must be >= 0")
+    }
+
+    /// Fallible [`LogNormalDrift::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParam`] if `sigma` is negative or
+    /// non-finite.
+    pub fn try_new(sigma: f32) -> Result<Self, FaultError> {
+        check_spread("log_normal", "sigma", sigma)?;
+        Ok(LogNormalDrift { sigma })
     }
 
     /// The resistance-variation parameter σ.
@@ -76,8 +111,8 @@ impl DriftModel for LogNormalDrift {
     }
 }
 
-/// Additive Gaussian noise: `θ′ = θ + ε, ε ~ N(0, σ²)` (drift-transfer
-/// ablation; models electrical read noise rather than memristance drift).
+/// Additive Gaussian noise: `θ′ = θ + ε, ε ~ N(0, σ²)` (models electrical
+/// read noise at the sense amplifier rather than memristance drift).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GaussianAdditive {
     sigma: f32,
@@ -88,10 +123,21 @@ impl GaussianAdditive {
     ///
     /// # Panics
     ///
-    /// Panics if `sigma` is negative or non-finite.
+    /// Panics if `sigma` is negative or non-finite; use
+    /// [`GaussianAdditive::try_new`] for a recoverable error.
     pub fn new(sigma: f32) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
-        GaussianAdditive { sigma }
+        Self::try_new(sigma).expect("sigma must be >= 0")
+    }
+
+    /// Fallible [`GaussianAdditive::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParam`] if `sigma` is negative or
+    /// non-finite.
+    pub fn try_new(sigma: f32) -> Result<Self, FaultError> {
+        check_spread("gaussian_additive", "sigma", sigma)?;
+        Ok(GaussianAdditive { sigma })
     }
 }
 
@@ -117,10 +163,21 @@ impl UniformDrift {
     ///
     /// # Panics
     ///
-    /// Panics if `delta` is negative or non-finite.
+    /// Panics if `delta` is negative or non-finite; use
+    /// [`UniformDrift::try_new`] for a recoverable error.
     pub fn new(delta: f32) -> Self {
-        assert!(delta >= 0.0 && delta.is_finite(), "delta must be >= 0");
-        UniformDrift { delta }
+        Self::try_new(delta).expect("delta must be >= 0")
+    }
+
+    /// Fallible [`UniformDrift::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParam`] if `delta` is negative or
+    /// non-finite.
+    pub fn try_new(delta: f32) -> Result<Self, FaultError> {
+        check_spread("uniform", "delta", delta)?;
+        Ok(UniformDrift { delta })
     }
 }
 
@@ -134,6 +191,99 @@ impl DriftModel for UniformDrift {
 
     fn name(&self) -> &'static str {
         "uniform"
+    }
+}
+
+/// Additive uniform read noise: `θ′ = θ + U(−δ, δ)`.
+///
+/// Unlike [`UniformDrift`] the disturbance is independent of the stored
+/// magnitude — the signature of bounded quantization/readout error on the
+/// bit lines, which hits small weights proportionally hardest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformAdditive {
+    delta: f32,
+}
+
+impl UniformAdditive {
+    /// Creates additive uniform read noise with half-width `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative or non-finite; use
+    /// [`UniformAdditive::try_new`] for a recoverable error.
+    pub fn new(delta: f32) -> Self {
+        Self::try_new(delta).expect("delta must be >= 0")
+    }
+
+    /// Fallible [`UniformAdditive::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParam`] if `delta` is negative or
+    /// non-finite.
+    pub fn try_new(delta: f32) -> Result<Self, FaultError> {
+        check_spread("uniform_additive", "delta", delta)?;
+        Ok(UniformAdditive { delta })
+    }
+}
+
+impl DriftModel for UniformAdditive {
+    fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
+        if self.delta == 0.0 {
+            return value;
+        }
+        value + rng.gen_range(-self.delta..self.delta)
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform_additive"
+    }
+}
+
+/// Device-to-device variation: `θ′ = θ·(1 + ε), ε ~ N(0, σ²)`.
+///
+/// Each conductance cell gets its own Gaussian gain, modeling the static
+/// fabrication mismatch between devices (as opposed to the temporal drift
+/// of [`LogNormalDrift`]). Gains below −100 % are clamped so a cell can
+/// attenuate to zero but never invert the stored sign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceVariation {
+    sigma: f32,
+}
+
+impl DeviceVariation {
+    /// Creates device-to-device variation with relative spread `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite; use
+    /// [`DeviceVariation::try_new`] for a recoverable error.
+    pub fn new(sigma: f32) -> Self {
+        Self::try_new(sigma).expect("sigma must be >= 0")
+    }
+
+    /// Fallible [`DeviceVariation::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParam`] if `sigma` is negative or
+    /// non-finite.
+    pub fn try_new(sigma: f32) -> Result<Self, FaultError> {
+        check_spread("device_variation", "sigma", sigma)?;
+        Ok(DeviceVariation { sigma })
+    }
+}
+
+impl DriftModel for DeviceVariation {
+    fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
+        if self.sigma == 0.0 {
+            return value;
+        }
+        value * (1.0 + self.sigma * standard_normal(rng)).max(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "device_variation"
     }
 }
 
@@ -152,16 +302,48 @@ impl StuckAtFault {
     ///
     /// # Panics
     ///
-    /// Panics if the probabilities are outside `[0, 1]` or sum above 1.
+    /// Panics if the probabilities are outside `[0, 1]` or sum above 1; use
+    /// [`StuckAtFault::try_new`] for a recoverable error.
     pub fn new(p_zero: f32, p_max: f32, max_value: f32) -> Self {
-        assert!((0.0..=1.0).contains(&p_zero), "p_zero must be in [0, 1]");
-        assert!((0.0..=1.0).contains(&p_max), "p_max must be in [0, 1]");
-        assert!(p_zero + p_max <= 1.0, "fault probabilities exceed 1");
-        StuckAtFault {
+        // Guard order mirrors try_new's checks so each legacy panic prefix
+        // matches the error it wraps.
+        match Self::try_new(p_zero, p_max, max_value) {
+            Ok(model) => model,
+            Err(e) if !(0.0..=1.0).contains(&p_zero) || !(0.0..=1.0).contains(&p_max) => {
+                panic!("probability must be in [0, 1]: {e}")
+            }
+            Err(e) if p_zero + p_max > 1.0 => panic!("fault probabilities exceed 1: {e}"),
+            Err(e) => panic!("invalid stuck-at parameter: {e}"),
+        }
+    }
+
+    /// Fallible [`StuckAtFault::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParam`] if a probability is outside
+    /// `[0, 1]`, the probabilities sum above 1, or `max_value` is not
+    /// finite.
+    pub fn try_new(p_zero: f32, p_max: f32, max_value: f32) -> Result<Self, FaultError> {
+        check_prob("stuck_at", "p_zero", p_zero)?;
+        check_prob("stuck_at", "p_max", p_max)?;
+        if p_zero + p_max > 1.0 {
+            return Err(FaultError::InvalidParam {
+                model: "stuck_at",
+                reason: format!("p_zero + p_max must be <= 1, got {}", p_zero + p_max),
+            });
+        }
+        if !max_value.is_finite() {
+            return Err(FaultError::InvalidParam {
+                model: "stuck_at",
+                reason: format!("max_value must be finite, got {max_value}"),
+            });
+        }
+        Ok(StuckAtFault {
             p_zero,
             p_max,
             max_value,
-        }
+        })
     }
 }
 
@@ -201,16 +383,42 @@ impl BitFlipFault {
     /// # Panics
     ///
     /// Panics if `p_flip` is outside `[0, 1]`, `bits` is not in `2..=16`,
-    /// or `range` is not positive.
+    /// or `range` is not positive; use [`BitFlipFault::try_new`] for a
+    /// recoverable error.
     pub fn new(p_flip: f32, bits: u32, range: f32) -> Self {
-        assert!((0.0..=1.0).contains(&p_flip), "p_flip must be in [0, 1]");
-        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
-        assert!(range > 0.0, "range must be positive");
-        BitFlipFault {
+        match Self::try_new(p_flip, bits, range) {
+            Ok(model) => model,
+            Err(e) if !(0.0..=1.0).contains(&p_flip) => panic!("p_flip must be in [0, 1]: {e}"),
+            Err(e) if !(2..=16).contains(&bits) => panic!("bits must be in 2..=16: {e}"),
+            Err(e) => panic!("range must be positive: {e}"),
+        }
+    }
+
+    /// Fallible [`BitFlipFault::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParam`] if `p_flip` is outside
+    /// `[0, 1]`, `bits` is not in `2..=16`, or `range` is not positive.
+    pub fn try_new(p_flip: f32, bits: u32, range: f32) -> Result<Self, FaultError> {
+        check_prob("bit_flip", "p_flip", p_flip)?;
+        if !(2..=16).contains(&bits) {
+            return Err(FaultError::InvalidParam {
+                model: "bit_flip",
+                reason: format!("bits must be in 2..=16, got {bits}"),
+            });
+        }
+        if !(range > 0.0 && range.is_finite()) {
+            return Err(FaultError::InvalidParam {
+                model: "bit_flip",
+                reason: format!("range must be positive and finite, got {range}"),
+            });
+        }
+        Ok(BitFlipFault {
             p_flip,
             bits,
             range,
-        }
+        })
     }
 }
 
@@ -234,20 +442,89 @@ impl DriftModel for BitFlipFault {
     }
 }
 
-/// Applies several drift models in sequence (e.g. log-normal drift plus
-/// stuck-at defects).
-pub struct CompositeDrift {
-    models: Vec<Box<dyn DriftModel>>,
+/// Discrete conductance-level quantization: the value is clamped to
+/// `[-range, range]` and rounded to the nearest of `levels` evenly spaced
+/// conductance levels. Deterministic — the RNG is unused — so it composes
+/// cleanly with stochastic models in a [`CompositeFault`] (e.g. quantize
+/// the programmed level, then drift it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelQuantization {
+    levels: u32,
+    range: f32,
 }
 
-impl CompositeDrift {
-    /// Chains the given models; they are applied in order.
-    pub fn new(models: Vec<Box<dyn DriftModel>>) -> Self {
-        CompositeDrift { models }
+impl LevelQuantization {
+    /// Creates a quantizer with `levels` conductance levels over
+    /// `[-range, range]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `range` is not positive; use
+    /// [`LevelQuantization::try_new`] for a recoverable error.
+    pub fn new(levels: u32, range: f32) -> Self {
+        Self::try_new(levels, range).expect("levels must be >= 2 and range positive")
+    }
+
+    /// Fallible [`LevelQuantization::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParam`] if `levels < 2` or `range` is
+    /// not positive and finite.
+    pub fn try_new(levels: u32, range: f32) -> Result<Self, FaultError> {
+        if levels < 2 {
+            return Err(FaultError::InvalidParam {
+                model: "quantize",
+                reason: format!("need at least 2 conductance levels, got {levels}"),
+            });
+        }
+        if !(range > 0.0 && range.is_finite()) {
+            return Err(FaultError::InvalidParam {
+                model: "quantize",
+                reason: format!("range must be positive and finite, got {range}"),
+            });
+        }
+        Ok(LevelQuantization { levels, range })
     }
 }
 
-impl DriftModel for CompositeDrift {
+impl DriftModel for LevelQuantization {
+    fn perturb(&self, value: f32, _rng: &mut dyn rand::RngCore) -> f32 {
+        let step = 2.0 * self.range / (self.levels - 1) as f32;
+        let clamped = value.clamp(-self.range, self.range);
+        let code = ((clamped + self.range) / step).round();
+        code * step - self.range
+    }
+
+    fn name(&self) -> &'static str {
+        "quantize"
+    }
+}
+
+/// Applies several fault models in sequence (e.g. conductance quantization,
+/// then log-normal drift, then stuck-at defects).
+///
+/// The chain is deterministic in `(input, RNG state)`: models are applied
+/// in construction order against the single RNG stream passed to
+/// [`DriftModel::perturb`], so the same seed always reproduces the same
+/// composite perturbation.
+pub struct CompositeFault {
+    models: Vec<Box<dyn DriftModel>>,
+}
+
+impl CompositeFault {
+    /// Chains the given models; they are applied in order.
+    pub fn new(models: Vec<Box<dyn DriftModel>>) -> Self {
+        CompositeFault { models }
+    }
+
+    /// The chained models, in application order.
+    pub fn models(&self) -> &[Box<dyn DriftModel>] {
+        &self.models
+    }
+}
+
+impl DriftModel for CompositeFault {
     fn perturb(&self, value: f32, rng: &mut dyn rand::RngCore) -> f32 {
         self.models.iter().fold(value, |v, m| m.perturb(v, rng))
     }
@@ -256,6 +533,9 @@ impl DriftModel for CompositeDrift {
         "composite"
     }
 }
+
+/// Former name of [`CompositeFault`].
+pub type CompositeDrift = CompositeFault;
 
 #[cfg(test)]
 mod tests {
@@ -276,6 +556,14 @@ mod tests {
         );
         assert_eq!(
             UniformDrift::new(0.0).perturb(2.5, &mut ChaCha8Rng::seed_from_u64(0)),
+            2.5
+        );
+        assert_eq!(
+            UniformAdditive::new(0.0).perturb(2.5, &mut ChaCha8Rng::seed_from_u64(0)),
+            2.5
+        );
+        assert_eq!(
+            DeviceVariation::new(0.0).perturb(2.5, &mut ChaCha8Rng::seed_from_u64(0)),
             2.5
         );
     }
@@ -323,6 +611,35 @@ mod tests {
     }
 
     #[test]
+    fn uniform_additive_is_magnitude_independent() {
+        let model = UniformAdditive::new(0.1);
+        // Disturbance bounds do not scale with the stored value.
+        assert!(samples(&model, 10.0, 2000)
+            .iter()
+            .all(|&v| (9.9..10.1).contains(&v)));
+        assert!(samples(&model, 0.0, 2000)
+            .iter()
+            .all(|&v| (-0.1..0.1).contains(&v)));
+    }
+
+    #[test]
+    fn device_variation_keeps_sign_and_centers_on_value() {
+        let model = DeviceVariation::new(0.1);
+        let s = samples(&model, -2.0, 20_000);
+        assert!(s.iter().all(|&v| v <= 0.0), "gain clamp must preserve sign");
+        let mean: f32 = s.iter().sum::<f32>() / s.len() as f32;
+        assert!((mean + 2.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn device_variation_large_sigma_clamps_at_zero() {
+        let model = DeviceVariation::new(5.0);
+        let s = samples(&model, 1.0, 5_000);
+        assert!(s.contains(&0.0), "some gains must clamp to 0");
+        assert!(s.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
     fn stuck_at_rates_are_respected() {
         let model = StuckAtFault::new(0.1, 0.05, 3.0);
         let s = samples(&model, -1.0, 50_000);
@@ -336,12 +653,61 @@ mod tests {
 
     #[test]
     fn composite_applies_in_sequence() {
-        let comp = CompositeDrift::new(vec![
+        let comp = CompositeFault::new(vec![
             Box::new(StuckAtFault::new(1.0, 0.0, 0.0)), // everything sticks to zero
             Box::new(GaussianAdditive::new(0.0)),
         ]);
         assert_eq!(comp.perturb(5.0, &mut ChaCha8Rng::seed_from_u64(1)), 0.0);
         assert_eq!(comp.name(), "composite");
+        assert_eq!(comp.models().len(), 2);
+    }
+
+    #[test]
+    fn composite_is_deterministic_in_the_seed() {
+        let comp = CompositeFault::new(vec![
+            Box::new(LevelQuantization::new(16, 2.0)),
+            Box::new(LogNormalDrift::new(0.4)),
+            Box::new(StuckAtFault::new(0.1, 0.05, 2.0)),
+        ]);
+        for seed in [0u64, 1, 99] {
+            let a: Vec<f32> = {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                (0..64)
+                    .map(|i| comp.perturb(i as f32 / 32.0, &mut rng))
+                    .collect()
+            };
+            let b: Vec<f32> = {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                (0..64)
+                    .map(|i| comp.perturb(i as f32 / 32.0, &mut rng))
+                    .collect()
+            };
+            assert_eq!(a, b, "seed {seed} not reproducible");
+        }
+    }
+
+    #[test]
+    fn quantization_is_deterministic_and_snaps_to_levels() {
+        let model = LevelQuantization::new(5, 1.0); // levels at -1, -0.5, 0, 0.5, 1
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(model.perturb(0.3, &mut rng), 0.5);
+        assert_eq!(model.perturb(0.2, &mut rng), 0.0);
+        assert_eq!(model.perturb(-0.8, &mut rng), -1.0);
+        // Out-of-range values clamp to the extreme levels.
+        assert_eq!(model.perturb(7.0, &mut rng), 1.0);
+        assert_eq!(model.perturb(-7.0, &mut rng), -1.0);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_a_step() {
+        let model = LevelQuantization::new(33, 1.0);
+        let step = 2.0 / 32.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for i in 0..200 {
+            let w = -1.0 + 2.0 * (i as f32 / 199.0);
+            let out = model.perturb(w, &mut rng);
+            assert!((out - w).abs() <= step / 2.0 + 1e-6, "{w} -> {out}");
+        }
     }
 
     #[test]
@@ -394,5 +760,20 @@ mod tests {
     #[should_panic(expected = "fault probabilities exceed 1")]
     fn stuck_at_rejects_excess_probability() {
         let _ = StuckAtFault::new(0.7, 0.6, 1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_params_recoverably() {
+        assert!(LogNormalDrift::try_new(f32::NAN).is_err());
+        assert!(GaussianAdditive::try_new(-0.1).is_err());
+        assert!(UniformAdditive::try_new(f32::INFINITY).is_err());
+        assert!(DeviceVariation::try_new(-1.0).is_err());
+        assert!(StuckAtFault::try_new(0.7, 0.6, 1.0).is_err());
+        assert!(StuckAtFault::try_new(0.1, 0.1, f32::NAN).is_err());
+        assert!(BitFlipFault::try_new(0.1, 1, 1.0).is_err());
+        assert!(BitFlipFault::try_new(0.1, 8, 0.0).is_err());
+        assert!(LevelQuantization::try_new(1, 1.0).is_err());
+        assert!(LevelQuantization::try_new(8, -1.0).is_err());
+        assert!(LogNormalDrift::try_new(0.3).is_ok());
     }
 }

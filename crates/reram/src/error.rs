@@ -1,0 +1,82 @@
+//! Recoverable errors for fault-model construction, spec parsing, and
+//! snapshot restoration.
+
+use std::fmt;
+
+/// Everything that can go wrong in the fault-injection layer.
+///
+/// These used to be `assert!` panics; surfacing them as values lets a
+/// campaign driver reject one malformed scenario and keep running the rest
+/// instead of aborting the whole sweep.
+///
+/// # Example
+///
+/// ```
+/// use reram::{FaultError, FaultSpec};
+///
+/// let err = "lognormal:-0.3".parse::<FaultSpec>().unwrap_err();
+/// assert!(matches!(err, FaultError::Parse { .. }));
+/// assert!(err.to_string().contains("lognormal:-0.3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A fault-model parameter is outside its valid domain.
+    InvalidParam {
+        /// The model's short name (e.g. `"log_normal"`).
+        model: &'static str,
+        /// What was wrong with the parameter.
+        reason: String,
+    },
+    /// A textual fault spec could not be parsed.
+    Parse {
+        /// The offending spec string.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A [`WeightSnapshot`](crate::WeightSnapshot) does not match the
+    /// network it is being restored into.
+    SnapshotMismatch {
+        /// How the structures diverge.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidParam { model, reason } => {
+                write!(f, "invalid {model} parameter: {reason}")
+            }
+            FaultError::Parse { spec, reason } => {
+                write!(f, "cannot parse fault spec '{spec}': {reason}")
+            }
+            FaultError::SnapshotMismatch { reason } => {
+                write!(f, "snapshot does not match network: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FaultError::InvalidParam {
+            model: "log_normal",
+            reason: "sigma must be >= 0".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid log_normal parameter: sigma must be >= 0"
+        );
+        let e = FaultError::SnapshotMismatch {
+            reason: "parameter 2 changed shape".into(),
+        };
+        assert!(e.to_string().contains("parameter 2"));
+    }
+}

@@ -5,7 +5,7 @@ use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use tensor::Tensor;
 
-use crate::DriftModel;
+use crate::{DriftModel, FaultError};
 
 /// A copy of every trainable parameter of a network, in visit order.
 ///
@@ -19,30 +19,56 @@ pub struct WeightSnapshot {
 impl WeightSnapshot {
     /// Writes the saved values back into `network`.
     ///
-    /// # Panics
+    /// A structural mismatch is detected **before** any parameter is
+    /// written, so on error the network is left exactly as it was — a
+    /// malformed snapshot (e.g. loaded from a stale weight file by a
+    /// campaign scenario) cannot half-restore a model.
     ///
-    /// Panics if the network's parameter structure changed since the
-    /// snapshot was taken.
-    pub fn restore(&self, network: &mut dyn Layer) {
+    /// # Errors
+    ///
+    /// Returns [`FaultError::SnapshotMismatch`] if the network's parameter
+    /// structure differs from what the snapshot captured.
+    pub fn restore(&self, network: &mut dyn Layer) -> Result<(), FaultError> {
+        let mut idx = 0usize;
+        let mut mismatch: Option<String> = None;
+        network.visit_params(&mut |p| {
+            if mismatch.is_some() {
+                return;
+            }
+            match self.values.get(idx) {
+                None => {
+                    mismatch = Some(format!(
+                        "network has more parameters than the snapshot's {}",
+                        self.values.len()
+                    ));
+                }
+                Some(saved) if saved.dims() != p.value.dims() => {
+                    mismatch = Some(format!(
+                        "parameter {idx} changed shape since snapshot: {:?} vs {:?}",
+                        saved.dims(),
+                        p.value.dims()
+                    ));
+                }
+                Some(_) => idx += 1,
+            }
+        });
+        if let Some(reason) = mismatch {
+            return Err(FaultError::SnapshotMismatch { reason });
+        }
+        if idx != self.values.len() {
+            return Err(FaultError::SnapshotMismatch {
+                reason: format!(
+                    "network has {idx} parameters, snapshot has {}",
+                    self.values.len()
+                ),
+            });
+        }
         let mut idx = 0usize;
         network.visit_params(&mut |p| {
-            assert!(
-                idx < self.values.len(),
-                "network has more parameters than the snapshot"
-            );
-            assert_eq!(
-                p.value.dims(),
-                self.values[idx].dims(),
-                "parameter {idx} changed shape since snapshot"
-            );
             p.value = self.values[idx].clone();
             idx += 1;
         });
-        assert_eq!(
-            idx,
-            self.values.len(),
-            "network has fewer parameters than the snapshot"
-        );
+        Ok(())
     }
 
     /// Number of parameter tensors captured.
@@ -173,7 +199,9 @@ impl FaultInjector {
         let snapshot = FaultInjector::snapshot(network);
         FaultInjector::inject(network, model, rng);
         let result = f(network);
-        snapshot.restore(network);
+        snapshot
+            .restore(network)
+            .expect("snapshot was taken from this network");
         result
     }
 }
@@ -297,7 +325,9 @@ pub fn monte_carlo(
         let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, t));
         FaultInjector::inject(network, model, &mut rng);
         values.push(metric(network));
-        snapshot.restore(network);
+        snapshot
+            .restore(network)
+            .expect("snapshot was taken from this network");
     }
     McStats::from_values(values)
 }
@@ -352,7 +382,9 @@ pub fn monte_carlo_parallel(
                         let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, t));
                         FaultInjector::inject(replica.as_mut(), model, &mut rng);
                         local.push((t, metric(replica.as_mut())));
-                        snapshot_ref.restore(replica.as_mut());
+                        snapshot_ref
+                            .restore(replica.as_mut())
+                            .expect("snapshot was taken from this network's replica");
                         t += workers;
                     }
                     local
@@ -391,7 +423,7 @@ mod tests {
         assert_eq!(snap.len(), 4); // 2 weights + 2 biases
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         FaultInjector::inject(&mut net, &LogNormalDrift::new(1.0), &mut rng);
-        snap.restore(&mut net);
+        snap.restore(&mut net).unwrap();
         let snap2 = FaultInjector::snapshot(&mut net);
         for (a, b) in snap.scalar_count_pairs(&snap2) {
             assert_eq!(a, b);
@@ -546,12 +578,66 @@ mod tests {
             assert_eq!(a.as_slice(), b.as_slice());
         }
         // Loaded snapshot can restore the network (deployment round trip).
-        loaded.restore(&mut net);
+        loaded.restore(&mut net).unwrap();
     }
 
     #[test]
     fn snapshot_read_rejects_garbage() {
         assert!(WeightSnapshot::read_from(&b"NOPE1234"[..]).is_err());
         assert!(WeightSnapshot::read_from(&b"BF"[..]).is_err()); // truncated
+    }
+
+    #[test]
+    fn restore_into_mismatched_network_is_a_recoverable_error() {
+        let mut small = test_net(20);
+        let mut big = {
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            Sequential::new(vec![
+                Box::new(Dense::new(3, 4, &mut rng)),
+                Box::new(Dense::new(4, 4, &mut rng)),
+                Box::new(Dense::new(4, 2, &mut rng)),
+            ])
+        };
+        let small_snap = FaultInjector::snapshot(&mut small);
+        let big_snap = FaultInjector::snapshot(&mut big);
+
+        // Too few saved tensors for the target network.
+        let err = small_snap.restore(&mut big).unwrap_err();
+        assert!(matches!(err, crate::FaultError::SnapshotMismatch { .. }));
+        // Too many saved tensors for the target network.
+        let err = big_snap.restore(&mut small).unwrap_err();
+        assert!(matches!(err, crate::FaultError::SnapshotMismatch { .. }));
+        // Same tensor count, different shapes.
+        let mut other = {
+            let mut rng = ChaCha8Rng::seed_from_u64(22);
+            Sequential::new(vec![
+                Box::new(Dense::new(3, 5, &mut rng)),
+                Box::new(nn::Relu::new()),
+                Box::new(Dense::new(5, 2, &mut rng)),
+            ])
+        };
+        let err = small_snap.restore(&mut other).unwrap_err();
+        assert!(err.to_string().contains("changed shape"), "{err}");
+    }
+
+    #[test]
+    fn failed_restore_leaves_the_network_untouched() {
+        let mut net = test_net(23);
+        let x = Tensor::ones(&[1, 3]);
+        let before = net.forward(&x, Mode::Eval);
+        let mut other = {
+            let mut rng = ChaCha8Rng::seed_from_u64(24);
+            Sequential::new(vec![
+                Box::new(Dense::new(3, 5, &mut rng)),
+                Box::new(nn::Relu::new()),
+                Box::new(Dense::new(5, 2, &mut rng)),
+            ])
+        };
+        // First tensor shape matches neither network fully; the pre-write
+        // validation must reject without mutating anything.
+        assert!(FaultInjector::snapshot(&mut other)
+            .restore(&mut net)
+            .is_err());
+        assert_eq!(before.as_slice(), net.forward(&x, Mode::Eval).as_slice());
     }
 }

@@ -6,12 +6,22 @@
 //!
 //! * [`DriftModel`] — pluggable weight-perturbation distributions. The
 //!   paper's model (Eq. 1) is [`LogNormalDrift`]: `θ′ = θ·e^λ` with
-//!   `λ ~ N(0, σ²)`. Gaussian-additive, uniform-multiplicative, and
-//!   stuck-at fault models are provided for the drift-transfer ablation.
+//!   `λ ~ N(0, σ²)`. The full fault suite covers additive Gaussian and
+//!   uniform read noise ([`GaussianAdditive`], [`UniformAdditive`]),
+//!   bounded process variation ([`UniformDrift`]), static device-to-device
+//!   mismatch ([`DeviceVariation`]), stuck-at-zero/one conductance defects
+//!   ([`StuckAtFault`]), digital bit flips ([`BitFlipFault`]), discrete
+//!   conductance-level quantization ([`LevelQuantization`]), and
+//!   deterministic chains of any of these ([`CompositeFault`]).
+//! * [`FaultSpec`] — a textual/serializable spec grammar
+//!   (`lognormal:0.3`, `quantize:16+stuckat:0.01`) shared by CLIs and JSON
+//!   configs, with `FromStr`/`Display` round-tripping and validated
+//!   [`FaultSpec::build`] instantiation.
 //! * [`FaultInjector`] — snapshots a trained network's parameters, applies
 //!   a drift model to every trainable value (dense/conv weights, biases,
 //!   and normalization γ/β — the paper's "Achilles heel"), and restores the
-//!   pristine weights afterwards.
+//!   pristine weights afterwards. Structural mismatches surface as
+//!   recoverable [`FaultError`]s, not panics.
 //! * [`monte_carlo`] / [`monte_carlo_parallel`] — the Monte-Carlo
 //!   marginalization of Eq. (4): evaluate a metric under `T` independent
 //!   drift samples, serially or fanned out over scoped worker threads with
@@ -26,7 +36,7 @@
 //! use nn::{Dense, Layer, Mode};
 //! use rand::SeedableRng;
 //! use rand_chacha::ChaCha8Rng;
-//! use reram::{FaultInjector, LogNormalDrift};
+//! use reram::{FaultInjector, FaultSpec};
 //! use tensor::Tensor;
 //!
 //! let mut rng = ChaCha8Rng::seed_from_u64(0);
@@ -34,24 +44,31 @@
 //! let x = Tensor::ones(&[1, 4]);
 //! let clean = net.forward(&x, Mode::Eval);
 //!
+//! // Any fault mix, described as text.
+//! let model = "quantize:16+lognormal:0.5".parse::<FaultSpec>()?.build()?;
 //! let snapshot = FaultInjector::snapshot(&mut net);
-//! FaultInjector::inject(&mut net, &LogNormalDrift::new(0.5), &mut rng);
+//! FaultInjector::inject(&mut net, model.as_ref(), &mut rng);
 //! let drifted = net.forward(&x, Mode::Eval); // degraded output
-//! snapshot.restore(&mut net);
+//! snapshot.restore(&mut net)?;
 //! let restored = net.forward(&x, Mode::Eval);
 //! assert_eq!(clean.as_slice(), restored.as_slice());
 //! # let _ = drifted;
+//! # Ok::<(), reram::FaultError>(())
 //! ```
 
 mod crossbar;
 mod drift;
+mod error;
 mod inject;
+mod spec;
 
 pub use crossbar::{Crossbar, CrossbarConfig, DriftReport};
 pub use drift::{
-    BitFlipFault, CompositeDrift, DriftModel, GaussianAdditive, LogNormalDrift, StuckAtFault,
-    UniformDrift,
+    BitFlipFault, CompositeDrift, CompositeFault, DeviceVariation, DriftModel, GaussianAdditive,
+    LevelQuantization, LogNormalDrift, StuckAtFault, UniformAdditive, UniformDrift,
 };
+pub use error::FaultError;
 pub use inject::{
     mix_seed, monte_carlo, monte_carlo_parallel, FaultInjector, McStats, WeightSnapshot,
 };
+pub use spec::FaultSpec;

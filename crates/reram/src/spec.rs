@@ -1,0 +1,528 @@
+//! Textual fault-model specs: one grammar shared by CLIs and JSON configs.
+//!
+//! A spec is `name:arg[,arg...]`, e.g. `lognormal:0.3` or
+//! `stuckat:0.01,0.005,1.5`; chains are joined with `+`
+//! (`quantize:16+lognormal:0.3` quantizes the programmed conductance and
+//! then drifts it). [`FaultSpec`] parses ([`std::str::FromStr`]) and prints
+//! ([`std::fmt::Display`]) this grammar losslessly, and [`FaultSpec::build`]
+//! instantiates the corresponding [`DriftModel`].
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::{
+    BitFlipFault, CompositeFault, DeviceVariation, DriftModel, FaultError, GaussianAdditive,
+    LevelQuantization, LogNormalDrift, StuckAtFault, UniformAdditive, UniformDrift,
+};
+
+/// A parsed, serializable description of one fault model (or a `+`-chain
+/// of them).
+///
+/// Numeric fields are stored exactly as parsed; [`fmt::Display`] emits the
+/// shortest form that round-trips, eliding trailing arguments that still
+/// hold their defaults. `Display` → `FromStr` is the identity on
+/// **canonical** values — everything `FromStr` itself can produce. The
+/// only non-canonical values are degenerate composites built in code
+/// (empty, single-element, or nested), which the text grammar cannot
+/// express; [`FaultSpec::normalize`] folds them to canonical form, and an
+/// empty composite is rejected by [`FaultSpec::build`] before it can
+/// reach a config file.
+///
+/// # Example
+///
+/// ```
+/// use reram::FaultSpec;
+///
+/// let spec: FaultSpec = "quantize:16+lognormal:0.3".parse().unwrap();
+/// assert_eq!(spec.to_string(), "quantize:16+lognormal:0.3");
+/// let model = spec.build().unwrap();
+/// assert_eq!(model.name(), "composite");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// `lognormal:σ` — the paper's multiplicative log-normal drift.
+    LogNormal {
+        /// Resistance variation σ.
+        sigma: f32,
+    },
+    /// `gaussian:σ` — additive Gaussian read noise.
+    Gaussian {
+        /// Noise standard deviation.
+        sigma: f32,
+    },
+    /// `uniform:δ` — multiplicative uniform process variation.
+    Uniform {
+        /// Relative half-width.
+        delta: f32,
+    },
+    /// `uniformread:δ` — additive uniform read noise.
+    UniformRead {
+        /// Absolute half-width.
+        delta: f32,
+    },
+    /// `stuckat:p₀[,p₁[,max]]` — stuck-at-zero / stuck-at-max conductance
+    /// faults (defaults: `p₁ = 0`, `max = 1`).
+    StuckAt {
+        /// Probability a cell reads 0.
+        p_zero: f32,
+        /// Probability a cell saturates to ±`max_value`.
+        p_max: f32,
+        /// Saturation magnitude.
+        max_value: f32,
+    },
+    /// `bitflip:p[,bits[,range]]` — per-bit flips in a fixed-point code
+    /// (defaults: `bits = 8`, `range = 1`).
+    BitFlip {
+        /// Per-bit flip probability.
+        p_flip: f32,
+        /// Code width in bits.
+        bits: u32,
+        /// Code span `[-range, range]`.
+        range: f32,
+    },
+    /// `quantize:levels[,range]` — deterministic conductance-level
+    /// quantization (default: `range = 1`).
+    Quantize {
+        /// Number of discrete conductance levels.
+        levels: u32,
+        /// Level span `[-range, range]`.
+        range: f32,
+    },
+    /// `devvar:σ` — static device-to-device gain variation.
+    DeviceVariation {
+        /// Relative gain spread.
+        sigma: f32,
+    },
+    /// `a+b+…` — the models applied in sequence.
+    Composite(Vec<FaultSpec>),
+}
+
+impl FaultSpec {
+    /// Instantiates the described fault model, validating every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidParam`] for out-of-domain parameters
+    /// (the same checks the `try_new` constructors make) or an empty
+    /// composite.
+    pub fn build(&self) -> Result<Box<dyn DriftModel>, FaultError> {
+        Ok(match self {
+            FaultSpec::LogNormal { sigma } => Box::new(LogNormalDrift::try_new(*sigma)?),
+            FaultSpec::Gaussian { sigma } => Box::new(GaussianAdditive::try_new(*sigma)?),
+            FaultSpec::Uniform { delta } => Box::new(UniformDrift::try_new(*delta)?),
+            FaultSpec::UniformRead { delta } => Box::new(UniformAdditive::try_new(*delta)?),
+            FaultSpec::StuckAt {
+                p_zero,
+                p_max,
+                max_value,
+            } => Box::new(StuckAtFault::try_new(*p_zero, *p_max, *max_value)?),
+            FaultSpec::BitFlip {
+                p_flip,
+                bits,
+                range,
+            } => Box::new(BitFlipFault::try_new(*p_flip, *bits, *range)?),
+            FaultSpec::Quantize { levels, range } => {
+                Box::new(LevelQuantization::try_new(*levels, *range)?)
+            }
+            FaultSpec::DeviceVariation { sigma } => Box::new(DeviceVariation::try_new(*sigma)?),
+            FaultSpec::Composite(parts) => {
+                if parts.is_empty() {
+                    return Err(FaultError::InvalidParam {
+                        model: "composite",
+                        reason: "needs at least one chained model".into(),
+                    });
+                }
+                let models = parts
+                    .iter()
+                    .map(FaultSpec::build)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Box::new(CompositeFault::new(models))
+            }
+        })
+    }
+
+    /// [`FaultSpec::build`] returning an `Arc`, the form
+    /// `DriftObjective::with_models` consumes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FaultSpec::build`].
+    pub fn build_arc(&self) -> Result<Arc<dyn DriftModel>, FaultError> {
+        self.build().map(Arc::from)
+    }
+
+    /// Folds degenerate composites into the canonical form the text
+    /// grammar produces: nested composites flatten, a single-element
+    /// composite becomes its element. After normalization,
+    /// `Display` → `FromStr` is the identity for every buildable spec.
+    pub fn normalize(self) -> FaultSpec {
+        match self {
+            FaultSpec::Composite(parts) => {
+                let mut flat = Vec::with_capacity(parts.len());
+                for part in parts {
+                    match part.normalize() {
+                        FaultSpec::Composite(inner) => flat.extend(inner),
+                        leaf => flat.push(leaf),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("len checked")
+                } else {
+                    FaultSpec::Composite(flat)
+                }
+            }
+            leaf => leaf,
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpec::LogNormal { sigma } => write!(f, "lognormal:{sigma}"),
+            FaultSpec::Gaussian { sigma } => write!(f, "gaussian:{sigma}"),
+            FaultSpec::Uniform { delta } => write!(f, "uniform:{delta}"),
+            FaultSpec::UniformRead { delta } => write!(f, "uniformread:{delta}"),
+            FaultSpec::StuckAt {
+                p_zero,
+                p_max,
+                max_value,
+            } => {
+                write!(f, "stuckat:{p_zero}")?;
+                if *max_value != 1.0 {
+                    write!(f, ",{p_max},{max_value}")
+                } else if *p_max != 0.0 {
+                    write!(f, ",{p_max}")
+                } else {
+                    Ok(())
+                }
+            }
+            FaultSpec::BitFlip {
+                p_flip,
+                bits,
+                range,
+            } => {
+                write!(f, "bitflip:{p_flip}")?;
+                if *range != 1.0 {
+                    write!(f, ",{bits},{range}")
+                } else if *bits != 8 {
+                    write!(f, ",{bits}")
+                } else {
+                    Ok(())
+                }
+            }
+            FaultSpec::Quantize { levels, range } => {
+                write!(f, "quantize:{levels}")?;
+                if *range != 1.0 {
+                    write!(f, ",{range}")?;
+                }
+                Ok(())
+            }
+            FaultSpec::DeviceVariation { sigma } => write!(f, "devvar:{sigma}"),
+            FaultSpec::Composite(parts) => {
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{part}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl FromStr for FaultSpec {
+    type Err = FaultError;
+
+    fn from_str(s: &str) -> Result<Self, FaultError> {
+        let parse_err = |reason: String| FaultError::Parse {
+            spec: s.to_string(),
+            reason,
+        };
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            return Err(parse_err("empty spec".into()));
+        }
+        if trimmed.contains('+') {
+            let parts = trimmed
+                .split('+')
+                .map(|part| parse_single(part.trim(), &parse_err))
+                .collect::<Result<Vec<_>, _>>()?;
+            let spec = FaultSpec::Composite(parts);
+            // Validate the whole chain so a config error surfaces at parse
+            // time, not mid-campaign.
+            spec.build().map_err(|e| parse_err(e.to_string()))?;
+            return Ok(spec);
+        }
+        let spec = parse_single(trimmed, &parse_err)?;
+        spec.build().map_err(|e| parse_err(e.to_string()))?;
+        Ok(spec)
+    }
+}
+
+/// Parses one `name:args` segment (no `+` chaining).
+fn parse_single(
+    part: &str,
+    parse_err: &dyn Fn(String) -> FaultError,
+) -> Result<FaultSpec, FaultError> {
+    let (name, args) = match part.split_once(':') {
+        Some((name, args)) => (name.trim(), args),
+        None => {
+            return Err(parse_err(format!(
+                "'{part}' has no ':' — expected name:args (e.g. lognormal:0.3)"
+            )))
+        }
+    };
+    let args: Vec<&str> = if args.trim().is_empty() {
+        Vec::new()
+    } else {
+        args.split(',').map(str::trim).collect()
+    };
+    let arity = |min: usize, max: usize| -> Result<(), FaultError> {
+        if args.len() < min || args.len() > max {
+            return Err(parse_err(format!(
+                "'{name}' takes {min}..={max} arguments, got {}",
+                args.len()
+            )));
+        }
+        Ok(())
+    };
+    let f32_arg = |i: usize| -> Result<f32, FaultError> {
+        args[i]
+            .parse::<f32>()
+            .map_err(|_| parse_err(format!("'{}' is not a number", args[i])))
+    };
+    let f32_arg_or = |i: usize, default: f32| -> Result<f32, FaultError> {
+        if i < args.len() {
+            f32_arg(i)
+        } else {
+            Ok(default)
+        }
+    };
+    let u32_arg = |i: usize| -> Result<u32, FaultError> {
+        args[i]
+            .parse::<u32>()
+            .map_err(|_| parse_err(format!("'{}' is not a whole number", args[i])))
+    };
+    match name {
+        "lognormal" => {
+            arity(1, 1)?;
+            Ok(FaultSpec::LogNormal { sigma: f32_arg(0)? })
+        }
+        "gaussian" => {
+            arity(1, 1)?;
+            Ok(FaultSpec::Gaussian { sigma: f32_arg(0)? })
+        }
+        "uniform" => {
+            arity(1, 1)?;
+            Ok(FaultSpec::Uniform { delta: f32_arg(0)? })
+        }
+        "uniformread" => {
+            arity(1, 1)?;
+            Ok(FaultSpec::UniformRead { delta: f32_arg(0)? })
+        }
+        "stuckat" => {
+            arity(1, 3)?;
+            Ok(FaultSpec::StuckAt {
+                p_zero: f32_arg(0)?,
+                p_max: f32_arg_or(1, 0.0)?,
+                max_value: f32_arg_or(2, 1.0)?,
+            })
+        }
+        "bitflip" => {
+            arity(1, 3)?;
+            Ok(FaultSpec::BitFlip {
+                p_flip: f32_arg(0)?,
+                bits: if args.len() > 1 { u32_arg(1)? } else { 8 },
+                range: f32_arg_or(2, 1.0)?,
+            })
+        }
+        "quantize" => {
+            arity(1, 2)?;
+            Ok(FaultSpec::Quantize {
+                levels: u32_arg(0)?,
+                range: f32_arg_or(1, 1.0)?,
+            })
+        }
+        "devvar" => {
+            arity(1, 1)?;
+            Ok(FaultSpec::DeviceVariation { sigma: f32_arg(0)? })
+        }
+        other => Err(parse_err(format!(
+            "unknown fault model '{other}' (expected lognormal|gaussian|uniform|uniformread|\
+             stuckat|bitflip|quantize|devvar)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn round_trip(s: &str) -> FaultSpec {
+        let spec: FaultSpec = s.parse().unwrap_or_else(|e| panic!("{e}"));
+        let printed = spec.to_string();
+        assert_eq!(printed, s, "display drifted from input");
+        let reparsed: FaultSpec = printed.parse().unwrap();
+        assert_eq!(reparsed, spec, "parse(display(x)) != x");
+        spec
+    }
+
+    #[test]
+    fn canonical_specs_round_trip() {
+        round_trip("lognormal:0.3");
+        round_trip("gaussian:0.15");
+        round_trip("uniform:0.2");
+        round_trip("uniformread:0.05");
+        round_trip("stuckat:0.01");
+        round_trip("stuckat:0.01,0.005");
+        round_trip("stuckat:0.01,0.005,1.5");
+        round_trip("bitflip:0.001");
+        round_trip("bitflip:0.001,4");
+        round_trip("bitflip:0.001,8,2");
+        round_trip("quantize:16");
+        round_trip("quantize:16,2");
+        round_trip("devvar:0.1");
+        round_trip("quantize:16+lognormal:0.3+stuckat:0.01");
+    }
+
+    #[test]
+    fn defaults_are_elided_but_preserved() {
+        let spec: FaultSpec = "stuckat:0.02,0,1".parse().unwrap();
+        assert_eq!(spec.to_string(), "stuckat:0.02");
+        assert_eq!(
+            spec,
+            FaultSpec::StuckAt {
+                p_zero: 0.02,
+                p_max: 0.0,
+                max_value: 1.0
+            }
+        );
+        let spec: FaultSpec = "bitflip:0.01,8,1".parse().unwrap();
+        assert_eq!(spec.to_string(), "bitflip:0.01");
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let spec: FaultSpec = " quantize:16 + lognormal:0.3 ".parse().unwrap();
+        assert_eq!(spec.to_string(), "quantize:16+lognormal:0.3");
+        let spec: FaultSpec = "stuckat: 0.01 , 0.02".parse().unwrap();
+        assert_eq!(spec.to_string(), "stuckat:0.01,0.02");
+    }
+
+    #[test]
+    fn built_models_carry_the_right_names() {
+        for (s, name) in [
+            ("lognormal:0.3", "log_normal"),
+            ("gaussian:0.1", "gaussian_additive"),
+            ("uniform:0.2", "uniform"),
+            ("uniformread:0.05", "uniform_additive"),
+            ("stuckat:0.01", "stuck_at"),
+            ("bitflip:0.01", "bit_flip"),
+            ("quantize:16", "quantize"),
+            ("devvar:0.1", "device_variation"),
+            ("lognormal:0.3+stuckat:0.01", "composite"),
+        ] {
+            let model = s.parse::<FaultSpec>().unwrap().build().unwrap();
+            assert_eq!(model.name(), name, "{s}");
+        }
+    }
+
+    #[test]
+    fn built_composite_matches_hand_built_chain() {
+        let spec: FaultSpec = "quantize:16+lognormal:0.4".parse().unwrap();
+        let from_spec = spec.build().unwrap();
+        let by_hand = CompositeFault::new(vec![
+            Box::new(LevelQuantization::new(16, 1.0)),
+            Box::new(LogNormalDrift::new(0.4)),
+        ]);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(3);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(3);
+        for i in 0..128 {
+            let w = (i as f32 - 64.0) / 64.0;
+            assert_eq!(
+                from_spec.perturb(w, &mut rng_a),
+                by_hand.perturb(w, &mut rng_b)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "lognormal",
+            "lognormal:",
+            "lognormal:abc",
+            "lognormal:0.3,0.4",
+            "lognormal:-0.3",
+            "stuckat:0.7,0.6",
+            "stuckat:1.5",
+            "bitflip:0.1,99",
+            "quantize:1",
+            "quantize:16,-1",
+            "warp:0.5",
+            "lognormal:0.3+",
+            "+lognormal:0.3",
+            "devvar:nan",
+        ] {
+            let err = bad.parse::<FaultSpec>().unwrap_err();
+            assert!(
+                matches!(err, FaultError::Parse { .. }),
+                "{bad:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalize_folds_degenerate_composites() {
+        let single = FaultSpec::Composite(vec![FaultSpec::LogNormal { sigma: 0.3 }]);
+        assert_eq!(
+            single.clone().normalize(),
+            FaultSpec::LogNormal { sigma: 0.3 }
+        );
+        // Display of the degenerate form already prints the canonical
+        // string, so reparse yields exactly the normalized value.
+        let reparsed: FaultSpec = single.to_string().parse().unwrap();
+        assert_eq!(reparsed, single.normalize());
+
+        let nested = FaultSpec::Composite(vec![
+            FaultSpec::Quantize {
+                levels: 16,
+                range: 1.0,
+            },
+            FaultSpec::Composite(vec![
+                FaultSpec::LogNormal { sigma: 0.3 },
+                FaultSpec::DeviceVariation { sigma: 0.1 },
+            ]),
+        ]);
+        let flat = nested.clone().normalize();
+        assert_eq!(flat.to_string(), "quantize:16+lognormal:0.3+devvar:0.1");
+        assert_eq!(flat, nested.to_string().parse::<FaultSpec>().unwrap());
+        // Canonical specs are fixed points.
+        let canonical: FaultSpec = "quantize:16+stuckat:0.01".parse().unwrap();
+        assert_eq!(canonical.clone().normalize(), canonical);
+    }
+
+    #[test]
+    fn parse_error_carries_the_spec_text() {
+        let err = "lognormal:oops".parse::<FaultSpec>().unwrap_err();
+        assert!(err.to_string().contains("lognormal:oops"), "{err}");
+        assert!(err.to_string().contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn full_precision_f32_survives_the_round_trip() {
+        // Display of f32 is the shortest string that re-parses to the same
+        // bits, so any representable parameter survives.
+        let spec = FaultSpec::LogNormal {
+            sigma: 0.300_000_04,
+        };
+        let reparsed: FaultSpec = spec.to_string().parse().unwrap();
+        assert_eq!(reparsed, spec);
+    }
+}

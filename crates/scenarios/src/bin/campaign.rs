@@ -1,0 +1,241 @@
+//! `campaign` — run, inspect, and audit declarative fault campaigns.
+//!
+//! ```text
+//! campaign run <campaign.json> [--store <path>] [--parallelism <n>]
+//! campaign list [--store <path>]
+//! campaign compare [--store <path>]
+//! ```
+//!
+//! `run` executes every scenario of the file through the BayesFT engine
+//! and appends one JSONL record per scenario to the store.
+//! `BENCH_QUICK=1` clamps every scenario to smoke-test budgets.
+//! `list` prints the stored records; `compare` groups them by
+//! `(scenario-digest, seed)` and verifies that repeated runs reproduced
+//! bit-identical best-α vectors, exiting non-zero on any divergence.
+
+use std::process::ExitCode;
+
+use scenarios::{Campaign, CampaignRunner, ResultStore};
+
+const DEFAULT_STORE: &str = "campaign_results.jsonl";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "list" => cmd_list(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("campaign: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  campaign run <campaign.json> [--store <path>] [--parallelism <n>]
+  campaign list [--store <path>]
+  campaign compare [--store <path>]
+
+BENCH_QUICK=1 clamps run budgets to smoke-test scale.";
+
+/// `(--flag, value)` pairs plus the remaining positional arguments.
+type ParsedArgs = (Vec<(String, String)>, Vec<String>);
+
+/// Pulls `--flag value` out of an argument list, returning the remaining
+/// positional arguments.
+fn parse_flags(args: &[String], flags: &[&str]) -> Result<ParsedArgs, String> {
+    let mut values = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(name) = arg.strip_prefix("--") {
+            if !flags.contains(&name) {
+                return Err(format!("unknown flag '--{name}'"));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("'--{name}' needs a value"))?;
+            values.push((name.to_string(), value.clone()));
+            i += 2;
+        } else {
+            positional.push(arg.clone());
+            i += 1;
+        }
+    }
+    Ok((values, positional))
+}
+
+fn flag<'a>(values: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    values
+        .iter()
+        .rev()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn quick_from_env() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args, &["store", "parallelism"])?;
+    let [path] = positional.as_slice() else {
+        return Err(format!("'run' takes exactly one campaign file\n{USAGE}"));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let campaign = Campaign::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let parallelism: usize = match flag(&flags, "parallelism") {
+        None => 1,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("'--parallelism {v}' is not a number"))?,
+    };
+    let store_path = flag(&flags, "store")
+        .map(str::to_string)
+        .or_else(|| campaign.store.clone())
+        .unwrap_or_else(|| DEFAULT_STORE.to_string());
+    let store = ResultStore::open(&store_path);
+    let quick = quick_from_env();
+
+    println!(
+        "campaign '{}': {} scenario(s){} -> {}",
+        campaign.name,
+        campaign.scenarios.len(),
+        if quick { " [quick budgets]" } else { "" },
+        store_path,
+    );
+    let mut runner = CampaignRunner::new().parallelism(parallelism).quick(quick);
+    let mut failures = 0usize;
+    println!(
+        "{:<18} {:<16} {:>9} {:>9} {:>24}",
+        "scenario", "digest", "best obj", "wall ms", "faults"
+    );
+    for run in runner.run_campaign(&campaign) {
+        match run.result {
+            Err(e) => {
+                failures += 1;
+                eprintln!("  {:<18} FAILED: {e}", run.name);
+            }
+            Ok(outcome) => {
+                store
+                    .append(&campaign.name, &outcome)
+                    .map_err(|e| e.to_string())?;
+                let faults: Vec<String> = outcome
+                    .scenario
+                    .faults
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+                println!(
+                    "{:<18} {:<16} {:>9.4} {:>9.0}{} {:>24}",
+                    outcome.scenario.name,
+                    outcome.digest,
+                    outcome.report.best_objective,
+                    outcome.wall_ms,
+                    if outcome.from_cache { "*" } else { " " },
+                    faults.join(" "),
+                );
+                println!("{:<18} best alpha = {:?}", "", outcome.report.best_alpha);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) failed");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_list(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args, &["store"])?;
+    if !positional.is_empty() {
+        return Err(format!("'list' takes no positional arguments\n{USAGE}"));
+    }
+    let store_path = flag(&flags, "store").unwrap_or(DEFAULT_STORE);
+    let records = ResultStore::open(store_path)
+        .load()
+        .map_err(|e| e.to_string())?;
+    if records.is_empty() {
+        println!("no results in {store_path}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!(
+        "{:<14} {:<18} {:<16} {:>20} {:>9}  faults",
+        "campaign", "scenario", "digest", "seed", "best obj"
+    );
+    for r in &records {
+        println!(
+            "{:<14} {:<18} {:<16} {:>20} {:>9.4}  {}",
+            r.campaign,
+            r.scenario,
+            r.digest,
+            r.seed,
+            r.best_objective,
+            r.faults.join(" "),
+        );
+    }
+    println!("{} record(s) in {store_path}", records.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args, &["store"])?;
+    if !positional.is_empty() {
+        return Err(format!("'compare' takes no positional arguments\n{USAGE}"));
+    }
+    let store_path = flag(&flags, "store").unwrap_or(DEFAULT_STORE);
+    let groups = ResultStore::open(store_path)
+        .compare()
+        .map_err(|e| e.to_string())?;
+    if groups.is_empty() {
+        println!("no results in {store_path}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut diverged = 0usize;
+    let mut repeated = 0usize;
+    println!(
+        "{:<18} {:<16} {:>20} {:>5}  {:<10} best alpha",
+        "scenario", "digest", "seed", "runs", "verdict"
+    );
+    for g in &groups {
+        let verdict = if g.runs < 2 {
+            "single"
+        } else if g.identical {
+            repeated += 1;
+            "IDENTICAL"
+        } else {
+            diverged += 1;
+            "DIVERGED"
+        };
+        println!(
+            "{:<18} {:<16} {:>20} {:>5}  {:<10} {:?}",
+            g.scenario, g.digest, g.seed, g.runs, verdict, g.best_alpha,
+        );
+    }
+    if diverged > 0 {
+        eprintln!("{diverged} group(s) failed to reproduce bit-identical best alpha");
+        return Ok(ExitCode::FAILURE);
+    }
+    if repeated == 0 {
+        println!("note: no (digest, seed) pair has multiple runs yet; run the campaign again to audit reproducibility");
+    } else {
+        println!("{repeated} repeated group(s), all bit-identical");
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,70 @@
+//! The campaign subsystem's unified error type.
+
+use std::fmt;
+
+use bayesft::BayesFtError;
+use reram::FaultError;
+
+/// Everything that can go wrong while parsing, validating, running, or
+/// persisting a campaign.
+///
+/// One malformed scenario surfaces here as a value; the
+/// [`CampaignRunner`](crate::CampaignRunner) reports it per scenario
+/// instead of aborting the whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// A campaign/scenario document is malformed (bad JSON, missing or
+    /// unknown fields, out-of-domain budgets).
+    Parse(String),
+    /// A fault spec inside a scenario failed to parse or build.
+    Fault(FaultError),
+    /// The experiment engine rejected or failed a scenario run.
+    Engine(BayesFtError),
+    /// Reading or writing the result store failed.
+    Io(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Parse(msg) => write!(f, "campaign spec: {msg}"),
+            CampaignError::Fault(e) => write!(f, "fault spec: {e}"),
+            CampaignError::Engine(e) => write!(f, "engine: {e}"),
+            CampaignError::Io(msg) => write!(f, "result store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<FaultError> for CampaignError {
+    fn from(e: FaultError) -> Self {
+        CampaignError::Fault(e)
+    }
+}
+
+impl From<BayesFtError> for CampaignError {
+    fn from(e: BayesFtError) -> Self {
+        CampaignError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_the_failing_layer() {
+        assert!(CampaignError::Parse("missing 'name'".into())
+            .to_string()
+            .contains("campaign spec"));
+        let fault: FaultError = "warp:1".parse::<reram::FaultSpec>().unwrap_err();
+        assert!(CampaignError::from(fault).to_string().contains("warp"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Fans campaign scenarios through the experiment [`Engine`], memoizing by
+//! `(seed, scenario-digest)`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use baselines::TrainConfig;
+use bayesft::{DriftObjective, Engine, RunReport, SharedDropoutSpace};
+use datasets::ClassificationDataset;
+use models::{Mlp, MlpConfig};
+use nn::Layer;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reram::mix_seed;
+
+use crate::{Campaign, CampaignError, Scenario, SpaceKind, TaskKind};
+
+/// Seed stream for dataset generation, decorrelated from the engine's
+/// suggest/eval streams.
+const DATA_STREAM: u64 = 0xda7a;
+/// Seed stream for network initialization.
+const INIT_STREAM: u64 = 0x1417;
+/// Seed stream for the SGD shuffler.
+const TRAIN_STREAM: u64 = 0x7124;
+
+/// How one scenario of a campaign went: the (possibly budget-clamped) spec
+/// that actually ran, its digest, and the engine's report.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario as executed (after any quick-mode clamping).
+    pub scenario: Scenario,
+    /// Content digest of [`ScenarioOutcome::scenario`].
+    pub digest: String,
+    /// The engine's run record, tagged with the scenario metadata.
+    pub report: RunReport,
+    /// Whether this outcome came from the runner's memo cache instead of
+    /// a fresh engine run.
+    pub from_cache: bool,
+    /// Wall-clock of the producing run in milliseconds (0 on cache hits).
+    pub wall_ms: f64,
+}
+
+/// One entry of [`CampaignRunner::run_campaign`]'s result list: scenarios
+/// fail individually, never the whole campaign.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// Scenario name as written in the campaign file.
+    pub name: String,
+    /// The outcome, or why this scenario could not run.
+    pub result: Result<ScenarioOutcome, CampaignError>,
+}
+
+/// Runs scenarios through the [`Engine`] with per-`(seed, digest)`
+/// memoization.
+///
+/// Scenario runs are deterministic in the scenario spec: the same
+/// `(seed, digest)` pair always yields a bit-identical
+/// [`RunReport::deterministic_eq`] record, for any `parallelism` and
+/// whether or not the memo cache served it.
+///
+/// # Example
+///
+/// ```no_run
+/// use scenarios::{Campaign, CampaignRunner, Scenario};
+///
+/// let campaign = Campaign::new(
+///     "demo",
+///     vec![Scenario::new("ln", vec!["lognormal:0.3".parse().unwrap()])],
+/// );
+/// let mut runner = CampaignRunner::new();
+/// for run in runner.run_campaign(&campaign) {
+///     let outcome = run.result.expect("scenario failed");
+///     println!("{}: α* = {:?}", run.name, outcome.report.best_alpha);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct CampaignRunner {
+    parallelism: usize,
+    quick: bool,
+    cache: HashMap<(u64, String), ScenarioOutcome>,
+}
+
+impl CampaignRunner {
+    /// A serial, full-budget runner.
+    pub fn new() -> Self {
+        CampaignRunner {
+            parallelism: 1,
+            quick: false,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Sets the Monte-Carlo worker-thread budget (`0` = one per core).
+    /// Results are bit-identical for every setting.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Clamps every scenario to smoke-test budgets
+    /// ([`Scenario::clamped_quick`]) before running — the `BENCH_QUICK=1`
+    /// path of the `campaign` CLI.
+    pub fn quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+
+    /// Number of memoized outcomes held.
+    pub fn cached_runs(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Runs every scenario of `campaign`, in order. A failing scenario
+    /// yields an `Err` entry and the campaign continues.
+    pub fn run_campaign(&mut self, campaign: &Campaign) -> Vec<ScenarioRun> {
+        campaign
+            .scenarios
+            .iter()
+            .map(|sc| ScenarioRun {
+                name: sc.name.clone(),
+                result: self.run_scenario(sc),
+            })
+            .collect()
+    }
+
+    /// Runs one scenario (or serves it from the memo cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Parse`]/[`CampaignError::Fault`] for an
+    /// invalid spec and [`CampaignError::Engine`] if the search itself
+    /// fails.
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<ScenarioOutcome, CampaignError> {
+        scenario.validate()?;
+        let scenario = if self.quick {
+            scenario.clamped_quick()
+        } else {
+            scenario.clone()
+        };
+        let digest = scenario.digest();
+        let key = (scenario.seed, digest.clone());
+        if let Some(hit) = self.cache.get(&key) {
+            let mut outcome = hit.clone();
+            outcome.from_cache = true;
+            outcome.wall_ms = 0.0;
+            // Memoization is keyed on content, not name: a renamed copy of
+            // a cached scenario reuses the evaluation but reports its own
+            // name.
+            outcome.scenario.name = scenario.name.clone();
+            outcome.report.scenario = outcome.report.scenario.map(|meta| bayesft::ScenarioMeta {
+                name: scenario.name.clone(),
+                ..meta
+            });
+            return Ok(outcome);
+        }
+
+        let started = Instant::now();
+        let (train, val, mut net) = build_task(&scenario);
+        let objective = DriftObjective::from_specs(&scenario.faults, scenario.mc_samples)?;
+        let mut builder = Engine::builder()
+            .objective(objective)
+            .trials(scenario.trials)
+            .epochs_per_trial(scenario.epochs_per_trial)
+            .final_epochs(scenario.final_epochs)
+            .seed(scenario.seed)
+            .parallelism(self.parallelism)
+            .train(TrainConfig {
+                // The engine overrides `epochs` per stage; only the
+                // shuffler seed matters here.
+                seed: mix_seed(scenario.seed, TRAIN_STREAM),
+                ..TrainConfig::default()
+            });
+        if scenario.space == SpaceKind::Shared {
+            builder = builder.space(SharedDropoutSpace::probe(net.as_mut()));
+        }
+        let result = builder.run(net, &train, &val)?;
+        let outcome = ScenarioOutcome {
+            digest: digest.clone(),
+            report: result.report.with_scenario(scenario.name.clone(), digest),
+            scenario,
+            from_cache: false,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        };
+        self.cache.insert(key, outcome.clone());
+        Ok(outcome)
+    }
+}
+
+/// Builds the train/val splits and a dropout-bearing MLP for a scenario's
+/// task, all seeded from decorrelated streams of the scenario seed.
+fn build_task(
+    scenario: &Scenario,
+) -> (ClassificationDataset, ClassificationDataset, Box<dyn Layer>) {
+    let mut data_rng = ChaCha8Rng::seed_from_u64(mix_seed(scenario.seed, DATA_STREAM));
+    let mut init_rng = ChaCha8Rng::seed_from_u64(mix_seed(scenario.seed, INIT_STREAM));
+    let (data, input_dim, classes) = match scenario.task {
+        TaskKind::Moons { samples, noise } => {
+            (datasets::moons(samples, noise, &mut data_rng), 2, 2)
+        }
+        TaskKind::Digits { per_class } => (datasets::digits(per_class, &mut data_rng), 14 * 14, 10),
+        TaskKind::Shapes { per_class } => {
+            (datasets::shapes(per_class, &mut data_rng), 3 * 16 * 16, 10)
+        }
+    };
+    let (train, val) = data.split(0.8, &mut data_rng);
+    let hidden = if input_dim <= 2 { 16 } else { 32 };
+    let net = Box::new(Mlp::new(
+        &MlpConfig::new(input_dim, classes).hidden(hidden),
+        &mut init_rng,
+    ));
+    (train, val, net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(name: &str, faults: &[&str], seed: u64) -> Scenario {
+        Scenario::new(name, faults.iter().map(|f| f.parse().unwrap()).collect())
+            .seed(seed)
+            .budgets(2, 2, 1, 1)
+            .task(TaskKind::Moons {
+                samples: 80,
+                noise: 0.1,
+            })
+    }
+
+    #[test]
+    fn scenario_runs_and_tags_the_report() {
+        let sc = tiny("ln", &["lognormal:0.4"], 3);
+        let outcome = CampaignRunner::new().run_scenario(&sc).unwrap();
+        assert_eq!(outcome.report.trials.len(), 2);
+        let meta = outcome.report.scenario.as_ref().unwrap();
+        assert_eq!(meta.name, "ln");
+        assert_eq!(meta.digest, outcome.digest);
+        assert!(!outcome.from_cache);
+        assert!(outcome.wall_ms > 0.0);
+    }
+
+    #[test]
+    fn repeated_runs_are_memoized_and_identical() {
+        let sc = tiny("memo", &["lognormal:0.4", "stuckat:0.05"], 5);
+        let mut runner = CampaignRunner::new();
+        let first = runner.run_scenario(&sc).unwrap();
+        let second = runner.run_scenario(&sc).unwrap();
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(runner.cached_runs(), 1);
+        assert!(first.report.deterministic_eq(&second.report));
+    }
+
+    #[test]
+    fn cache_hits_are_keyed_on_content_not_name() {
+        let mut runner = CampaignRunner::new();
+        let a = runner
+            .run_scenario(&tiny("original", &["lognormal:0.4"], 5))
+            .unwrap();
+        let b = runner
+            .run_scenario(&tiny("renamed", &["lognormal:0.4"], 5))
+            .unwrap();
+        assert!(b.from_cache, "same content must hit the cache");
+        assert_eq!(b.report.scenario.as_ref().unwrap().name, "renamed");
+        assert_eq!(a.report.best_alpha, b.report.best_alpha);
+        // Different seed misses.
+        let c = runner
+            .run_scenario(&tiny("original", &["lognormal:0.4"], 6))
+            .unwrap();
+        assert!(!c.from_cache);
+    }
+
+    #[test]
+    fn a_failing_scenario_does_not_abort_the_campaign() {
+        let good = tiny("good", &["lognormal:0.3"], 1);
+        let mut bad = tiny("bad", &["lognormal:0.3"], 1);
+        bad.faults = vec![reram::FaultSpec::LogNormal { sigma: -2.0 }];
+        let campaign = Campaign::new("mixed", vec![bad, good]);
+        let runs = CampaignRunner::new().run_campaign(&campaign);
+        assert_eq!(runs.len(), 2);
+        assert!(runs[0].result.is_err(), "bad scenario must fail");
+        assert!(runs[1].result.is_ok(), "good scenario must still run");
+    }
+
+    #[test]
+    fn quick_mode_clamps_budgets() {
+        let sc = tiny("q", &["lognormal:0.3"], 2).budgets(10, 8, 4, 4);
+        let outcome = CampaignRunner::new().quick(true).run_scenario(&sc).unwrap();
+        assert_eq!(outcome.scenario.trials, 3);
+        assert_eq!(outcome.report.trials.len(), 3);
+        assert_ne!(outcome.digest, sc.digest());
+    }
+}

@@ -1,0 +1,245 @@
+//! Append-only JSONL persistence for campaign results.
+
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use crate::{CampaignError, ScenarioOutcome};
+
+/// An append-only JSONL store of scenario results: one JSON object per
+/// line, human-greppable and safe to extend concurrently-ish (appends are
+/// line-atomic for the sizes involved).
+///
+/// # Example
+///
+/// ```no_run
+/// use scenarios::ResultStore;
+///
+/// let store = ResultStore::open("campaign_results.jsonl");
+/// for record in store.load().unwrap() {
+///     println!("{} (seed {}): {:?}", record.scenario, record.seed, record.best_alpha);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    path: PathBuf,
+}
+
+/// One persisted scenario result, as read back by [`ResultStore::load`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecord {
+    /// Campaign name the run belonged to.
+    pub campaign: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario content digest ([`Scenario::digest`](crate::Scenario::digest)).
+    pub digest: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Fault specs, in the shared string grammar.
+    pub faults: Vec<String>,
+    /// Best architecture coordinates the search found.
+    pub best_alpha: Vec<f64>,
+    /// Objective value of the best trial.
+    pub best_objective: f64,
+    /// The full stored line, for fields not lifted into this struct.
+    pub raw: Value,
+}
+
+/// Result of comparing all stored runs that share a `(digest, seed)` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareGroup {
+    /// Scenario name of the first run in the group.
+    pub scenario: String,
+    /// Scenario content digest.
+    pub digest: String,
+    /// Master seed.
+    pub seed: u64,
+    /// How many stored runs share the key.
+    pub runs: usize,
+    /// Whether every run reproduced bit-identical `best_alpha` and
+    /// `best_objective` values.
+    pub identical: bool,
+    /// The first run's best α (the reference the others were checked
+    /// against).
+    pub best_alpha: Vec<f64>,
+    /// The first run's best objective value.
+    pub best_objective: f64,
+}
+
+impl ResultStore {
+    /// Points the store at `path`; no I/O happens until the first
+    /// [`ResultStore::append`] or [`ResultStore::load`].
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        ResultStore { path: path.into() }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one scenario outcome as a JSONL line, creating the file
+    /// (and parent directories) on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] on filesystem failures.
+    pub fn append(&self, campaign: &str, outcome: &ScenarioOutcome) -> Result<(), CampaignError> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut line = Value::object();
+        line.insert("campaign", campaign);
+        line.insert("scenario", outcome.scenario.name.as_str());
+        line.insert("digest", outcome.digest.as_str());
+        line.insert("seed", outcome.scenario.seed);
+        line.insert(
+            "faults",
+            Value::Array(
+                outcome
+                    .scenario
+                    .faults
+                    .iter()
+                    .map(|f| Value::String(f.to_string()))
+                    .collect(),
+            ),
+        );
+        line.insert("from_cache", outcome.from_cache);
+        line.insert("wall_ms", outcome.wall_ms);
+        line.insert("report", outcome.report.to_json());
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(file, "{}", serde_json::to_string(&line))?;
+        Ok(())
+    }
+
+    /// Reads every stored record, in append order. A missing file is an
+    /// empty store, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] on filesystem failures and
+    /// [`CampaignError::Parse`] (with the line number) on a corrupt line.
+    pub fn load(&self) -> Result<Vec<StoredRecord>, CampaignError> {
+        let text = match fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = serde_json::from_str(line).map_err(|e| {
+                CampaignError::Parse(format!("{}:{}: {e}", self.path.display(), i + 1))
+            })?;
+            records.push(StoredRecord::from_json(value).map_err(|e| {
+                CampaignError::Parse(format!("{}:{}: {e}", self.path.display(), i + 1))
+            })?);
+        }
+        Ok(records)
+    }
+
+    /// Groups every stored run by `(digest, seed)` and checks that runs
+    /// sharing a key reproduced bit-identical best-α vectors — the
+    /// reproducibility audit behind `campaign compare`.
+    ///
+    /// Groups are returned in first-appearance order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ResultStore::load`] errors.
+    pub fn compare(&self) -> Result<Vec<CompareGroup>, CampaignError> {
+        let records = self.load()?;
+        let mut groups: Vec<CompareGroup> = Vec::new();
+        for record in &records {
+            match groups
+                .iter_mut()
+                .find(|g| g.digest == record.digest && g.seed == record.seed)
+            {
+                None => groups.push(CompareGroup {
+                    scenario: record.scenario.clone(),
+                    digest: record.digest.clone(),
+                    seed: record.seed,
+                    runs: 1,
+                    identical: true,
+                    best_alpha: record.best_alpha.clone(),
+                    best_objective: record.best_objective,
+                }),
+                Some(group) => {
+                    group.runs += 1;
+                    // Bit-identical means exact f64 equality, nothing
+                    // fuzzier: the engine guarantees determinism, the
+                    // store must be able to prove it.
+                    if group.best_alpha != record.best_alpha
+                        || group.best_objective != record.best_objective
+                    {
+                        group.identical = false;
+                    }
+                }
+            }
+        }
+        Ok(groups)
+    }
+}
+
+impl StoredRecord {
+    fn from_json(value: Value) -> Result<Self, CampaignError> {
+        let text = |key: &str| -> Result<String, CampaignError> {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| CampaignError::Parse(format!("record is missing '{key}'")))
+        };
+        let report = value
+            .get("report")
+            .ok_or_else(|| CampaignError::Parse("record is missing 'report'".into()))?;
+        let best_alpha = report
+            .get("best_alpha")
+            .and_then(Value::as_array)
+            .ok_or_else(|| CampaignError::Parse("report is missing 'best_alpha'".into()))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| CampaignError::Parse("non-numeric best_alpha entry".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let best_objective = report
+            .get("best_objective")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| CampaignError::Parse("report is missing 'best_objective'".into()))?;
+        let faults = value
+            .get("faults")
+            .and_then(Value::as_array)
+            .ok_or_else(|| CampaignError::Parse("record is missing 'faults'".into()))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| CampaignError::Parse("non-string faults entry".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StoredRecord {
+            campaign: text("campaign")?,
+            scenario: text("scenario")?,
+            digest: text("digest")?,
+            seed: value
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| CampaignError::Parse("record is missing 'seed'".into()))?,
+            faults,
+            best_alpha,
+            best_objective,
+            raw: value,
+        })
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end campaign tests: runner determinism, parallel/serial report
+//! identity, memoization, and the JSONL store's reproducibility audit.
+
+use std::path::PathBuf;
+
+use scenarios::{Campaign, CampaignRunner, ResultStore, Scenario, SpaceKind, TaskKind};
+
+fn tiny(name: &str, faults: &[&str], seed: u64) -> Scenario {
+    Scenario::new(name, faults.iter().map(|f| f.parse().unwrap()).collect())
+        .seed(seed)
+        .budgets(3, 2, 1, 1)
+        .task(TaskKind::Moons {
+            samples: 80,
+            noise: 0.1,
+        })
+}
+
+fn demo_campaign() -> Campaign {
+    Campaign::new(
+        "e2e",
+        vec![
+            tiny("lognormal", &["lognormal:0.5"], 3),
+            tiny("defects", &["stuckat:0.05,0.02,2", "bitflip:0.005"], 3),
+            tiny("pipeline", &["quantize:16+lognormal:0.3"], 9).space(SpaceKind::Shared),
+        ],
+    )
+}
+
+fn temp_store(tag: &str) -> ResultStore {
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "bayesft-campaign-{}-{tag}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    ResultStore::open(path)
+}
+
+#[test]
+fn campaign_runs_are_deterministic_across_runners() {
+    let campaign = demo_campaign();
+    let first: Vec<_> = CampaignRunner::new()
+        .run_campaign(&campaign)
+        .into_iter()
+        .map(|r| r.result.unwrap())
+        .collect();
+    let second: Vec<_> = CampaignRunner::new()
+        .run_campaign(&campaign)
+        .into_iter()
+        .map(|r| r.result.unwrap())
+        .collect();
+    assert_eq!(first.len(), 3);
+    for (a, b) in first.iter().zip(&second) {
+        assert!(!b.from_cache, "fresh runner must not share a cache");
+        assert!(
+            a.report.deterministic_eq(&b.report),
+            "{} diverged across runs",
+            a.scenario.name
+        );
+        assert_eq!(a.digest, b.digest);
+    }
+    // Distinct scenarios produce distinct digests and (here) distinct
+    // optima traces.
+    assert_ne!(first[0].digest, first[1].digest);
+    assert_ne!(first[0].digest, first[2].digest);
+}
+
+#[test]
+fn parallel_and_serial_campaigns_report_identically() {
+    let campaign = demo_campaign();
+    let serial = CampaignRunner::new().run_campaign(&campaign);
+    let parallel = CampaignRunner::new().parallelism(4).run_campaign(&campaign);
+    for (s, p) in serial.iter().zip(&parallel) {
+        let (s, p) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+        assert!(
+            s.report.deterministic_eq(&p.report),
+            "{}: parallel run diverged from serial",
+            s.scenario.name
+        );
+        assert_eq!(
+            s.report.trials, p.report.trials,
+            "per-trial records must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn store_round_trips_and_compare_confirms_reproducibility() {
+    let campaign = demo_campaign();
+    let store = temp_store("compare");
+
+    // Two independent runs with the same seeds, both persisted.
+    for _ in 0..2 {
+        let mut runner = CampaignRunner::new();
+        for run in runner.run_campaign(&campaign) {
+            store.append(&campaign.name, &run.result.unwrap()).unwrap();
+        }
+    }
+
+    let records = store.load().unwrap();
+    assert_eq!(records.len(), 6, "3 scenarios x 2 runs");
+    assert!(records.iter().all(|r| r.campaign == "e2e"));
+    assert!(records
+        .iter()
+        .any(|r| r.faults == vec!["stuckat:0.05,0.02,2".to_string(), "bitflip:0.005".into()]));
+
+    let groups = store.compare().unwrap();
+    assert_eq!(groups.len(), 3, "grouped by (digest, seed)");
+    for g in &groups {
+        assert_eq!(g.runs, 2);
+        assert!(
+            g.identical,
+            "{}: second run failed to reproduce best alpha bit-identically",
+            g.scenario
+        );
+        assert!(!g.best_alpha.is_empty());
+    }
+
+    let _ = std::fs::remove_file(store.path());
+}
+
+#[test]
+fn compare_detects_divergence() {
+    let campaign = Campaign::new("div", vec![tiny("ln", &["lognormal:0.5"], 3)]);
+    let store = temp_store("divergence");
+    let mut runner = CampaignRunner::new();
+    let outcome = runner.run_scenario(&campaign.scenarios[0]).unwrap();
+    store.append(&campaign.name, &outcome).unwrap();
+    // Tamper with a second copy: same digest and seed, different best α.
+    let mut forged = outcome.clone();
+    forged.report.best_alpha[0] += 1e-9;
+    store.append(&campaign.name, &forged).unwrap();
+
+    let groups = store.compare().unwrap();
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].runs, 2);
+    assert!(
+        !groups[0].identical,
+        "a 1e-9 drift in best alpha must be caught"
+    );
+
+    let _ = std::fs::remove_file(store.path());
+}
+
+#[test]
+fn memoization_spans_a_campaign() {
+    // The same scenario content under two names runs the engine once.
+    let campaign = Campaign::new(
+        "memo",
+        vec![
+            tiny("first", &["lognormal:0.5"], 3),
+            tiny("alias-of-first", &["lognormal:0.5"], 3),
+        ],
+    );
+    let mut runner = CampaignRunner::new();
+    let runs = runner.run_campaign(&campaign);
+    let a = runs[0].result.as_ref().unwrap();
+    let b = runs[1].result.as_ref().unwrap();
+    assert!(!a.from_cache);
+    assert!(b.from_cache, "identical content must be memoized");
+    assert_eq!(runner.cached_runs(), 1);
+    assert_eq!(a.report.best_alpha, b.report.best_alpha);
+    assert_eq!(
+        b.report.scenario.as_ref().unwrap().name,
+        "alias-of-first",
+        "cache hits keep their own scenario name"
+    );
+}
+
+#[test]
+fn the_example_campaign_file_parses_and_clamps() {
+    let text = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/campaign.json"),
+    )
+    .unwrap();
+    let campaign = Campaign::from_json_str(&text).unwrap();
+    assert!(campaign.scenarios.len() >= 3, "acceptance: >= 3 scenarios");
+    let fault_families: std::collections::BTreeSet<String> = campaign
+        .scenarios
+        .iter()
+        .flat_map(|s| s.faults.iter().map(|f| f.to_string()))
+        .collect();
+    assert!(fault_families.len() >= 2, "acceptance: >= 2 fault models");
+    for sc in &campaign.scenarios {
+        sc.validate().unwrap();
+        let quick = sc.clamped_quick();
+        assert!(quick.trials <= 3 && quick.mc_samples <= 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: scenario/campaign serde round-trips over randomized
+//! specs, including every fault-model family.
+
+use proptest::prelude::*;
+use reram::FaultSpec;
+use scenarios::{Campaign, Scenario, SpaceKind, TaskKind};
+
+/// Builds one valid fault spec from drawn primitives; `kind` selects the
+/// family, the numeric arguments are kept inside each family's domain.
+fn make_spec(kind: u8, p: f32, q: f32, n: u32) -> FaultSpec {
+    match kind % 8 {
+        0 => FaultSpec::LogNormal { sigma: p },
+        1 => FaultSpec::Gaussian { sigma: p },
+        2 => FaultSpec::Uniform { delta: p },
+        3 => FaultSpec::UniformRead { delta: p },
+        4 => FaultSpec::StuckAt {
+            p_zero: p.min(0.5),
+            p_max: q.min(0.4),
+            max_value: 1.0 + q,
+        },
+        5 => FaultSpec::BitFlip {
+            p_flip: p.min(1.0),
+            bits: 2 + n % 15,
+            range: 0.5 + q,
+        },
+        6 => FaultSpec::Quantize {
+            levels: 2 + n % 64,
+            range: 0.5 + q,
+        },
+        _ => FaultSpec::DeviceVariation { sigma: p },
+    }
+}
+
+fn make_task(sel: u8, size: usize, noise: f32) -> TaskKind {
+    match sel % 3 {
+        0 => TaskKind::Moons {
+            samples: 20 + size,
+            noise,
+        },
+        1 => TaskKind::Digits {
+            per_class: 2 + size % 20,
+        },
+        _ => TaskKind::Shapes {
+            per_class: 2 + size % 20,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `FaultSpec` → string → `FaultSpec` is the identity, including for
+    /// composite chains.
+    #[test]
+    fn fault_spec_string_round_trips(
+        kind in 0u8..8, p in 0.0f32..0.9, q in 0.0f32..0.9, n in 0u32..64,
+        kind2 in 0u8..8, chain in 0u8..2,
+    ) {
+        let spec = if chain == 1 {
+            FaultSpec::Composite(vec![
+                make_spec(kind, p, q, n),
+                make_spec(kind2, q, p, n),
+            ])
+        } else {
+            make_spec(kind, p, q, n)
+        };
+        let printed = spec.to_string();
+        let reparsed: FaultSpec = printed.parse().unwrap();
+        prop_assert_eq!(&reparsed, &spec);
+    }
+
+    /// `Scenario` → JSON → `Scenario` is the identity, and the digest is a
+    /// pure function of the round-tripped content.
+    #[test]
+    fn scenario_json_round_trips(
+        kind in 0u8..8, p in 0.0f32..0.9, q in 0.0f32..0.9, n in 0u32..64,
+        task_sel in 0u8..3, size in 0usize..200, noise in 0.01f32..0.5,
+        space_sel in 0u8..2, trials in 1usize..9, mc in 1usize..6,
+        epochs in 0usize..4, seed in 0u64..u64::MAX,
+    ) {
+        let scenario = Scenario::new(
+            format!("case-{kind}-{task_sel}"),
+            vec![make_spec(kind, p, q, n)],
+        )
+        .task(make_task(task_sel, size, noise))
+        .space(if space_sel == 0 { SpaceKind::PerLayer } else { SpaceKind::Shared })
+        .budgets(trials, mc, epochs, epochs + 1)
+        .seed(seed);
+
+        let back = Scenario::from_json(&scenario.to_json()).unwrap();
+        prop_assert_eq!(&back, &scenario);
+        prop_assert_eq!(back.digest(), scenario.digest());
+    }
+
+    /// Whole campaigns survive the text round trip (pretty and compact).
+    #[test]
+    fn campaign_text_round_trips(
+        kind in 0u8..8, p in 0.0f32..0.9, q in 0.0f32..0.9, n in 0u32..64,
+        count in 1usize..5, seed in 0u64..1000, with_store in 0u8..2,
+    ) {
+        let scenarios: Vec<Scenario> = (0..count)
+            .map(|i| {
+                Scenario::new(
+                    format!("s{i}"),
+                    vec![make_spec(kind.wrapping_add(i as u8), p, q, n)],
+                )
+                .seed(seed + i as u64)
+            })
+            .collect();
+        let mut campaign = Campaign::new("prop", scenarios);
+        if with_store == 1 {
+            campaign.store = Some("out/results.jsonl".into());
+        }
+        let compact = Campaign::from_json_str(&campaign.to_json_string()).unwrap();
+        prop_assert_eq!(&compact, &campaign);
+        let pretty = Campaign::from_json_str(&campaign.to_json_string_pretty()).unwrap();
+        prop_assert_eq!(&pretty, &campaign);
+    }
+}

@@ -73,7 +73,9 @@ fn main() {
             let mut drift_rng = ChaCha8Rng::seed_from_u64(100 + t);
             FaultInjector::inject(&mut det, &LogNormalDrift::new(sigma), &mut drift_rng);
             sum += map_at(&mut det, &test_set);
-            snapshot.restore(&mut det);
+            snapshot
+                .restore(&mut det)
+                .expect("snapshot was taken from this network");
         }
         println!("{sigma:<8}{:>7.1}%", sum / trials as f32 * 100.0);
     }

@@ -15,8 +15,8 @@ use models::{Mlp, MlpConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use reram::{
-    BitFlipFault, CompositeDrift, DriftModel, GaussianAdditive, LogNormalDrift, StuckAtFault,
-    UniformDrift,
+    BitFlipFault, CompositeFault, DeviceVariation, DriftModel, GaussianAdditive, LevelQuantization,
+    LogNormalDrift, StuckAtFault, UniformAdditive, UniformDrift,
 };
 
 fn task() -> (ClassificationDataset, ClassificationDataset) {
@@ -52,11 +52,15 @@ fn engine_runs_under_every_drift_model_variant() {
         ("log_normal", Arc::new(LogNormalDrift::new(0.5))),
         ("gaussian_additive", Arc::new(GaussianAdditive::new(0.2))),
         ("uniform", Arc::new(UniformDrift::new(0.3))),
+        ("uniform_additive", Arc::new(UniformAdditive::new(0.1))),
+        ("device_variation", Arc::new(DeviceVariation::new(0.15))),
         ("stuck_at", Arc::new(StuckAtFault::new(0.05, 0.01, 2.0))),
         ("bit_flip", Arc::new(BitFlipFault::new(0.01, 8, 2.0))),
+        ("quantize", Arc::new(LevelQuantization::new(16, 2.0))),
         (
             "composite",
-            Arc::new(CompositeDrift::new(vec![
+            Arc::new(CompositeFault::new(vec![
+                Box::new(LevelQuantization::new(32, 2.0)),
                 Box::new(LogNormalDrift::new(0.3)),
                 Box::new(StuckAtFault::new(0.02, 0.0, 1.0)),
             ])),

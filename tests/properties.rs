@@ -55,7 +55,7 @@ proptest! {
         let before = net.forward(&x, Mode::Eval);
         let snap = FaultInjector::snapshot(&mut net);
         FaultInjector::inject(&mut net, &LogNormalDrift::new(sigma), &mut rng);
-        snap.restore(&mut net);
+        snap.restore(&mut net).unwrap();
         let after = net.forward(&x, Mode::Eval);
         prop_assert_eq!(before.as_slice(), after.as_slice());
     }

@@ -1,7 +1,8 @@
 //! Minimal offline stub of `serde_json`: a [`Value`] tree with compact and
-//! pretty printers. Objects preserve insertion order (like upstream's
-//! `preserve_order` feature), which keeps emitted reports byte-stable —
-//! the property the workspace's determinism tests rely on.
+//! pretty printers plus a recursive-descent parser ([`from_str`]). Objects
+//! preserve insertion order (like upstream's `preserve_order` feature),
+//! which keeps emitted reports byte-stable — the property the workspace's
+//! determinism tests rely on.
 
 use std::fmt::Write as _;
 
@@ -86,6 +87,22 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
             _ => None,
         }
     }
@@ -238,6 +255,312 @@ pub fn to_string_pretty(value: &Value) -> String {
     out
 }
 
+/// A JSON parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Whole non-negative integers up to `u64::MAX` become [`Value::UInt`]
+/// (exact — full-width RNG seeds survive a round trip); everything else
+/// numeric becomes [`Value::Number`]. Trailing whitespace is allowed,
+/// trailing garbage is not.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, with the byte offset of the
+/// first offending character.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap; malformed deeply-nested input must not blow the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            // Duplicate keys: last one wins, as in upstream.
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value;
+            } else {
+                entries.push((key, value));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.pos += 1; // past the 4th hex digit
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid; find the char at this offset).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses `uXXXX`'s four hex digits, leaving `pos` on the last digit.
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            self.pos += 1;
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a') as u32 + 10,
+                Some(c @ b'A'..=b'F') => (c - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid hex digit in unicode escape")),
+            };
+            cp = cp * 16 + d;
+        }
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let integral_end = self.pos;
+        // JSON grammar: the integral part is `0` or a non-zero digit
+        // followed by digits -- never empty, never zero-padded.
+        let int_digits = integral_end - int_start;
+        if int_digits == 0 || (int_digits > 1 && self.bytes[int_start] == b'0') {
+            return Err(ParseError {
+                message: "invalid number: integral part must be 0 or start 1-9".into(),
+                offset: start,
+            });
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("invalid number: '.' needs following digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("invalid number: exponent needs digits"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        // Whole non-negative integers stay exact (RNG seeds above 2^53).
+        if integral_end == self.pos && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Value::Number(n)),
+            _ => Err(ParseError {
+                message: format!("invalid number '{text}'"),
+                offset: start,
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +625,85 @@ mod tests {
         let v = Value::from(u64::MAX);
         assert_eq!(to_string(&v), "18446744073709551615");
         assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parse_round_trips_compact_output() {
+        let v = sample();
+        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("3.5").unwrap(), Value::Number(3.5));
+        assert_eq!(from_str("-2").unwrap(), Value::Number(-2.0));
+        assert_eq!(from_str("1e3").unwrap(), Value::Number(1000.0));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parse_keeps_large_seeds_exact() {
+        assert_eq!(
+            from_str("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parse_decodes_escapes() {
+        assert_eq!(
+            from_str(r#""a\"b\\c\nd\u0041\u00e9""#).unwrap(),
+            Value::String("a\"b\\c\ndAé".into())
+        );
+        // Surrogate pair → 😀
+        assert_eq!(
+            from_str(r#""\ud83d\ude00""#).unwrap(),
+            Value::String("😀".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "[1 2]",
+            "\"\\q\"",
+            "nan",
+            "01",
+            "1.",
+            "1e",
+            "-5e+",
+            "-",
+            ".5",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = from_str("[1, ?]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn parse_duplicate_keys_last_wins() {
+        let v = from_str(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.as_object().map(<[_]>::len), Some(1));
+    }
+
+    #[test]
+    fn parse_depth_is_bounded() {
+        let deep = "[".repeat(4096) + &"]".repeat(4096);
+        assert!(from_str(&deep).is_err(), "must not overflow the stack");
     }
 }
