@@ -1,37 +1,178 @@
 //! Criterion micro-benchmarks for the performance-critical kernels under
-//! every figure: drift injection, Monte-Carlo objective evaluation, GP
-//! fit + suggest, convolution forward/backward, and full training steps.
+//! every figure: drift injection, the fused Monte-Carlo trial hot path
+//! (latency *and* bytes allocated), Monte-Carlo objective evaluation,
+//! GP fit + suggest, convolution forward/backward, and matmul kernels.
+//!
+//! Set `BENCH_QUICK=1` for CI-sized sample counts, and `CRITERION_JSON=
+//! path.json` to dump every measurement (including the bytes-allocated
+//! gauges) as a JSON artifact.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
 use models::{LeNet5, Mlp, MlpConfig};
-use nn::{Layer, Mode};
+use nn::{Layer, Mode, Workspace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use reram::{FaultInjector, LogNormalDrift};
 use tensor::{Matmul, Tensor};
 
+/// Counts allocator traffic so benches can report bytes per trial.
+struct CountingAllocator;
+
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn samples(full: usize) -> usize {
+    if quick() {
+        (full / 4).max(3)
+    } else {
+        full
+    }
+}
+
 fn bench_drift_injection(c: &mut Criterion) {
     let mut group = c.benchmark_group("drift_injection");
-    group.sample_size(20);
+    group.sample_size(samples(20));
     for depth in [3usize, 9] {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut net = Mlp::new(&MlpConfig::new(196, 10).depth(depth).hidden(64), &mut rng);
         let snapshot = FaultInjector::snapshot(&mut net);
         let drift = LogNormalDrift::new(0.6);
-        group.bench_with_input(BenchmarkId::new("mlp_depth", depth), &depth, |b, _| {
-            b.iter(|| {
-                let mut rng = ChaCha8Rng::seed_from_u64(1);
-                FaultInjector::inject(&mut net, &drift, &mut rng);
-                snapshot.restore(&mut net).unwrap();
-            })
-        });
+        // Pre-refactor shape of the loop: separate inject + full restore.
+        group.bench_with_input(
+            BenchmarkId::new("inject_restore_mlp_depth", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(1);
+                    FaultInjector::inject(&mut net, &drift, &mut rng);
+                    snapshot.restore(&mut net).unwrap();
+                })
+            },
+        );
+        // Fused hot path: one pass, straight from the snapshot.
+        group.bench_with_input(
+            BenchmarkId::new("inject_from_mlp_depth", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(1);
+                    FaultInjector::inject_from(&snapshot, &mut net, &drift, &mut rng).unwrap();
+                })
+            },
+        );
+        snapshot.restore_into(&mut net).unwrap();
     }
     group.finish();
 }
 
+/// The steady-state Monte-Carlo trial (the paper's Eq. 4 inner loop):
+/// latency and allocator traffic, legacy vs fused/workspace form.
+fn bench_mc_trial(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = Mlp::new(&MlpConfig::new(196, 10).depth(3).hidden(64), &mut rng);
+    let x = Tensor::randn(&[16, 196], 0.0, 1.0, &mut rng);
+    let snapshot = FaultInjector::snapshot(&mut net);
+    let drift = LogNormalDrift::new(0.6);
+
+    let mut group = c.benchmark_group("mc_trial");
+    group.sample_size(samples(40));
+    group.bench_function("legacy_restore_inject_forward", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            FaultInjector::inject(&mut net, &drift, &mut rng);
+            let v = net.forward(&x, Mode::Eval).sum();
+            snapshot.restore(&mut net).unwrap();
+            v
+        })
+    });
+    let mut ws = Workspace::new();
+    group.bench_function("fused_inject_forward_ws", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            FaultInjector::inject_from(&snapshot, &mut net, &drift, &mut rng).unwrap();
+            let y = net.forward_ws(&x, Mode::Eval, &mut ws);
+            let v = y.sum();
+            ws.recycle(y);
+            v
+        })
+    });
+    group.finish();
+
+    // Allocator traffic per steady-state trial, outside the timing loops.
+    let trials = 32u64;
+    snapshot.restore_into(&mut net).unwrap();
+    let before = BYTES.load(Ordering::SeqCst);
+    for t in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(t);
+        FaultInjector::inject(&mut net, &drift, &mut rng);
+        let _ = net.forward(&x, Mode::Eval).sum();
+        snapshot.restore(&mut net).unwrap();
+    }
+    let legacy_bytes = BYTES.load(Ordering::SeqCst) - before;
+    record_metric(
+        "mc_trial/legacy_bytes_per_trial",
+        legacy_bytes as f64 / trials as f64,
+        "bytes/iter",
+    );
+
+    // Warm the workspace, then measure the steady state.
+    let mut ws = Workspace::new();
+    for t in 0..2 {
+        let mut rng = ChaCha8Rng::seed_from_u64(t);
+        FaultInjector::inject_from(&snapshot, &mut net, &drift, &mut rng).unwrap();
+        let y = net.forward_ws(&x, Mode::Eval, &mut ws);
+        ws.recycle(y);
+    }
+    let before = BYTES.load(Ordering::SeqCst);
+    for t in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(t);
+        FaultInjector::inject_from(&snapshot, &mut net, &drift, &mut rng).unwrap();
+        let y = net.forward_ws(&x, Mode::Eval, &mut ws);
+        let _ = y.sum();
+        ws.recycle(y);
+    }
+    let fused_bytes = BYTES.load(Ordering::SeqCst) - before;
+    record_metric(
+        "mc_trial/fused_bytes_per_trial",
+        fused_bytes as f64 / trials as f64,
+        "bytes/iter",
+    );
+    snapshot.restore_into(&mut net).unwrap();
+}
+
 fn bench_mc_objective(c: &mut Criterion) {
     let mut group = c.benchmark_group("mc_objective");
-    group.sample_size(10);
+    group.sample_size(samples(10));
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let data = datasets::digits(8, &mut rng);
     let mut net = Mlp::new(&MlpConfig::new(196, 10).hidden(48), &mut rng);
@@ -56,7 +197,7 @@ fn bench_mc_objective(c: &mut Criterion) {
 
 fn bench_gp(c: &mut Criterion) {
     let mut group = c.benchmark_group("gaussian_process");
-    group.sample_size(30);
+    group.sample_size(samples(30));
     for n in [8usize, 32] {
         let x: Vec<Vec<f64>> = (0..n)
             .map(|i| vec![(i as f64 * 0.37).sin().abs(), (i as f64 * 0.73).cos().abs()])
@@ -88,12 +229,21 @@ fn bench_gp(c: &mut Criterion) {
 
 fn bench_conv(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv_forward_backward");
-    group.sample_size(20);
+    group.sample_size(samples(20));
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut net = LeNet5::new(1, 14, 10, &mut rng);
     let x = Tensor::randn(&[8, 1, 14, 14], 0.0, 1.0, &mut rng);
     group.bench_function("lenet_fwd_batch8", |b| {
         b.iter(|| net.forward(&x, Mode::Eval))
+    });
+    let mut ws = Workspace::new();
+    group.bench_function("lenet_fwd_ws_batch8", |b| {
+        b.iter(|| {
+            let y = net.forward_ws(&x, Mode::Eval, &mut ws);
+            let v = y.sum();
+            ws.recycle(y);
+            v
+        })
     });
     group.bench_function("lenet_fwd_bwd_batch8", |b| {
         b.iter(|| {
@@ -106,7 +256,7 @@ fn bench_conv(c: &mut Criterion) {
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
-    group.sample_size(30);
+    group.sample_size(samples(30));
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     for n in [32usize, 128] {
         let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
@@ -114,13 +264,39 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("square", n), &n, |b, _| {
             b.iter(|| a.matmul(&b_mat))
         });
+        let mut out = Tensor::zeros(&[n, n]);
+        group.bench_with_input(BenchmarkId::new("square_into", n), &n, |b, _| {
+            b.iter(|| a.matmul_into(&b_mat, &mut out))
+        });
     }
+    // Sparse lhs: the finite-gated zero-skip at work (stuck-at-0 faults
+    // and post-ReLU activations look like this).
+    let n = 128;
+    let a_sparse = Tensor::from_vec(
+        (0..n * n)
+            .map(|i| {
+                if i % 4 == 0 {
+                    (i as f32 * 0.13).sin()
+                } else {
+                    0.0
+                }
+            })
+            .collect(),
+        &[n, n],
+    )
+    .unwrap();
+    let b_mat = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+    let mut out = Tensor::zeros(&[n, n]);
+    group.bench_function("square_into_sparse75", |b| {
+        b.iter(|| a_sparse.matmul_into(&b_mat, &mut out))
+    });
     group.finish();
 }
 
 criterion_group!(
     benches,
     bench_drift_injection,
+    bench_mc_trial,
     bench_mc_objective,
     bench_gp,
     bench_conv,

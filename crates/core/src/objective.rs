@@ -282,16 +282,23 @@ impl DriftObjective {
                 .enumerate()
                 .map(|(w, mut replica)| {
                     scope.spawn(move || {
-                        let mut local = Vec::new();
+                        let mut local = Vec::with_capacity(total / workers + 1);
                         let mut k = w;
+                        // Fused inject-from-snapshot (see `reram::monte_carlo`):
+                        // every sample drifts straight from the shared pristine
+                        // snapshot, eliminating the per-sample restore pass.
+                        // The replica is dropped when the worker exits.
                         while k < total {
                             let (i, t) = (k / trials, k % trials);
                             let mut rng = ChaCha8Rng::seed_from_u64(sample_seed(i, t));
-                            FaultInjector::inject(replica.as_mut(), levels[i].as_ref(), &mut rng);
+                            FaultInjector::inject_from(
+                                snapshot_ref,
+                                replica.as_mut(),
+                                levels[i].as_ref(),
+                                &mut rng,
+                            )
+                            .expect("snapshot was taken from this network's replica");
                             local.push((k, evaluate_once(replica.as_mut(), data, metric)));
-                            snapshot_ref
-                                .restore(replica.as_mut())
-                                .expect("snapshot was taken from this network's replica");
                             k += workers;
                         }
                         local

@@ -94,6 +94,15 @@ macro_rules! delegate_layer {
                 self.net.forward(input, mode)
             }
 
+            fn forward_ws(
+                &mut self,
+                input: &tensor::Tensor,
+                mode: nn::Mode,
+                ws: &mut nn::Workspace,
+            ) -> tensor::Tensor {
+                self.net.forward_ws(input, mode, ws)
+            }
+
             fn backward(&mut self, grad_out: &tensor::Tensor) -> tensor::Tensor {
                 self.net.backward(grad_out)
             }

@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 use tensor::Tensor;
 
-use crate::{Layer, Mode};
+use crate::{Layer, Mode, Workspace};
 
 /// Selects one of the paper's four activation functions when building
 /// parameterized models (Fig. 2(d) ablation).
@@ -69,6 +69,18 @@ macro_rules! elementwise_activation {
                 self.input = Some(input.clone());
                 let a = self.alpha;
                 input.map(|x| ($fwd)(x, a))
+            }
+
+            fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+                if mode == Mode::Train {
+                    return self.forward(input, mode);
+                }
+                let a = self.alpha;
+                let mut out = ws.take_tensor(input.dims());
+                for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                    *o = ($fwd)(x, a);
+                }
+                out
             }
 
             fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -1,9 +1,9 @@
 //! Convolution, pooling and flattening layers over `[N, C, H, W]` tensors.
 
 use rand::Rng;
-use tensor::{col2im, im2col, Conv2dSpec, Matmul, Pool2dSpec, Tensor};
+use tensor::{col2im, gemm_into, im2col, im2col_into, Conv2dSpec, Matmul, Pool2dSpec, Tensor};
 
-use crate::{Layer, Mode, Param, ParamKind};
+use crate::{Layer, Mode, Param, ParamKind, Workspace};
 
 /// 2-D convolution lowered to `im2col` + matmul.
 ///
@@ -103,6 +103,56 @@ impl Layer for Conv2d {
             }
             self.cols.push(col);
         }
+        out
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        assert_eq!(input.rank(), 4, "conv2d expects [N, C, H, W] input");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        assert_eq!(c, self.spec.in_channels, "conv2d channel mismatch");
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let oc = self.spec.out_channels;
+        let patch = self.spec.patch_len();
+        let mut out = ws.take_tensor(&[n, oc, oh, ow]);
+        let mut col = ws.take(patch * oh * ow);
+        let mut y = ws.take(oc * oh * ow);
+        let per_sample = c * h * w;
+        let out_per_sample = oc * oh * ow;
+        for i in 0..n {
+            im2col_into(
+                &input.as_slice()[i * per_sample..(i + 1) * per_sample],
+                &mut col,
+                &self.spec,
+                h,
+                w,
+            );
+            gemm_into(
+                self.weight.value.as_slice(),
+                &col,
+                &mut y,
+                oc,
+                patch,
+                oh * ow,
+            );
+            let dst = &mut out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample];
+            for och in 0..oc {
+                let b = self.bias.value.as_slice()[och];
+                let src = &y[och * oh * ow..(och + 1) * oh * ow];
+                for (d, &s) in dst[och * oh * ow..(och + 1) * oh * ow].iter_mut().zip(src) {
+                    *d = s + b;
+                }
+            }
+        }
+        ws.recycle_vec(col);
+        ws.recycle_vec(y);
         out
     }
 
@@ -213,6 +263,39 @@ impl Layer for MaxPool2d {
         out
     }
 
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        assert_eq!(input.rank(), 4, "max_pool2d expects [N, C, H, W] input");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let mut out = ws.take_tensor(&[n, c, oh, ow]);
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        let per_sample = c * h * w;
+        let out_per_sample = c * oh * ow;
+        // Same window scan as `forward` (shared `tensor::max_pool2d_into`),
+        // without argmax bookkeeping (eval never backpropagates).
+        for i in 0..n {
+            tensor::max_pool2d_into(
+                &src[i * per_sample..(i + 1) * per_sample],
+                &mut dst[i * out_per_sample..(i + 1) * out_per_sample],
+                &self.spec,
+                c,
+                h,
+                w,
+                None,
+            );
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert!(
             !self.argmax.is_empty(),
@@ -293,6 +376,37 @@ impl Layer for AvgPool2d {
         out
     }
 
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        assert_eq!(input.rank(), 4, "avg_pool2d expects [N, C, H, W] input");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let mut out = ws.take_tensor(&[n, c, oh, ow]);
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        let per_sample = c * h * w;
+        let out_per_sample = c * oh * ow;
+        // Same window scan as `forward` (shared `tensor::avg_pool2d_into`).
+        for i in 0..n {
+            tensor::avg_pool2d_into(
+                &src[i * per_sample..(i + 1) * per_sample],
+                &mut dst[i * out_per_sample..(i + 1) * out_per_sample],
+                &self.spec,
+                c,
+                h,
+                w,
+            );
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert!(
             !self.input_dims.is_empty(),
@@ -363,6 +477,29 @@ impl Layer for GlobalAvgPool {
         out
     }
 
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        assert_eq!(input.rank(), 4, "global_avg_pool expects [N, C, H, W]");
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let mut out = ws.take_tensor(&[n, c]);
+        let s = (h * w) as f32;
+        for i in 0..n {
+            for ch in 0..c {
+                let start = (i * c + ch) * h * w;
+                let sum: f32 = input.as_slice()[start..start + h * w].iter().sum();
+                out.as_mut_slice()[i * c + ch] = sum / s;
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert!(
             !self.input_dims.is_empty(),
@@ -418,6 +555,15 @@ impl Layer for Flatten {
         let n = input.dims()[0];
         let rest: usize = input.dims()[1..].iter().product();
         input.reshaped(&[n, rest]).expect("element count preserved")
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        ws.take_copy(input, &[n, rest])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -1,9 +1,9 @@
 //! Fully connected layer.
 
 use rand::Rng;
-use tensor::{Matmul, Tensor};
+use tensor::{gemm_into, Matmul, Tensor};
 
-use crate::{Layer, Mode, Param, ParamKind};
+use crate::{Layer, Mode, Param, ParamKind, Workspace};
 
 /// A fully connected layer: `y = x·W + b` with `x: [N, in]`, `W: [in, out]`.
 ///
@@ -82,6 +82,38 @@ impl Layer for Dense {
         self.input = Some(x.clone());
         x.matmul(&self.weight.value)
             .add_row_broadcast(&self.bias.value)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        if mode == Mode::Train {
+            return self.forward(input, mode);
+        }
+        assert_eq!(
+            input.dims().last().copied(),
+            Some(self.in_features),
+            "dense input feature mismatch: got {}, expected {}",
+            input.shape(),
+            self.in_features
+        );
+        // Fold [N, ...] to [N', in] as a view — no reshape copy needed for
+        // a raw gemm over slices.
+        let m = input.len() / self.in_features;
+        let mut out = ws.take_tensor(&[m, self.out_features]);
+        gemm_into(
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            out.as_mut_slice(),
+            m,
+            self.in_features,
+            self.out_features,
+        );
+        let bias = self.bias.value.as_slice();
+        for r in 0..m {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

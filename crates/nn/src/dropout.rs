@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use tensor::Tensor;
 
-use crate::{Layer, Mode};
+use crate::{Layer, Mode, Workspace};
 
 /// Inverted dropout: during training each element is zeroed with probability
 /// `rate` and survivors are scaled by `1/(1−rate)`; evaluation is identity.
@@ -87,6 +87,14 @@ impl Layer for Dropout {
         let out = input.mul(&mask);
         self.mask = Some(mask);
         out
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        if mode == Mode::Eval || self.rate == 0.0 {
+            self.mask = None;
+            return ws.take_copy(input, input.dims());
+        }
+        self.forward(input, mode)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -187,6 +195,14 @@ impl Layer for AlphaDropout {
         }
         self.mask = Some(mult);
         out
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        if mode == Mode::Eval || self.rate == 0.0 {
+            self.mask = None;
+            return ws.take_copy(input, input.dims());
+        }
+        self.forward(input, mode)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -2,7 +2,7 @@
 
 use tensor::Tensor;
 
-use crate::{Mode, Param};
+use crate::{Mode, Param, Workspace};
 
 /// A differentiable network component.
 ///
@@ -16,6 +16,30 @@ use crate::{Mode, Param};
 pub trait Layer: Send {
     /// Computes the layer output for `input`.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// [`Layer::forward`] drawing output (and internal scratch) buffers
+    /// from a reusable [`Workspace`] instead of the allocator.
+    ///
+    /// The returned tensor is **bit-identical** to `forward(input, mode)`;
+    /// only the provenance of its buffer differs. Callers should hand the
+    /// result back via [`Workspace::recycle`] once done so the next pass
+    /// reuses it — after one warm-up pass, an eval-mode forward through
+    /// layers that override this method performs zero heap allocations.
+    ///
+    /// Two deliberate deviations from `forward`, both eval-only:
+    ///
+    /// * activation/input caches needed by `backward` are *not* refreshed
+    ///   (calling `backward` after an eval `forward_ws` is unsupported, as
+    ///   is calling it after any eval pass in spirit);
+    /// * `Mode::Train` falls back to plain `forward` in every override —
+    ///   training wants the caches, so there is nothing to save.
+    ///
+    /// The default implementation ignores the workspace and calls
+    /// `forward`, so layers without an override remain correct (just
+    /// allocating).
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, _ws: &mut Workspace) -> Tensor {
+        self.forward(input, mode)
+    }
 
     /// Backpropagates `grad_out` (gradient w.r.t. this layer's output),
     /// accumulating parameter gradients and returning the gradient w.r.t.
@@ -89,6 +113,10 @@ impl Identity {
 impl Layer for Identity {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         input.clone()
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, _mode: Mode, ws: &mut Workspace) -> Tensor {
+        ws.take_copy(input, input.dims())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -185,6 +213,20 @@ impl Layer for Sequential {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return ws.take_copy(input, input.dims());
+        };
+        let mut x = first.forward_ws(input, mode, ws);
+        for layer in layers {
+            let y = layer.forward_ws(&x, mode, ws);
+            ws.recycle(x);
+            x = y;
         }
         x
     }

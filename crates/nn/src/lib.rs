@@ -51,6 +51,7 @@ mod norm;
 mod optim;
 mod param;
 mod residual;
+mod workspace;
 
 pub use activation::{Activation, Elu, Gelu, LeakyRelu, Relu};
 pub use conv::{AvgPool2d, Conv2d, Flatten, GlobalAvgPool, MaxPool2d};
@@ -63,3 +64,4 @@ pub use norm::{BatchNorm, GroupNorm, InstanceNorm, LayerNorm, NormKind};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{Mode, Param, ParamKind};
 pub use residual::{PreActBlock, Residual};
+pub use workspace::Workspace;

@@ -3,7 +3,7 @@
 
 use tensor::Tensor;
 
-use crate::{Layer, Mode, Param, Sequential};
+use crate::{Layer, Mode, Param, Sequential, Workspace};
 
 /// A residual block: `y = main(x) + shortcut(x)`.
 ///
@@ -57,6 +57,35 @@ impl Layer for Residual {
             short_out.shape()
         );
         main_out.add(&short_out)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        let mut main_out = self.main.forward_ws(input, mode, ws);
+        match &mut self.shortcut {
+            Some(s) => {
+                let short_out = s.forward_ws(input, mode, ws);
+                assert_eq!(
+                    main_out.dims(),
+                    short_out.dims(),
+                    "residual branch shape mismatch: main {} vs shortcut {}",
+                    main_out.shape(),
+                    short_out.shape()
+                );
+                main_out.add_assign(&short_out);
+                ws.recycle(short_out);
+            }
+            None => {
+                assert_eq!(
+                    main_out.dims(),
+                    input.dims(),
+                    "residual branch shape mismatch: main {} vs shortcut {}",
+                    main_out.shape(),
+                    input.shape()
+                );
+                main_out.add_assign(input);
+            }
+        }
+        main_out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -126,6 +155,10 @@ impl PreActBlock {
 impl Layer for PreActBlock {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         self.inner.forward(input, mode)
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        self.inner.forward_ws(input, mode, ws)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

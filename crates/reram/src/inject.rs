@@ -17,18 +17,19 @@ pub struct WeightSnapshot {
 }
 
 impl WeightSnapshot {
-    /// Writes the saved values back into `network`.
+    /// Checks that `network`'s parameter structure matches the snapshot
+    /// without writing anything.
     ///
-    /// A structural mismatch is detected **before** any parameter is
-    /// written, so on error the network is left exactly as it was — a
-    /// malformed snapshot (e.g. loaded from a stale weight file by a
-    /// campaign scenario) cannot half-restore a model.
+    /// Shared by every write path ([`WeightSnapshot::restore_into`],
+    /// [`FaultInjector::inject_from`]) so a malformed snapshot can never
+    /// half-write a model. The success path performs no heap allocation —
+    /// this runs once per Monte-Carlo trial.
     ///
     /// # Errors
     ///
-    /// Returns [`FaultError::SnapshotMismatch`] if the network's parameter
-    /// structure differs from what the snapshot captured.
-    pub fn restore(&self, network: &mut dyn Layer) -> Result<(), FaultError> {
+    /// Returns [`FaultError::SnapshotMismatch`] naming the first
+    /// structural difference.
+    pub fn validate(&self, network: &mut dyn Layer) -> Result<(), FaultError> {
         let mut idx = 0usize;
         let mut mismatch: Option<String> = None;
         network.visit_params(&mut |p| {
@@ -63,9 +64,41 @@ impl WeightSnapshot {
                 ),
             });
         }
+        Ok(())
+    }
+
+    /// Writes the saved values back into `network`.
+    ///
+    /// Alias of [`WeightSnapshot::restore_into`], kept as the historical
+    /// entry-point name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::SnapshotMismatch`] if the network's parameter
+    /// structure differs from what the snapshot captured.
+    pub fn restore(&self, network: &mut dyn Layer) -> Result<(), FaultError> {
+        self.restore_into(network)
+    }
+
+    /// Copies the saved values into `network`'s existing parameter
+    /// buffers (`copy_from_slice`), allocating nothing.
+    ///
+    /// A structural mismatch is detected **before** any parameter is
+    /// written, so on error the network is left exactly as it was — a
+    /// malformed snapshot (e.g. loaded from a stale weight file by a
+    /// campaign scenario) cannot half-restore a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::SnapshotMismatch`] if the network's parameter
+    /// structure differs from what the snapshot captured.
+    pub fn restore_into(&self, network: &mut dyn Layer) -> Result<(), FaultError> {
+        self.validate(network)?;
         let mut idx = 0usize;
         network.visit_params(&mut |p| {
-            p.value = self.values[idx].clone();
+            p.value
+                .as_mut_slice()
+                .copy_from_slice(self.values[idx].as_slice());
             idx += 1;
         });
         Ok(())
@@ -188,6 +221,42 @@ impl FaultInjector {
         });
     }
 
+    /// Fused restore + inject: writes `model.perturb(pristine, rng)` into
+    /// the live network directly from `snapshot`, in one pass and without
+    /// allocating.
+    ///
+    /// For a network currently holding the previous trial's drifted
+    /// weights, this is equivalent to `snapshot.restore_into(network)`
+    /// followed by `FaultInjector::inject(network, model, rng)` — the
+    /// perturbation always sees the pristine value and consumes the RNG
+    /// stream in the same visit order — but touches every weight once per
+    /// trial instead of twice. This is what lets the Monte-Carlo drivers
+    /// skip the per-trial restore pass entirely (one restore runs after
+    /// the final trial).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::SnapshotMismatch`] if `network`'s parameter
+    /// structure differs from what `snapshot` captured; the network is
+    /// left untouched.
+    pub fn inject_from(
+        snapshot: &WeightSnapshot,
+        network: &mut dyn Layer,
+        model: &dyn DriftModel,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), FaultError> {
+        snapshot.validate(network)?;
+        let mut idx = 0usize;
+        network.visit_params(&mut |p| {
+            let pristine = snapshot.values[idx].as_slice();
+            for (v, &p0) in p.value.as_mut_slice().iter_mut().zip(pristine) {
+                *v = model.perturb(p0, rng);
+            }
+            idx += 1;
+        });
+        Ok(())
+    }
+
     /// Runs `f` on a drifted copy of the network, restoring the pristine
     /// weights before returning.
     pub fn with_drift<R>(
@@ -235,11 +304,22 @@ impl McStats {
                 values,
             };
         }
-        let mean = values.iter().sum::<f32>() / values.len() as f32;
-        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / values.len() as f32;
+        // Welford's online algorithm in f64. Accumulating in f32 suffers
+        // catastrophic cancellation for metrics with large means (e.g.
+        // summed logits ~1e6): the naive `Σ(v−mean)²` collapses into
+        // rounding noise and can even go negative.
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for (n, &v) in values.iter().enumerate() {
+            let v = v as f64;
+            let delta = v - mean;
+            mean += delta / (n + 1) as f64;
+            m2 += delta * (v - mean);
+        }
+        let var = m2 / values.len() as f64;
         McStats {
-            mean,
-            std: var.sqrt(),
+            mean: mean as f32,
+            std: var.sqrt() as f32,
             values,
         }
     }
@@ -321,14 +401,18 @@ pub fn monte_carlo(
     assert!(trials > 0, "Monte-Carlo needs at least one trial");
     let snapshot = FaultInjector::snapshot(network);
     let mut values = Vec::with_capacity(trials);
+    // Fused hot loop: each trial drifts directly from the pristine
+    // snapshot, so the per-trial restore pass (and its weight traffic)
+    // disappears; a steady-state trial allocates nothing in inject.
     for t in 0..trials {
         let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, t));
-        FaultInjector::inject(network, model, &mut rng);
-        values.push(metric(network));
-        snapshot
-            .restore(network)
+        FaultInjector::inject_from(&snapshot, network, model, &mut rng)
             .expect("snapshot was taken from this network");
+        values.push(metric(network));
     }
+    snapshot
+        .restore_into(network)
+        .expect("snapshot was taken from this network");
     McStats::from_values(values)
 }
 
@@ -376,15 +460,17 @@ pub fn monte_carlo_parallel(
             .enumerate()
             .map(|(w, mut replica)| {
                 scope.spawn(move || {
-                    let mut local = Vec::new();
+                    let mut local = Vec::with_capacity(trials / workers + 1);
                     let mut t = w;
+                    // Same fused loop as the serial driver: drift straight
+                    // from the shared pristine snapshot, no per-trial
+                    // restore. The replica is dropped afterwards, so no
+                    // final restore is needed either.
                     while t < trials {
                         let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(seed, t));
-                        FaultInjector::inject(replica.as_mut(), model, &mut rng);
-                        local.push((t, metric(replica.as_mut())));
-                        snapshot_ref
-                            .restore(replica.as_mut())
+                        FaultInjector::inject_from(snapshot_ref, replica.as_mut(), model, &mut rng)
                             .expect("snapshot was taken from this network's replica");
+                        local.push((t, metric(replica.as_mut())));
                         t += workers;
                     }
                     local
@@ -557,6 +643,33 @@ mod tests {
         let s = McStats::from_values(vec![1.0, 3.0]);
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.std, 1.0);
+    }
+
+    /// f32 accumulation corrupts the statistics of large-mean samples
+    /// (summing 100 values of magnitude 1e6 loses the low bits, and the
+    /// biased mean then poisons every squared deviation): the old path
+    /// reported mean 1000001.125 / std 1.663 for this input. The f64
+    /// Welford path recovers both exactly — each sample is an exact f32,
+    /// so mean 1000002 and std √2 are the true values.
+    #[test]
+    fn mc_stats_survive_large_mean_offset() {
+        let values: Vec<f32> = (0..100).map(|i| 1.0e6 + (i % 5) as f32).collect();
+        let stats = McStats::from_values(values);
+        assert_eq!(stats.mean, 1_000_002.0, "mean biased by f32 summation");
+        assert!(
+            (stats.std - std::f32::consts::SQRT_2).abs() < 1e-6,
+            "variance corrupted by catastrophic cancellation: {}",
+            stats.std
+        );
+    }
+
+    /// The exact-zero-spread shortcut still reports literally 0 for
+    /// identical samples, however extreme their magnitude.
+    #[test]
+    fn mc_stats_identical_samples_have_exactly_zero_std() {
+        let s = McStats::from_values(vec![1.0e6 + 0.5; 7]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 1.0e6 + 0.5);
     }
 
     #[test]

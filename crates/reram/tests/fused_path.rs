@@ -1,0 +1,263 @@
+//! Integration tests pinning the fused inject-from-snapshot Monte-Carlo
+//! hot path: golden values captured from the pre-refactor implementation
+//! (separate inject + per-trial restore, allocating matmul), fused ≡
+//! unfused equivalence, and serial ≡ parallel bit-identity for every fault
+//! model in the suite.
+
+use nn::{Dense, Layer, Mode, Relu, Sequential, Workspace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reram::{monte_carlo, monte_carlo_parallel, DriftModel, FaultInjector};
+use tensor::Tensor;
+
+fn test_net(seed: u64) -> Sequential {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Sequential::new(vec![
+        Box::new(Dense::new(3, 4, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(Dense::new(4, 2, &mut rng)),
+    ])
+}
+
+/// One of each fault-model family, with the exact parameters the golden
+/// values below were captured under.
+fn model_suite() -> Vec<(&'static str, Box<dyn DriftModel>)> {
+    vec![
+        ("lognormal", Box::new(reram::LogNormalDrift::new(0.5))),
+        ("gauss", Box::new(reram::GaussianAdditive::new(0.3))),
+        ("uniform", Box::new(reram::UniformDrift::new(0.4))),
+        ("uniform_add", Box::new(reram::UniformAdditive::new(0.2))),
+        ("devvar", Box::new(reram::DeviceVariation::new(0.15))),
+        (
+            "stuckat",
+            Box::new(reram::StuckAtFault::new(0.2, 0.05, 1.0)),
+        ),
+        ("bitflip", Box::new(reram::BitFlipFault::new(0.01, 8, 1.0))),
+        ("quantize", Box::new(reram::LevelQuantization::new(16, 1.5))),
+        (
+            "composite",
+            "quantize:16+lognormal:0.4"
+                .parse::<reram::FaultSpec>()
+                .unwrap()
+                .build()
+                .unwrap(),
+        ),
+    ]
+}
+
+/// Per-trial metric bits of `monte_carlo(test_net(42), model, 6, 99, Σ f(1))`
+/// captured from the implementation **before** the fused hot path landed
+/// (commit with separate `inject` + per-trial `restore`). The refactor
+/// contract is bit-identity: same trial seeds, same arithmetic order.
+const GOLDEN: &[(&str, [u32; 6])] = &[
+    (
+        "lognormal",
+        [
+            0x41044d4b, 0x4134bdc2, 0x403668f6, 0x3f772de4, 0x41778a58, 0x4073e3b2,
+        ],
+    ),
+    (
+        "gauss",
+        [
+            0x40b6d677, 0x40bd109a, 0x402880ad, 0x3f8e96f2, 0x40fc34d4, 0x4086fe56,
+        ],
+    ),
+    (
+        "uniform",
+        [
+            0x4068af33, 0x40835095, 0x4042a753, 0x404ac84c, 0x40171b91, 0x404ddf89,
+        ],
+    ),
+    (
+        "uniform_add",
+        [
+            0x4070e2ad, 0x405f3744, 0x409897cd, 0x406b843e, 0x3fc22a73, 0x408bbed8,
+        ],
+    ),
+    (
+        "devvar",
+        [
+            0x40883b0c, 0x408f0a6e, 0x40428ad4, 0x400a4764, 0x40983f94, 0x404d67e4,
+        ],
+    ),
+    (
+        "stuckat",
+        [
+            0x4092f8db, 0x4092f8db, 0x3fe85530, 0x3ffba2d3, 0x3d78560f, 0x40a57413,
+        ],
+    ),
+    (
+        "bitflip",
+        [
+            0x404dfe37, 0x4077b985, 0x404dfe37, 0x404dfe37, 0x40a6de9a, 0x404dfe37,
+        ],
+    ),
+    (
+        "quantize",
+        [
+            0x4066666a, 0x4066666a, 0x4066666a, 0x4066666a, 0x4066666a, 0x4066666a,
+        ],
+    ),
+    (
+        "composite",
+        [
+            0x40a590de, 0x40dc492f, 0x3ffb65bb, 0x3f2471b8, 0x410c42c6, 0x4013db61,
+        ],
+    ),
+];
+
+#[test]
+fn fused_path_reproduces_pre_refactor_golden_values() {
+    let x = Tensor::ones(&[2, 3]);
+    let models = model_suite();
+    for (name, expected_bits) in GOLDEN {
+        let model = &models
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("golden model present in suite")
+            .1;
+        let mut net = test_net(42);
+        let stats = monte_carlo(&mut net, model.as_ref(), 6, 99, |n| {
+            n.forward(&x, Mode::Eval).sum()
+        });
+        let got: Vec<u32> = stats.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expected_bits.to_vec(), "{name} diverged from golden");
+    }
+}
+
+/// The workspace-backed forward is part of the same bit-identity contract:
+/// a metric evaluated through `forward_ws` pins the identical golden bits.
+#[test]
+fn workspace_metric_reproduces_golden_values() {
+    let x = Tensor::ones(&[2, 3]);
+    let model = reram::LogNormalDrift::new(0.5);
+    let mut net = test_net(42);
+    let mut ws = Workspace::new();
+    let stats = monte_carlo(&mut net, &model, 6, 99, move |n| {
+        let y = n.forward_ws(&x, Mode::Eval, &mut ws);
+        let s = y.sum();
+        ws.recycle(y);
+        s
+    });
+    let golden = &GOLDEN.iter().find(|(n, _)| *n == "lognormal").unwrap().1;
+    let got: Vec<u32> = stats.values.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, golden.to_vec());
+}
+
+/// `inject_from` must equal `restore_into` followed by `inject` — same RNG
+/// stream, same writes — starting from an arbitrarily drifted network.
+#[test]
+fn inject_from_equals_restore_then_inject_for_every_model() {
+    for (name, model) in &model_suite() {
+        let mut fused = test_net(5);
+        let mut unfused = test_net(5);
+        let snap_f = FaultInjector::snapshot(&mut fused);
+        let snap_u = FaultInjector::snapshot(&mut unfused);
+        // Dirty both networks with an unrelated drift first.
+        let mut dirty_rng = ChaCha8Rng::seed_from_u64(77);
+        FaultInjector::inject(
+            &mut fused,
+            &reram::GaussianAdditive::new(0.5),
+            &mut dirty_rng,
+        );
+        let mut dirty_rng = ChaCha8Rng::seed_from_u64(77);
+        FaultInjector::inject(
+            &mut unfused,
+            &reram::GaussianAdditive::new(0.5),
+            &mut dirty_rng,
+        );
+
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        FaultInjector::inject_from(&snap_f, &mut fused, model.as_ref(), &mut rng).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        snap_u.restore_into(&mut unfused).unwrap();
+        FaultInjector::inject(&mut unfused, model.as_ref(), &mut rng);
+
+        let a = FaultInjector::snapshot(&mut fused);
+        let b = FaultInjector::snapshot(&mut unfused);
+        for (ta, tb) in a.tensors().iter().zip(b.tensors()) {
+            assert_eq!(ta.as_slice(), tb.as_slice(), "{name} fused != unfused");
+        }
+    }
+}
+
+/// Serial and parallel drivers stay bit-identical on the fused path for
+/// every fault-model variant and worker counts {1, 2, 5}.
+#[test]
+fn parallel_matches_serial_for_every_model_and_worker_count() {
+    let x = Tensor::ones(&[2, 3]);
+    let metric = move |n: &mut dyn Layer| n.forward(&x, Mode::Eval).sum();
+    for (name, model) in &model_suite() {
+        let mut net = test_net(21);
+        let serial = monte_carlo(&mut net, model.as_ref(), 7, 13, &metric);
+        for workers in [1usize, 2, 5] {
+            let mut net = test_net(21);
+            let parallel = monte_carlo_parallel(&mut net, model.as_ref(), 7, 13, workers, &metric);
+            assert_eq!(
+                serial.values, parallel.values,
+                "{name} with {workers} workers diverged from serial"
+            );
+            assert_eq!(
+                serial.mean.to_bits(),
+                parallel.mean.to_bits(),
+                "{name} mean"
+            );
+            assert_eq!(serial.std.to_bits(), parallel.std.to_bits(), "{name} std");
+        }
+    }
+}
+
+/// The fused drivers must still hand the network back pristine.
+#[test]
+fn fused_drivers_restore_the_network() {
+    let x = Tensor::ones(&[1, 3]);
+    for workers in [1usize, 3] {
+        let mut net = test_net(30);
+        let clean = net.forward(&x, Mode::Eval);
+        let metric = {
+            let x = x.clone();
+            move |n: &mut dyn Layer| n.forward(&x, Mode::Eval).sum()
+        };
+        let _ = monte_carlo_parallel(
+            &mut net,
+            &reram::LogNormalDrift::new(0.9),
+            5,
+            2,
+            workers,
+            &metric,
+        );
+        assert_eq!(
+            clean.as_slice(),
+            net.forward(&x, Mode::Eval).as_slice(),
+            "{workers} workers left the network drifted"
+        );
+    }
+}
+
+/// A structural mismatch surfaces as a recoverable error from the fused
+/// injector and leaves the target untouched.
+#[test]
+fn inject_from_rejects_mismatched_snapshot() {
+    let mut net = test_net(1);
+    let mut other = {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        Sequential::new(vec![
+            Box::new(Dense::new(3, 5, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(5, 2, &mut rng)),
+        ])
+    };
+    let snap = FaultInjector::snapshot(&mut other);
+    let before = FaultInjector::snapshot(&mut net);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let err =
+        FaultInjector::inject_from(&snap, &mut net, &reram::LogNormalDrift::new(0.5), &mut rng);
+    assert!(matches!(
+        err,
+        Err(reram::FaultError::SnapshotMismatch { .. })
+    ));
+    let after = FaultInjector::snapshot(&mut net);
+    for (a, b) in before.tensors().iter().zip(after.tensors()) {
+        assert_eq!(a.as_slice(), b.as_slice(), "failed inject_from wrote data");
+    }
+}

@@ -92,10 +92,36 @@ pub fn im2col(image: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
     assert_eq!(image.rank(), 3, "im2col expects a [C, H, W] tensor");
     assert_eq!(image.dims()[0], spec.in_channels, "im2col channel mismatch");
     let (oh, ow) = spec.output_hw(h, w);
-    let k = spec.kernel;
     let mut col = Tensor::zeros(&[spec.patch_len(), oh * ow]);
-    let src = image.as_slice();
-    let dst = col.as_mut_slice();
+    im2col_into(image.as_slice(), col.as_mut_slice(), spec, h, w);
+    col
+}
+
+/// [`im2col`] on raw slices, writing into a caller-provided buffer.
+///
+/// `src` is one `[C, H, W]` image (`C·h·w` elements); `dst` must hold
+/// `patch_len() · OH·OW` elements and is fully overwritten (zero padding
+/// included), so recycled scratch buffers can be passed directly. The
+/// eval-mode convolution hot path uses this to lower images without
+/// allocating a fresh patch matrix per sample per trial.
+///
+/// # Panics
+///
+/// Panics if either slice length disagrees with the geometry.
+pub fn im2col_into(src: &[f32], dst: &mut [f32], spec: &Conv2dSpec, h: usize, w: usize) {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    assert_eq!(
+        src.len(),
+        spec.in_channels * h * w,
+        "im2col_into image length mismatch"
+    );
+    assert_eq!(
+        dst.len(),
+        spec.patch_len() * oh * ow,
+        "im2col_into output length mismatch"
+    );
+    dst.fill(0.0);
     let ncols = oh * ow;
     for c in 0..spec.in_channels {
         for ky in 0..k {
@@ -118,7 +144,6 @@ pub fn im2col(image: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
             }
         }
     }
-    col
 }
 
 /// Scatters a `[C·kh·kw, OH·OW]` patch-gradient matrix back to a `[C, H, W]`

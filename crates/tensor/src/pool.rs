@@ -65,8 +65,54 @@ pub fn max_pool2d(image: &Tensor, spec: &Pool2dSpec) -> (Tensor, Vec<usize>) {
     let (oh, ow) = spec.output_hw(h, w);
     let mut out = Tensor::zeros(&[c, oh, ow]);
     let mut argmax = vec![0usize; c * oh * ow];
-    let src = image.as_slice();
-    let dst = out.as_mut_slice();
+    max_pool2d_into(
+        image.as_slice(),
+        out.as_mut_slice(),
+        spec,
+        c,
+        h,
+        w,
+        Some(&mut argmax),
+    );
+    (out, argmax)
+}
+
+/// [`max_pool2d`] on raw slices, writing into a caller-provided buffer.
+///
+/// `src` is one `[C, H, W]` image; `dst` (`C·OH·OW` elements) is fully
+/// overwritten, so recycled scratch buffers can be passed directly. Flat
+/// argmax indices are recorded when `argmax` is provided (the backward
+/// pass needs them; eval-mode pooling passes `None`). This is the single
+/// window-scan implementation behind both the allocating wrapper and the
+/// allocation-free eval path, so the two stay bit-identical by
+/// construction.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the geometry.
+pub fn max_pool2d_into(
+    src: &[f32],
+    dst: &mut [f32],
+    spec: &Pool2dSpec,
+    c: usize,
+    h: usize,
+    w: usize,
+    mut argmax: Option<&mut [usize]>,
+) {
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(
+        src.len(),
+        c * h * w,
+        "max_pool2d_into image length mismatch"
+    );
+    assert_eq!(
+        dst.len(),
+        c * oh * ow,
+        "max_pool2d_into output length mismatch"
+    );
+    if let Some(a) = &argmax {
+        assert_eq!(a.len(), dst.len(), "max_pool2d_into argmax length mismatch");
+    }
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -85,11 +131,12 @@ pub fn max_pool2d(image: &Tensor, spec: &Pool2dSpec) -> (Tensor, Vec<usize>) {
                 }
                 let o = (ch * oh + oy) * ow + ox;
                 dst[o] = best;
-                argmax[o] = best_idx;
+                if let Some(a) = argmax.as_deref_mut() {
+                    a[o] = best_idx;
+                }
             }
         }
     }
-    (out, argmax)
 }
 
 /// Scatters output gradients back through a recorded max-pool.
@@ -123,9 +170,39 @@ pub fn avg_pool2d(image: &Tensor, spec: &Pool2dSpec) -> Tensor {
     let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
     let (oh, ow) = spec.output_hw(h, w);
     let mut out = Tensor::zeros(&[c, oh, ow]);
+    avg_pool2d_into(image.as_slice(), out.as_mut_slice(), spec, c, h, w);
+    out
+}
+
+/// [`avg_pool2d`] on raw slices, writing into a caller-provided buffer.
+///
+/// `src` is one `[C, H, W]` image; `dst` (`C·OH·OW` elements) is fully
+/// overwritten. Single window-scan implementation shared with the
+/// allocating wrapper — see [`max_pool2d_into`].
+///
+/// # Panics
+///
+/// Panics if either slice length disagrees with the geometry.
+pub fn avg_pool2d_into(
+    src: &[f32],
+    dst: &mut [f32],
+    spec: &Pool2dSpec,
+    c: usize,
+    h: usize,
+    w: usize,
+) {
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(
+        src.len(),
+        c * h * w,
+        "avg_pool2d_into image length mismatch"
+    );
+    assert_eq!(
+        dst.len(),
+        c * oh * ow,
+        "avg_pool2d_into output length mismatch"
+    );
     let norm = 1.0 / (spec.window * spec.window) as f32;
-    let src = image.as_slice();
-    let dst = out.as_mut_slice();
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -141,7 +218,6 @@ pub fn avg_pool2d(image: &Tensor, spec: &Pool2dSpec) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly

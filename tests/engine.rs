@@ -182,3 +182,26 @@ fn report_json_round_trips_key_facts() {
     let pretty = result.report.to_json_string_pretty();
     assert!(pretty.contains("\"timings\""));
 }
+
+/// Engine-level golden pin: `DriftObjective::evaluate` on the fused
+/// Monte-Carlo path reproduces the per-trial accuracy bits captured from
+/// the pre-refactor implementation (separate inject + per-trial restore).
+#[test]
+fn drift_objective_reproduces_pre_refactor_golden_values() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let data = moons(64, 0.15, &mut rng);
+    let mut mlp = Mlp::new(&MlpConfig::new(2, 2).hidden(12), &mut rng);
+    let obj = DriftObjective::new(0.6, 5);
+    let golden: [u32; 5] = [0x3f000000, 0x3f000000, 0x3e400000, 0x3f380000, 0x3ec80000];
+    let serial = obj.evaluate(&mut mlp, &data, 123);
+    let bits: Vec<u32> = serial.values.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        bits,
+        golden.to_vec(),
+        "serial objective diverged from golden"
+    );
+    for workers in [2usize, 5] {
+        let parallel = obj.evaluate_parallel(&mut mlp, &data, 123, workers);
+        assert_eq!(parallel.values, serial.values, "{workers} workers");
+    }
+}

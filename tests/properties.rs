@@ -136,4 +136,66 @@ proptest! {
             prop_assert!(s.abs() < 1e-5);
         }
     }
+
+    /// The fused `inject_from` equals `restore_into` + `inject` bitwise
+    /// for random network shapes, drift magnitudes, and dirty states.
+    #[test]
+    fn inject_from_equals_restore_then_inject(
+        input_dim in 1usize..6,
+        hidden in 1usize..9,
+        depth in 2usize..5,
+        sigma in 0.0f32..2.0,
+        net_seed in 0u64..500,
+        drift_seed in 0u64..500,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(net_seed);
+        let cfg = MlpConfig::new(input_dim, 2).depth(depth).hidden(hidden);
+        let mut fused = Mlp::new(&cfg, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(net_seed);
+        let mut unfused = Mlp::new(&cfg, &mut rng);
+
+        let snap_f = FaultInjector::snapshot(&mut fused);
+        let snap_u = FaultInjector::snapshot(&mut unfused);
+        // Dirty both replicas identically, as a previous trial would.
+        let mut d = ChaCha8Rng::seed_from_u64(drift_seed ^ 0xABCD);
+        FaultInjector::inject(&mut fused, &UniformDrift::new(0.7), &mut d);
+        let mut d = ChaCha8Rng::seed_from_u64(drift_seed ^ 0xABCD);
+        FaultInjector::inject(&mut unfused, &UniformDrift::new(0.7), &mut d);
+
+        let model = LogNormalDrift::new(sigma);
+        let mut r = ChaCha8Rng::seed_from_u64(drift_seed);
+        FaultInjector::inject_from(&snap_f, &mut fused, &model, &mut r).unwrap();
+        let mut r = ChaCha8Rng::seed_from_u64(drift_seed);
+        snap_u.restore_into(&mut unfused).unwrap();
+        FaultInjector::inject(&mut unfused, &model, &mut r);
+
+        let a = FaultInjector::snapshot(&mut fused);
+        let b = FaultInjector::snapshot(&mut unfused);
+        for (ta, tb) in a.tensors().iter().zip(b.tensors()) {
+            prop_assert_eq!(ta.as_slice(), tb.as_slice());
+        }
+    }
+
+    /// Workspace-backed eval forward is bit-identical to the allocating
+    /// forward for arbitrary MLP geometry and inputs.
+    #[test]
+    fn forward_ws_matches_forward(
+        input_dim in 1usize..6,
+        hidden in 1usize..9,
+        depth in 2usize..5,
+        batch in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut net = Mlp::new(&MlpConfig::new(input_dim, 3).depth(depth).hidden(hidden), &mut rng);
+        let x = Tensor::randn(&[batch, input_dim], 0.0, 1.0, &mut rng);
+        let reference = net.forward(&x, Mode::Eval);
+        let mut ws = nn::Workspace::new();
+        for _ in 0..2 { // second pass runs on recycled buffers
+            let y = net.forward_ws(&x, Mode::Eval, &mut ws);
+            prop_assert_eq!(y.as_slice(), reference.as_slice());
+            prop_assert_eq!(y.dims(), reference.dims());
+            ws.recycle(y);
+        }
+    }
 }

@@ -4,10 +4,69 @@
 //! prints mean wall-clock time per iteration. There is no statistical
 //! analysis, HTML report, or baseline comparison — this is a smoke-level
 //! timing harness so `cargo bench` works offline.
+//!
+//! Two additions over the bare upstream surface:
+//!
+//! * when the `CRITERION_JSON` environment variable names a path,
+//!   [`write_json_report`] (invoked automatically by `criterion_main!`)
+//!   dumps every measurement as a JSON array — CI uploads this as the
+//!   bench artifact;
+//! * [`record_metric`] lets a bench report non-timing gauges (e.g.
+//!   bytes allocated per iteration) into the same report.
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Every measurement recorded this run: `(name, value, unit)`.
+static RESULTS: Mutex<Vec<(String, f64, String)>> = Mutex::new(Vec::new());
+
+fn push_result(name: &str, value: f64, unit: &str) {
+    RESULTS
+        .lock()
+        .expect("bench result registry poisoned")
+        .push((name.to_string(), value, unit.to_string()));
+}
+
+/// Records a custom gauge (e.g. `bytes/iter`) into the run report next to
+/// the timing measurements.
+pub fn record_metric(name: impl fmt::Display, value: f64, unit: &str) {
+    println!("{:<48} {value:>12.3} {unit}", name.to_string());
+    push_result(&name.to_string(), value, unit);
+}
+
+/// Writes all measurements recorded so far to the path named by the
+/// `CRITERION_JSON` environment variable, if set. `criterion_main!` calls
+/// this after the last group; calling it again is harmless (the file is
+/// rewritten with the cumulative results).
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench result registry poisoned");
+    let mut out = String::from("[\n");
+    for (i, (name, value, unit)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        // Names come from bench ids (no quotes/backslashes in practice),
+        // but escape defensively so the report is always valid JSON.
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if (c as u32) < 0x20 => "\u{FFFD}".chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {{\"name\": \"{escaped}\", \"value\": {value}, \"unit\": \"{unit}\"}}{sep}\n"
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("failed to write criterion JSON report to {path}: {e}");
+    }
+}
 
 /// Re-export of `std::hint::black_box` under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -66,6 +125,7 @@ fn report(name: &str, bencher: &Bencher) {
         bencher.per_iter(),
         bencher.iterations
     );
+    push_result(name, bencher.per_iter().as_nanos() as f64, "ns/iter");
 }
 
 /// A named group of related benchmarks.
@@ -158,12 +218,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` from group-runner functions.
+/// Declares `main` from group-runner functions. Writes the JSON report
+/// (see [`write_json_report`]) after the last group.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -192,5 +254,20 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("fit", 32).to_string(), "fit/32");
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        record_metric("stub/bytes_gauge", 42.0, "bytes/iter");
+        let path = std::env::temp_dir().join("criterion_stub_report_test.json");
+        std::env::set_var("CRITERION_JSON", &path);
+        write_json_report();
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"name\": \"stub/bytes_gauge\""));
+        assert!(text.contains("\"unit\": \"bytes/iter\""));
     }
 }
