@@ -45,5 +45,5 @@ pub use acquisition::Acquisition;
 pub use chol::{cholesky, cholesky_solve, Cholesky};
 pub use gp::{GaussianProcess, GpError, Posterior};
 pub use kernel::{Kernel, Matern52, SquaredExponential};
-pub use opt::{BayesOpt, Observation};
+pub use opt::{nan_low_cmp, BayesOpt, Observation};
 pub use sampler::{latin_hypercube, uniform_candidates};

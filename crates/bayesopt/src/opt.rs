@@ -1,9 +1,39 @@
 //! The Bayesian-optimization driver: tell observations, suggest the next
 //! trial (Algorithm 1 lines 8–9).
 
+use std::cmp::Ordering;
+
 use rand::Rng;
 
 use crate::{latin_hypercube, uniform_candidates, Acquisition, GaussianProcess, GpError, Kernel};
+
+/// Total order over objective values that deterministically ranks NaN below
+/// every other value (including `-∞`), and is otherwise
+/// [`f64::total_cmp`].
+///
+/// This is the comparator every best-candidate selection in the workspace
+/// uses: a NaN objective (a diverged trial, a poisoned Monte-Carlo mean)
+/// can never panic a `sort`, win an argmax, or tie arbitrarily with a
+/// finite incumbent.
+///
+/// # Example
+///
+/// ```
+/// use bayesopt::nan_low_cmp;
+///
+/// let mut ys = vec![0.3, f64::NAN, f64::NEG_INFINITY, 0.7];
+/// ys.sort_by(|a, b| nan_low_cmp(*a, *b));
+/// assert!(ys[0].is_nan());
+/// assert_eq!(ys[1..], [f64::NEG_INFINITY, 0.3, 0.7]);
+/// ```
+pub fn nan_low_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
 
 /// One completed trial.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,12 +108,17 @@ impl<K: Kernel + Clone> BayesOpt<K> {
 
     /// Records a completed trial.
     ///
+    /// Non-finite objective values (a diverged trial reporting NaN or
+    /// `-∞`) are accepted and recorded, but they are excluded from the GP
+    /// surrogate fit and rank below every finite observation in
+    /// [`BayesOpt::best_observed`] — a NaN trial can never become the
+    /// incumbent while a finite one exists.
+    ///
     /// # Panics
     ///
-    /// Panics if `x` has the wrong dimension or `y` is not finite.
+    /// Panics if `x` has the wrong dimension.
     pub fn tell(&mut self, x: Vec<f64>, y: f64) {
         assert_eq!(x.len(), self.dim, "observation dimension mismatch");
-        assert!(y.is_finite(), "objective value must be finite");
         self.observations.push(Observation { x, y });
     }
 
@@ -91,29 +126,40 @@ impl<K: Kernel + Clone> BayesOpt<K> {
     ///
     /// With no observations this returns a random point; with fewer than two
     /// it space-fills via Latin hypercube; afterwards it fits the GP and
-    /// maximizes the acquisition over sampled candidates.
+    /// maximizes the acquisition over sampled candidates. Non-finite
+    /// observations are excluded from the surrogate (they would poison
+    /// every posterior), so a history of NaN trials keeps space-filling
+    /// until two finite observations exist.
     ///
     /// # Errors
     ///
     /// Returns [`GpError::SingularKernel`] if the surrogate cannot be
     /// fitted even with jitter (duplicate-heavy degenerate histories).
     pub fn suggest(&self, rng: &mut impl Rng) -> Result<Vec<f64>, GpError> {
-        if self.observations.len() < 2 {
+        let finite: Vec<&Observation> = self
+            .observations
+            .iter()
+            .filter(|o| o.y.is_finite())
+            .collect();
+        if finite.len() < 2 {
             let mut lhs = latin_hypercube(2, self.dim, rng);
-            return Ok(lhs.swap_remove(self.observations.len() % 2));
+            return Ok(lhs.swap_remove(finite.len() % 2));
         }
         let mut gp = GaussianProcess::new(self.kernel.clone(), self.noise);
         gp.fit(
-            self.observations.iter().map(|o| o.x.clone()).collect(),
-            self.observations.iter().map(|o| o.y).collect(),
+            finite.iter().map(|o| o.x.clone()).collect(),
+            finite.iter().map(|o| o.y).collect(),
         )?;
         let best = self
             .best_observed()
             .map(|(_, y)| y)
+            .filter(|y| y.is_finite())
             .unwrap_or(f64::NEG_INFINITY);
 
         let mut candidates = uniform_candidates(self.candidates_per_suggest, self.dim, rng);
-        // Local refinement candidates around the incumbent.
+        // Local refinement candidates around the incumbent (NaN incumbents
+        // rank below every finite observation, so `bx` is finite-backed
+        // whenever any finite trial exists).
         if let Some((bx, _)) = self.best_observed() {
             for scale in [0.05, 0.15] {
                 let mut c = bx.clone();
@@ -137,11 +183,15 @@ impl<K: Kernel + Clone> BayesOpt<K> {
         Ok(best_point)
     }
 
-    /// The best observation so far, if any.
+    /// The best observation so far, if any, ranked with [`nan_low_cmp`]:
+    /// NaN and `-∞` objectives sort below every finite value, so the
+    /// incumbent is finite whenever any finite observation exists (ties
+    /// keep the latest observation, matching the historical `max_by`
+    /// behavior).
     pub fn best_observed(&self) -> Option<(Vec<f64>, f64)> {
         self.observations
             .iter()
-            .max_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| nan_low_cmp(a.y, b.y))
             .map(|o| (o.x.clone(), o.y))
     }
 
@@ -262,10 +312,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be finite")]
-    fn tell_rejects_nan() {
+    fn nan_observation_never_beats_a_finite_incumbent() {
+        // Regression: the old partial_cmp(..).unwrap_or(Equal) ranking let
+        // a NaN observation win or tie arbitrarily depending on insertion
+        // order. NaN must lose to every finite value, wherever it lands.
+        for nan_at in 0..3 {
+            let mut bo = BayesOpt::new(1, SquaredExponential::isotropic(1.0, 0.3));
+            let mut ys = vec![0.2, 0.9];
+            ys.insert(nan_at, f64::NAN);
+            for (i, y) in ys.into_iter().enumerate() {
+                bo.tell(vec![0.1 * (i + 1) as f64], y);
+            }
+            let (x, y) = bo.best_observed().unwrap();
+            assert_eq!(y, 0.9, "NaN at index {nan_at} displaced the incumbent");
+            assert!(!x[0].is_nan());
+        }
+    }
+
+    #[test]
+    fn neg_infinity_ranks_below_finite_but_above_nan() {
         let mut bo = BayesOpt::new(1, SquaredExponential::isotropic(1.0, 0.3));
-        bo.tell(vec![0.5], f64::NAN);
+        bo.tell(vec![0.1], f64::NEG_INFINITY);
+        bo.tell(vec![0.2], f64::NAN);
+        bo.tell(vec![0.3], -1e300);
+        let (x, y) = bo.best_observed().unwrap();
+        assert_eq!(y, -1e300);
+        assert_eq!(x, vec![0.3]);
+        // All-NaN history: a deterministic NaN incumbent, no panic.
+        let mut all_nan = BayesOpt::new(1, SquaredExponential::isotropic(1.0, 0.3));
+        all_nan.tell(vec![0.4], f64::NAN);
+        all_nan.tell(vec![0.6], f64::NAN);
+        assert!(all_nan.best_observed().unwrap().1.is_nan());
+    }
+
+    #[test]
+    fn suggest_survives_nan_history_and_stays_in_cube() {
+        // NaN observations are excluded from the GP fit; suggestions keep
+        // flowing and stay inside the unit cube.
+        let mut bo = BayesOpt::new(2, SquaredExponential::isotropic(1.0, 0.3));
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for i in 0..8 {
+            let x = bo.suggest(&mut rng).unwrap();
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)), "trial {i}");
+            let y = if i % 2 == 0 { f64::NAN } else { i as f64 };
+            bo.tell(x, y);
+        }
+        assert_eq!(bo.observations().len(), 8);
+        assert_eq!(bo.best_observed().unwrap().1, 7.0);
+    }
+
+    #[test]
+    fn nan_low_cmp_is_a_total_order_with_nan_at_the_bottom() {
+        use std::cmp::Ordering;
+        let vals = [
+            f64::NAN,
+            f64::NEG_INFINITY,
+            -1.0,
+            -0.0,
+            0.0,
+            1.0,
+            f64::INFINITY,
+        ];
+        // Strictly non-decreasing as listed; NaN equal to itself.
+        for w in vals.windows(2) {
+            assert_ne!(nan_low_cmp(w[0], w[1]), Ordering::Greater, "{w:?}");
+            assert_ne!(nan_low_cmp(w[1], w[0]), Ordering::Less, "{w:?}");
+        }
+        assert_eq!(nan_low_cmp(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(nan_low_cmp(f64::NAN, f64::NEG_INFINITY), Ordering::Less);
     }
 
     #[test]

@@ -293,6 +293,68 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Campaign scheduling overhead: the same four-scenario campaign through
+/// the work-stealing shard pool at 1 and 2 shards (outcomes are
+/// bit-identical; only wall-clock may differ), plus the result-store
+/// persistence round-trip (fsync'd appends + tolerant load + atomic
+/// compaction).
+fn bench_campaign(c: &mut Criterion) {
+    use scenarios::{Campaign, CampaignRunner, ResultStore, Scenario, TaskKind};
+
+    let campaign = Campaign::new(
+        "bench",
+        (0..4u64)
+            .map(|i| {
+                Scenario::new(format!("s{i}"), vec!["lognormal:0.4".parse().unwrap()])
+                    .seed(i)
+                    .budgets(2, 2, 1, 1)
+                    .task(TaskKind::Moons {
+                        samples: 80,
+                        noise: 0.1,
+                    })
+            })
+            .collect(),
+    );
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(samples(10));
+    for shards in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &n| {
+            // A fresh runner per iteration: the memo cache would otherwise
+            // turn every iteration after the first into pure cache hits.
+            b.iter(|| CampaignRunner::new().shards(n).run_campaign(&campaign))
+        });
+    }
+    group.finish();
+
+    // Store round-trip on precomputed outcomes, measured once: fsync'd
+    // appends + tolerant load + atomic compaction, no engine time.
+    let outcomes: Vec<_> = CampaignRunner::new()
+        .run_campaign(&campaign)
+        .into_iter()
+        .map(|r| r.result.expect("bench scenarios run"))
+        .collect();
+    let path = std::env::temp_dir().join(format!("bayesft-bench-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let store = ResultStore::open(&path);
+    let start = std::time::Instant::now();
+    for outcome in &outcomes {
+        store.append("bench", outcome).expect("bench store appends");
+    }
+    let records = store.load().expect("bench store loads");
+    store.compact().expect("bench store compacts");
+    record_metric(
+        "campaign/persist_load_compact_ms",
+        start.elapsed().as_secs_f64() * 1e3,
+        "ms",
+    );
+    record_metric(
+        "campaign/records_persisted",
+        records.len() as f64,
+        "records",
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 criterion_group!(
     benches,
     bench_drift_injection,
@@ -300,6 +362,7 @@ criterion_group!(
     bench_mc_objective,
     bench_gp,
     bench_conv,
-    bench_matmul
+    bench_matmul,
+    bench_campaign
 );
 criterion_main!(benches);

@@ -261,7 +261,7 @@ mod tests {
         let best = result
             .history
             .iter()
-            .max_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap())
+            .max_by(|a, b| bayesopt::nan_low_cmp(a.objective, b.objective))
             .unwrap();
         assert_eq!(best.alpha, result.best_alpha);
     }

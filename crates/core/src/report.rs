@@ -44,6 +44,10 @@ pub struct ScenarioMeta {
     /// Content digest of the scenario spec (hex), the memoization key
     /// alongside the seed.
     pub digest: String,
+    /// Campaign-level progress coordinates: `(index, total)` — this
+    /// scenario's zero-based position in its campaign and the campaign's
+    /// scenario count. `None` for standalone scenario runs.
+    pub position: Option<(usize, usize)>,
 }
 
 /// Everything a finished search produced, minus the trained model itself.
@@ -102,7 +106,17 @@ impl RunReport {
         self.scenario = Some(ScenarioMeta {
             name: name.into(),
             digest: digest.into(),
+            position: None,
         });
+        self
+    }
+
+    /// Tags the report's scenario metadata with its campaign position
+    /// (`index` of `total`). No-op on untagged reports.
+    pub fn with_campaign_position(mut self, index: usize, total: usize) -> Self {
+        if let Some(meta) = &mut self.scenario {
+            meta.position = Some((index, total));
+        }
         self
     }
 
@@ -112,6 +126,10 @@ impl RunReport {
         if let Some(meta) = &self.scenario {
             root.insert("scenario", meta.name.as_str());
             root.insert("scenario_digest", meta.digest.as_str());
+            if let Some((index, total)) = meta.position {
+                root.insert("scenario_index", index);
+                root.insert("scenario_total", total);
+            }
         }
         root.insert("space", self.space.as_str());
         root.insert("objective", self.objective.as_str());
@@ -154,6 +172,133 @@ impl RunReport {
     /// Pretty-printed JSON string of the report.
     pub fn to_json_string_pretty(&self) -> String {
         serde_json::to_string_pretty(&self.to_json())
+    }
+
+    /// Parses a report back from its [`RunReport::to_json`] form — the
+    /// inverse used by resumable campaign stores to serve a persisted run
+    /// without recomputing it. Round-trips every field, including the
+    /// scenario tag and timings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let text = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("report is missing string '{key}'"))
+        };
+        let num = |v: &Value, what: &str| -> Result<f64, String> {
+            v.as_f64().ok_or_else(|| format!("non-numeric {what}"))
+        };
+        let field_num = |key: &str| -> Result<f64, String> {
+            num(
+                value
+                    .get(key)
+                    .ok_or_else(|| format!("report is missing '{key}'"))?,
+                key,
+            )
+        };
+        let f64_vec = |v: &Value, what: &str| -> Result<Vec<f64>, String> {
+            v.as_array()
+                .ok_or_else(|| format!("{what} must be an array"))?
+                .iter()
+                .map(|x| num(x, what))
+                .collect()
+        };
+        let scenario = match value.get("scenario") {
+            None => None,
+            Some(name) => {
+                let name = name
+                    .as_str()
+                    .ok_or_else(|| "non-string 'scenario'".to_string())?;
+                let position = match (value.get("scenario_index"), value.get("scenario_total")) {
+                    (Some(i), Some(t)) => Some((
+                        i.as_u64().ok_or("non-integer 'scenario_index'")? as usize,
+                        t.as_u64().ok_or("non-integer 'scenario_total'")? as usize,
+                    )),
+                    _ => None,
+                };
+                Some(ScenarioMeta {
+                    name: name.to_string(),
+                    digest: text("scenario_digest")?,
+                    position,
+                })
+            }
+        };
+        let trials = value
+            .get("trials")
+            .and_then(Value::as_array)
+            .ok_or("report is missing 'trials'")?
+            .iter()
+            .map(|t| {
+                Ok(TrialRecord {
+                    trial: t
+                        .get("trial")
+                        .and_then(Value::as_u64)
+                        .ok_or("trial record is missing 'trial'")?
+                        as usize,
+                    alpha: f64_vec(
+                        t.get("alpha").ok_or("trial record is missing 'alpha'")?,
+                        "alpha",
+                    )?,
+                    objective: num(
+                        t.get("objective")
+                            .ok_or("trial record is missing 'objective'")?,
+                        "objective",
+                    )?,
+                    objective_std: num(
+                        t.get("objective_std")
+                            .ok_or("trial record is missing 'objective_std'")?,
+                        "objective_std",
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let timings = match value.get("timings") {
+            None => StageTimings::default(),
+            Some(t) => StageTimings {
+                suggest_ms: num(
+                    t.get("suggest_ms").unwrap_or(&Value::Number(0.0)),
+                    "suggest_ms",
+                )?,
+                train_ms: num(t.get("train_ms").unwrap_or(&Value::Number(0.0)), "train_ms")?,
+                eval_ms: num(t.get("eval_ms").unwrap_or(&Value::Number(0.0)), "eval_ms")?,
+                finetune_ms: num(
+                    t.get("finetune_ms").unwrap_or(&Value::Number(0.0)),
+                    "finetune_ms",
+                )?,
+                total_ms: num(t.get("total_ms").unwrap_or(&Value::Number(0.0)), "total_ms")?,
+            },
+        };
+        Ok(RunReport {
+            space: text("space")?,
+            objective: text("objective")?,
+            dim: value
+                .get("dim")
+                .and_then(Value::as_u64)
+                .ok_or("report is missing 'dim'")? as usize,
+            seed: value
+                .get("seed")
+                .and_then(Value::as_u64)
+                .ok_or("report is missing 'seed'")?,
+            parallelism: value
+                .get("parallelism")
+                .and_then(Value::as_u64)
+                .unwrap_or(1) as usize,
+            trials,
+            best_alpha: f64_vec(
+                value
+                    .get("best_alpha")
+                    .ok_or("report is missing 'best_alpha'")?,
+                "best_alpha",
+            )?,
+            best_objective: field_num("best_objective")?,
+            timings,
+            scenario,
+        })
     }
 
     /// Equality over everything the search *computed* — trials, best
@@ -244,6 +389,56 @@ mod tests {
         let mut c = sample();
         c.best_objective = 0.9;
         assert!(!a.deterministic_eq(&c));
+    }
+
+    #[test]
+    fn report_json_round_trips_exactly() {
+        let original = sample().with_scenario("rt", "feedbeef");
+        let back = RunReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(back, original, "lossless round-trip, timings included");
+        // And through text, the way a result store replays it.
+        let reparsed = serde_json::from_str(&original.to_json_string()).unwrap();
+        assert_eq!(RunReport::from_json(&reparsed).unwrap(), original);
+    }
+
+    #[test]
+    fn from_json_tolerates_stripped_measurement_fields() {
+        // Compacted stores drop timings/parallelism; the parse defaults
+        // them instead of failing.
+        let mut json = sample().to_json();
+        if let Value::Object(entries) = &mut json {
+            entries.retain(|(k, _)| k != "timings" && k != "parallelism");
+        }
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.timings, StageTimings::default());
+        assert_eq!(back.parallelism, 1);
+        assert!(sample().deterministic_eq(&back));
+    }
+
+    #[test]
+    fn from_json_rejects_missing_required_fields() {
+        let mut json = sample().to_json();
+        if let Value::Object(entries) = &mut json {
+            entries.retain(|(k, _)| k != "best_alpha");
+        }
+        let err = RunReport::from_json(&json).unwrap_err();
+        assert!(err.contains("best_alpha"), "{err}");
+    }
+
+    #[test]
+    fn campaign_position_serializes_and_round_trips() {
+        let tagged = sample()
+            .with_scenario("pos", "c0ffee")
+            .with_campaign_position(2, 5);
+        let json = tagged.to_json_string();
+        assert!(json.contains("\"scenario_index\":2"), "{json}");
+        assert!(json.contains("\"scenario_total\":5"), "{json}");
+        let back = RunReport::from_json(&tagged.to_json()).unwrap();
+        assert_eq!(back.scenario.as_ref().unwrap().position, Some((2, 5)));
+        // Position is part of the deterministic content.
+        assert!(!tagged.deterministic_eq(&sample().with_scenario("pos", "c0ffee")));
+        // Untagged reports ignore the position tag.
+        assert!(sample().with_campaign_position(0, 1).scenario.is_none());
     }
 
     #[test]

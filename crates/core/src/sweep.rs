@@ -58,14 +58,12 @@ impl MethodCurve {
 
     /// Mean accuracy at the grid point nearest to `sigma`.
     pub fn at(&self, sigma: f32) -> Option<f32> {
+        // total_cmp: a NaN distance (NaN grid point or query) sorts above
+        // every finite distance, so it deterministically loses the argmin
+        // instead of tying arbitrarily via partial_cmp.
         self.points
             .iter()
-            .min_by(|a, b| {
-                (a.0 - sigma)
-                    .abs()
-                    .partial_cmp(&(b.0 - sigma).abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|a, b| (a.0 - sigma).abs().total_cmp(&(b.0 - sigma).abs()))
             .map(|p| p.1)
     }
 }

@@ -1,17 +1,25 @@
-//! `campaign` — run, inspect, and audit declarative fault campaigns.
+//! `campaign` — run, inspect, audit, and compact declarative fault
+//! campaigns.
 //!
 //! ```text
-//! campaign run <campaign.json> [--store <path>] [--parallelism <n>]
+//! campaign run <campaign.json> [--store <path>] [--shards <n>]
+//!              [--resume <path>] [--parallelism <n>]
 //! campaign list [--store <path>]
 //! campaign compare [--store <path>]
+//! campaign compact [--store <path>]
 //! ```
 //!
-//! `run` executes every scenario of the file through the BayesFT engine
-//! and appends one JSONL record per scenario to the store.
-//! `BENCH_QUICK=1` clamps every scenario to smoke-test budgets.
+//! `run` executes every scenario of the file through the BayesFT engine —
+//! across `--shards` work-stealing shards, bit-identically to the serial
+//! path — and appends one JSONL record per scenario to the store, in
+//! campaign order. `--resume <path>` replays scenarios already persisted
+//! in that store instead of recomputing them. `BENCH_QUICK=1` clamps every
+//! scenario to smoke-test budgets.
 //! `list` prints the stored records; `compare` groups them by
 //! `(scenario-digest, seed)` and verifies that repeated runs reproduced
-//! bit-identical best-α vectors, exiting non-zero on any divergence.
+//! bit-identical best-α vectors, exiting non-zero on any divergence;
+//! `compact` atomically rewrites the store into its canonical
+//! deduplicated form (byte-identical across shard counts and resumes).
 
 use std::process::ExitCode;
 
@@ -29,6 +37,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "list" => cmd_list(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
+        "compact" => cmd_compact(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -45,11 +54,17 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  campaign run <campaign.json> [--store <path>] [--parallelism <n>]
+  campaign run <campaign.json> [--store <path>] [--shards <n>]
+               [--resume <path>] [--parallelism <n>]
   campaign list [--store <path>]
   campaign compare [--store <path>]
+  campaign compact [--store <path>]
 
-BENCH_QUICK=1 clamps run budgets to smoke-test scale.";
+--shards n     run scenarios over n work-stealing shards (0 = one per
+               core); results are bit-identical to the serial path
+--resume path  serve scenarios already persisted in this store instead of
+               recomputing them (implies --store path)
+BENCH_QUICK=1  clamps run budgets to smoke-test scale";
 
 /// `(--flag, value)` pairs plus the remaining positional arguments.
 type ParsedArgs = (Vec<(String, String)>, Vec<String>);
@@ -87,6 +102,16 @@ fn flag<'a>(values: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
+fn count_flag(values: &[(String, String)], name: &str) -> Result<Option<usize>, String> {
+    match flag(values, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("'--{name} {v}' is not a number")),
+    }
+}
+
 fn quick_from_env() -> bool {
     std::env::var("BENCH_QUICK")
         .map(|v| v == "1")
@@ -94,69 +119,117 @@ fn quick_from_env() -> bool {
 }
 
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
-    let (flags, positional) = parse_flags(args, &["store", "parallelism"])?;
+    let (flags, positional) = parse_flags(args, &["store", "parallelism", "shards", "resume"])?;
     let [path] = positional.as_slice() else {
         return Err(format!("'run' takes exactly one campaign file\n{USAGE}"));
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let campaign = Campaign::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
-    let parallelism: usize = match flag(&flags, "parallelism") {
-        None => 1,
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("'--parallelism {v}' is not a number"))?,
-    };
+    let parallelism = count_flag(&flags, "parallelism")?.unwrap_or(1);
+    let shards = count_flag(&flags, "shards")?.unwrap_or(1);
+    let resume_path = flag(&flags, "resume").map(str::to_string);
     let store_path = flag(&flags, "store")
         .map(str::to_string)
+        .or_else(|| resume_path.clone())
         .or_else(|| campaign.store.clone())
         .unwrap_or_else(|| DEFAULT_STORE.to_string());
+    if let Some(resume) = &resume_path {
+        if *resume != store_path {
+            return Err(format!(
+                "'--resume {resume}' conflicts with '--store {store_path}': \
+                 a resumed campaign continues the store it resumes from"
+            ));
+        }
+    }
     let store = ResultStore::open(&store_path);
     let quick = quick_from_env();
 
     println!(
-        "campaign '{}': {} scenario(s){} -> {}",
+        "campaign '{}': {} scenario(s), {} shard(s){}{} -> {}",
         campaign.name,
         campaign.scenarios.len(),
+        if shards == 0 {
+            "per-core".to_string()
+        } else {
+            shards.to_string()
+        },
         if quick { " [quick budgets]" } else { "" },
+        if resume_path.is_some() {
+            " [resuming]"
+        } else {
+            ""
+        },
         store_path,
     );
-    let mut runner = CampaignRunner::new().parallelism(parallelism).quick(quick);
-    let mut failures = 0usize;
+    let mut runner = CampaignRunner::new()
+        .parallelism(parallelism)
+        .shards(shards)
+        .quick(quick);
+    if resume_path.is_some() {
+        runner = runner.resume_from(&store).map_err(|e| e.to_string())?;
+        println!(
+            "resume: {} replayable record(s) in {store_path}",
+            runner.resumable_runs()
+        );
+    }
+    let report = runner
+        .run_campaign_report(&campaign, Some(&store))
+        .map_err(|e| e.to_string())?;
+    for warning in &report.warnings {
+        eprintln!("warning: {warning}");
+    }
     println!(
         "{:<18} {:<16} {:>9} {:>9} {:>24}",
         "scenario", "digest", "best obj", "wall ms", "faults"
     );
-    for run in runner.run_campaign(&campaign) {
-        match run.result {
-            Err(e) => {
-                failures += 1;
-                eprintln!("  {:<18} FAILED: {e}", run.name);
-            }
+    for run in &report.runs {
+        match &run.result {
+            Err(e) => eprintln!("  {:<18} FAILED: {e}", run.name),
             Ok(outcome) => {
-                store
-                    .append(&campaign.name, &outcome)
-                    .map_err(|e| e.to_string())?;
                 let faults: Vec<String> = outcome
                     .scenario
                     .faults
                     .iter()
                     .map(ToString::to_string)
                     .collect();
+                let served = if outcome.from_store {
+                    "+" // replayed from the resume store
+                } else if outcome.from_cache {
+                    "*" // served by the in-process memo cache
+                } else {
+                    " "
+                };
                 println!(
                     "{:<18} {:<16} {:>9.4} {:>9.0}{} {:>24}",
                     outcome.scenario.name,
                     outcome.digest,
                     outcome.report.best_objective,
-                    outcome.wall_ms,
-                    if outcome.from_cache { "*" } else { " " },
+                    outcome.compute_wall_ms,
+                    served,
                     faults.join(" "),
                 );
                 println!("{:<18} best alpha = {:?}", "", outcome.report.best_alpha);
             }
         }
     }
-    if failures > 0 {
-        eprintln!("{failures} scenario(s) failed");
+    let shard_walls: Vec<String> = report
+        .shard_wall_ms
+        .iter()
+        .enumerate()
+        .map(|(i, ms)| format!("shard{i} {ms:.0}ms"))
+        .collect();
+    println!(
+        "progress: {}/{} completed ({} cache-served, {} store-served, {} failed) in {:.0} ms [{}]",
+        report.completed,
+        report.total,
+        report.cache_served,
+        report.store_served,
+        report.failed,
+        report.wall_ms,
+        shard_walls.join(", "),
+    );
+    if report.failed > 0 {
+        eprintln!("{} scenario(s) failed", report.failed);
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
@@ -168,9 +241,12 @@ fn cmd_list(args: &[String]) -> Result<ExitCode, String> {
         return Err(format!("'list' takes no positional arguments\n{USAGE}"));
     }
     let store_path = flag(&flags, "store").unwrap_or(DEFAULT_STORE);
-    let records = ResultStore::open(store_path)
-        .load()
+    let (records, warnings) = ResultStore::open(store_path)
+        .load_lenient()
         .map_err(|e| e.to_string())?;
+    for warning in &warnings {
+        eprintln!("warning: {warning}");
+    }
     if records.is_empty() {
         println!("no results in {store_path}");
         return Ok(ExitCode::SUCCESS);
@@ -210,8 +286,8 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     let mut diverged = 0usize;
     let mut repeated = 0usize;
     println!(
-        "{:<18} {:<16} {:>20} {:>5}  {:<10} best alpha",
-        "scenario", "digest", "seed", "runs", "verdict"
+        "{:<18} {:<16} {:>20} {:>5} {:>11}  {:<10} best alpha",
+        "scenario", "digest", "seed", "runs", "compute ms", "verdict"
     );
     for g in &groups {
         let verdict = if g.runs < 2 {
@@ -224,8 +300,8 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
             "DIVERGED"
         };
         println!(
-            "{:<18} {:<16} {:>20} {:>5}  {:<10} {:?}",
-            g.scenario, g.digest, g.seed, g.runs, verdict, g.best_alpha,
+            "{:<18} {:<16} {:>20} {:>5} {:>11.0}  {:<10} {:?}",
+            g.scenario, g.digest, g.seed, g.runs, g.compute_wall_ms, verdict, g.best_alpha,
         );
     }
     if diverged > 0 {
@@ -237,5 +313,27 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     } else {
         println!("{repeated} repeated group(s), all bit-identical");
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compact(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args, &["store"])?;
+    if !positional.is_empty() {
+        return Err(format!("'compact' takes no positional arguments\n{USAGE}"));
+    }
+    let store_path = flag(&flags, "store").unwrap_or(DEFAULT_STORE);
+    let summary = ResultStore::open(store_path)
+        .compact()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "compacted {store_path}: {} record(s) kept, {} duplicate(s) folded{}",
+        summary.kept,
+        summary.dropped_duplicates,
+        if summary.dropped_truncated {
+            ", 1 truncated trailing line dropped"
+        } else {
+            ""
+        },
+    );
     Ok(ExitCode::SUCCESS)
 }

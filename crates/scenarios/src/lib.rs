@@ -11,13 +11,18 @@
 //! * [`Campaign`] — a named list of scenarios, loadable from a
 //!   `campaign.json` file.
 //! * [`CampaignRunner`] — fans scenarios through the
-//!   [`Engine`](bayesft::Engine), memoizes evaluations by
-//!   `(seed, scenario-digest)`, and never lets one malformed scenario
-//!   abort the sweep.
-//! * [`ResultStore`] — an append-only JSONL store with load and
-//!   reproducibility-compare ([`ResultStore::compare`]) queries.
-//! * the `campaign` CLI binary — `run` / `list` / `compare` subcommands
-//!   over all of the above, with `BENCH_QUICK=1` smoke budgets.
+//!   [`Engine`](bayesft::Engine) over a work-stealing shard pool
+//!   ([`CampaignRunner::shards`], bit-identical to the serial path),
+//!   memoizes evaluations by `(seed, scenario-digest)`, resumes from a
+//!   persisted store ([`CampaignRunner::resume_from`]), and never lets
+//!   one malformed scenario abort the sweep.
+//! * [`ResultStore`] — a crash-safe, append-only JSONL store: line-fsync
+//!   appends, truncation-tolerant loads, atomic deduplicating
+//!   [`ResultStore::compact`], and reproducibility-compare
+//!   ([`ResultStore::compare`]) queries.
+//! * the `campaign` CLI binary — `run` (with `--shards` / `--resume`) /
+//!   `list` / `compare` / `compact` subcommands over all of the above,
+//!   with `BENCH_QUICK=1` smoke budgets.
 //!
 //! # Example
 //!
@@ -49,6 +54,6 @@ mod scenario;
 mod store;
 
 pub use error::CampaignError;
-pub use runner::{CampaignRunner, ScenarioOutcome, ScenarioRun};
+pub use runner::{CampaignReport, CampaignRunner, ScenarioOutcome, ScenarioRun};
 pub use scenario::{Campaign, Scenario, SpaceKind, TaskKind};
-pub use store::{CompareGroup, ResultStore, StoredRecord};
+pub use store::{CompactionSummary, CompareGroup, ResultStore, StoredRecord};

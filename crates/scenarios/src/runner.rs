@@ -1,7 +1,10 @@
-//! Fans campaign scenarios through the experiment [`Engine`], memoizing by
-//! `(seed, scenario-digest)`.
+//! Fans campaign scenarios through the experiment [`Engine`] — serially or
+//! across a work-stealing shard pool — memoizing by `(seed,
+//! scenario-digest)` and resuming from a persisted [`ResultStore`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use baselines::TrainConfig;
@@ -13,7 +16,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use reram::mix_seed;
 
-use crate::{Campaign, CampaignError, Scenario, SpaceKind, TaskKind};
+use crate::{Campaign, CampaignError, ResultStore, Scenario, SpaceKind, TaskKind};
 
 /// Seed stream for dataset generation, decorrelated from the engine's
 /// suggest/eval streams.
@@ -36,8 +39,19 @@ pub struct ScenarioOutcome {
     /// Whether this outcome came from the runner's memo cache instead of
     /// a fresh engine run.
     pub from_cache: bool,
-    /// Wall-clock of the producing run in milliseconds (0 on cache hits).
+    /// Whether this outcome was replayed from a persisted result store
+    /// (`--resume`) instead of a fresh engine run.
+    pub from_store: bool,
+    /// Wall-clock this campaign spent producing the outcome, in
+    /// milliseconds (0 on cache and store hits — serving is free).
     pub wall_ms: f64,
+    /// Wall-clock of the engine run that *originally* computed the
+    /// result, in milliseconds. Equal to [`ScenarioOutcome::wall_ms`] for
+    /// fresh runs and preserved across cache/store hits, so timing history
+    /// survives memoization and resume.
+    pub compute_wall_ms: f64,
+    /// Index of the shard that produced the outcome (0 for serial runs).
+    pub shard: usize,
 }
 
 /// One entry of [`CampaignRunner::run_campaign`]'s result list: scenarios
@@ -50,13 +64,85 @@ pub struct ScenarioRun {
     pub result: Result<ScenarioOutcome, CampaignError>,
 }
 
+/// Campaign-level progress and cost accounting, produced by
+/// [`CampaignRunner::run_campaign_report`].
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-scenario results, in campaign order.
+    pub runs: Vec<ScenarioRun>,
+    /// Scenario count of the campaign.
+    pub total: usize,
+    /// Scenarios that produced an outcome (fresh, cache-, or
+    /// store-served).
+    pub completed: usize,
+    /// Scenarios that failed.
+    pub failed: usize,
+    /// Outcomes served from the in-process memo cache.
+    pub cache_served: usize,
+    /// Outcomes served from a persisted store (`--resume`).
+    pub store_served: usize,
+    /// Shard count the campaign actually ran with.
+    pub shards: usize,
+    /// Wall-clock each shard spent pulling scenarios, in milliseconds.
+    pub shard_wall_ms: Vec<f64>,
+    /// End-to-end campaign wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Warnings surfaced while loading the resume store (truncated
+    /// trailing lines, unreplayable records).
+    pub warnings: Vec<String>,
+}
+
+/// A persisted record eligible to be served instead of recomputed, parsed
+/// once at [`CampaignRunner::resume_from`] time.
+#[derive(Debug, Clone)]
+struct ResumeEntry {
+    report: RunReport,
+    compute_wall_ms: f64,
+}
+
+/// Tracks completed scenario slots and the contiguous prefix already
+/// persisted, so outcomes computed in any shard order land in the store in
+/// campaign order.
+struct PersistState<'a> {
+    slots: Vec<Option<ScenarioRun>>,
+    cursor: usize,
+    store: Option<&'a ResultStore>,
+    error: Option<CampaignError>,
+}
+
+impl PersistState<'_> {
+    /// Appends every completed-but-unpersisted slot from the cursor
+    /// forward. Failed scenarios advance the cursor without a record, and
+    /// store-served outcomes are re-appended (cheaply) so one `run` always
+    /// contributes a full campaign-ordered suffix.
+    ///
+    /// Once an append has failed, persistence stops for good: retrying
+    /// the same cursor could concatenate a fresh record onto the earlier
+    /// partially-written line and turn a recoverable truncated tail into
+    /// fatal mid-file corruption.
+    fn flush_prefix(&mut self, campaign: &Campaign) -> Result<(), CampaignError> {
+        if self.error.is_some() {
+            return Ok(());
+        }
+        while let Some(run) = self.slots.get(self.cursor).and_then(Option::as_ref) {
+            if let (Some(store), Ok(outcome)) = (self.store, &run.result) {
+                store.append(&campaign.name, outcome)?;
+            }
+            self.cursor += 1;
+        }
+        Ok(())
+    }
+}
+
 /// Runs scenarios through the [`Engine`] with per-`(seed, digest)`
-/// memoization.
+/// memoization, optional store-backed resume, and a work-stealing shard
+/// pool.
 ///
 /// Scenario runs are deterministic in the scenario spec: the same
 /// `(seed, digest)` pair always yields a bit-identical
-/// [`RunReport::deterministic_eq`] record, for any `parallelism` and
-/// whether or not the memo cache served it.
+/// [`RunReport::deterministic_eq`] record, for any `parallelism`, any
+/// `shards` count, and whether the memo cache, a resume store, or a fresh
+/// engine run served it.
 ///
 /// # Example
 ///
@@ -67,7 +153,7 @@ pub struct ScenarioRun {
 ///     "demo",
 ///     vec![Scenario::new("ln", vec!["lognormal:0.3".parse().unwrap()])],
 /// );
-/// let mut runner = CampaignRunner::new();
+/// let mut runner = CampaignRunner::new().shards(4);
 /// for run in runner.run_campaign(&campaign) {
 ///     let outcome = run.result.expect("scenario failed");
 ///     println!("{}: α* = {:?}", run.name, outcome.report.best_alpha);
@@ -76,8 +162,16 @@ pub struct ScenarioRun {
 #[derive(Debug, Default)]
 pub struct CampaignRunner {
     parallelism: usize,
+    shards: usize,
     quick: bool,
-    cache: HashMap<(u64, String), ScenarioOutcome>,
+    cache: Mutex<HashMap<(u64, String), ScenarioOutcome>>,
+    /// `(seed, digest)` keys currently being computed by some shard;
+    /// content-aliased scenarios wait on [`CampaignRunner::in_flight_cv`]
+    /// instead of duplicating the engine run.
+    in_flight: Mutex<HashSet<(u64, String)>>,
+    in_flight_cv: Condvar,
+    resume: HashMap<(u64, String), ResumeEntry>,
+    resume_warnings: Vec<String>,
 }
 
 impl CampaignRunner {
@@ -85,8 +179,13 @@ impl CampaignRunner {
     pub fn new() -> Self {
         CampaignRunner {
             parallelism: 1,
+            shards: 1,
             quick: false,
-            cache: HashMap::new(),
+            cache: Mutex::new(HashMap::new()),
+            in_flight: Mutex::new(HashSet::new()),
+            in_flight_cv: Condvar::new(),
+            resume: HashMap::new(),
+            resume_warnings: Vec::new(),
         }
     }
 
@@ -94,6 +193,16 @@ impl CampaignRunner {
     /// Results are bit-identical for every setting.
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers;
+        self
+    }
+
+    /// Sets how many scenario shards pull from the campaign's shared work
+    /// queue (`0` = one per core). Scenarios are deterministic in their
+    /// own seeds, so outcomes are bit-identical to the serial path for
+    /// every setting; they are reported and persisted in campaign order
+    /// regardless of completion order.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -105,25 +214,184 @@ impl CampaignRunner {
         self
     }
 
+    /// Primes the runner with every replayable record of `store`: a
+    /// scenario whose `(seed, digest)` is already persisted is served from
+    /// the store (marked [`ScenarioOutcome::from_store`]) instead of
+    /// recomputed. Records that cannot be replayed (truncated trailing
+    /// line, malformed report) are surfaced as warnings on the next
+    /// [`CampaignRunner::run_campaign_report`] and recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ResultStore::load_lenient`] errors (corrupt
+    /// non-trailing lines, I/O failures).
+    pub fn resume_from(mut self, store: &ResultStore) -> Result<Self, CampaignError> {
+        let (records, mut warnings) = store.load_lenient()?;
+        for record in records {
+            let key = (record.seed, record.digest.clone());
+            let report = record
+                .raw
+                .get("report")
+                .ok_or_else(|| "record is missing 'report'".to_string())
+                .and_then(RunReport::from_json);
+            match report {
+                // Latest record wins, matching compaction.
+                Ok(report) => {
+                    self.resume.insert(
+                        key,
+                        ResumeEntry {
+                            report,
+                            compute_wall_ms: record.compute_wall_ms,
+                        },
+                    );
+                }
+                Err(e) => warnings.push(format!(
+                    "{}: stored record for scenario '{}' (seed {}) cannot be replayed ({e}); \
+                     it will be recomputed",
+                    store.path().display(),
+                    record.scenario,
+                    record.seed,
+                )),
+            }
+        }
+        self.resume_warnings.append(&mut warnings);
+        Ok(self)
+    }
+
     /// Number of memoized outcomes held.
     pub fn cached_runs(&self) -> usize {
-        self.cache.len()
+        self.cache.lock().expect("memo cache poisoned").len()
     }
 
-    /// Runs every scenario of `campaign`, in order. A failing scenario
-    /// yields an `Err` entry and the campaign continues.
+    /// Number of persisted records primed by
+    /// [`CampaignRunner::resume_from`].
+    pub fn resumable_runs(&self) -> usize {
+        self.resume.len()
+    }
+
+    /// Runs every scenario of `campaign` and returns the per-scenario
+    /// results in campaign order. A failing scenario yields an `Err` entry
+    /// and the campaign continues.
+    ///
+    /// This is [`CampaignRunner::run_campaign_report`] without persistence
+    /// or the campaign-level accounting.
     pub fn run_campaign(&mut self, campaign: &Campaign) -> Vec<ScenarioRun> {
-        campaign
-            .scenarios
-            .iter()
-            .map(|sc| ScenarioRun {
-                name: sc.name.clone(),
-                result: self.run_scenario(sc),
-            })
-            .collect()
+        self.run_campaign_report(campaign, None)
+            .expect("a campaign without a store has no persistence failures")
+            .runs
     }
 
-    /// Runs one scenario (or serves it from the memo cache).
+    /// Runs every scenario of `campaign` over the shard pool, optionally
+    /// persisting each outcome to `store` as soon as its campaign-order
+    /// prefix completes (so a crash leaves a resumable prefix, never a
+    /// shuffled store).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] if appending to `store` fails; the
+    /// shard pool stops pulling new scenarios at the first persistence
+    /// failure. Scenario-level failures never abort the campaign — they
+    /// are `Err` entries in [`CampaignReport::runs`].
+    pub fn run_campaign_report(
+        &mut self,
+        campaign: &Campaign,
+        store: Option<&ResultStore>,
+    ) -> Result<CampaignReport, CampaignError> {
+        let total = campaign.scenarios.len();
+        let shards = effective_shards(self.shards, total);
+        let started = Instant::now();
+        let mut warnings = self.resume_warnings.clone();
+        if let Some(store) = store {
+            // A crashed predecessor may have left a partial trailing line;
+            // truncate it so this campaign's appends start on a fresh line.
+            if let Some(dropped) = store.drop_partial_tail()? {
+                warnings.push(dropped);
+            }
+        }
+        let mut shard_wall_ms = vec![0.0; shards];
+
+        let mut slots: Vec<Option<ScenarioRun>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        let state = Mutex::new(PersistState {
+            slots,
+            cursor: 0,
+            store,
+            error: None,
+        });
+
+        // Work-stealing queue: shards race on an atomic cursor, so a slow
+        // scenario never idles the other shards. `exec` is deterministic
+        // per scenario, so the interleaving cannot change any outcome.
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let this: &CampaignRunner = self;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    let (next, abort, state) = (&next, &abort, &state);
+                    scope.spawn(move || {
+                        let shard_start = Instant::now();
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            let scenario = &campaign.scenarios[i];
+                            let run = ScenarioRun {
+                                name: scenario.name.clone(),
+                                result: this.exec(scenario, Some((i, total)), shard),
+                            };
+                            let mut st = state.lock().expect("persist state poisoned");
+                            st.slots[i] = Some(run);
+                            if let Err(e) = st.flush_prefix(campaign) {
+                                st.error.get_or_insert(e);
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        shard_start.elapsed().as_secs_f64() * 1e3
+                    })
+                })
+                .collect();
+            for (shard, handle) in handles.into_iter().enumerate() {
+                shard_wall_ms[shard] = handle.join().expect("campaign shard panicked");
+            }
+        });
+
+        let state = state.into_inner().expect("persist state poisoned");
+        if let Some(e) = state.error {
+            return Err(e);
+        }
+        let runs: Vec<ScenarioRun> = state
+            .slots
+            .into_iter()
+            .map(|slot| slot.expect("every scenario slot is filled on success"))
+            .collect();
+        let completed = runs.iter().filter(|r| r.result.is_ok()).count();
+        let count = |f: fn(&ScenarioOutcome) -> bool| {
+            runs.iter()
+                .filter_map(|r| r.result.as_ref().ok())
+                .filter(|o| f(o))
+                .count()
+        };
+        Ok(CampaignReport {
+            total,
+            completed,
+            failed: total - completed,
+            cache_served: count(|o| o.from_cache),
+            store_served: count(|o| o.from_store),
+            shards,
+            shard_wall_ms,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            warnings,
+            runs,
+        })
+    }
+
+    /// Runs one scenario (or serves it from the memo cache / resume
+    /// store).
     ///
     /// # Errors
     ///
@@ -131,6 +399,18 @@ impl CampaignRunner {
     /// invalid spec and [`CampaignError::Engine`] if the search itself
     /// fails.
     pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<ScenarioOutcome, CampaignError> {
+        self.exec(scenario, None, 0)
+    }
+
+    /// The shared scenario path: validate → clamp → memo cache → resume
+    /// store → fresh engine run. Takes `&self` so shards can execute
+    /// concurrently; the memo cache and in-flight set are behind mutexes.
+    fn exec(
+        &self,
+        scenario: &Scenario,
+        position: Option<(usize, usize)>,
+        shard: usize,
+    ) -> Result<ScenarioOutcome, CampaignError> {
         scenario.validate()?;
         let scenario = if self.quick {
             scenario.clamped_quick()
@@ -139,21 +419,84 @@ impl CampaignRunner {
         };
         let digest = scenario.digest();
         let key = (scenario.seed, digest.clone());
-        if let Some(hit) = self.cache.get(&key) {
-            let mut outcome = hit.clone();
-            outcome.from_cache = true;
-            outcome.wall_ms = 0.0;
-            // Memoization is keyed on content, not name: a renamed copy of
-            // a cached scenario reuses the evaluation but reports its own
-            // name.
-            outcome.scenario.name = scenario.name.clone();
-            outcome.report.scenario = outcome.report.scenario.map(|meta| bayesft::ScenarioMeta {
-                name: scenario.name.clone(),
-                ..meta
+        if let Some(entry) = self.resume.get(&key) {
+            let mut report = entry.report.clone();
+            if let Some(meta) = &mut report.scenario {
+                meta.name = scenario.name.clone();
+                meta.position = position;
+            }
+            return Ok(ScenarioOutcome {
+                digest,
+                report,
+                scenario,
+                from_cache: false,
+                from_store: true,
+                wall_ms: 0.0,
+                compute_wall_ms: entry.compute_wall_ms,
+                shard,
             });
-            return Ok(outcome);
         }
+        // Serve from the memo cache, or reserve the key so content-aliased
+        // scenarios on other shards wait for this computation instead of
+        // duplicating it. The cache check happens *while holding* the
+        // in-flight lock: a producing shard inserts the cache entry before
+        // releasing its reservation, so under this lock "not cached and
+        // not in flight" really means nobody computed or is computing the
+        // key. If the computing shard failed (it released the reservation
+        // without a cache entry), the first waiter takes over and retries.
+        let mut in_flight = self.in_flight.lock().expect("in-flight set poisoned");
+        loop {
+            if let Some(hit) = self.cache.lock().expect("memo cache poisoned").get(&key) {
+                let mut outcome = hit.clone();
+                outcome.from_cache = true;
+                outcome.from_store = false;
+                outcome.wall_ms = 0.0;
+                outcome.shard = shard;
+                // Memoization is keyed on content, not name: a renamed copy
+                // of a cached scenario reuses the evaluation but reports
+                // its own name and campaign position.
+                outcome.scenario.name = scenario.name.clone();
+                if let Some(meta) = &mut outcome.report.scenario {
+                    meta.name = scenario.name.clone();
+                    meta.position = position;
+                }
+                return Ok(outcome);
+            }
+            if in_flight.insert(key.clone()) {
+                break;
+            }
+            in_flight = self
+                .in_flight_cv
+                .wait(in_flight)
+                .expect("in-flight set poisoned");
+        }
+        drop(in_flight);
+        let result = self.compute(&scenario, &digest, position, shard);
+        if let Ok(outcome) = &result {
+            self.cache
+                .lock()
+                .expect("memo cache poisoned")
+                .insert(key.clone(), outcome.clone());
+        }
+        self.in_flight
+            .lock()
+            .expect("in-flight set poisoned")
+            .remove(&key);
+        self.in_flight_cv.notify_all();
+        result
+    }
 
+    /// A fresh engine run for a scenario that neither the cache nor the
+    /// resume store could serve. Callers hold the in-flight reservation
+    /// for the scenario's `(seed, digest)` key.
+    fn compute(
+        &self,
+        scenario: &Scenario,
+        digest: &str,
+        position: Option<(usize, usize)>,
+        shard: usize,
+    ) -> Result<ScenarioOutcome, CampaignError> {
+        let scenario = scenario.clone();
         let started = Instant::now();
         let (train, val, mut net) = build_task(&scenario);
         let objective = DriftObjective::from_specs(&scenario.faults, scenario.mc_samples)?;
@@ -174,16 +517,38 @@ impl CampaignRunner {
             builder = builder.space(SharedDropoutSpace::probe(net.as_mut()));
         }
         let result = builder.run(net, &train, &val)?;
-        let outcome = ScenarioOutcome {
-            digest: digest.clone(),
-            report: result.report.with_scenario(scenario.name.clone(), digest),
+        let mut report = result
+            .report
+            .with_scenario(scenario.name.clone(), digest.to_string());
+        if let Some((index, total)) = position {
+            report = report.with_campaign_position(index, total);
+        }
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        Ok(ScenarioOutcome {
+            digest: digest.to_string(),
+            report,
             scenario,
             from_cache: false,
-            wall_ms: started.elapsed().as_secs_f64() * 1e3,
-        };
-        self.cache.insert(key, outcome.clone());
-        Ok(outcome)
+            from_store: false,
+            wall_ms,
+            compute_wall_ms: wall_ms,
+            shard,
+        })
     }
+}
+
+/// Resolves the shard request against the machine and the campaign: `0`
+/// means one shard per core, and a campaign never spins up more shards
+/// than it has scenarios.
+fn effective_shards(requested: usize, total: usize) -> usize {
+    let shards = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    shards.clamp(1, total.max(1))
 }
 
 /// Builds the train/val splits and a dropout-bearing MLP for a scenario's
@@ -233,8 +598,11 @@ mod tests {
         let meta = outcome.report.scenario.as_ref().unwrap();
         assert_eq!(meta.name, "ln");
         assert_eq!(meta.digest, outcome.digest);
+        assert_eq!(meta.position, None, "standalone runs carry no position");
         assert!(!outcome.from_cache);
+        assert!(!outcome.from_store);
         assert!(outcome.wall_ms > 0.0);
+        assert_eq!(outcome.compute_wall_ms, outcome.wall_ms);
     }
 
     #[test]
@@ -247,6 +615,20 @@ mod tests {
         assert!(second.from_cache);
         assert_eq!(runner.cached_runs(), 1);
         assert!(first.report.deterministic_eq(&second.report));
+    }
+
+    #[test]
+    fn cache_hits_preserve_the_original_compute_time() {
+        let sc = tiny("walltime", &["lognormal:0.4"], 8);
+        let mut runner = CampaignRunner::new();
+        let first = runner.run_scenario(&sc).unwrap();
+        let second = runner.run_scenario(&sc).unwrap();
+        assert_eq!(second.wall_ms, 0.0, "serving a hit costs nothing");
+        assert_eq!(
+            second.compute_wall_ms, first.wall_ms,
+            "the producing run's wall-clock must survive the cache hit"
+        );
+        assert!(second.compute_wall_ms > 0.0);
     }
 
     #[test]
@@ -287,5 +669,41 @@ mod tests {
         assert_eq!(outcome.scenario.trials, 3);
         assert_eq!(outcome.report.trials.len(), 3);
         assert_ne!(outcome.digest, sc.digest());
+    }
+
+    #[test]
+    fn campaign_report_counts_progress_and_positions() {
+        let campaign = Campaign::new(
+            "prog",
+            vec![
+                tiny("a", &["lognormal:0.4"], 1),
+                tiny("a-alias", &["lognormal:0.4"], 1),
+                tiny("b", &["lognormal:0.2"], 2),
+            ],
+        );
+        let mut runner = CampaignRunner::new();
+        let report = runner.run_campaign_report(&campaign, None).unwrap();
+        assert_eq!((report.total, report.completed, report.failed), (3, 3, 0));
+        assert_eq!(report.cache_served, 1, "the alias is memo-served");
+        assert_eq!(report.store_served, 0);
+        assert_eq!(report.shards, 1);
+        assert_eq!(report.shard_wall_ms.len(), 1);
+        assert!(report.wall_ms > 0.0);
+        for (i, run) in report.runs.iter().enumerate() {
+            let outcome = run.result.as_ref().unwrap();
+            assert_eq!(
+                outcome.report.scenario.as_ref().unwrap().position,
+                Some((i, 3)),
+                "campaign position is threaded into the report"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shards_means_one_per_core_capped_by_campaign() {
+        assert_eq!(effective_shards(1, 10), 1);
+        assert_eq!(effective_shards(5, 3), 3, "never more shards than work");
+        assert_eq!(effective_shards(5, 0), 1);
+        assert!(effective_shards(0, 64) >= 1);
     }
 }

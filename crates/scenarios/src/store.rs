@@ -1,6 +1,15 @@
-//! Append-only JSONL persistence for campaign results.
+//! Crash-safe, append-only JSONL persistence for campaign results.
+//!
+//! The store is the campaign subsystem's source of truth for resume:
+//! appends are line-atomic (one `write` + fsync per record), [`ResultStore::load`]
+//! tolerates the one artifact a crash can leave behind (a truncated
+//! trailing line) by skipping it with a surfaced warning, and
+//! [`ResultStore::compact`] rewrites the file atomically (write-then-rename)
+//! into its canonical deduplicated form.
 
-use std::fs::{self, OpenOptions};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -8,9 +17,19 @@ use serde_json::Value;
 
 use crate::{CampaignError, ScenarioOutcome};
 
+/// Top-level record fields that are measurements of a particular run, not
+/// deterministic results; [`ResultStore::compact`] strips them so serial,
+/// sharded, and resumed stores of the same campaign compact to identical
+/// bytes.
+const VOLATILE_RECORD_KEYS: [&str; 4] = ["from_cache", "from_store", "wall_ms", "compute_wall_ms"];
+
+/// Same, for the nested `report` object (wall-clock timings, worker counts,
+/// and campaign-position provenance).
+const VOLATILE_REPORT_KEYS: [&str; 4] =
+    ["timings", "parallelism", "scenario_index", "scenario_total"];
+
 /// An append-only JSONL store of scenario results: one JSON object per
-/// line, human-greppable and safe to extend concurrently-ish (appends are
-/// line-atomic for the sizes involved).
+/// line, human-greppable, crash-safe, and resumable.
 ///
 /// # Example
 ///
@@ -44,8 +63,31 @@ pub struct StoredRecord {
     pub best_alpha: Vec<f64>,
     /// Objective value of the best trial.
     pub best_objective: f64,
+    /// Whether the producing campaign served this outcome from its memo
+    /// cache (`false` for compacted stores, which strip measurements).
+    pub from_cache: bool,
+    /// Whether the outcome was replayed from a prior store by `--resume`.
+    pub from_store: bool,
+    /// Wall-clock this campaign spent producing the record, in ms (0 for
+    /// cache/store hits and compacted stores).
+    pub wall_ms: f64,
+    /// Wall-clock of the engine run that *originally* computed the result,
+    /// preserved across cache and resume hits (0 for compacted stores).
+    pub compute_wall_ms: f64,
     /// The full stored line, for fields not lifted into this struct.
     pub raw: Value,
+}
+
+/// What [`ResultStore::compact`] did to the file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompactionSummary {
+    /// Records surviving in the compacted store.
+    pub kept: usize,
+    /// Older duplicates (same `(digest, seed)`) folded into their latest
+    /// record.
+    pub dropped_duplicates: usize,
+    /// Whether a truncated trailing line (crash artifact) was dropped.
+    pub dropped_truncated: bool,
 }
 
 /// Result of comparing all stored runs that share a `(digest, seed)` key.
@@ -67,6 +109,11 @@ pub struct CompareGroup {
     pub best_alpha: Vec<f64>,
     /// The first run's best objective value.
     pub best_objective: f64,
+    /// Real compute cost of the group in ms: the first *computed* (not
+    /// cache-served) wall-clock observed, falling back to the preserved
+    /// `compute_wall_ms` of cache/store hits. 0 when the store only holds
+    /// compacted records.
+    pub compute_wall_ms: f64,
 }
 
 impl ResultStore {
@@ -83,6 +130,11 @@ impl ResultStore {
 
     /// Appends one scenario outcome as a JSONL line, creating the file
     /// (and parent directories) on first use.
+    ///
+    /// The full line (record + newline) goes down in a single `write`
+    /// followed by an fsync, so a crash can lose or truncate at most the
+    /// line being written — the exact artifact [`ResultStore::load`]
+    /// tolerates.
     ///
     /// # Errors
     ///
@@ -110,42 +162,196 @@ impl ResultStore {
             ),
         );
         line.insert("from_cache", outcome.from_cache);
+        line.insert("from_store", outcome.from_store);
         line.insert("wall_ms", outcome.wall_ms);
+        line.insert("compute_wall_ms", outcome.compute_wall_ms);
         line.insert("report", outcome.report.to_json());
+        let mut text = serde_json::to_string(&line);
+        text.push('\n');
         let mut file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)?;
-        writeln!(file, "{}", serde_json::to_string(&line))?;
+        file.write_all(text.as_bytes())?;
+        file.sync_data()?;
         Ok(())
     }
 
-    /// Reads every stored record, in append order. A missing file is an
-    /// empty store, not an error.
+    /// Reads every stored record, in append order, tolerating a truncated
+    /// trailing line. A missing file is an empty store, not an error.
+    ///
+    /// This is [`ResultStore::load_lenient`] with the warnings dropped;
+    /// callers that surface diagnostics (the CLI, campaign resume) should
+    /// prefer the lenient variant.
     ///
     /// # Errors
     ///
     /// Returns [`CampaignError::Io`] on filesystem failures and
-    /// [`CampaignError::Parse`] (with the line number) on a corrupt line.
+    /// [`CampaignError::Parse`] (with the line number) on a corrupt
+    /// non-trailing line.
     pub fn load(&self) -> Result<Vec<StoredRecord>, CampaignError> {
-        let text = match fs::read_to_string(&self.path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Ok(self.load_lenient()?.0)
+    }
+
+    /// Reads every stored record plus the warnings tolerant loading
+    /// produced.
+    ///
+    /// A line that fails to parse is fatal **unless** it is an
+    /// *unterminated* final line — no trailing newline, the one artifact
+    /// the single-write + fsync append discipline can leave when a process
+    /// is killed mid-append. Refusing to read the other N−1 results would
+    /// make every crash unrecoverable, so that line is skipped with a
+    /// warning (never silently). A newline-**terminated** malformed line
+    /// is *not* a crash artifact (the newline goes down in the same write
+    /// as the record) and stays fatal wherever it sits, so corruption is
+    /// caught before further appends could bury it mid-file.
+    ///
+    /// Lines are split at the byte level before UTF-8 conversion: a crash
+    /// can cut the file in the middle of a multi-byte character, which
+    /// must degrade into the tolerated truncated-tail case rather than a
+    /// whole-file decode error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] on filesystem failures and
+    /// [`CampaignError::Parse`] (with the line number) on any corrupt
+    /// line other than an unterminated trailing one.
+    pub fn load_lenient(&self) -> Result<(Vec<StoredRecord>, Vec<String>), CampaignError> {
+        let bytes = match fs::read(&self.path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Vec::new(), Vec::new()))
+            }
             Err(e) => return Err(e.into()),
         };
-        let mut records = Vec::new();
-        for (i, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
+        let unterminated_tail = !bytes.is_empty() && !bytes.ends_with(b"\n");
+        let segments: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+        let last = segments.len() - 1;
+        let mut records = Vec::with_capacity(segments.len());
+        let mut warnings = Vec::new();
+        for (i, segment) in segments.iter().enumerate() {
+            if segment.iter().all(u8::is_ascii_whitespace) {
                 continue;
             }
-            let value = serde_json::from_str(line).map_err(|e| {
-                CampaignError::Parse(format!("{}:{}: {e}", self.path.display(), i + 1))
-            })?;
-            records.push(StoredRecord::from_json(value).map_err(|e| {
-                CampaignError::Parse(format!("{}:{}: {e}", self.path.display(), i + 1))
-            })?);
+            let parsed = std::str::from_utf8(segment)
+                .map_err(|e| format!("invalid UTF-8: {e}"))
+                .and_then(|line| serde_json::from_str(line).map_err(|e| format!("{e}")))
+                .and_then(|value| StoredRecord::from_json(value).map_err(|e| e.to_string()));
+            match parsed {
+                Ok(record) => records.push(record),
+                Err(e) if i == last && unterminated_tail => {
+                    warnings.push(format!(
+                        "{}:{}: skipped truncated trailing line ({e}); the interrupted \
+                         scenario will be re-run on resume",
+                        self.path.display(),
+                        i + 1,
+                    ));
+                }
+                Err(e) => {
+                    return Err(CampaignError::Parse(format!(
+                        "{}:{}: {e}",
+                        self.path.display(),
+                        i + 1
+                    )));
+                }
+            }
         }
-        Ok(records)
+        Ok((records, warnings))
+    }
+
+    /// Truncates a partial trailing line — the artifact a crash
+    /// mid-append leaves behind (bytes after the last newline) — so
+    /// subsequent appends start on a fresh line instead of concatenating
+    /// onto garbage. Returns a description of the dropped fragment, or
+    /// `None` if the store was already clean (or absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] on filesystem failures.
+    pub fn drop_partial_tail(&self) -> Result<Option<String>, CampaignError> {
+        let bytes = match fs::read(&self.path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.is_empty() || bytes.ends_with(b"\n") {
+            return Ok(None);
+        }
+        let keep = bytes
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |pos| pos + 1);
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(keep as u64)?;
+        file.sync_all()?;
+        Ok(Some(format!(
+            "{}: dropped a {}-byte partial trailing line (crash artifact); the \
+             interrupted scenario will be re-run",
+            self.path.display(),
+            bytes.len() - keep,
+        )))
+    }
+
+    /// Rewrites the store into its canonical compact form: records are
+    /// deduplicated by `(digest, seed)` — the latest record wins, holding
+    /// its first-appearance (campaign-order) position — measurement-only
+    /// fields (wall-clocks, cache provenance, report timings) are
+    /// stripped, and any truncated trailing line is dropped.
+    ///
+    /// Two stores of the same campaign compact to **byte-identical**
+    /// files regardless of shard count, resume history, or how often the
+    /// campaign was re-run — the form the reproducibility acceptance check
+    /// diffs.
+    ///
+    /// The rewrite is atomic: a temporary file in the same directory is
+    /// fully written and fsynced, then renamed over the original. A crash
+    /// mid-compaction leaves the original store untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ResultStore::load_lenient`] errors and
+    /// [`CampaignError::Io`] on filesystem failures.
+    pub fn compact(&self) -> Result<CompactionSummary, CampaignError> {
+        if !self.path.exists() {
+            return Ok(CompactionSummary::default());
+        }
+        let (records, warnings) = self.load_lenient()?;
+        let mut kept: Vec<Value> = Vec::with_capacity(records.len());
+        // Key → position in `kept`: resumed stores accumulate one record
+        // per scenario per run, so dedup must stay O(n).
+        let mut index: HashMap<(String, u64), usize> = HashMap::with_capacity(records.len());
+        let mut dropped_duplicates = 0usize;
+        for record in records {
+            let canonical = canonicalize(record.raw);
+            match index.entry((record.digest, record.seed)) {
+                Entry::Occupied(slot) => {
+                    // Latest content wins, campaign-order position stays.
+                    kept[*slot.get()] = canonical;
+                    dropped_duplicates += 1;
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(kept.len());
+                    kept.push(canonical);
+                }
+            }
+        }
+        let mut text = String::new();
+        for value in &kept {
+            text.push_str(&serde_json::to_string(value));
+            text.push('\n');
+        }
+        let tmp = self.path.with_extension("jsonl.compact-tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        Ok(CompactionSummary {
+            kept: kept.len(),
+            dropped_duplicates,
+            dropped_truncated: !warnings.is_empty(),
+        })
     }
 
     /// Groups every stored run by `(digest, seed)` and checks that runs
@@ -173,15 +379,26 @@ impl ResultStore {
                     identical: true,
                     best_alpha: record.best_alpha.clone(),
                     best_objective: record.best_objective,
+                    compute_wall_ms: record.compute_wall_ms,
                 }),
                 Some(group) => {
                     group.runs += 1;
+                    if group.compute_wall_ms == 0.0 {
+                        group.compute_wall_ms = record.compute_wall_ms;
+                    }
                     // Bit-identical means exact f64 equality, nothing
-                    // fuzzier: the engine guarantees determinism, the
-                    // store must be able to prove it.
-                    if group.best_alpha != record.best_alpha
-                        || group.best_objective != record.best_objective
-                    {
+                    // fuzzier — except that two NaN results (stored as
+                    // JSON null) count as reproducing each other: the
+                    // engine guarantees determinism, the store must be
+                    // able to prove it.
+                    let same = group.best_alpha.len() == record.best_alpha.len()
+                        && group
+                            .best_alpha
+                            .iter()
+                            .zip(&record.best_alpha)
+                            .all(|(a, b)| nan_aware_eq(*a, *b))
+                        && nan_aware_eq(group.best_objective, record.best_objective);
+                    if !same {
                         group.identical = false;
                     }
                 }
@@ -189,6 +406,27 @@ impl ResultStore {
         }
         Ok(groups)
     }
+}
+
+/// Exact f64 equality, except that NaN reproduces NaN — diverged results
+/// round-trip through JSON `null`, and two runs that both diverged did
+/// reproduce each other.
+fn nan_aware_eq(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+/// Strips the measurement-only fields from a stored record, leaving the
+/// deterministic content in its original key order.
+fn canonicalize(mut value: Value) -> Value {
+    for key in VOLATILE_RECORD_KEYS {
+        value.remove(key);
+    }
+    if let Some(report) = value.get_mut("report") {
+        for key in VOLATILE_REPORT_KEYS {
+            report.remove(key);
+        }
+    }
+    value
 }
 
 impl StoredRecord {
@@ -200,6 +438,18 @@ impl StoredRecord {
                 .map(str::to_string)
                 .ok_or_else(|| CampaignError::Parse(format!("record is missing '{key}'")))
         };
+        // The vendored serializer writes non-finite f64s as JSON `null`
+        // (a diverged scenario can legitimately report a NaN objective),
+        // so `null` reads back as NaN here rather than poisoning the
+        // whole store as a fatal parse error.
+        let lenient_f64 = |v: &Value, what: &str| -> Result<f64, CampaignError> {
+            match v {
+                Value::Null => Ok(f64::NAN),
+                _ => v
+                    .as_f64()
+                    .ok_or_else(|| CampaignError::Parse(format!("non-numeric {what}"))),
+            }
+        };
         let report = value
             .get("report")
             .ok_or_else(|| CampaignError::Parse("record is missing 'report'".into()))?;
@@ -208,15 +458,14 @@ impl StoredRecord {
             .and_then(Value::as_array)
             .ok_or_else(|| CampaignError::Parse("report is missing 'best_alpha'".into()))?
             .iter()
-            .map(|v| {
-                v.as_f64()
-                    .ok_or_else(|| CampaignError::Parse("non-numeric best_alpha entry".into()))
-            })
+            .map(|v| lenient_f64(v, "best_alpha entry"))
             .collect::<Result<Vec<_>, _>>()?;
-        let best_objective = report
-            .get("best_objective")
-            .and_then(Value::as_f64)
-            .ok_or_else(|| CampaignError::Parse("report is missing 'best_objective'".into()))?;
+        let best_objective = lenient_f64(
+            report
+                .get("best_objective")
+                .ok_or_else(|| CampaignError::Parse("report is missing 'best_objective'".into()))?,
+            "best_objective",
+        )?;
         let faults = value
             .get("faults")
             .and_then(Value::as_array)
@@ -228,6 +477,13 @@ impl StoredRecord {
                     .ok_or_else(|| CampaignError::Parse("non-string faults entry".into()))
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Measurement fields are optional: compacted stores strip them and
+        // pre-compaction stores from older versions lack some of them.
+        let wall_ms = value.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0);
+        let compute_wall_ms = value
+            .get("compute_wall_ms")
+            .and_then(Value::as_f64)
+            .unwrap_or(wall_ms);
         Ok(StoredRecord {
             campaign: text("campaign")?,
             scenario: text("scenario")?,
@@ -239,6 +495,16 @@ impl StoredRecord {
             faults,
             best_alpha,
             best_objective,
+            from_cache: value
+                .get("from_cache")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            from_store: value
+                .get("from_store")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            wall_ms,
+            compute_wall_ms,
             raw: value,
         })
     }

@@ -166,6 +166,156 @@ fn memoization_spans_a_campaign() {
     );
 }
 
+/// The campaign the sharding/resume tests sweep: four scenarios, one of
+/// which is a content-alias of the first (exercising the memo/dedup paths
+/// under every scheduler).
+fn shard_campaign() -> Campaign {
+    Campaign::new(
+        "shards",
+        vec![
+            tiny("lognormal", &["lognormal:0.5"], 3),
+            tiny("defects", &["stuckat:0.05,0.02,2", "bitflip:0.005"], 3),
+            tiny("pipeline", &["quantize:16+lognormal:0.3"], 9).space(SpaceKind::Shared),
+            tiny("lognormal-alias", &["lognormal:0.5"], 3),
+        ],
+    )
+}
+
+#[test]
+fn shard_sweep_produces_byte_identical_compacted_stores() {
+    let campaign = shard_campaign();
+    let mut compacted: Vec<Vec<u8>> = Vec::new();
+    for shards in [1usize, 2, 5] {
+        let store = temp_store(&format!("shards{shards}"));
+        let mut runner = CampaignRunner::new().shards(shards);
+        let report = runner.run_campaign_report(&campaign, Some(&store)).unwrap();
+        assert_eq!(report.shards, shards.min(campaign.scenarios.len()));
+        assert_eq!(report.completed, 4, "shards={shards}");
+        assert_eq!(report.failed, 0);
+        assert_eq!(
+            report.cache_served, 1,
+            "shards={shards}: the alias is served by exactly one cached \
+             compute — the in-flight reservation forbids duplicate engine runs"
+        );
+        assert_eq!(report.shard_wall_ms.len(), report.shards);
+        // Results come back in campaign order whatever the shard count.
+        for (run, sc) in report.runs.iter().zip(&campaign.scenarios) {
+            assert_eq!(run.name, sc.name, "shards={shards}");
+        }
+        store.compact().unwrap();
+        compacted.push(std::fs::read(store.path()).unwrap());
+        let _ = std::fs::remove_file(store.path());
+    }
+    assert_eq!(
+        compacted[0], compacted[1],
+        "2-shard compacted store diverged from serial"
+    );
+    assert_eq!(
+        compacted[0], compacted[2],
+        "5-shard compacted store diverged from serial"
+    );
+    assert!(!compacted[0].is_empty());
+}
+
+#[test]
+fn sharded_reports_are_deterministically_equal_to_serial() {
+    let campaign = shard_campaign();
+    let serial = CampaignRunner::new().run_campaign(&campaign);
+    let sharded = CampaignRunner::new().shards(3).run_campaign(&campaign);
+    for (s, p) in serial.iter().zip(&sharded) {
+        let (s, p) = (s.result.as_ref().unwrap(), p.result.as_ref().unwrap());
+        assert!(
+            s.report.deterministic_eq(&p.report),
+            "{}: sharded run diverged from serial",
+            s.scenario.name
+        );
+        assert_eq!(s.report.trials, p.report.trials);
+    }
+}
+
+#[test]
+fn resume_runs_only_the_missing_scenarios_and_matches_serial_bytes() {
+    let campaign = shard_campaign();
+
+    // Reference: a full serial run.
+    let serial_store = temp_store("resume-serial");
+    CampaignRunner::new()
+        .run_campaign_report(&campaign, Some(&serial_store))
+        .unwrap();
+
+    // Crash reconstruction: the first half of the serial store plus a
+    // truncated trailing line, exactly what a killed campaign leaves.
+    let resumed_store = temp_store("resume-crash");
+    let full = std::fs::read_to_string(serial_store.path()).unwrap();
+    let half: Vec<&str> = full.lines().take(2).collect();
+    std::fs::write(
+        resumed_store.path(),
+        format!("{}\n{{\"campaign\":\"shards\",\"scena", half.join("\n")),
+    )
+    .unwrap();
+
+    let mut runner = CampaignRunner::new()
+        .shards(2)
+        .resume_from(&resumed_store)
+        .unwrap();
+    assert_eq!(runner.resumable_runs(), 2);
+    let report = runner
+        .run_campaign_report(&campaign, Some(&resumed_store))
+        .unwrap();
+
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.contains("truncated") || w.contains("partial trailing line")),
+        "the crash artifact must be surfaced: {:?}",
+        report.warnings
+    );
+    assert_eq!(report.completed, 4);
+    // Scenarios 0 and 1 are replayed from the store; the alias (content
+    // of scenario 0) is served too; only scenario 2 actually runs.
+    let served: Vec<bool> = report
+        .runs
+        .iter()
+        .map(|r| r.result.as_ref().unwrap().from_store)
+        .collect();
+    assert_eq!(served, [true, true, false, true]);
+    assert_eq!(report.store_served, 3);
+    let computed: Vec<&str> = report
+        .runs
+        .iter()
+        .filter(|r| {
+            let o = r.result.as_ref().unwrap();
+            !o.from_store && !o.from_cache
+        })
+        .map(|r| r.name.as_str())
+        .collect();
+    assert_eq!(computed, ["pipeline"], "only the missing scenario runs");
+    for run in &report.runs {
+        let outcome = run.result.as_ref().unwrap();
+        if outcome.from_store {
+            assert_eq!(outcome.wall_ms, 0.0);
+            assert!(
+                outcome.compute_wall_ms > 0.0,
+                "{}: original compute time must survive the store hit",
+                run.name
+            );
+        }
+    }
+
+    // Post-compaction, the resumed store is byte-identical to the serial
+    // one — the acceptance bar for resume correctness.
+    serial_store.compact().unwrap();
+    resumed_store.compact().unwrap();
+    assert_eq!(
+        std::fs::read(serial_store.path()).unwrap(),
+        std::fs::read(resumed_store.path()).unwrap(),
+        "resumed store diverged from the serial reference after compaction"
+    );
+    let _ = std::fs::remove_file(serial_store.path());
+    let _ = std::fs::remove_file(resumed_store.path());
+}
+
 #[test]
 fn the_example_campaign_file_parses_and_clamps() {
     let text = std::fs::read_to_string(

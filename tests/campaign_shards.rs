@@ -1,0 +1,89 @@
+//! Cross-crate integration: sharded campaign execution against the engine
+//! and the core report types — the acceptance path of the sharding PR,
+//! exercised from outside the `scenarios` crate.
+
+use bayesft::RunReport;
+use scenarios::{Campaign, CampaignRunner, ResultStore, Scenario, TaskKind};
+
+fn tiny(name: &str, fault: &str, seed: u64) -> Scenario {
+    Scenario::new(name, vec![fault.parse().unwrap()])
+        .seed(seed)
+        .budgets(2, 2, 1, 1)
+        .task(TaskKind::Moons {
+            samples: 80,
+            noise: 0.1,
+        })
+}
+
+fn campaign() -> Campaign {
+    Campaign::new(
+        "xcrate",
+        vec![
+            tiny("drift", "lognormal:0.4", 1),
+            tiny("defect", "stuckat:0.04", 2),
+            tiny("mix", "quantize:16+lognormal:0.3", 3),
+        ],
+    )
+}
+
+fn temp_store(tag: &str) -> ResultStore {
+    let path =
+        std::env::temp_dir().join(format!("bayesft-xcrate-{}-{tag}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    ResultStore::open(path)
+}
+
+#[test]
+fn sharded_campaign_reports_thread_progress_into_the_core_report() {
+    let campaign = campaign();
+    let report = CampaignRunner::new()
+        .shards(2)
+        .run_campaign_report(&campaign, None)
+        .unwrap();
+    assert_eq!((report.completed, report.total), (3, 3));
+    assert_eq!(report.shards, 2);
+    assert_eq!(report.shard_wall_ms.len(), 2);
+    for (i, run) in report.runs.iter().enumerate() {
+        let outcome = run.result.as_ref().unwrap();
+        let meta = outcome.report.scenario.as_ref().unwrap();
+        assert_eq!(meta.position, Some((i, 3)), "{}", run.name);
+        assert!(outcome.shard < 2);
+        // The engine report round-trips through core JSON — the mechanism
+        // store-served resume relies on.
+        let replayed = RunReport::from_json(&outcome.report.to_json()).unwrap();
+        assert_eq!(replayed, outcome.report);
+        assert!(replayed.deterministic_eq(&outcome.report));
+    }
+}
+
+#[test]
+fn store_backed_resume_serves_persisted_scenarios_across_processes() {
+    let campaign = campaign();
+    let store = temp_store("resume");
+
+    // First "process": persist the full campaign.
+    CampaignRunner::new()
+        .run_campaign_report(&campaign, Some(&store))
+        .unwrap();
+
+    // Second "process": a fresh runner (empty memo cache) resumes from
+    // the store and computes nothing.
+    let mut resumed = CampaignRunner::new().shards(3).resume_from(&store).unwrap();
+    let report = resumed
+        .run_campaign_report(&campaign, Some(&store))
+        .unwrap();
+    assert_eq!(report.store_served, 3, "everything is served from disk");
+    assert_eq!(report.cache_served, 0);
+
+    // The replayed reports are deterministically equal to fresh ones.
+    let fresh = CampaignRunner::new().run_campaign(&campaign);
+    for (replayed, fresh) in report.runs.iter().zip(&fresh) {
+        assert!(replayed
+            .result
+            .as_ref()
+            .unwrap()
+            .report
+            .deterministic_eq(&fresh.result.as_ref().unwrap().report));
+    }
+    let _ = std::fs::remove_file(store.path());
+}

@@ -49,6 +49,27 @@ impl Value {
         }
     }
 
+    /// Removes (and returns) `key` from an object, preserving the order of
+    /// the remaining entries. Returns `None` on non-objects and missing
+    /// keys.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .position(|(k, _)| k == key)
+                .map(|i| entries.remove(i).1),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up in an object, mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(entries) => entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     /// Looks a key up in an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
