@@ -1,7 +1,7 @@
 //! ERM: plain empirical-risk minimization (the paper's primary baseline).
 
 use datasets::ClassificationDataset;
-use nn::{softmax_cross_entropy, Layer, Mode, Optimizer, Sgd};
+use nn::{softmax_cross_entropy_ws, Layer, Mode, Optimizer, Sgd, Workspace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -9,6 +9,11 @@ use crate::{trained::reshape_for, OutputDecoder, TrainConfig, TrainedModel};
 
 /// Runs standard mini-batch SGD cross-entropy training in place and returns
 /// the mean training loss of each epoch.
+///
+/// The step runs on the workspace train path — `forward_ws`, a pooled loss
+/// gradient, `backward_ws`, and an in-place optimizer — so after the first
+/// batch warms the buffer pool, each step performs zero heap allocations
+/// (bit-identical to the allocating `forward`/`backward` loop it replaced).
 pub fn train_epochs(
     net: &mut dyn Layer,
     data: &ClassificationDataset,
@@ -16,6 +21,7 @@ pub fn train_epochs(
 ) -> Vec<f32> {
     let mut opt = Sgd::new(cfg.lr).momentum(cfg.momentum).clip_norm(5.0);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut ws = Workspace::new();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for _ in 0..cfg.epochs {
         let shuffled = data.shuffled(&mut rng);
@@ -23,16 +29,35 @@ pub fn train_epochs(
         let mut batches = 0;
         for (x, labels) in shuffled.batches(cfg.batch_size) {
             let x = reshape_for(net, &x);
-            let logits = net.forward(&x, Mode::Train);
-            let out = softmax_cross_entropy(&logits, &labels);
-            let _ = net.backward(&out.grad);
-            opt.step(net);
-            loss_sum += out.loss;
+            loss_sum += train_step(net, x.as_ref(), &labels, &mut opt, &mut ws);
             batches += 1;
         }
         epoch_losses.push(loss_sum / batches.max(1) as f32);
     }
     epoch_losses
+}
+
+/// One allocation-free SGD step on a prepared batch: workspace forward,
+/// pooled softmax cross-entropy gradient, workspace backward, in-place
+/// optimizer update. Returns the batch loss.
+///
+/// Exposed so custom training loops (benches, the zero-allocation test
+/// harness) share the exact step `train_epochs` runs.
+pub fn train_step(
+    net: &mut dyn Layer,
+    x: &tensor::Tensor,
+    labels: &[usize],
+    opt: &mut dyn Optimizer,
+    ws: &mut Workspace,
+) -> f32 {
+    let logits = net.forward_ws(x, Mode::Train, ws);
+    let out = softmax_cross_entropy_ws(&logits, labels, ws);
+    ws.recycle(logits);
+    let grad_in = net.backward_ws(&out.grad, ws);
+    ws.recycle(out.grad);
+    ws.recycle(grad_in);
+    opt.step(net);
+    out.loss
 }
 
 /// Trains `net` with plain ERM and bundles it with a softmax decoder.

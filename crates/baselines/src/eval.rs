@@ -48,7 +48,7 @@ pub fn drift_accuracy(
         let mut labels = Vec::with_capacity(data.len());
         for (x, y) in data.batches(64) {
             let x = crate::trained::reshape_for(n, &x);
-            let out = n.forward(&x, nn::Mode::Eval);
+            let out = n.forward(x.as_ref(), nn::Mode::Eval);
             let p = match &decoder {
                 crate::OutputDecoder::Softmax => out.argmax_rows(),
                 crate::OutputDecoder::Codebook(cb) => cb.decode_batch(&out),

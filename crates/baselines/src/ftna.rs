@@ -8,7 +8,7 @@
 //! drifted *earlier* layers still entangle in the code bits.
 
 use datasets::ClassificationDataset;
-use nn::{Layer, LossOutput, Mode, Optimizer, Sgd};
+use nn::{Layer, LossOutput, Mode, Optimizer, Sgd, Workspace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tensor::Tensor;
@@ -122,10 +122,26 @@ impl Codebook {
     ///
     /// Panics if shapes are inconsistent.
     pub fn bce_loss(&self, logits: &Tensor, labels: &[usize]) -> LossOutput {
-        let (n, b) = (logits.dims()[0], logits.dims()[1]);
+        self.bce_loss_impl(logits.clone(), labels)
+    }
+
+    /// [`Codebook::bce_loss`] drawing the gradient buffer from a reusable
+    /// [`Workspace`] — bit-identical (one shared kernel), allocation-free
+    /// in the steady state once the gradient is recycled after `backward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Codebook::bce_loss`].
+    pub fn bce_loss_ws(&self, logits: &Tensor, labels: &[usize], ws: &mut Workspace) -> LossOutput {
+        self.bce_loss_impl(ws.take_copy(logits, logits.dims()), labels)
+    }
+
+    /// Shared kernel: `grad` arrives holding a copy of the logits and is
+    /// transformed in place into the per-bit BCE gradient.
+    fn bce_loss_impl(&self, mut grad: Tensor, labels: &[usize]) -> LossOutput {
+        let (n, b) = (grad.dims()[0], grad.dims()[1]);
         assert_eq!(b, self.bits, "logit width != codeword length");
         assert_eq!(n, labels.len(), "batch/label mismatch");
-        let mut grad = logits.clone();
         let mut loss = 0.0f32;
         let count = n as f32;
         for (r, &label) in labels.iter().enumerate() {
@@ -152,13 +168,17 @@ pub fn train_ftna(
 ) -> TrainedModel {
     let mut opt = Sgd::new(cfg.lr).momentum(cfg.momentum).clip_norm(5.0);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut ws = Workspace::new();
     for _ in 0..cfg.epochs {
         let shuffled = data.shuffled(&mut rng);
         for (x, labels) in shuffled.batches(cfg.batch_size) {
             let x = reshape_for(net.as_mut(), &x);
-            let logits = net.forward(&x, Mode::Train);
-            let out = codebook.bce_loss(&logits, &labels);
-            let _ = net.backward(&out.grad);
+            let logits = net.forward_ws(x.as_ref(), Mode::Train, &mut ws);
+            let out = codebook.bce_loss_ws(&logits, &labels, &mut ws);
+            ws.recycle(logits);
+            let grad_in = net.backward_ws(&out.grad, &mut ws);
+            ws.recycle(grad_in);
+            ws.recycle(out.grad);
             opt.step(net.as_mut());
         }
     }

@@ -41,7 +41,7 @@ mod reram_v;
 mod trained;
 
 pub use awp::{train_awp, AwpConfig};
-pub use erm::{train_epochs, train_erm};
+pub use erm::{train_epochs, train_erm, train_step};
 pub use eval::drift_accuracy;
 pub use ftna::{train_ftna, Codebook};
 pub use reram_v::{reram_v_accuracy, ReRamVConfig};

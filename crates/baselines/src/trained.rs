@@ -85,7 +85,7 @@ impl TrainedModel {
         let mut labels = Vec::with_capacity(data.len());
         for (x, y) in data.batches(64) {
             let x = reshape_for(self.net.as_mut(), &x);
-            preds.extend(self.predict(&x));
+            preds.extend(self.predict(x.as_ref()));
             labels.extend(y);
         }
         accuracy(&preds, &labels)
@@ -100,15 +100,16 @@ impl std::fmt::Debug for TrainedModel {
     }
 }
 
-/// Flattens image batches for MLP-style networks; leaves rank-2/4 tensors
-/// alone otherwise.
-pub(crate) fn reshape_for(net: &mut dyn Layer, x: &Tensor) -> Tensor {
+/// Flattens image batches for MLP-style networks; borrows the input
+/// untouched otherwise, so the common no-reshape case costs nothing per
+/// batch.
+pub(crate) fn reshape_for<'a>(net: &mut dyn Layer, x: &'a Tensor) -> std::borrow::Cow<'a, Tensor> {
     if net.name() == "mlp" && x.rank() > 2 {
         let n = x.dims()[0];
         let rest: usize = x.dims()[1..].iter().product();
-        x.reshaped(&[n, rest]).expect("element count preserved")
+        std::borrow::Cow::Owned(x.reshaped(&[n, rest]).expect("element count preserved"))
     } else {
-        x.clone()
+        std::borrow::Cow::Borrowed(x)
     }
 }
 

@@ -10,9 +10,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use baselines::train_step;
 use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
 use models::{LeNet5, Mlp, MlpConfig};
-use nn::{Layer, Mode, Workspace};
+use nn::{softmax_cross_entropy, Layer, Mode, Optimizer, Sgd, Workspace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use reram::{FaultInjector, LogNormalDrift};
@@ -168,6 +169,96 @@ fn bench_mc_trial(c: &mut Criterion) {
         "bytes/iter",
     );
     snapshot.restore_into(&mut net).unwrap();
+}
+
+/// The steady-state SGD training step (the loop dominating every BayesOpt
+/// trial's wall-clock): latency and allocator traffic, legacy
+/// (`forward`/allocating loss/`backward`) vs workspace
+/// (`forward_ws`/pooled loss/`backward_ws` + in-place optimizer) form —
+/// bit-identical weights either way.
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = Mlp::new(&MlpConfig::new(196, 10).depth(3).hidden(64), &mut rng);
+    let x = Tensor::randn(&[16, 196], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(samples(40));
+    let mut opt = Sgd::new(0.01).momentum(0.9).clip_norm(5.0);
+    group.bench_function("legacy_forward_backward", |b| {
+        b.iter(|| {
+            let logits = net.forward(&x, Mode::Train);
+            let out = softmax_cross_entropy(&logits, &labels);
+            let _ = net.backward(&out.grad);
+            opt.step(&mut net);
+            out.loss
+        })
+    });
+    let mut ws = Workspace::new();
+    group.bench_function("workspace_forward_backward", |b| {
+        b.iter(|| train_step(&mut net, &x, &labels, &mut opt, &mut ws))
+    });
+    group.finish();
+
+    // Allocator traffic per steady-state step, outside the timing loops.
+    let steps = 32u64;
+    for _ in 0..steps {
+        let logits = net.forward(&x, Mode::Train);
+        let out = softmax_cross_entropy(&logits, &labels);
+        let _ = net.backward(&out.grad);
+        opt.step(&mut net);
+    }
+    let before = BYTES.load(Ordering::SeqCst);
+    for _ in 0..steps {
+        let logits = net.forward(&x, Mode::Train);
+        let out = softmax_cross_entropy(&logits, &labels);
+        let _ = net.backward(&out.grad);
+        opt.step(&mut net);
+    }
+    let legacy_bytes = BYTES.load(Ordering::SeqCst) - before;
+    record_metric(
+        "train_step/legacy_bytes_per_step",
+        legacy_bytes as f64 / steps as f64,
+        "bytes/iter",
+    );
+
+    // Warm the workspace and caches, then measure the steady state.
+    let mut ws = Workspace::new();
+    for _ in 0..3 {
+        let _ = train_step(&mut net, &x, &labels, &mut opt, &mut ws);
+    }
+    let before = BYTES.load(Ordering::SeqCst);
+    for _ in 0..steps {
+        let _ = train_step(&mut net, &x, &labels, &mut opt, &mut ws);
+    }
+    let ws_bytes = BYTES.load(Ordering::SeqCst) - before;
+    record_metric(
+        "train_step/workspace_bytes_per_step",
+        ws_bytes as f64 / steps as f64,
+        "bytes/iter",
+    );
+
+    // Conv training step: LeNet through the same pair of loops.
+    let mut lenet = LeNet5::new(1, 14, 10, &mut rng);
+    let img = Tensor::randn(&[8, 1, 14, 14], 0.0, 1.0, &mut rng);
+    let img_labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let mut group = c.benchmark_group("train_step_lenet");
+    group.sample_size(samples(20));
+    let mut opt = Sgd::new(0.01).momentum(0.9).clip_norm(5.0);
+    group.bench_function("legacy_forward_backward", |b| {
+        b.iter(|| {
+            let logits = lenet.forward(&img, Mode::Train);
+            let out = softmax_cross_entropy(&logits, &img_labels);
+            let _ = lenet.backward(&out.grad);
+            opt.step(&mut lenet);
+            out.loss
+        })
+    });
+    let mut ws = Workspace::new();
+    group.bench_function("workspace_forward_backward", |b| {
+        b.iter(|| train_step(&mut lenet, &img, &img_labels, &mut opt, &mut ws))
+    });
+    group.finish();
 }
 
 fn bench_mc_objective(c: &mut Criterion) {
@@ -359,6 +450,7 @@ criterion_group!(
     benches,
     bench_drift_injection,
     bench_mc_trial,
+    bench_train_step,
     bench_mc_objective,
     bench_gp,
     bench_conv,

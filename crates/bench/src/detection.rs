@@ -20,15 +20,22 @@ pub fn stack_images(data: &DetectionDataset) -> Tensor {
 }
 
 /// Trains a detector with plain ERM for `epochs` full-batch Adam steps.
+///
+/// Runs on the workspace train path (`forward_ws`/`backward_ws` + in-place
+/// Adam), so the per-step layer allocations are gone; the detection loss
+/// itself still builds its gradient tensor per step.
 pub fn train_detector(det: &mut TinyDetector, data: &DetectionDataset, epochs: usize, lr: f32) {
     let images = stack_images(data);
     let loss_fn = DetectionLoss::default();
     let hw = data.image_size();
     let mut opt = nn::Adam::new(lr);
+    let mut ws = nn::Workspace::new();
     for _ in 0..epochs {
-        let raw = det.forward(&images, Mode::Train);
+        let raw = det.forward_ws(&images, Mode::Train, &mut ws);
         let (_, grad) = loss_fn.loss_and_grad(&raw, data.scenes(), hw);
-        let _ = det.backward(&grad);
+        ws.recycle(raw);
+        let grad_in = det.backward_ws(&grad, &mut ws);
+        ws.recycle(grad_in);
         opt.step(det);
     }
 }

@@ -341,7 +341,7 @@ fn evaluate_once(
     let mut batches = 0usize;
     for (x, labels) in data.batches(64) {
         let x = flatten_if_mlp(net, &x);
-        let logits = net.forward(&x, Mode::Eval);
+        let logits = net.forward(x.as_ref(), Mode::Eval);
         match metric {
             ObjectiveMetric::NegLoss => {
                 total_loss += softmax_cross_entropy(&logits, &labels).loss;
@@ -363,13 +363,16 @@ fn evaluate_once(
     }
 }
 
-fn flatten_if_mlp(net: &mut dyn Layer, x: &Tensor) -> Tensor {
+/// Flattens image batches for MLP-style networks; borrows the input
+/// untouched otherwise — the non-MLP eval loop used to pay one full batch
+/// clone here per batch per Monte-Carlo trial.
+fn flatten_if_mlp<'a>(net: &mut dyn Layer, x: &'a Tensor) -> std::borrow::Cow<'a, Tensor> {
     if net.name() == "mlp" && x.rank() > 2 {
         let n = x.dims()[0];
         let rest: usize = x.dims()[1..].iter().product();
-        x.reshaped(&[n, rest]).expect("element count preserved")
+        std::borrow::Cow::Owned(x.reshaped(&[n, rest]).expect("element count preserved"))
     } else {
-        x.clone()
+        std::borrow::Cow::Borrowed(x)
     }
 }
 
@@ -490,6 +493,23 @@ mod tests {
             DriftObjective::from_specs(&[bad], 3).unwrap_err(),
             BayesFtError::Fault(_)
         ));
+    }
+
+    #[test]
+    fn flatten_if_mlp_borrows_unless_reshaping() {
+        use std::borrow::Cow;
+        let (mut net, _) = setup();
+        // Already flat: the eval loop must not pay a clone per batch.
+        let flat = Tensor::ones(&[4, 2]);
+        assert!(matches!(flatten_if_mlp(&mut net, &flat), Cow::Borrowed(_)));
+        // Image batch into an MLP: reshaped copy.
+        let img = Tensor::ones(&[4, 1, 1, 2]);
+        let reshaped = flatten_if_mlp(&mut net, &img);
+        assert!(matches!(reshaped, Cow::Owned(_)));
+        assert_eq!(reshaped.dims(), &[4, 2]);
+        // Non-MLP networks keep image batches borrowed, any rank.
+        let mut id = nn::Identity::new();
+        assert!(matches!(flatten_if_mlp(&mut id, &img), Cow::Borrowed(_)));
     }
 
     #[test]

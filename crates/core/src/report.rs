@@ -190,8 +190,15 @@ impl RunReport {
                 .map(str::to_string)
                 .ok_or_else(|| format!("report is missing string '{key}'"))
         };
+        // The serializer writes non-finite f64s as JSON `null` (a diverged
+        // search can legitimately report a NaN objective), so `null` reads
+        // back as NaN here: stored NaN campaigns replay under `--resume`
+        // instead of recomputing with a warning.
         let num = |v: &Value, what: &str| -> Result<f64, String> {
-            v.as_f64().ok_or_else(|| format!("non-numeric {what}"))
+            match v {
+                Value::Null => Ok(f64::NAN),
+                _ => v.as_f64().ok_or_else(|| format!("non-numeric {what}")),
+            }
         };
         let field_num = |key: &str| -> Result<f64, String> {
             num(
@@ -413,6 +420,23 @@ mod tests {
         assert_eq!(back.timings, StageTimings::default());
         assert_eq!(back.parallelism, 1);
         assert!(sample().deterministic_eq(&back));
+    }
+
+    #[test]
+    fn nan_results_round_trip_as_json_null() {
+        let mut report = sample().with_scenario("diverged", "dead00");
+        report.best_objective = f64::NAN;
+        report.best_alpha = vec![0.25, f64::NAN];
+        report.trials[1].objective = f64::NAN;
+        let json = report.to_json_string();
+        assert!(json.contains("\"best_objective\":null"), "{json}");
+        assert!(json.contains("\"best_alpha\":[0.25,null]"), "{json}");
+        let back = RunReport::from_json(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert!(back.best_objective.is_nan());
+        assert_eq!(back.best_alpha[0], 0.25);
+        assert!(back.best_alpha[1].is_nan());
+        assert!(back.trials[1].objective.is_nan());
+        assert_eq!(back.scenario, report.scenario);
     }
 
     #[test]

@@ -107,6 +107,14 @@ macro_rules! delegate_layer {
                 self.net.backward(grad_out)
             }
 
+            fn backward_ws(
+                &mut self,
+                grad_out: &tensor::Tensor,
+                ws: &mut nn::Workspace,
+            ) -> tensor::Tensor {
+                self.net.backward_ws(grad_out, ws)
+            }
+
             fn visit_params(&mut self, f: &mut dyn FnMut(&mut nn::Param)) {
                 self.net.visit_params(f);
             }

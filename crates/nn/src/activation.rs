@@ -4,7 +4,10 @@
 use serde::{Deserialize, Serialize};
 use tensor::Tensor;
 
-use crate::{Layer, Mode, Workspace};
+use crate::{
+    layer::{cache_into, invalidate_cache},
+    Layer, Mode, Workspace,
+};
 
 /// Selects one of the paper's four activation functions when building
 /// parameterized models (Fig. 2(d) ablation).
@@ -65,15 +68,21 @@ macro_rules! elementwise_activation {
         }
 
         impl Layer for $name {
-            fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-                self.input = Some(input.clone());
+            fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+                if mode == Mode::Train {
+                    cache_into(&mut self.input, input.as_slice(), input.dims());
+                } else {
+                    invalidate_cache(&mut self.input);
+                }
                 let a = self.alpha;
                 input.map(|x| ($fwd)(x, a))
             }
 
             fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
                 if mode == Mode::Train {
-                    return self.forward(input, mode);
+                    cache_into(&mut self.input, input.as_slice(), input.dims());
+                } else {
+                    invalidate_cache(&mut self.input);
                 }
                 let a = self.alpha;
                 let mut out = ws.take_tensor(input.dims());
@@ -88,8 +97,35 @@ macro_rules! elementwise_activation {
                     .input
                     .as_ref()
                     .expect(concat!("backward called before forward on ", $tag));
+                assert!(
+                    !input.is_empty(),
+                    concat!("backward called after an eval-mode forward on ", $tag)
+                );
                 let a = self.alpha;
                 input.zip_map(grad_out, |x, g| g * ($bwd)(x, a))
+            }
+
+            fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+                let input = self
+                    .input
+                    .as_ref()
+                    .expect(concat!("backward called before forward on ", $tag));
+                assert!(
+                    !input.is_empty(),
+                    concat!("backward called after an eval-mode forward on ", $tag)
+                );
+                assert_eq!(input.dims(), grad_out.dims(), concat!($tag, " gradient shape"));
+                let a = self.alpha;
+                let mut out = ws.take_tensor(input.dims());
+                for ((o, &x), &g) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(input.as_slice())
+                    .zip(grad_out.as_slice())
+                {
+                    *o = g * ($bwd)(x, a);
+                }
+                out
             }
 
             fn name(&self) -> &'static str {

@@ -1,9 +1,20 @@
 //! Convolution, pooling and flattening layers over `[N, C, H, W]` tensors.
 
 use rand::Rng;
-use tensor::{col2im, gemm_into, im2col, im2col_into, Conv2dSpec, Matmul, Pool2dSpec, Tensor};
+use tensor::{
+    col2im_into, gemm_into, gemm_nt_into, gemm_tn_into, im2col_into, Conv2dSpec, Pool2dSpec, Tensor,
+};
 
 use crate::{Layer, Mode, Param, ParamKind, Workspace};
+
+/// Refreshes `dims` in place, avoiding the `to_vec` allocation when the
+/// cached extents are already current (the steady-state training case).
+fn cache_dims(slot: &mut Vec<usize>, dims: &[usize]) {
+    if slot.as_slice() != dims {
+        slot.clear();
+        slot.extend_from_slice(dims);
+    }
+}
 
 /// 2-D convolution lowered to `im2col` + matmul.
 ///
@@ -65,10 +76,9 @@ impl Conv2d {
     pub fn spec(&self) -> &Conv2dSpec {
         &self.spec
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    /// Validates the input layout and returns `(n, c, h, w)`.
+    fn check_input(&self, input: &Tensor) -> (usize, usize, usize, usize) {
         assert_eq!(input.rank(), 4, "conv2d expects [N, C, H, W] input");
         let (n, c, h, w) = (
             input.dims()[0],
@@ -77,117 +87,198 @@ impl Layer for Conv2d {
             input.dims()[3],
         );
         assert_eq!(c, self.spec.in_channels, "conv2d channel mismatch");
+        (n, c, h, w)
+    }
+
+    /// Lowers sample `i` into its persistent patch-matrix cache (grown
+    /// once, reused across steps — the `backward` tape).
+    fn refresh_col(&mut self, i: usize, src: &[f32], h: usize, w: usize) {
         let (oh, ow) = self.spec.output_hw(h, w);
-        let oc = self.spec.out_channels;
-        self.cols.clear();
+        let dims = [self.spec.patch_len(), oh * ow];
+        if self.cols.len() <= i {
+            self.cols.push(Tensor::zeros(&dims));
+        } else {
+            self.cols[i].reuse_as(&dims);
+        }
+        im2col_into(src, self.cols[i].as_mut_slice(), &self.spec, h, w);
+    }
+
+    /// Train-mode forward kernel: refreshes the per-sample im2col tapes and
+    /// mixes outputs into `out` — one implementation behind both the
+    /// allocating and workspace paths, so they cannot desynchronize.
+    fn train_forward_into(&mut self, input: &Tensor, out: &mut Tensor, y: &mut [f32]) {
+        let (n, c, h, w) = self.check_input(input);
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let per_sample = c * h * w;
+        let out_per_sample = self.spec.out_channels * oh * ow;
         self.input_hw = (h, w);
         self.batch = n;
-        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-        let per_sample = c * h * w;
-        let out_per_sample = oc * oh * ow;
         for i in 0..n {
-            let img = Tensor::from_vec(
-                input.as_slice()[i * per_sample..(i + 1) * per_sample].to_vec(),
-                &[c, h, w],
-            )
-            .expect("sample slice has correct length");
-            let col = im2col(&img, &self.spec, h, w);
-            let y = self.weight.value.matmul(&col); // [OC, OH·OW]
-            let dst = &mut out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample];
-            for och in 0..oc {
-                let b = self.bias.value.as_slice()[och];
-                let src = &y.as_slice()[och * oh * ow..(och + 1) * oh * ow];
-                for (d, &s) in dst[och * oh * ow..(och + 1) * oh * ow].iter_mut().zip(src) {
-                    *d = s + b;
-                }
+            self.refresh_col(
+                i,
+                &input.as_slice()[i * per_sample..(i + 1) * per_sample],
+                h,
+                w,
+            );
+            conv_mix_output(
+                &self.weight.value,
+                &self.bias.value,
+                self.cols[i].as_slice(),
+                y,
+                &mut out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample],
+                &self.spec,
+                oh * ow,
+            );
+        }
+    }
+
+    /// Eval-mode forward kernel: lowers into caller-provided scratch and
+    /// invalidates the training tape, so a stray `backward` fails loudly
+    /// instead of using stale patch matrices from an earlier step.
+    fn eval_forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        y: &mut [f32],
+        col: &mut [f32],
+    ) {
+        let (n, c, h, w) = self.check_input(input);
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let per_sample = c * h * w;
+        let out_per_sample = self.spec.out_channels * oh * ow;
+        self.batch = 0;
+        for i in 0..n {
+            im2col_into(
+                &input.as_slice()[i * per_sample..(i + 1) * per_sample],
+                col,
+                &self.spec,
+                h,
+                w,
+            );
+            conv_mix_output(
+                &self.weight.value,
+                &self.bias.value,
+                col,
+                y,
+                &mut out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample],
+                &self.spec,
+                oh * ow,
+            );
+        }
+    }
+}
+
+/// `y = W·col`, then `dst = y + bias` per output channel — the per-sample
+/// mixing step shared by all four convolution forward variants.
+fn conv_mix_output(
+    weight: &Tensor,
+    bias: &Tensor,
+    col: &[f32],
+    y: &mut [f32],
+    dst: &mut [f32],
+    spec: &Conv2dSpec,
+    ohw: usize,
+) {
+    let (oc, patch) = (spec.out_channels, spec.patch_len());
+    gemm_into(weight.as_slice(), col, y, oc, patch, ohw);
+    for och in 0..oc {
+        let b = bias.as_slice()[och];
+        let src = &y[och * ohw..(och + 1) * ohw];
+        for (d, &s) in dst[och * ohw..(och + 1) * ohw].iter_mut().zip(src) {
+            *d = s + b;
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (n, _, h, w) = self.check_input(input);
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let (oc, patch) = (self.spec.out_channels, self.spec.patch_len());
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        let mut y = vec![0.0f32; oc * oh * ow];
+        match mode {
+            Mode::Train => self.train_forward_into(input, &mut out, &mut y),
+            Mode::Eval => {
+                let mut col = vec![0.0f32; patch * oh * ow];
+                self.eval_forward_into(input, &mut out, &mut y, &mut col);
             }
-            self.cols.push(col);
         }
         out
     }
 
     fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
-        if mode == Mode::Train {
-            return self.forward(input, mode);
-        }
-        assert_eq!(input.rank(), 4, "conv2d expects [N, C, H, W] input");
-        let (n, c, h, w) = (
-            input.dims()[0],
-            input.dims()[1],
-            input.dims()[2],
-            input.dims()[3],
-        );
-        assert_eq!(c, self.spec.in_channels, "conv2d channel mismatch");
+        let (n, _, h, w) = self.check_input(input);
         let (oh, ow) = self.spec.output_hw(h, w);
-        let oc = self.spec.out_channels;
-        let patch = self.spec.patch_len();
+        let (oc, patch) = (self.spec.out_channels, self.spec.patch_len());
         let mut out = ws.take_tensor(&[n, oc, oh, ow]);
-        let mut col = ws.take(patch * oh * ow);
         let mut y = ws.take(oc * oh * ow);
-        let per_sample = c * h * w;
-        let out_per_sample = oc * oh * ow;
-        for i in 0..n {
-            im2col_into(
-                &input.as_slice()[i * per_sample..(i + 1) * per_sample],
-                &mut col,
-                &self.spec,
-                h,
-                w,
-            );
-            gemm_into(
-                self.weight.value.as_slice(),
-                &col,
-                &mut y,
-                oc,
-                patch,
-                oh * ow,
-            );
-            let dst = &mut out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample];
-            for och in 0..oc {
-                let b = self.bias.value.as_slice()[och];
-                let src = &y[och * oh * ow..(och + 1) * oh * ow];
-                for (d, &s) in dst[och * oh * ow..(och + 1) * oh * ow].iter_mut().zip(src) {
-                    *d = s + b;
-                }
+        match mode {
+            Mode::Train => self.train_forward_into(input, &mut out, &mut y),
+            Mode::Eval => {
+                let mut col = ws.take(patch * oh * ow);
+                self.eval_forward_into(input, &mut out, &mut y, &mut col);
+                ws.recycle_vec(col);
             }
         }
-        ws.recycle_vec(col);
         ws.recycle_vec(y);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         assert!(
-            !self.cols.is_empty(),
-            "backward called before forward on conv2d"
+            self.batch > 0 && !self.cols.is_empty(),
+            "backward called before a training-mode forward on conv2d (eval invalidates the tape)"
         );
         let (h, w) = self.input_hw;
         let (oh, ow) = self.spec.output_hw(h, w);
         let oc = self.spec.out_channels;
         let c = self.spec.in_channels;
         let n = self.batch;
+        let patch = self.spec.patch_len();
         assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d gradient shape");
-        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let mut grad_in = ws.take_tensor(&[n, c, h, w]);
+        let mut dw = ws.take(oc * patch);
+        let mut dcol = ws.take(patch * oh * ow);
         let out_per_sample = oc * oh * ow;
         let in_per_sample = c * h * w;
         for i in 0..n {
-            let g = Tensor::from_vec(
-                grad_out.as_slice()[i * out_per_sample..(i + 1) * out_per_sample].to_vec(),
-                &[oc, oh * ow],
-            )
-            .expect("gradient slice has correct length");
-            let col = &self.cols[i];
-            // dW += g · colᵀ ; db += row sums of g ; dcol = Wᵀ · g
-            self.weight.grad.add_assign(&g.matmul_nt(col));
+            let g = &grad_out.as_slice()[i * out_per_sample..(i + 1) * out_per_sample];
+            // dW += g · colᵀ ; db += row sums of g ; dcol = Wᵀ · g — each
+            // partial product lands in workspace scratch first, then
+            // accumulates (the same two-step arithmetic as the old
+            // `add_assign(matmul_*)` form).
+            gemm_nt_into(g, self.cols[i].as_slice(), &mut dw, oc, oh * ow, patch);
+            for (gw, &d) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+                *gw += d;
+            }
             for och in 0..oc {
-                let row_sum: f32 = g.row(och).iter().sum();
+                let row_sum: f32 = g[och * oh * ow..(och + 1) * oh * ow].iter().sum();
                 self.bias.grad.as_mut_slice()[och] += row_sum;
             }
-            let dcol = self.weight.value.matmul_tn(&g);
-            let dimg = col2im(&dcol, &self.spec, h, w);
-            grad_in.as_mut_slice()[i * in_per_sample..(i + 1) * in_per_sample]
-                .copy_from_slice(dimg.as_slice());
+            gemm_tn_into(
+                self.weight.value.as_slice(),
+                g,
+                &mut dcol,
+                patch,
+                oc,
+                oh * ow,
+            );
+            col2im_into(
+                &dcol,
+                &mut grad_in.as_mut_slice()[i * in_per_sample..(i + 1) * in_per_sample],
+                &self.spec,
+                h,
+                w,
+            );
         }
+        ws.recycle_vec(dw);
+        ws.recycle_vec(dcol);
         grad_in
     }
 
@@ -234,8 +325,11 @@ impl MaxPool2d {
     }
 }
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+impl MaxPool2d {
+    /// The shared window scan: pools every sample into `out`, recording
+    /// argmax indices into the persistent per-sample buffers (grown once,
+    /// reused across steps) when training.
+    fn pool_into(&mut self, input: &Tensor, out: &mut Tensor, mode: Mode) {
         assert_eq!(input.rank(), 4, "max_pool2d expects [N, C, H, W] input");
         let (n, c, h, w) = (
             input.dims()[0],
@@ -244,75 +338,82 @@ impl Layer for MaxPool2d {
             input.dims()[3],
         );
         let (oh, ow) = self.spec.output_hw(h, w);
-        self.argmax.clear();
-        self.input_dims = input.dims().to_vec();
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let per_sample = c * h * w;
         let out_per_sample = c * oh * ow;
-        for i in 0..n {
-            let img = Tensor::from_vec(
-                input.as_slice()[i * per_sample..(i + 1) * per_sample].to_vec(),
-                &[c, h, w],
-            )
-            .expect("sample slice length");
-            let (pooled, idx) = tensor::max_pool2d(&img, &self.spec);
-            out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample]
-                .copy_from_slice(pooled.as_slice());
-            self.argmax.push(idx);
+        if mode == Mode::Train {
+            cache_dims(&mut self.input_dims, input.dims());
+        } else {
+            // Eval invalidates the tape (capacity retained): a stray
+            // backward fails loudly instead of using stale state.
+            self.input_dims.clear();
         }
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        for i in 0..n {
+            let src_seg = &src[i * per_sample..(i + 1) * per_sample];
+            let dst_seg = &mut dst[i * out_per_sample..(i + 1) * out_per_sample];
+            if mode == Mode::Train {
+                if self.argmax.len() <= i {
+                    self.argmax.push(vec![0; out_per_sample]);
+                } else {
+                    self.argmax[i].resize(out_per_sample, 0);
+                }
+                tensor::max_pool2d_into(
+                    src_seg,
+                    dst_seg,
+                    &self.spec,
+                    c,
+                    h,
+                    w,
+                    Some(&mut self.argmax[i]),
+                );
+            } else {
+                // Eval never backpropagates: skip the argmax bookkeeping.
+                tensor::max_pool2d_into(src_seg, dst_seg, &self.spec, c, h, w, None);
+            }
+        }
+    }
+
+    fn output_dims(&self, input: &Tensor) -> [usize; 4] {
+        let (oh, ow) = self.spec.output_hw(input.dims()[2], input.dims()[3]);
+        [input.dims()[0], input.dims()[1], oh, ow]
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "max_pool2d expects [N, C, H, W] input");
+        let mut out = Tensor::zeros(&self.output_dims(input));
+        self.pool_into(input, &mut out, mode);
         out
     }
 
     fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
-        if mode == Mode::Train {
-            return self.forward(input, mode);
-        }
         assert_eq!(input.rank(), 4, "max_pool2d expects [N, C, H, W] input");
-        let (n, c, h, w) = (
-            input.dims()[0],
-            input.dims()[1],
-            input.dims()[2],
-            input.dims()[3],
-        );
-        let (oh, ow) = self.spec.output_hw(h, w);
-        let mut out = ws.take_tensor(&[n, c, oh, ow]);
-        let src = input.as_slice();
-        let dst = out.as_mut_slice();
-        let per_sample = c * h * w;
-        let out_per_sample = c * oh * ow;
-        // Same window scan as `forward` (shared `tensor::max_pool2d_into`),
-        // without argmax bookkeeping (eval never backpropagates).
-        for i in 0..n {
-            tensor::max_pool2d_into(
-                &src[i * per_sample..(i + 1) * per_sample],
-                &mut dst[i * out_per_sample..(i + 1) * out_per_sample],
-                &self.spec,
-                c,
-                h,
-                w,
-                None,
-            );
-        }
+        let mut out = ws.take_tensor(&self.output_dims(input));
+        self.pool_into(input, &mut out, mode);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         assert!(
-            !self.argmax.is_empty(),
-            "backward called before forward on max_pool2d"
+            !self.argmax.is_empty() && !self.input_dims.is_empty(),
+            "backward called before a training-mode forward on max_pool2d (eval invalidates the tape)"
         );
         let n = self.input_dims[0];
         let per_sample: usize = self.input_dims[1..].iter().product();
         let out_per_sample = grad_out.len() / n;
-        let mut grad_in = Tensor::zeros(&self.input_dims);
+        let mut grad_in = ws.take_tensor(&self.input_dims);
+        grad_in.as_mut_slice().fill(0.0);
         for i in 0..n {
-            let g = Tensor::from_vec(
-                grad_out.as_slice()[i * out_per_sample..(i + 1) * out_per_sample].to_vec(),
-                &[out_per_sample],
-            )
-            .expect("gradient slice length");
+            let g = &grad_out.as_slice()[i * out_per_sample..(i + 1) * out_per_sample];
             let gi = &mut grad_in.as_mut_slice()[i * per_sample..(i + 1) * per_sample];
-            for (&gv, &idx) in g.as_slice().iter().zip(&self.argmax[i]) {
+            for (&gv, &idx) in g.iter().zip(&self.argmax[i]) {
                 gi[idx] += gv;
             }
         }
@@ -349,8 +450,9 @@ impl AvgPool2d {
     }
 }
 
-impl Layer for AvgPool2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+impl AvgPool2d {
+    /// The shared window scan behind both forward variants.
+    fn pool_into(&mut self, input: &Tensor, out: &mut Tensor, mode: Mode) {
         assert_eq!(input.rank(), 4, "avg_pool2d expects [N, C, H, W] input");
         let (n, c, h, w) = (
             input.dims()[0],
@@ -358,42 +460,15 @@ impl Layer for AvgPool2d {
             input.dims()[2],
             input.dims()[3],
         );
-        let (oh, ow) = self.spec.output_hw(h, w);
-        self.input_dims = input.dims().to_vec();
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let per_sample = c * h * w;
-        let out_per_sample = c * oh * ow;
-        for i in 0..n {
-            let img = Tensor::from_vec(
-                input.as_slice()[i * per_sample..(i + 1) * per_sample].to_vec(),
-                &[c, h, w],
-            )
-            .expect("sample slice length");
-            let pooled = tensor::avg_pool2d(&img, &self.spec);
-            out.as_mut_slice()[i * out_per_sample..(i + 1) * out_per_sample]
-                .copy_from_slice(pooled.as_slice());
-        }
-        out
-    }
-
-    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         if mode == Mode::Train {
-            return self.forward(input, mode);
+            cache_dims(&mut self.input_dims, input.dims());
+        } else {
+            self.input_dims.clear(); // eval invalidates the tape
         }
-        assert_eq!(input.rank(), 4, "avg_pool2d expects [N, C, H, W] input");
-        let (n, c, h, w) = (
-            input.dims()[0],
-            input.dims()[1],
-            input.dims()[2],
-            input.dims()[3],
-        );
-        let (oh, ow) = self.spec.output_hw(h, w);
-        let mut out = ws.take_tensor(&[n, c, oh, ow]);
+        let per_sample = c * h * w;
+        let out_per_sample = out.len() / n;
         let src = input.as_slice();
         let dst = out.as_mut_slice();
-        let per_sample = c * h * w;
-        let out_per_sample = c * oh * ow;
-        // Same window scan as `forward` (shared `tensor::avg_pool2d_into`).
         for i in 0..n {
             tensor::avg_pool2d_into(
                 &src[i * per_sample..(i + 1) * per_sample],
@@ -404,10 +479,35 @@ impl Layer for AvgPool2d {
                 w,
             );
         }
+    }
+
+    fn output_dims(&self, input: &Tensor) -> [usize; 4] {
+        let (oh, ow) = self.spec.output_hw(input.dims()[2], input.dims()[3]);
+        [input.dims()[0], input.dims()[1], oh, ow]
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "avg_pool2d expects [N, C, H, W] input");
+        let mut out = Tensor::zeros(&self.output_dims(input));
+        self.pool_into(input, &mut out, mode);
+        out
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        assert_eq!(input.rank(), 4, "avg_pool2d expects [N, C, H, W] input");
+        let mut out = ws.take_tensor(&self.output_dims(input));
+        self.pool_into(input, &mut out, mode);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         assert!(
             !self.input_dims.is_empty(),
             "backward called before forward on avg_pool2d"
@@ -417,16 +517,16 @@ impl Layer for AvgPool2d {
         let (oh, ow) = self.spec.output_hw(h, w);
         let per_sample = c * h * w;
         let out_per_sample = c * oh * ow;
-        let mut grad_in = Tensor::zeros(&self.input_dims);
+        let mut grad_in = ws.take_tensor(&self.input_dims);
         for i in 0..n {
-            let g = Tensor::from_vec(
-                grad_out.as_slice()[i * out_per_sample..(i + 1) * out_per_sample].to_vec(),
-                &[c, oh, ow],
-            )
-            .expect("gradient slice length");
-            let gi = tensor::avg_pool2d_backward(&g, &self.spec, &[c, h, w]);
-            grad_in.as_mut_slice()[i * per_sample..(i + 1) * per_sample]
-                .copy_from_slice(gi.as_slice());
+            tensor::avg_pool2d_backward_into(
+                &grad_out.as_slice()[i * out_per_sample..(i + 1) * out_per_sample],
+                &mut grad_in.as_mut_slice()[i * per_sample..(i + 1) * per_sample],
+                &self.spec,
+                c,
+                h,
+                w,
+            );
         }
         grad_in
     }
@@ -455,8 +555,9 @@ impl GlobalAvgPool {
     }
 }
 
-impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+impl GlobalAvgPool {
+    /// The shared channel-mean scan behind both forward variants.
+    fn pool_into(&mut self, input: &Tensor, out: &mut Tensor, mode: Mode) {
         assert_eq!(input.rank(), 4, "global_avg_pool expects [N, C, H, W]");
         let (n, c, h, w) = (
             input.dims()[0],
@@ -464,8 +565,11 @@ impl Layer for GlobalAvgPool {
             input.dims()[2],
             input.dims()[3],
         );
-        self.input_dims = input.dims().to_vec();
-        let mut out = Tensor::zeros(&[n, c]);
+        if mode == Mode::Train {
+            cache_dims(&mut self.input_dims, input.dims());
+        } else {
+            self.input_dims.clear(); // eval invalidates the tape
+        }
         let s = (h * w) as f32;
         for i in 0..n {
             for ch in 0..c {
@@ -474,33 +578,30 @@ impl Layer for GlobalAvgPool {
                 out.as_mut_slice()[i * c + ch] = sum / s;
             }
         }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.rank(), 4, "global_avg_pool expects [N, C, H, W]");
+        let mut out = Tensor::zeros(&[input.dims()[0], input.dims()[1]]);
+        self.pool_into(input, &mut out, mode);
         out
     }
 
     fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
-        if mode == Mode::Train {
-            return self.forward(input, mode);
-        }
         assert_eq!(input.rank(), 4, "global_avg_pool expects [N, C, H, W]");
-        let (n, c, h, w) = (
-            input.dims()[0],
-            input.dims()[1],
-            input.dims()[2],
-            input.dims()[3],
-        );
-        let mut out = ws.take_tensor(&[n, c]);
-        let s = (h * w) as f32;
-        for i in 0..n {
-            for ch in 0..c {
-                let start = (i * c + ch) * h * w;
-                let sum: f32 = input.as_slice()[start..start + h * w].iter().sum();
-                out.as_mut_slice()[i * c + ch] = sum / s;
-            }
-        }
+        let mut out = ws.take_tensor(&[input.dims()[0], input.dims()[1]]);
+        self.pool_into(input, &mut out, mode);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         assert!(
             !self.input_dims.is_empty(),
             "backward called before forward on global_avg_pool"
@@ -511,7 +612,9 @@ impl Layer for GlobalAvgPool {
             self.input_dims[2],
             self.input_dims[3],
         );
-        let mut grad_in = Tensor::zeros(&self.input_dims);
+        // Every element is written (`*v = g`), so the recycled buffer needs
+        // no zero-fill.
+        let mut grad_in = ws.take_tensor(&self.input_dims);
         let inv = 1.0 / (h * w) as f32;
         for i in 0..n {
             for ch in 0..c {
@@ -550,8 +653,12 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.input_dims = input.dims().to_vec();
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            cache_dims(&mut self.input_dims, input.dims());
+        } else {
+            self.input_dims.clear(); // eval invalidates the tape
+        }
         let n = input.dims()[0];
         let rest: usize = input.dims()[1..].iter().product();
         input.reshaped(&[n, rest]).expect("element count preserved")
@@ -559,7 +666,9 @@ impl Layer for Flatten {
 
     fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         if mode == Mode::Train {
-            return self.forward(input, mode);
+            cache_dims(&mut self.input_dims, input.dims());
+        } else {
+            self.input_dims.clear(); // eval invalidates the tape
         }
         let n = input.dims()[0];
         let rest: usize = input.dims()[1..].iter().product();
@@ -574,6 +683,14 @@ impl Layer for Flatten {
         grad_out
             .reshaped(&self.input_dims)
             .expect("element count preserved")
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert!(
+            !self.input_dims.is_empty(),
+            "backward called before forward on flatten"
+        );
+        ws.take_copy(grad_out, &self.input_dims)
     }
 
     fn name(&self) -> &'static str {
@@ -639,7 +756,8 @@ mod tests {
         let mut pool = MaxPool2d::new(2, 2);
         let x =
             Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0], &[2, 1, 2, 2]).unwrap();
-        let y = pool.forward(&x, Mode::Eval);
+        // Train mode: backward needs the argmax tape (eval skips it).
+        let y = pool.forward(&x, Mode::Train);
         assert_eq!(y.as_slice(), &[4.0, 8.0]);
         let g = pool.backward(&Tensor::from_vec(vec![1.0, 1.0], &[2, 1, 1, 1]).unwrap());
         assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
@@ -657,7 +775,8 @@ mod tests {
     fn global_avg_pool_averages_maps() {
         let mut gap = GlobalAvgPool::new();
         let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
-        let y = gap.forward(&x, Mode::Eval);
+        let y = gap.forward(&x, Mode::Train); // train: backward needs dims
+
         assert_eq!(y.dims(), &[1, 1]);
         assert_eq!(y.as_slice(), &[4.0]);
         let g = gap.backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap());
@@ -668,7 +787,7 @@ mod tests {
     fn flatten_round_trips() {
         let mut fl = Flatten::new();
         let x = Tensor::ones(&[2, 3, 4, 5]);
-        let y = fl.forward(&x, Mode::Eval);
+        let y = fl.forward(&x, Mode::Train); // train: backward needs dims
         assert_eq!(y.dims(), &[2, 60]);
         let g = fl.backward(&y);
         assert_eq!(g.dims(), &[2, 3, 4, 5]);

@@ -1,9 +1,12 @@
 //! Fully connected layer.
 
 use rand::Rng;
-use tensor::{gemm_into, Matmul, Tensor};
+use tensor::{gemm_into, gemm_nt_into, gemm_tn_into, Tensor};
 
-use crate::{Layer, Mode, Param, ParamKind, Workspace};
+use crate::{
+    layer::{cache_into, invalidate_cache},
+    Layer, Mode, Param, ParamKind, Workspace,
+};
 
 /// A fully connected layer: `y = x·W + b` with `x: [N, in]`, `W: [in, out]`.
 ///
@@ -60,10 +63,10 @@ impl Dense {
     pub fn weight(&self) -> &Tensor {
         &self.weight.value
     }
-}
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    /// Folds `[N, ...]` input to `[N', in]` (a pure length computation —
+    /// the raw gemm runs over slices, no reshape copy).
+    fn fold_batch(&self, input: &Tensor) -> usize {
         assert_eq!(
             input.dims().last().copied(),
             Some(self.in_features),
@@ -71,34 +74,12 @@ impl Layer for Dense {
             input.shape(),
             self.in_features
         );
-        let x = if input.rank() == 2 {
-            input.clone()
-        } else {
-            let n: usize = input.len() / self.in_features;
-            input
-                .reshaped(&[n, self.in_features])
-                .expect("element count preserved")
-        };
-        self.input = Some(x.clone());
-        x.matmul(&self.weight.value)
-            .add_row_broadcast(&self.bias.value)
+        input.len() / self.in_features
     }
 
-    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
-        if mode == Mode::Train {
-            return self.forward(input, mode);
-        }
-        assert_eq!(
-            input.dims().last().copied(),
-            Some(self.in_features),
-            "dense input feature mismatch: got {}, expected {}",
-            input.shape(),
-            self.in_features
-        );
-        // Fold [N, ...] to [N', in] as a view — no reshape copy needed for
-        // a raw gemm over slices.
-        let m = input.len() / self.in_features;
-        let mut out = ws.take_tensor(&[m, self.out_features]);
+    /// `out = input·W + b` into a caller-provided `[m, out]` buffer —
+    /// identical arithmetic for the allocating and workspace paths.
+    fn output_into(&self, input: &Tensor, m: usize, out: &mut Tensor) {
         gemm_into(
             input.as_slice(),
             self.weight.value.as_slice(),
@@ -113,18 +94,81 @@ impl Layer for Dense {
                 *v += b;
             }
         }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let m = self.fold_batch(input);
+        if mode == Mode::Train {
+            cache_into(&mut self.input, input.as_slice(), &[m, self.in_features]);
+        } else {
+            invalidate_cache(&mut self.input);
+        }
+        let mut out = Tensor::zeros(&[m, self.out_features]);
+        self.output_into(input, m, &mut out);
+        out
+    }
+
+    fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        let m = self.fold_batch(input);
+        if mode == Mode::Train {
+            cache_into(&mut self.input, input.as_slice(), &[m, self.in_features]);
+        } else {
+            invalidate_cache(&mut self.input);
+        }
+        let mut out = ws.take_tensor(&[m, self.out_features]);
+        self.output_into(input, m, &mut out);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .input
             .as_ref()
             .expect("backward called before forward on dense layer");
-        // dW = xᵀ·g, db = Σ_rows g, dx = g·Wᵀ
-        self.weight.grad.add_assign(&x.matmul_tn(grad_out));
-        self.bias.grad.add_assign(&grad_out.sum_axis0());
-        grad_out.matmul_nt(&self.weight.value)
+        assert!(
+            !x.is_empty(),
+            "backward called after an eval-mode forward on dense layer (eval invalidates the tape)"
+        );
+        let (m, k, n) = (x.dims()[0], self.in_features, self.out_features);
+        assert_eq!(grad_out.dims(), &[m, n], "dense gradient shape");
+        // dW = xᵀ·g, db = Σ_rows g, dx = g·Wᵀ — each partial product lands
+        // in workspace scratch first, then accumulates into the grads (the
+        // same two-step arithmetic as the old `add_assign(matmul_*)` form).
+        let mut dw = ws.take(k * n);
+        gemm_tn_into(x.as_slice(), grad_out.as_slice(), &mut dw, k, m, n);
+        for (gw, &d) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+            *gw += d;
+        }
+        ws.recycle_vec(dw);
+        let mut db = ws.take(n);
+        db.fill(0.0);
+        for r in 0..m {
+            let row = &grad_out.as_slice()[r * n..(r + 1) * n];
+            for (o, &v) in db.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        for (gb, &d) in self.bias.grad.as_mut_slice().iter_mut().zip(&db) {
+            *gb += d;
+        }
+        ws.recycle_vec(db);
+        let mut dx = ws.take_tensor(&[m, k]);
+        gemm_nt_into(
+            grad_out.as_slice(),
+            self.weight.value.as_slice(),
+            dx.as_mut_slice(),
+            m,
+            n,
+            k,
+        );
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -68,15 +68,20 @@ impl Dropout {
     }
 }
 
-impl Layer for Dropout {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        if mode == Mode::Eval || self.rate == 0.0 {
-            self.mask = None;
-            return input.clone();
-        }
+impl Dropout {
+    /// Draws a fresh mask into the persistent buffer (grown once, reused
+    /// across steps) — the RNG consumption and mask values are identical
+    /// for the allocating and workspace paths.
+    fn sample_mask(&mut self, dims: &[usize]) {
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
-        let mut mask = Tensor::zeros(input.dims());
+        let mut mask = match self.mask.take() {
+            Some(mut m) => {
+                m.reuse_as(dims);
+                m
+            }
+            None => Tensor::zeros(dims),
+        };
         for m in mask.as_mut_slice() {
             *m = if self.rng.gen::<f32>() < keep {
                 scale
@@ -84,9 +89,18 @@ impl Layer for Dropout {
                 0.0
             };
         }
-        let out = input.mul(&mask);
         self.mask = Some(mask);
-        out
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.rate == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        self.sample_mask(input.dims());
+        input.mul(self.mask.as_ref().expect("mask was just sampled"))
     }
 
     fn forward_ws(&mut self, input: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
@@ -94,13 +108,43 @@ impl Layer for Dropout {
             self.mask = None;
             return ws.take_copy(input, input.dims());
         }
-        self.forward(input, mode)
+        self.sample_mask(input.dims());
+        let mask = self.mask.as_ref().expect("mask was just sampled");
+        let mut out = ws.take_tensor(input.dims());
+        for ((o, &x), &m) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(input.as_slice())
+            .zip(mask.as_slice())
+        {
+            *o = x * m;
+        }
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match &self.mask {
             Some(mask) => grad_out.mul(mask),
             None => grad_out.clone(),
+        }
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        match &self.mask {
+            Some(mask) => {
+                assert_eq!(grad_out.dims(), mask.dims(), "dropout gradient shape");
+                let mut out = ws.take_tensor(grad_out.dims());
+                for ((o, &g), &m) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(grad_out.as_slice())
+                    .zip(mask.as_slice())
+                {
+                    *o = g * m;
+                }
+                out
+            }
+            None => ws.take_copy(grad_out, grad_out.dims()),
         }
     }
 
@@ -174,26 +218,47 @@ impl AlphaDropout {
     }
 }
 
-impl Layer for AlphaDropout {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        if mode == Mode::Eval || self.rate == 0.0 {
-            self.mask = None;
-            return input.clone();
-        }
+impl AlphaDropout {
+    /// Shared train-mode kernel: fills `out` with the dropped/rescaled
+    /// activations while refreshing the persistent multiplier mask in
+    /// place — RNG consumption is identical for both forward paths.
+    fn apply_into(&mut self, input: &Tensor, out: &mut Tensor) {
         let keep = 1.0 - self.rate;
         let (a, b) = self.affine();
-        let mut mult = Tensor::zeros(input.dims());
-        let mut out = input.clone();
-        for (o, m) in out.as_mut_slice().iter_mut().zip(mult.as_mut_slice()) {
+        let mut mult = match self.mask.take() {
+            Some(mut m) => {
+                m.reuse_as(input.dims());
+                m
+            }
+            None => Tensor::zeros(input.dims()),
+        };
+        for ((o, &x), m) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(input.as_slice())
+            .zip(mult.as_mut_slice())
+        {
             if self.rng.gen::<f32>() < keep {
                 *m = a;
-                *o = a * *o + b;
+                *o = a * x + b;
             } else {
                 *m = 0.0;
                 *o = a * ALPHA_PRIME + b;
             }
         }
         self.mask = Some(mult);
+    }
+}
+
+impl Layer for AlphaDropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.rate == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        // `apply_into` writes every element, so the buffer needs no copy.
+        let mut out = Tensor::zeros(input.dims());
+        self.apply_into(input, &mut out);
         out
     }
 
@@ -202,13 +267,34 @@ impl Layer for AlphaDropout {
             self.mask = None;
             return ws.take_copy(input, input.dims());
         }
-        self.forward(input, mode)
+        let mut out = ws.take_tensor(input.dims());
+        self.apply_into(input, &mut out);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match &self.mask {
             Some(mask) => grad_out.mul(mask),
             None => grad_out.clone(),
+        }
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        match &self.mask {
+            Some(mask) => {
+                assert_eq!(grad_out.dims(), mask.dims(), "alpha_dropout gradient shape");
+                let mut out = ws.take_tensor(grad_out.dims());
+                for ((o, &g), &m) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(grad_out.as_slice())
+                    .zip(mask.as_slice())
+                {
+                    *o = g * m;
+                }
+                out
+            }
+            None => ws.take_copy(grad_out, grad_out.dims()),
         }
     }
 

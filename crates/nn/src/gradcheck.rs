@@ -1,16 +1,20 @@
-//! Finite-difference gradient checking used throughout the test suite.
+//! Finite-difference gradient checking used throughout the test suite,
+//! plus the workspace-path equivalence check: `forward_ws`/`backward_ws`
+//! must be bit-identical to `forward`/`backward`.
 
 use tensor::Tensor;
 
-use crate::{Layer, Mode};
+use crate::{Layer, Mode, Workspace};
 
 /// Configurable finite-difference gradient checker.
 ///
 /// Checks the layer's input gradient (and optionally parameter gradients)
 /// against central differences of the scalar loss `L(x) = Σ forward(x)`.
 ///
-/// Only meaningful for layers that are deterministic in the chosen mode —
-/// check stochastic layers (dropout) with a frozen mask or in `Eval` mode.
+/// Only meaningful for layers that are deterministic in the chosen mode.
+/// Since eval-mode forwards skip the activation-cache refresh `backward`
+/// depends on, checks should run in `Train` mode (the default); stochastic
+/// layers (dropout) need a frozen mask.
 ///
 /// # Example
 ///
@@ -20,7 +24,7 @@ use crate::{Layer, Mode};
 ///
 /// let mut relu = Relu::new();
 /// let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
-/// let err = GradCheck::new().mode(Mode::Eval).max_input_error(&mut relu, &x);
+/// let err = GradCheck::new().mode(Mode::Train).max_input_error(&mut relu, &x);
 /// assert!(err < 1e-2);
 /// ```
 #[derive(Debug, Clone)]
@@ -131,6 +135,54 @@ fn set(layer: &mut dyn Layer, pi: usize, ei: usize, value: f32) {
 /// `Train` mode. See [`GradCheck`].
 pub fn numeric_gradient(layer: &mut dyn Layer, x: &Tensor, eps: f32) -> f32 {
     GradCheck::new().eps(eps).max_input_error(layer, x)
+}
+
+/// Counts the scalars where the workspace train step diverges bitwise from
+/// the allocating one: two replicas of `layer` (cloned via
+/// [`Layer::clone_box`], so RNG states match) run
+/// `forward`/`backward` and `forward_ws`/`backward_ws` on the same input,
+/// and the forward outputs, input gradients, and accumulated parameter
+/// gradients are compared bit for bit. Returns the number of differing
+/// scalars — `0` is the invariant every layer must uphold.
+///
+/// Two passes run through one shared [`Workspace`], so the second pass
+/// exercises recycled (stale-content) buffers.
+pub fn backward_ws_divergence(layer: &dyn Layer, x: &Tensor, mode: Mode) -> usize {
+    let mut reference = layer.clone_box();
+    let mut candidate = layer.clone_box();
+    let mut ws = Workspace::new();
+    let mut diverged = 0usize;
+    for _ in 0..2 {
+        let y_ref = reference.forward(x, mode);
+        let g_ref = reference.backward(&Tensor::ones(y_ref.dims()));
+        let y_ws = candidate.forward_ws(x, mode, &mut ws);
+        let seed = Tensor::ones(y_ws.dims());
+        let g_ws = candidate.backward_ws(&seed, &mut ws);
+        diverged += mismatches(&y_ref, &y_ws) + mismatches(&g_ref, &g_ws);
+        let mut ref_grads: Vec<Tensor> = Vec::new();
+        reference.visit_params(&mut |p| ref_grads.push(p.grad.clone()));
+        let mut i = 0;
+        candidate.visit_params(&mut |p| {
+            diverged += mismatches(&ref_grads[i], &p.grad);
+            i += 1;
+        });
+        ws.recycle(y_ws);
+        ws.recycle(g_ws);
+    }
+    diverged
+}
+
+/// Number of positions where two tensors differ bitwise (shape mismatch
+/// counts every element).
+fn mismatches(a: &Tensor, b: &Tensor) -> usize {
+    if a.dims() != b.dims() {
+        return a.len().max(b.len()).max(1);
+    }
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .filter(|(x, y)| x.to_bits() != y.to_bits())
+        .count()
 }
 
 #[cfg(test)]

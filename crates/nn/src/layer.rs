@@ -6,10 +6,13 @@ use crate::{Mode, Param, Workspace};
 
 /// A differentiable network component.
 ///
-/// `forward` caches activations; `backward` consumes them, accumulates
-/// parameter gradients, and returns the gradient with respect to the layer's
-/// input. Calling `backward` without a preceding `forward` on the same input
-/// is a programming error and panics.
+/// A training-mode `forward` caches activations; `backward` consumes them,
+/// accumulates parameter gradients, and returns the gradient with respect
+/// to the layer's input. Calling `backward` without a preceding
+/// training-mode `forward` on the same input is a programming error and
+/// panics. Evaluation-mode forwards skip the cache refresh entirely (the
+/// gradient tape is dead weight on the inference hot path), so `backward`
+/// after an eval-only forward is unsupported.
 ///
 /// The trait is object-safe: networks are built as `Vec<Box<dyn Layer>>`
 /// ([`Sequential`]).
@@ -26,13 +29,13 @@ pub trait Layer: Send {
     /// reuses it — after one warm-up pass, an eval-mode forward through
     /// layers that override this method performs zero heap allocations.
     ///
-    /// Two deliberate deviations from `forward`, both eval-only:
-    ///
-    /// * activation/input caches needed by `backward` are *not* refreshed
-    ///   (calling `backward` after an eval `forward_ws` is unsupported, as
-    ///   is calling it after any eval pass in spirit);
-    /// * `Mode::Train` falls back to plain `forward` in every override —
-    ///   training wants the caches, so there is nothing to save.
+    /// In `Mode::Eval`, activation/input caches needed by `backward` are
+    /// *not* refreshed (calling `backward` after an eval forward is
+    /// unsupported — see [`Layer::forward`]). In `Mode::Train`, overriding
+    /// layers refresh their caches **in place** into persistent per-layer
+    /// buffers (grown once, reused across steps), so a whole SGD step —
+    /// `forward_ws` + [`Layer::backward_ws`] + an in-place optimizer — is
+    /// allocation-free in the steady state.
     ///
     /// The default implementation ignores the workspace and calls
     /// `forward`, so layers without an override remain correct (just
@@ -49,6 +52,29 @@ pub trait Layer: Send {
     ///
     /// Panics if no forward pass has been run.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// [`Layer::backward`] drawing the gradient output (and internal
+    /// scratch: transposed-gemm temporaries, `col2im` images, bias-sum
+    /// accumulators) from a reusable [`Workspace`] instead of the
+    /// allocator.
+    ///
+    /// The returned gradient and the accumulated parameter gradients are
+    /// **bit-identical** to `backward(grad_out)`; only the provenance of
+    /// the buffers differs. Callers hand the result back via
+    /// [`Workspace::recycle`] once consumed — after one warm-up step, a
+    /// training step through layers that override both this method and the
+    /// train-mode [`Layer::forward_ws`] performs zero heap allocations.
+    ///
+    /// The default implementation ignores the workspace and calls
+    /// `backward`, so layers without an override remain correct (just
+    /// allocating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has been run.
+    fn backward_ws(&mut self, grad_out: &Tensor, _ws: &mut Workspace) -> Tensor {
+        self.backward(grad_out)
+    }
 
     /// Visits every trainable parameter in a stable order.
     ///
@@ -88,6 +114,33 @@ pub trait Layer: Send {
     }
 }
 
+/// Invalidates a persistent activation cache after an eval-mode forward:
+/// the buffer's capacity is retained (the next training step reuses it,
+/// still allocation-free), but its length drops to zero so a stray
+/// `backward` fails loudly instead of silently backpropagating through a
+/// stale tape from an earlier training step.
+pub(crate) fn invalidate_cache(slot: &mut Option<Tensor>) {
+    if let Some(t) = slot {
+        t.reuse_as(&[0]);
+    }
+}
+
+/// Refreshes a persistent activation cache in place: the slot's buffer is
+/// resized within its capacity (growing only to a new high-water mark) and
+/// overwritten with `src`, so steady-state training steps never allocate
+/// for the cache. A `None` slot is filled with a fresh copy once.
+pub(crate) fn cache_into(slot: &mut Option<Tensor>, src: &[f32], dims: &[usize]) {
+    match slot {
+        Some(t) => {
+            t.reuse_as(dims);
+            t.as_mut_slice().copy_from_slice(src);
+        }
+        None => {
+            *slot = Some(Tensor::from_vec(src.to_vec(), dims).expect("cache dims match source"));
+        }
+    }
+}
+
 /// The identity layer (useful as a residual shortcut or norm placeholder).
 ///
 /// # Example
@@ -121,6 +174,10 @@ impl Layer for Identity {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         grad_out.clone()
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        ws.take_copy(grad_out, grad_out.dims())
     }
 
     fn name(&self) -> &'static str {
@@ -235,6 +292,20 @@ impl Layer for Sequential {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(first) = layers.next() else {
+            return ws.take_copy(grad_out, grad_out.dims());
+        };
+        let mut g = first.backward_ws(grad_out, ws);
+        for layer in layers {
+            let g2 = layer.backward_ws(&g, ws);
+            ws.recycle(g);
+            g = g2;
         }
         g
     }

@@ -3,6 +3,8 @@
 
 use tensor::Tensor;
 
+use crate::Workspace;
+
 /// Value and input gradient of a loss evaluation.
 #[derive(Debug, Clone)]
 pub struct LossOutput {
@@ -35,20 +37,61 @@ pub struct LossOutput {
 /// # Ok::<(), tensor::TensorError>(())
 /// ```
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let grad = logits.clone();
+    softmax_cross_entropy_impl(grad, labels)
+}
+
+/// [`softmax_cross_entropy`] drawing the gradient buffer from a reusable
+/// [`Workspace`] instead of the allocator.
+///
+/// Loss and gradient are **bit-identical** to the allocating variant (one
+/// shared kernel); only the buffer provenance differs. Callers hand the
+/// gradient back via [`Workspace::recycle`] once `backward` has consumed
+/// it, making the whole training step allocation-free in the steady state.
+///
+/// # Panics
+///
+/// Panics like [`softmax_cross_entropy`].
+pub fn softmax_cross_entropy_ws(
+    logits: &Tensor,
+    labels: &[usize],
+    ws: &mut Workspace,
+) -> LossOutput {
+    let grad = ws.take_copy(logits, logits.dims());
+    softmax_cross_entropy_impl(grad, labels)
+}
+
+/// Shared kernel: `grad` arrives holding a copy of the logits and is
+/// transformed in place into `(softmax(logits) − onehot(labels))/N`.
+fn softmax_cross_entropy_impl(mut grad: Tensor, labels: &[usize]) -> LossOutput {
     assert_eq!(
-        logits.rank(),
+        grad.rank(),
         2,
         "softmax_cross_entropy expects [N, C] logits"
     );
-    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let (n, c) = (grad.dims()[0], grad.dims()[1]);
     assert_eq!(labels.len(), n, "label count must equal batch size");
-    let probs = logits.softmax_rows();
+    // Row-wise softmax in place — the same per-row arithmetic as
+    // `Tensor::softmax_rows` (max-shift, exp, normalize).
+    for r in 0..n {
+        let row = grad.row_mut(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        if z > 0.0 {
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+    }
     let mut loss = 0.0f32;
-    let mut grad = probs.clone();
     let inv_n = 1.0 / n as f32;
     for (i, &label) in labels.iter().enumerate() {
         assert!(label < c, "label {label} out of range for {c} classes");
-        let p = probs.at(&[i, label]).max(1e-12);
+        let p = grad.at(&[i, label]).max(1e-12);
         loss -= p.ln();
         *grad.at_mut(&[i, label]) -= 1.0;
     }
@@ -136,6 +179,28 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_label_panics() {
         let _ = softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+
+    #[test]
+    fn ws_variant_is_bit_identical_and_recyclable() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.9, -0.7, 0.3], &[2, 3]).unwrap();
+        let labels = [1usize, 2];
+        let reference = softmax_cross_entropy(&logits, &labels);
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            // Second pass runs on a recycled (stale-content) buffer.
+            let out = softmax_cross_entropy_ws(&logits, &labels, &mut ws);
+            assert_eq!(out.loss.to_bits(), reference.loss.to_bits());
+            let same = out
+                .grad
+                .as_slice()
+                .iter()
+                .zip(reference.grad.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "workspace gradient diverged");
+            ws.recycle(out.grad);
+        }
+        assert_eq!(ws.pooled_buffers(), 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use serde::{Deserialize, Serialize};
 use tensor::Tensor;
 
-use crate::{Layer, Mode, Param, ParamKind};
+use crate::{Layer, Mode, Param, ParamKind, Workspace};
 
 const EPS: f32 = 1e-5;
 
@@ -184,21 +184,40 @@ fn normalize(
     )
 }
 
-/// Backward pass of group-wise normalization: given `ĝ = g·γ` it returns
+/// Persistent per-layer scratch for the backward group statistics (grown
+/// once, reused across steps — part of the allocation-free training path).
+#[derive(Debug, Clone, Default)]
+struct NormScratch {
+    mean_g: Vec<f64>,
+    mean_gx: Vec<f64>,
+}
+
+impl NormScratch {
+    /// Zeroed accumulators of length `n_groups`, reusing prior capacity.
+    fn reset(&mut self, n_groups: usize) {
+        self.mean_g.clear();
+        self.mean_g.resize(n_groups, 0.0);
+        self.mean_gx.clear();
+        self.mean_gx.resize(n_groups, 0.0);
+    }
+}
+
+/// Backward pass of group-wise normalization, computed **in place** over
+/// `ĝ = g·γ`: on return each element holds
 /// `dx_i = inv_std_g · (ĝ_i − mean_G(ĝ) − x̂_i · mean_G(ĝ·x̂))`.
 fn normalize_backward(
-    ghat: &Tensor,
+    ghat: &mut Tensor,
     cache: &NormCache,
     n_groups: usize,
     group_of: impl Fn(usize, usize) -> usize,
-) -> Tensor {
+    scratch: &mut NormScratch,
+) {
     let lay = NormLayout {
         n: cache.lay_n,
         c: cache.lay_c,
         s: cache.lay_s,
     };
-    let mut mean_g = vec![0.0f64; n_groups];
-    let mut mean_gx = vec![0.0f64; n_groups];
+    scratch.reset(n_groups);
     for (i, (&g, &xh)) in ghat
         .as_slice()
         .iter()
@@ -207,22 +226,22 @@ fn normalize_backward(
     {
         let (n, c) = coords(i, &lay);
         let grp = group_of(n, c);
-        mean_g[grp] += g as f64;
-        mean_gx[grp] += (g * xh) as f64;
+        scratch.mean_g[grp] += g as f64;
+        scratch.mean_gx[grp] += (g * xh) as f64;
     }
     let m = cache.group_size as f64;
     for grp in 0..n_groups {
-        mean_g[grp] /= m;
-        mean_gx[grp] /= m;
+        scratch.mean_g[grp] /= m;
+        scratch.mean_gx[grp] /= m;
     }
-    let mut dx = ghat.clone();
-    for (i, v) in dx.as_mut_slice().iter_mut().enumerate() {
+    for (i, v) in ghat.as_mut_slice().iter_mut().enumerate() {
         let (n, c) = coords(i, &lay);
         let grp = group_of(n, c);
         *v = cache.inv_std[grp]
-            * (*v - mean_g[grp] as f32 - cache.xhat.as_slice()[i] * mean_gx[grp] as f32);
+            * (*v
+                - scratch.mean_g[grp] as f32
+                - cache.xhat.as_slice()[i] * scratch.mean_gx[grp] as f32);
     }
-    dx
 }
 
 /// Applies the per-channel affine `γ·x̂ + β` and accumulates `dγ`, `dβ` on
@@ -272,6 +291,7 @@ pub struct BatchNorm {
     running_var: Vec<f32>,
     momentum: f32,
     cache: Option<NormCache>,
+    scratch: NormScratch,
 }
 
 impl BatchNorm {
@@ -285,12 +305,34 @@ impl BatchNorm {
             running_var: vec![1.0; num_features],
             momentum: 0.1,
             cache: None,
+            scratch: NormScratch::default(),
         }
     }
 
     /// Running mean estimates (testing/inspection hook).
     pub fn running_mean(&self) -> &[f32] {
         &self.running_mean
+    }
+
+    /// Shared backward kernel: transforms `ĝ` (initially the output
+    /// gradient) into the input gradient in place, accumulating `dγ`/`dβ`.
+    fn backward_into(&mut self, ghat: &mut Tensor) {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward called before training-mode forward on batch_norm");
+        let lay = NormLayout {
+            n: cache.lay_n,
+            c: cache.lay_c,
+            s: cache.lay_s,
+        };
+        for (i, v) in ghat.as_mut_slice().iter_mut().enumerate() {
+            let (_, c) = coords(i, &lay);
+            self.gamma.grad.as_mut_slice()[c] += *v * cache.xhat.as_slice()[i];
+            self.beta.grad.as_mut_slice()[c] += *v;
+            *v *= self.gamma.value.as_slice()[c];
+        }
+        normalize_backward(ghat, cache, lay.c, |_, c| c, &mut self.scratch);
     }
 }
 
@@ -342,23 +384,15 @@ impl Layer for BatchNorm {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("backward called before training-mode forward on batch_norm");
-        let lay = NormLayout {
-            n: cache.lay_n,
-            c: cache.lay_c,
-            s: cache.lay_s,
-        };
         let mut ghat = grad_out.clone();
-        for (i, v) in ghat.as_mut_slice().iter_mut().enumerate() {
-            let (_, c) = coords(i, &lay);
-            self.gamma.grad.as_mut_slice()[c] += *v * cache.xhat.as_slice()[i];
-            self.beta.grad.as_mut_slice()[c] += *v;
-            *v *= self.gamma.value.as_slice()[c];
-        }
-        normalize_backward(&ghat, cache, lay.c, |_, c| c)
+        self.backward_into(&mut ghat);
+        ghat
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut ghat = ws.take_copy(grad_out, grad_out.dims());
+        self.backward_into(&mut ghat);
+        ghat
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -393,9 +427,37 @@ macro_rules! sample_group_norm {
             gamma: Param,
             beta: Param,
             cache: Option<NormCache>,
+            scratch: NormScratch,
         }
 
         norm_common_impl!($ty);
+
+        impl $ty {
+            /// Shared backward kernel: transforms `ĝ` (initially the output
+            /// gradient) into the input gradient in place, accumulating
+            /// `dγ`/`dβ`.
+            fn backward_into(&mut self, ghat: &mut Tensor) {
+                let cache = self
+                    .cache
+                    .as_ref()
+                    .expect(concat!("backward called before forward on ", $tag));
+                let lay = NormLayout {
+                    n: cache.lay_n,
+                    c: cache.lay_c,
+                    s: cache.lay_s,
+                };
+                let groups = self.groups;
+                let n_groups = ($n_groups)(&lay, groups);
+                let gof = ($group_of)(lay, groups);
+                for (i, v) in ghat.as_mut_slice().iter_mut().enumerate() {
+                    let (_, c) = coords(i, &lay);
+                    self.gamma.grad.as_mut_slice()[c] += *v * cache.xhat.as_slice()[i];
+                    self.beta.grad.as_mut_slice()[c] += *v;
+                    *v *= self.gamma.value.as_slice()[c];
+                }
+                normalize_backward(ghat, cache, n_groups, &gof, &mut self.scratch);
+            }
+        }
 
         impl Layer for $ty {
             fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
@@ -410,26 +472,15 @@ macro_rules! sample_group_norm {
             }
 
             fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-                let cache = self
-                    .cache
-                    .as_ref()
-                    .expect(concat!("backward called before forward on ", $tag));
-                let lay = NormLayout {
-                    n: cache.lay_n,
-                    c: cache.lay_c,
-                    s: cache.lay_s,
-                };
-                let groups = self.groups;
-                let n_groups = ($n_groups)(&lay, groups);
-                let gof = ($group_of)(lay, groups);
                 let mut ghat = grad_out.clone();
-                for (i, v) in ghat.as_mut_slice().iter_mut().enumerate() {
-                    let (_, c) = coords(i, &lay);
-                    self.gamma.grad.as_mut_slice()[c] += *v * cache.xhat.as_slice()[i];
-                    self.beta.grad.as_mut_slice()[c] += *v;
-                    *v *= self.gamma.value.as_slice()[c];
-                }
-                normalize_backward(&ghat, cache, n_groups, &gof)
+                self.backward_into(&mut ghat);
+                ghat
+            }
+
+            fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+                let mut ghat = ws.take_copy(grad_out, grad_out.dims());
+                self.backward_into(&mut ghat);
+                ghat
             }
 
             fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -473,6 +524,7 @@ impl LayerNorm {
             gamma: Param::new(Tensor::ones(&[num_features]), ParamKind::NormGain),
             beta: Param::new(Tensor::zeros(&[num_features]), ParamKind::NormBias),
             cache: None,
+            scratch: NormScratch::default(),
         }
     }
 }
@@ -501,6 +553,7 @@ impl InstanceNorm {
             gamma: Param::new(Tensor::ones(&[num_features]), ParamKind::NormGain),
             beta: Param::new(Tensor::zeros(&[num_features]), ParamKind::NormBias),
             cache: None,
+            scratch: NormScratch::default(),
         }
     }
 }
@@ -534,6 +587,7 @@ impl GroupNorm {
             gamma: Param::new(Tensor::ones(&[num_features]), ParamKind::NormGain),
             beta: Param::new(Tensor::zeros(&[num_features]), ParamKind::NormBias),
             cache: None,
+            scratch: NormScratch::default(),
         }
     }
 }

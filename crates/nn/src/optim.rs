@@ -111,22 +111,25 @@ impl Optimizer for Sgd {
         let wd = self.weight_decay;
         let velocity = &mut self.velocity;
         let mut idx = 0usize;
+        // Strictly in place: weight decay folds into the gradient buffer,
+        // the update reads the gradient directly (split field borrows, no
+        // temporaries), and `zero_grad` reuses the gradient buffer — the
+        // only allocations are the one-time velocity buffers.
         network.visit_params(&mut |p: &mut Param| {
-            if wd > 0.0 && p.kind == ParamKind::Weight {
-                let decay = p.value.scale(wd);
-                p.grad.add_assign(&decay);
+            let Param { value, grad, kind } = p;
+            if wd > 0.0 && *kind == ParamKind::Weight {
+                grad.add_scaled(value, wd);
             }
             if beta > 0.0 {
                 if velocity.len() <= idx {
-                    velocity.push(Tensor::zeros(p.value.dims()));
+                    velocity.push(Tensor::zeros(value.dims()));
                 }
                 let v = &mut velocity[idx];
                 v.scale_inplace(beta);
-                v.add_assign(&p.grad);
-                p.value.add_scaled(v, -lr);
+                v.add_assign(grad);
+                value.add_scaled(v, -lr);
             } else {
-                let g = p.grad.clone();
-                p.value.add_scaled(&g, -lr);
+                value.add_scaled(grad, -lr);
             }
             p.zero_grad();
             idx += 1;

@@ -97,6 +97,19 @@ impl Layer for Residual {
         g_main.add(&g_short)
     }
 
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut g_main = self.main.backward_ws(grad_out, ws);
+        match &mut self.shortcut {
+            Some(s) => {
+                let g_short = s.backward_ws(grad_out, ws);
+                g_main.add_assign(&g_short);
+                ws.recycle(g_short);
+            }
+            None => g_main.add_assign(grad_out),
+        }
+        g_main
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.main.visit_params(f);
         if let Some(s) = &mut self.shortcut {
@@ -163,6 +176,10 @@ impl Layer for PreActBlock {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         self.inner.backward(grad_out)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.inner.backward_ws(grad_out, ws)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -22,6 +22,9 @@ pub enum CampaignError {
     Engine(BayesFtError),
     /// Reading or writing the result store failed.
     Io(String),
+    /// The result store's advisory writer lock is held by someone else and
+    /// was not released within the bounded wait.
+    Locked(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -31,6 +34,7 @@ impl fmt::Display for CampaignError {
             CampaignError::Fault(e) => write!(f, "fault spec: {e}"),
             CampaignError::Engine(e) => write!(f, "engine: {e}"),
             CampaignError::Io(msg) => write!(f, "result store: {msg}"),
+            CampaignError::Locked(msg) => write!(f, "result store lock: {msg}"),
         }
     }
 }

@@ -56,4 +56,4 @@ mod store;
 pub use error::CampaignError;
 pub use runner::{CampaignReport, CampaignRunner, ScenarioOutcome, ScenarioRun};
 pub use scenario::{Campaign, Scenario, SpaceKind, TaskKind};
-pub use store::{CompactionSummary, CompareGroup, ResultStore, StoredRecord};
+pub use store::{CompactionSummary, CompareGroup, ResultStore, StoreLock, StoredRecord};

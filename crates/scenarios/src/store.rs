@@ -12,10 +12,17 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
 use crate::{CampaignError, ScenarioOutcome};
+
+/// Poll interval while waiting on a contended store lock.
+const LOCK_RETRY: Duration = Duration::from_millis(10);
+/// How long the internal writers ([`ResultStore::append`],
+/// [`ResultStore::compact`]) wait for the advisory lock before giving up.
+const LOCK_WAIT: Duration = Duration::from_secs(5);
 
 /// Top-level record fields that are measurements of a particular run, not
 /// deterministic results; [`ResultStore::compact`] strips them so serial,
@@ -116,6 +123,38 @@ pub struct CompareGroup {
     pub compute_wall_ms: f64,
 }
 
+/// An advisory, flock-style lock on a [`ResultStore`], held as long as the
+/// guard lives.
+///
+/// The lock is an OS advisory lock on a sibling file (`<store>.lock`), so
+/// two processes cannot both own it; dropping the guard — or the owning
+/// process dying, however abruptly — releases it, so a crashed writer can
+/// never leave the store wedged. [`ResultStore::append`] and
+/// [`ResultStore::compact`] take it internally around their critical
+/// sections, which is what keeps two concurrent writer processes from
+/// interleaving a compaction rename with appends. The lock file itself
+/// persists on disk (removing it would race a waiter locking the old
+/// inode) and records the current holder's PID for diagnostics.
+#[derive(Debug)]
+pub struct StoreLock {
+    /// Keeps the OS lock alive; closing the file releases it.
+    file: File,
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = self.file.unlock();
+    }
+}
+
 impl ResultStore {
     /// Points the store at `path`; no I/O happens until the first
     /// [`ResultStore::append`] or [`ResultStore::load`].
@@ -128,23 +167,112 @@ impl ResultStore {
         &self.path
     }
 
+    /// The advisory lock file's path: `<store>.lock` beside the store.
+    pub fn lock_path(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".lock");
+        PathBuf::from(os)
+    }
+
+    /// Attempts to take the advisory writer lock without waiting. Returns
+    /// `Ok(None)` when another holder owns it.
+    ///
+    /// The lock is a kernel advisory lock on the lock file, not the file's
+    /// existence: a leftover `<store>.lock` from a dead process is simply
+    /// re-locked, so crashes cannot wedge the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] on filesystem failures.
+    pub fn try_lock(&self) -> Result<Option<StoreLock>, CampaignError> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let path = self.lock_path();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => {
+                // Record the holder so a contended lock is diagnosable; the
+                // tag is best-effort (the kernel lock, not the content, is
+                // the mutual-exclusion mechanism — no fsync needed).
+                let _ = file.set_len(0);
+                let _ = write!(file, "{}", std::process::id());
+                Ok(Some(StoreLock { file, path }))
+            }
+            Err(std::fs::TryLockError::WouldBlock) => Ok(None),
+            Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+        }
+    }
+
+    /// Takes the advisory writer lock, waiting up to `max_wait` for a
+    /// current holder to release it.
+    ///
+    /// While the returned guard lives, every other writer — including this
+    /// store's own [`ResultStore::append`]/[`ResultStore::compact`] calls
+    /// from other handles or processes — blocks and then fails, so hold it
+    /// only around externally-coordinated critical sections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Locked`] when the lock is still held after
+    /// `max_wait` (only a live process can hold it — the kernel releases a
+    /// dead holder's lock), and [`CampaignError::Io`] on filesystem
+    /// failures.
+    pub fn lock_waiting(&self, max_wait: Duration) -> Result<StoreLock, CampaignError> {
+        let deadline = Instant::now() + max_wait;
+        loop {
+            if let Some(guard) = self.try_lock()? {
+                return Ok(guard);
+            }
+            if Instant::now() >= deadline {
+                let holder = fs::read_to_string(self.lock_path()).unwrap_or_default();
+                return Err(CampaignError::Locked(format!(
+                    "{}: lock held{} after waiting {:.1}s",
+                    self.lock_path().display(),
+                    if holder.trim().is_empty() {
+                        String::new()
+                    } else {
+                        format!(" by pid {}", holder.trim())
+                    },
+                    max_wait.as_secs_f64(),
+                )));
+            }
+            std::thread::sleep(LOCK_RETRY);
+        }
+    }
+
+    /// [`ResultStore::lock_waiting`] with the writers' default patience.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResultStore::lock_waiting`].
+    pub fn lock(&self) -> Result<StoreLock, CampaignError> {
+        self.lock_waiting(LOCK_WAIT)
+    }
+
     /// Appends one scenario outcome as a JSONL line, creating the file
     /// (and parent directories) on first use.
     ///
     /// The full line (record + newline) goes down in a single `write`
     /// followed by an fsync, so a crash can lose or truncate at most the
     /// line being written — the exact artifact [`ResultStore::load`]
-    /// tolerates.
+    /// tolerates. The advisory store lock is held for the duration of the
+    /// write, so an append from one process can never interleave with
+    /// another process's compaction rename.
     ///
     /// # Errors
     ///
-    /// Returns [`CampaignError::Io`] on filesystem failures.
+    /// Returns [`CampaignError::Io`] on filesystem failures and
+    /// [`CampaignError::Locked`] if another writer holds the store lock
+    /// past the bounded wait.
     pub fn append(&self, campaign: &str, outcome: &ScenarioOutcome) -> Result<(), CampaignError> {
-        if let Some(parent) = self.path.parent() {
-            if !parent.as_os_str().is_empty() {
-                fs::create_dir_all(parent)?;
-            }
-        }
+        let _lock = self.lock()?;
         let mut line = Value::object();
         line.insert("campaign", campaign);
         line.insert("scenario", outcome.scenario.name.as_str());
@@ -263,12 +391,17 @@ impl ResultStore {
     /// mid-append leaves behind (bytes after the last newline) — so
     /// subsequent appends start on a fresh line instead of concatenating
     /// onto garbage. Returns a description of the dropped fragment, or
-    /// `None` if the store was already clean (or absent).
+    /// `None` if the store was already clean (or absent). Holds the
+    /// advisory store lock across the read-and-truncate, so the offset is
+    /// never applied to a file another process rewrote in between.
     ///
     /// # Errors
     ///
-    /// Returns [`CampaignError::Io`] on filesystem failures.
+    /// Returns [`CampaignError::Io`] on filesystem failures and
+    /// [`CampaignError::Locked`] if another writer holds the store lock
+    /// past the bounded wait.
     pub fn drop_partial_tail(&self) -> Result<Option<String>, CampaignError> {
+        let _lock = self.lock()?;
         let bytes = match fs::read(&self.path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -305,13 +438,19 @@ impl ResultStore {
     ///
     /// The rewrite is atomic: a temporary file in the same directory is
     /// fully written and fsynced, then renamed over the original. A crash
-    /// mid-compaction leaves the original store untouched.
+    /// mid-compaction leaves the original store untouched. The advisory
+    /// store lock is held from the read to the rename, so a concurrent
+    /// writer process can neither append between them (the append would be
+    /// silently dropped by the rename) nor race a second compaction.
     ///
     /// # Errors
     ///
-    /// Propagates [`ResultStore::load_lenient`] errors and
-    /// [`CampaignError::Io`] on filesystem failures.
+    /// Propagates [`ResultStore::load_lenient`] errors, and returns
+    /// [`CampaignError::Io`] on filesystem failures and
+    /// [`CampaignError::Locked`] if another writer holds the store lock
+    /// past the bounded wait.
     pub fn compact(&self) -> Result<CompactionSummary, CampaignError> {
+        let _lock = self.lock()?;
         if !self.path.exists() {
             return Ok(CompactionSummary::default());
         }

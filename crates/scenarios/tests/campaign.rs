@@ -336,3 +336,49 @@ fn the_example_campaign_file_parses_and_clamps() {
         assert!(quick.trials <= 3 && quick.mc_samples <= 2);
     }
 }
+
+/// A stored record whose `best_objective`/`best_alpha` serialized as JSON
+/// `null` (a diverged, NaN-reporting run) must replay under resume instead
+/// of recomputing with a warning — `RunReport::from_json` reads `null`
+/// back as NaN.
+#[test]
+fn nan_records_replay_under_resume() {
+    let campaign = Campaign::new("nan-replay", vec![tiny("only", &["lognormal:0.4"], 5)]);
+    let store = temp_store("nan-resume");
+    CampaignRunner::new()
+        .run_campaign_report(&campaign, Some(&store))
+        .unwrap();
+
+    // Rewrite the stored report as a diverged run: objective and one α
+    // coordinate become JSON null (how the serializer encodes NaN).
+    let text = std::fs::read_to_string(store.path()).unwrap();
+    let mut value: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+    let report = value.get_mut("report").unwrap();
+    report.insert("best_objective", serde_json::Value::Null);
+    report.insert(
+        "best_alpha",
+        serde_json::Value::Array(vec![serde_json::Value::Null]),
+    );
+    std::fs::write(store.path(), format!("{}\n", serde_json::to_string(&value))).unwrap();
+
+    let mut runner = CampaignRunner::new().resume_from(&store).unwrap();
+    assert_eq!(
+        runner.resumable_runs(),
+        1,
+        "the NaN record must be replayable"
+    );
+    let report = runner.run_campaign_report(&campaign, None).unwrap();
+    assert!(
+        report
+            .warnings
+            .iter()
+            .all(|w| !w.contains("cannot be replayed")),
+        "NaN records must not warn-and-recompute: {:?}",
+        report.warnings
+    );
+    let outcome = report.runs[0].result.as_ref().unwrap();
+    assert!(outcome.from_store, "served from the store, not recomputed");
+    assert!(outcome.report.best_objective.is_nan());
+    assert!(outcome.report.best_alpha[0].is_nan());
+    let _ = std::fs::remove_file(store.path());
+}

@@ -247,3 +247,71 @@ fn compare_reports_real_compute_cost_across_cache_hits() {
     );
     let _ = fs::remove_file(store.path());
 }
+
+#[test]
+fn held_lock_blocks_a_second_writer() {
+    let store = ResultStore::open(temp_path("lock"));
+    let _ = fs::remove_file(store.path());
+    let _ = fs::remove_file(store.lock_path());
+    fs::write(
+        store.path(),
+        format!("{}\n", line("aaaa", 1, "s0", 0.5, 1.0)),
+    )
+    .unwrap();
+
+    // First writer takes the advisory lock…
+    let guard = store.lock().expect("uncontended lock");
+    assert!(
+        store.lock_path().exists(),
+        "lock file sits beside the store"
+    );
+
+    // …so a second handle (as another process would) cannot acquire it,
+    // and its compaction fails after the bounded wait instead of racing
+    // the holder's writes.
+    let second = ResultStore::open(store.path());
+    assert!(
+        second.try_lock().unwrap().is_none(),
+        "lock must be exclusive"
+    );
+    let err = second
+        .lock_waiting(std::time::Duration::from_millis(50))
+        .unwrap_err();
+    assert!(
+        matches!(err, scenarios::CampaignError::Locked(_)),
+        "expected Locked, got {err:?}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains(".lock"), "error names the lock file: {msg}");
+    assert!(
+        msg.contains(&format!("pid {}", std::process::id())),
+        "error names the holder: {msg}"
+    );
+
+    // Releasing the guard unblocks the second writer.
+    drop(guard);
+    let summary = second.compact().expect("lock released, compaction runs");
+    assert_eq!(summary.kept, 1);
+    let _ = fs::remove_file(store.path());
+    let _ = fs::remove_file(store.lock_path());
+}
+
+#[test]
+fn leftover_lock_file_from_dead_holder_does_not_wedge_the_store() {
+    // The mutual exclusion is a kernel advisory lock, not the lock file's
+    // existence: a file left behind by a crashed (or long-gone) holder is
+    // simply re-locked, so crash recovery never needs manual cleanup.
+    let store = ResultStore::open(temp_path("stale-lock"));
+    let _ = fs::remove_file(store.lock_path());
+    fs::write(store.lock_path(), "424242").unwrap(); // nobody holds this
+    let guard = store
+        .lock_waiting(std::time::Duration::from_millis(30))
+        .expect("an unheld lock file must be acquirable");
+    // The new holder re-tags the file with its own PID.
+    assert_eq!(
+        fs::read_to_string(store.lock_path()).unwrap().trim(),
+        std::process::id().to_string()
+    );
+    drop(guard);
+    let _ = fs::remove_file(store.lock_path());
+}

@@ -160,10 +160,38 @@ pub fn col2im(col: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
         &[spec.patch_len(), oh * ow],
         "col2im shape mismatch"
     );
-    let k = spec.kernel;
     let mut image = Tensor::zeros(&[spec.in_channels, h, w]);
-    let src = col.as_slice();
-    let dst = image.as_mut_slice();
+    col2im_into(col.as_slice(), image.as_mut_slice(), spec, h, w);
+    image
+}
+
+/// [`col2im`] on raw slices, writing into a caller-provided buffer.
+///
+/// `src` is one `[C·kh·kw, OH·OW]` patch-gradient matrix; `dst` (`C·h·w`
+/// elements) is zeroed and then scatter-accumulated into, so recycled
+/// scratch buffers can be passed directly. This is the single scatter
+/// implementation behind the allocating wrapper, so the two stay
+/// bit-identical by construction — the convolution backward hot path uses
+/// it to write each sample's image gradient straight into its segment of
+/// the batch gradient tensor.
+///
+/// # Panics
+///
+/// Panics if either slice length disagrees with the geometry.
+pub fn col2im_into(src: &[f32], dst: &mut [f32], spec: &Conv2dSpec, h: usize, w: usize) {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    assert_eq!(
+        src.len(),
+        spec.patch_len() * oh * ow,
+        "col2im_into patch matrix length mismatch"
+    );
+    assert_eq!(
+        dst.len(),
+        spec.in_channels * h * w,
+        "col2im_into image length mismatch"
+    );
+    dst.fill(0.0);
     let ncols = oh * ow;
     for c in 0..spec.in_channels {
         for ky in 0..k {
@@ -186,7 +214,6 @@ pub fn col2im(col: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
             }
         }
     }
-    image
 }
 
 #[cfg(test)]
@@ -239,6 +266,24 @@ mod tests {
         // Only the center tap sees the pixel.
         assert_eq!(col.at(&[4, 0]), 1.0);
         assert_eq!(col.sum(), 1.0);
+    }
+
+    #[test]
+    fn col2im_into_fully_overwrites_recycled_buffers() {
+        let spec = Conv2dSpec::new(2, 1, 3, 2, 1);
+        let (h, w) = (5, 4);
+        let (oh, ow) = spec.output_hw(h, w);
+        let col = Tensor::from_vec(
+            (0..spec.patch_len() * oh * ow)
+                .map(|i| (i as f32 * 0.23).sin())
+                .collect(),
+            &[spec.patch_len(), oh * ow],
+        )
+        .unwrap();
+        let reference = col2im(&col, &spec, h, w);
+        let mut dst = vec![f32::NAN; 2 * h * w]; // stale garbage must vanish
+        col2im_into(col.as_slice(), &mut dst, &spec, h, w);
+        assert_eq!(dst, reference.as_slice());
     }
 
     #[test]

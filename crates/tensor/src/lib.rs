@@ -38,12 +38,12 @@ mod pool;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, im2col_into, Conv2dSpec};
+pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dSpec};
 pub use error::TensorError;
 pub use linalg::{gemm_into, gemm_nt_into, gemm_tn_into, outer, Matmul};
 pub use pool::{
-    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, max_pool2d, max_pool2d_backward,
-    max_pool2d_into, Pool2dSpec,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_backward_into, avg_pool2d_into, max_pool2d,
+    max_pool2d_backward, max_pool2d_into, Pool2dSpec,
 };
 pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;

@@ -232,24 +232,56 @@ pub fn avg_pool2d_backward(grad_out: &Tensor, spec: &Pool2dSpec, input_dims: &[u
     let (oh, ow) = spec.output_hw(h, w);
     assert_eq!(grad_out.dims(), &[c, oh, ow], "gradient shape mismatch");
     let mut grad_in = Tensor::zeros(input_dims);
+    avg_pool2d_backward_into(grad_out.as_slice(), grad_in.as_mut_slice(), spec, c, h, w);
+    grad_in
+}
+
+/// [`avg_pool2d_backward`] on raw slices, writing into a caller-provided
+/// buffer.
+///
+/// `src` is one `[C, OH, OW]` output gradient; `dst` (`C·h·w` elements) is
+/// zeroed and then accumulated into, so recycled scratch buffers can be
+/// passed directly. Single spread implementation shared with the allocating
+/// wrapper — see [`max_pool2d_into`] for the rationale.
+///
+/// # Panics
+///
+/// Panics if either slice length disagrees with the geometry.
+pub fn avg_pool2d_backward_into(
+    src: &[f32],
+    dst: &mut [f32],
+    spec: &Pool2dSpec,
+    c: usize,
+    h: usize,
+    w: usize,
+) {
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(
+        src.len(),
+        c * oh * ow,
+        "avg_pool2d_backward_into gradient length mismatch"
+    );
+    assert_eq!(
+        dst.len(),
+        c * h * w,
+        "avg_pool2d_backward_into output length mismatch"
+    );
+    dst.fill(0.0);
     let norm = 1.0 / (spec.window * spec.window) as f32;
-    let go = grad_out.as_slice();
-    let gi = grad_in.as_mut_slice();
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
-                let g = go[(ch * oh + oy) * ow + ox] * norm;
+                let g = src[(ch * oh + oy) * ow + ox] * norm;
                 for ky in 0..spec.window {
                     for kx in 0..spec.window {
                         let iy = oy * spec.stride + ky;
                         let ix = ox * spec.stride + kx;
-                        gi[(ch * h + iy) * w + ix] += g;
+                        dst[(ch * h + iy) * w + ix] += g;
                     }
                 }
             }
         }
     }
-    grad_in
 }
 
 #[cfg(test)]
@@ -292,6 +324,16 @@ mod tests {
         let grad_out = Tensor::from_vec(vec![8.0], &[1, 1, 1]).unwrap();
         let grad_in = avg_pool2d_backward(&grad_out, &Pool2dSpec::new(2, 2), &[1, 2, 2]);
         assert_eq!(grad_in.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_into_fully_overwrites_recycled_buffers() {
+        let spec = Pool2dSpec::new(2, 2);
+        let go = Tensor::from_vec((0..8).map(|v| v as f32 * 0.5).collect(), &[2, 2, 2]).unwrap();
+        let reference = avg_pool2d_backward(&go, &spec, &[2, 4, 4]);
+        let mut dst = vec![f32::NAN; 2 * 4 * 4]; // stale garbage must vanish
+        avg_pool2d_backward_into(go.as_slice(), &mut dst, &spec, 2, 4, 4);
+        assert_eq!(dst, reference.as_slice());
     }
 
     #[test]

@@ -170,6 +170,20 @@ impl Tensor {
         })
     }
 
+    /// Re-purposes the tensor as a buffer of shape `dims`, resizing the
+    /// underlying storage in place. Existing capacity is reused: shrinking
+    /// never deallocates and growing back within capacity never allocates,
+    /// so a tensor serving as a persistent cache (e.g. a layer's activation
+    /// buffer) grows once to its high-water mark and then stays
+    /// allocation-free across steps. Grown elements are zero; retained
+    /// elements keep their previous values — callers that need defined
+    /// contents must overwrite them.
+    pub fn reuse_as(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        self.data.resize(shape.len(), 0.0);
+        self.shape = shape;
+    }
+
     /// Reshapes in place (same element count).
     ///
     /// # Errors
@@ -285,6 +299,16 @@ mod tests {
                 actual: 5
             }
         );
+    }
+
+    #[test]
+    fn reuse_as_keeps_capacity() {
+        let mut t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        t.reuse_as(&[2, 2]); // shrink: capacity retained, prefix kept
+        assert_eq!(t.dims(), &[2, 2]);
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        t.reuse_as(&[6]); // grow back within capacity: prefix kept, rest zero
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Asserts the training hot path is allocation-free in the steady state:
+//! once per-layer caches, the workspace pool, and optimizer state are warm,
+//! a full SGD step — workspace forward, pooled loss gradient, workspace
+//! backward, in-place optimizer update — performs **zero** heap
+//! allocations, and whole epochs allocate nothing beyond that (allocation
+//! count independent of epoch count).
+//!
+//! This binary runs without the libtest harness (`harness = false`):
+//! everything executes on the main thread, so the process-wide allocation
+//! counters see no concurrent harness activity (libtest's waiting main
+//! thread allocates channel wakeups mid-window otherwise).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use baselines::train_step;
+use models::{set_dropout_rates, LeNet5, Mlp, MlpConfig};
+use nn::{Layer, Optimizer, Sgd, Workspace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tensor::Tensor;
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocs() -> (u64, u64) {
+    (ALLOCS.load(Ordering::SeqCst), BYTES.load(Ordering::SeqCst))
+}
+
+/// One epoch over prepared batches through the shared workspace train step.
+fn epoch(
+    net: &mut dyn Layer,
+    batches: &[(Tensor, Vec<usize>)],
+    opt: &mut dyn Optimizer,
+    ws: &mut Workspace,
+) -> f32 {
+    let mut loss = 0.0;
+    for (x, labels) in batches {
+        loss += train_step(net, x, labels, opt, ws);
+    }
+    loss
+}
+
+fn main() {
+    steady_state_training_step_allocates_nothing();
+    println!("train_zero_alloc: ok");
+}
+
+fn steady_state_training_step_allocates_nothing() {
+    // --- MLP with active dropout: dense, activation, and mask caches. ---
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut mlp = Mlp::new(&MlpConfig::new(16, 4).depth(3).hidden(32), &mut rng);
+    set_dropout_rates(&mut mlp, &[0.3, 0.2]);
+    // Two batch sizes (full + remainder) exercise the cache-shrink/regrow
+    // path: buffers must reach a high-water mark, then stay put.
+    let batches = vec![
+        (
+            Tensor::randn(&[8, 16], 0.0, 1.0, &mut rng),
+            (0..8).map(|i| i % 4).collect::<Vec<usize>>(),
+        ),
+        (
+            Tensor::randn(&[5, 16], 0.0, 1.0, &mut rng),
+            (0..5).map(|i| i % 4).collect::<Vec<usize>>(),
+        ),
+    ];
+    let mut opt = Sgd::new(0.05).momentum(0.9).clip_norm(5.0);
+    let mut ws = Workspace::new();
+
+    // Warm-up: populate per-layer caches, the workspace pool, and the
+    // optimizer's velocity buffers.
+    let mut acc = 0.0f32;
+    for _ in 0..2 {
+        acc += epoch(&mut mlp, &batches, &mut opt, &mut ws);
+    }
+
+    // Steady state: single steps are allocation-free…
+    let (a0, b0) = allocs();
+    for (x, labels) in &batches {
+        acc += train_step(&mut mlp, x, labels, &mut opt, &mut ws);
+    }
+    let (a1, b1) = allocs();
+    assert!(acc.is_finite());
+    assert_eq!(
+        a1 - a0,
+        0,
+        "steady-state MLP train steps allocated {} times ({} bytes)",
+        a1 - a0,
+        b1 - b0,
+    );
+
+    // …and the allocation count is independent of the epoch count: four
+    // epochs cost exactly as many allocations as sixteen (namely zero).
+    let count_epochs = |epochs: usize, net: &mut Mlp, opt: &mut Sgd, ws: &mut Workspace| -> u64 {
+        let (before, _) = allocs();
+        for _ in 0..epochs {
+            let _ = epoch(net, &batches, opt, ws);
+        }
+        let (after, _) = allocs();
+        after - before
+    };
+    let four = count_epochs(4, &mut mlp, &mut opt, &mut ws);
+    let sixteen = count_epochs(16, &mut mlp, &mut opt, &mut ws);
+    assert_eq!(
+        four, sixteen,
+        "allocations grew with epoch count: {four} for 4 epochs vs {sixteen} for 16"
+    );
+    assert_eq!(four, 0, "epochs must be allocation-free after warm-up");
+
+    // --- LeNet: conv im2col tape, pooling argmax tape, flatten. ---
+    let mut lenet = LeNet5::new(1, 14, 4, &mut rng);
+    let img_batches = vec![
+        (
+            Tensor::randn(&[4, 1, 14, 14], 0.0, 1.0, &mut rng),
+            vec![0usize, 1, 2, 3],
+        ),
+        (
+            Tensor::randn(&[2, 1, 14, 14], 0.0, 1.0, &mut rng),
+            vec![2usize, 0],
+        ),
+    ];
+    let mut opt = Sgd::new(0.05).momentum(0.9).clip_norm(5.0);
+    let mut ws = Workspace::new();
+    for _ in 0..2 {
+        acc += epoch(&mut lenet, &img_batches, &mut opt, &mut ws);
+    }
+    let (a0, b0) = allocs();
+    for _ in 0..4 {
+        acc += epoch(&mut lenet, &img_batches, &mut opt, &mut ws);
+    }
+    let (a1, b1) = allocs();
+    assert!(acc.is_finite());
+    assert_eq!(
+        a1 - a0,
+        0,
+        "steady-state LeNet epochs allocated {} times ({} bytes)",
+        a1 - a0,
+        b1 - b0,
+    );
+}
