@@ -9,7 +9,7 @@
 //! search space as the classifiers.
 
 use datasets::{BBox, Scene};
-use nn::{Conv2d, Dropout, Layer, MaxPool2d, Mode, Relu, Sequential};
+use nn::{Conv2d, Dropout, Layer, MaxPool2d, Mode, Relu, Sequential, Workspace};
 use rand::Rng;
 use tensor::Tensor;
 
@@ -148,39 +148,82 @@ impl DetectionLoss {
     /// Panics if `raw` is not `[N, 5, G, G]` with `N == scenes.len()`.
     pub fn loss_and_grad(&self, raw: &Tensor, scenes: &[Scene], image_hw: usize) -> (f32, Tensor) {
         let g = image_hw / GRID;
+        let mut grad = Tensor::zeros(raw.dims());
+        let mut targets = vec![0.0f32; 5 * g * g];
+        let loss = self.loss_and_grad_impl(raw, scenes, image_hw, &mut grad, &mut targets);
+        (loss, grad)
+    }
+
+    /// [`DetectionLoss::loss_and_grad`] backed by pooled buffers: the
+    /// gradient tensor and the per-scene target scratch both come from
+    /// `ws`, so a warmed training loop computes the loss with zero heap
+    /// allocations. The caller recycles the returned gradient after its
+    /// backward pass. Bit-identical to the allocating variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is not `[N, 5, G, G]` with `N == scenes.len()`.
+    pub fn loss_and_grad_ws(
+        &self,
+        raw: &Tensor,
+        scenes: &[Scene],
+        image_hw: usize,
+        ws: &mut Workspace,
+    ) -> (f32, Tensor) {
+        let g = image_hw / GRID;
+        let mut grad = ws.take_tensor(raw.dims());
+        grad.as_mut_slice().fill(0.0); // pooled buffers carry stale data
+        let mut targets = ws.take(5 * g * g);
+        let loss = self.loss_and_grad_impl(raw, scenes, image_hw, &mut grad, &mut targets);
+        ws.recycle_vec(targets);
+        (loss, grad)
+    }
+
+    /// Shared kernel: `grad` must be pre-zeroed and shaped like `raw`;
+    /// `targets` is `5 * G * G` scratch holding per-cell
+    /// `[obj, cx-frac, cy-frac, w-frac, h-frac]` rows, rebuilt per scene.
+    fn loss_and_grad_impl(
+        &self,
+        raw: &Tensor,
+        scenes: &[Scene],
+        image_hw: usize,
+        grad: &mut Tensor,
+        targets: &mut [f32],
+    ) -> f32 {
+        let g = image_hw / GRID;
         let n = scenes.len();
         assert_eq!(raw.dims(), &[n, 5, g, g], "head output shape mismatch");
+        assert_eq!(targets.len(), 5 * g * g, "target scratch length mismatch");
         let cell = GRID as f32;
         let size = image_hw as f32;
-        let mut grad = Tensor::zeros(raw.dims());
         let mut loss = 0.0f32;
         let cells = (n * g * g) as f32;
         for (s, scene) in scenes.iter().enumerate() {
-            // Cell targets: (obj, cx-frac, cy-frac, w-frac, h-frac)
-            let mut targets = vec![None::<[f32; 4]>; g * g];
+            // Cell targets: rows of (obj, cx-frac, cy-frac, w-frac, h-frac).
+            targets.fill(0.0);
             for b in &scene.boxes {
                 let (cx, cy) = b.center();
                 let (w, h) = b.size();
                 let j = ((cx / cell) as usize).min(g - 1);
                 let i = ((cy / cell) as usize).min(g - 1);
-                targets[i * g + j] = Some([
-                    (cx / cell - j as f32).clamp(0.01, 0.99),
-                    (cy / cell - i as f32).clamp(0.01, 0.99),
-                    (w / size).clamp(0.01, 0.99),
-                    (h / size).clamp(0.01, 0.99),
-                ]);
+                let row = &mut targets[(i * g + j) * 5..(i * g + j) * 5 + 5];
+                row[0] = 1.0;
+                row[1] = (cx / cell - j as f32).clamp(0.01, 0.99);
+                row[2] = (cy / cell - i as f32).clamp(0.01, 0.99);
+                row[3] = (w / size).clamp(0.01, 0.99);
+                row[4] = (h / size).clamp(0.01, 0.99);
             }
             for i in 0..g {
                 for j in 0..g {
-                    let target = &targets[i * g + j];
-                    let obj_target = if target.is_some() { 1.0 } else { 0.0 };
+                    let row = &targets[(i * g + j) * 5..(i * g + j) * 5 + 5];
+                    let obj_target = row[0];
                     let logit = raw.at(&[s, 0, i, j]);
                     let p = sigmoid(logit);
                     let diff = p - obj_target;
                     loss += diff * diff / cells;
                     *grad.at_mut(&[s, 0, i, j]) = 2.0 * diff * p * (1.0 - p) / cells;
-                    if let Some(t) = target {
-                        for (k, &tk) in t.iter().enumerate() {
+                    if obj_target > 0.0 {
+                        for (k, &tk) in row[1..].iter().enumerate() {
                             let l = raw.at(&[s, k + 1, i, j]);
                             let v = sigmoid(l);
                             let d = v - tk;
@@ -192,7 +235,7 @@ impl DetectionLoss {
                 }
             }
         }
-        (loss, grad)
+        loss
     }
 }
 
@@ -250,6 +293,26 @@ mod tests {
             max_err = max_err.max((num - grad.as_slice()[i]).abs());
         }
         assert!(max_err < 1e-3, "gradient error {max_err}");
+    }
+
+    #[test]
+    fn workspace_loss_is_bit_identical_to_the_allocating_variant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let scenes = ped_scenes(3, 24, 2, &mut rng);
+        let loss_fn = DetectionLoss::default();
+        let raw = Tensor::randn(&[3, 5, 6, 6], 0.0, 1.0, &mut rng);
+        let (loss, grad) = loss_fn.loss_and_grad(&raw, scenes.scenes(), 24);
+        let mut ws = Workspace::new();
+        // Pre-dirty the pool so stale contents would surface a missing clear.
+        let dirty = Tensor::full(&[3, 5, 6, 6], 7.5);
+        ws.recycle(dirty);
+        ws.recycle_vec(vec![3.25f32; 5 * 6 * 6]);
+        for _ in 0..2 {
+            let (loss_ws, grad_ws) = loss_fn.loss_and_grad_ws(&raw, scenes.scenes(), 24, &mut ws);
+            assert_eq!(loss.to_bits(), loss_ws.to_bits());
+            assert_eq!(grad.as_slice(), grad_ws.as_slice());
+            ws.recycle(grad_ws);
+        }
     }
 
     #[test]

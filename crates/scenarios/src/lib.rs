@@ -41,7 +41,7 @@
 //!   ]
 //! }"#).unwrap();
 //!
-//! let mut runner = CampaignRunner::new();
+//! let runner = CampaignRunner::new();
 //! for run in runner.run_campaign(&campaign) {
 //!     let outcome = run.result.unwrap();
 //!     assert_eq!(outcome.report.scenario.as_ref().unwrap().name, run.name);
@@ -54,6 +54,8 @@ mod scenario;
 mod store;
 
 pub use error::CampaignError;
-pub use runner::{CampaignReport, CampaignRunner, ScenarioOutcome, ScenarioRun};
+pub use runner::{CampaignReport, CampaignRunner, RunControl, ScenarioOutcome, ScenarioRun};
 pub use scenario::{Campaign, Scenario, SpaceKind, TaskKind};
-pub use store::{CompactionSummary, CompareGroup, ResultStore, StoreLock, StoredRecord};
+pub use store::{
+    CompactionSummary, CompareGroup, MergeSummary, ResultStore, StoreLock, StoredRecord,
+};

@@ -60,8 +60,29 @@ pub struct ScenarioOutcome {
 pub struct ScenarioRun {
     /// Scenario name as written in the campaign file.
     pub name: String,
+    /// Index of the scenario in the campaign.
+    pub index: usize,
+    /// Scenario count of the campaign.
+    pub total: usize,
     /// The outcome, or why this scenario could not run.
     pub result: Result<ScenarioOutcome, CampaignError>,
+}
+
+/// Per-call controls for a campaign run: cooperative cancellation and a
+/// progress observer. [`RunControl::default`] is the plain uncontrolled
+/// run that [`CampaignRunner::run_campaign_report`] uses.
+#[derive(Default, Clone, Copy)]
+pub struct RunControl<'a> {
+    /// Checked by every shard between scenarios: once set, shards stop
+    /// pulling work, the report comes back [`CampaignReport::cancelled`],
+    /// and the store keeps the completed campaign-order prefix (the same
+    /// resumable state a crash leaves, reached gracefully).
+    pub cancel: Option<&'a AtomicBool>,
+    /// Called once per finished scenario — from whichever shard finished
+    /// it, in completion (not campaign) order — before the run is
+    /// persisted. The campaign service streams these to `watch`
+    /// subscribers.
+    pub observer: Option<&'a (dyn Fn(&ScenarioRun) + Sync)>,
 }
 
 /// Campaign-level progress and cost accounting, produced by
@@ -81,6 +102,16 @@ pub struct CampaignReport {
     pub cache_served: usize,
     /// Outcomes served from a persisted store (`--resume`).
     pub store_served: usize,
+    /// Scenarios this process did not own under its
+    /// [`CampaignRunner::shard_of`] slice (they belong to sibling
+    /// processes and appear in neither [`CampaignReport::runs`] nor the
+    /// store).
+    pub skipped: usize,
+    /// Whether a [`RunControl::cancel`] request stopped the campaign
+    /// before every owned scenario ran. The completed campaign-order
+    /// prefix is persisted; the rest is absent from
+    /// [`CampaignReport::runs`].
+    pub cancelled: bool,
     /// Shard count the campaign actually ran with.
     pub shards: usize,
     /// Wall-clock each shard spent pulling scenarios, in milliseconds.
@@ -100,11 +131,22 @@ struct ResumeEntry {
     compute_wall_ms: f64,
 }
 
+/// One campaign-order scenario slot of a run in progress.
+enum Slot {
+    /// Owned by this process but not finished yet.
+    Pending,
+    /// Not owned under the active [`CampaignRunner::shard_of`] slice — a
+    /// sibling process runs it; the persist cursor steps over it.
+    Skipped,
+    /// Finished (successfully or not).
+    Done(Box<ScenarioRun>),
+}
+
 /// Tracks completed scenario slots and the contiguous prefix already
 /// persisted, so outcomes computed in any shard order land in the store in
 /// campaign order.
 struct PersistState<'a> {
-    slots: Vec<Option<ScenarioRun>>,
+    slots: Vec<Slot>,
     cursor: usize,
     store: Option<&'a ResultStore>,
     error: Option<CampaignError>,
@@ -112,9 +154,10 @@ struct PersistState<'a> {
 
 impl PersistState<'_> {
     /// Appends every completed-but-unpersisted slot from the cursor
-    /// forward. Failed scenarios advance the cursor without a record, and
-    /// store-served outcomes are re-appended (cheaply) so one `run` always
-    /// contributes a full campaign-ordered suffix.
+    /// forward. Failed scenarios and shard-skipped slots advance the
+    /// cursor without a record, and store-served outcomes are re-appended
+    /// (cheaply) so one `run` always contributes a full campaign-ordered
+    /// suffix of the scenarios it owns.
     ///
     /// Once an append has failed, persistence stops for good: retrying
     /// the same cursor could concatenate a fresh record onto the earlier
@@ -124,9 +167,15 @@ impl PersistState<'_> {
         if self.error.is_some() {
             return Ok(());
         }
-        while let Some(run) = self.slots.get(self.cursor).and_then(Option::as_ref) {
-            if let (Some(store), Ok(outcome)) = (self.store, &run.result) {
-                store.append(&campaign.name, outcome)?;
+        while let Some(slot) = self.slots.get(self.cursor) {
+            match slot {
+                Slot::Pending => break,
+                Slot::Skipped => {}
+                Slot::Done(run) => {
+                    if let (Some(store), Ok(outcome)) = (self.store, &run.result) {
+                        store.append(&campaign.name, outcome)?;
+                    }
+                }
             }
             self.cursor += 1;
         }
@@ -153,7 +202,7 @@ impl PersistState<'_> {
 ///     "demo",
 ///     vec![Scenario::new("ln", vec!["lognormal:0.3".parse().unwrap()])],
 /// );
-/// let mut runner = CampaignRunner::new().shards(4);
+/// let runner = CampaignRunner::new().shards(4);
 /// for run in runner.run_campaign(&campaign) {
 ///     let outcome = run.result.expect("scenario failed");
 ///     println!("{}: α* = {:?}", run.name, outcome.report.best_alpha);
@@ -163,6 +212,7 @@ impl PersistState<'_> {
 pub struct CampaignRunner {
     parallelism: usize,
     shards: usize,
+    shard_slice: Option<(usize, usize)>,
     quick: bool,
     cache: Mutex<HashMap<(u64, String), ScenarioOutcome>>,
     /// `(seed, digest)` keys currently being computed by some shard;
@@ -180,6 +230,7 @@ impl CampaignRunner {
         CampaignRunner {
             parallelism: 1,
             shards: 1,
+            shard_slice: None,
             quick: false,
             cache: Mutex::new(HashMap::new()),
             in_flight: Mutex::new(HashSet::new()),
@@ -204,6 +255,34 @@ impl CampaignRunner {
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
         self
+    }
+
+    /// Restricts this runner to one **cross-process** shard of every
+    /// campaign it runs: of a campaign's scenarios, this process owns
+    /// those whose campaign index `i` satisfies `i % count == index`, and
+    /// steps over the rest (they are counted as
+    /// [`CampaignReport::skipped`], and neither run nor persisted). `count`
+    /// independent processes — or hosts — with indices `0..count` over the
+    /// same campaign and distinct stores thus partition the work exactly;
+    /// `ResultStore::merge_from` reunites their stores into the bytes a
+    /// serial run would have produced.
+    ///
+    /// Scenario positions and digests are computed against the *full*
+    /// campaign, so records from different shards are indistinguishable
+    /// from a serial run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Parse`] when `count` is zero or `index`
+    /// is out of range.
+    pub fn shard_of(mut self, index: usize, count: usize) -> Result<Self, CampaignError> {
+        if count == 0 || index >= count {
+            return Err(CampaignError::Parse(format!(
+                "shard index {index} out of range for shard count {count}"
+            )));
+        }
+        self.shard_slice = Some((index, count));
+        Ok(self)
     }
 
     /// Clamps every scenario to smoke-test budgets
@@ -275,7 +354,7 @@ impl CampaignRunner {
     ///
     /// This is [`CampaignRunner::run_campaign_report`] without persistence
     /// or the campaign-level accounting.
-    pub fn run_campaign(&mut self, campaign: &Campaign) -> Vec<ScenarioRun> {
+    pub fn run_campaign(&self, campaign: &Campaign) -> Vec<ScenarioRun> {
         self.run_campaign_report(campaign, None)
             .expect("a campaign without a store has no persistence failures")
             .runs
@@ -293,12 +372,36 @@ impl CampaignRunner {
     /// failure. Scenario-level failures never abort the campaign — they
     /// are `Err` entries in [`CampaignReport::runs`].
     pub fn run_campaign_report(
-        &mut self,
+        &self,
         campaign: &Campaign,
         store: Option<&ResultStore>,
     ) -> Result<CampaignReport, CampaignError> {
+        self.run_campaign_report_with(campaign, store, RunControl::default())
+    }
+
+    /// [`CampaignRunner::run_campaign_report`] with cooperative
+    /// cancellation and per-scenario progress callbacks — the entry point
+    /// the campaign service daemon drives. Takes `&self`, so concurrent
+    /// campaigns (different jobs, different worker threads) can share one
+    /// runner and its memo cache: content-aliased scenarios across jobs
+    /// resolve to a single engine run through the in-flight reservation.
+    ///
+    /// # Errors
+    ///
+    /// See [`CampaignRunner::run_campaign_report`].
+    pub fn run_campaign_report_with(
+        &self,
+        campaign: &Campaign,
+        store: Option<&ResultStore>,
+        ctl: RunControl<'_>,
+    ) -> Result<CampaignReport, CampaignError> {
         let total = campaign.scenarios.len();
-        let shards = effective_shards(self.shards, total);
+        let owns = |i: usize| {
+            self.shard_slice
+                .is_none_or(|(index, count)| i % count == index)
+        };
+        let owned_total = (0..total).filter(|&i| owns(i)).count();
+        let shards = effective_shards(self.shards, owned_total);
         let started = Instant::now();
         let mut warnings = self.resume_warnings.clone();
         if let Some(store) = store {
@@ -310,8 +413,15 @@ impl CampaignRunner {
         }
         let mut shard_wall_ms = vec![0.0; shards];
 
-        let mut slots: Vec<Option<ScenarioRun>> = Vec::with_capacity(total);
-        slots.resize_with(total, || None);
+        let slots: Vec<Slot> = (0..total)
+            .map(|i| {
+                if owns(i) {
+                    Slot::Pending
+                } else {
+                    Slot::Skipped
+                }
+            })
+            .collect();
         let state = Mutex::new(PersistState {
             slots,
             cursor: 0,
@@ -324,28 +434,37 @@ impl CampaignRunner {
         // per scenario, so the interleaving cannot change any outcome.
         let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
-        let this: &CampaignRunner = self;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|shard| {
-                    let (next, abort, state) = (&next, &abort, &state);
+                    let (next, abort, state, ctl) = (&next, &abort, &state, &ctl);
                     scope.spawn(move || {
                         let shard_start = Instant::now();
                         loop {
-                            if abort.load(Ordering::Relaxed) {
+                            if abort.load(Ordering::Relaxed)
+                                || ctl.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+                            {
                                 break;
                             }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= total {
                                 break;
                             }
+                            if !owns(i) {
+                                continue;
+                            }
                             let scenario = &campaign.scenarios[i];
                             let run = ScenarioRun {
                                 name: scenario.name.clone(),
-                                result: this.exec(scenario, Some((i, total)), shard),
+                                index: i,
+                                total,
+                                result: self.exec(scenario, Some((i, total)), shard),
                             };
+                            if let Some(observer) = ctl.observer {
+                                observer(&run);
+                            }
                             let mut st = state.lock().expect("persist state poisoned");
-                            st.slots[i] = Some(run);
+                            st.slots[i] = Slot::Done(Box::new(run));
                             if let Err(e) = st.flush_prefix(campaign) {
                                 st.error.get_or_insert(e);
                                 abort.store(true, Ordering::Relaxed);
@@ -364,11 +483,18 @@ impl CampaignRunner {
         if let Some(e) = state.error {
             return Err(e);
         }
-        let runs: Vec<ScenarioRun> = state
-            .slots
-            .into_iter()
-            .map(|slot| slot.expect("every scenario slot is filled on success"))
-            .collect();
+        let mut runs = Vec::with_capacity(owned_total);
+        let mut skipped = 0usize;
+        let mut pending = 0usize;
+        for slot in state.slots {
+            match slot {
+                Slot::Done(run) => runs.push(*run),
+                Slot::Skipped => skipped += 1,
+                // Only a cancel can leave an owned slot unrun (a persist
+                // failure returned above).
+                Slot::Pending => pending += 1,
+            }
+        }
         let completed = runs.iter().filter(|r| r.result.is_ok()).count();
         let count = |f: fn(&ScenarioOutcome) -> bool| {
             runs.iter()
@@ -379,9 +505,11 @@ impl CampaignRunner {
         Ok(CampaignReport {
             total,
             completed,
-            failed: total - completed,
+            failed: runs.len() - completed,
             cache_served: count(|o| o.from_cache),
             store_served: count(|o| o.from_store),
+            skipped,
+            cancelled: pending > 0,
             shards,
             shard_wall_ms,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
@@ -398,7 +526,7 @@ impl CampaignRunner {
     /// Returns [`CampaignError::Parse`]/[`CampaignError::Fault`] for an
     /// invalid spec and [`CampaignError::Engine`] if the search itself
     /// fails.
-    pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<ScenarioOutcome, CampaignError> {
+    pub fn run_scenario(&self, scenario: &Scenario) -> Result<ScenarioOutcome, CampaignError> {
         self.exec(scenario, None, 0)
     }
 
@@ -608,7 +736,7 @@ mod tests {
     #[test]
     fn repeated_runs_are_memoized_and_identical() {
         let sc = tiny("memo", &["lognormal:0.4", "stuckat:0.05"], 5);
-        let mut runner = CampaignRunner::new();
+        let runner = CampaignRunner::new();
         let first = runner.run_scenario(&sc).unwrap();
         let second = runner.run_scenario(&sc).unwrap();
         assert!(!first.from_cache);
@@ -620,7 +748,7 @@ mod tests {
     #[test]
     fn cache_hits_preserve_the_original_compute_time() {
         let sc = tiny("walltime", &["lognormal:0.4"], 8);
-        let mut runner = CampaignRunner::new();
+        let runner = CampaignRunner::new();
         let first = runner.run_scenario(&sc).unwrap();
         let second = runner.run_scenario(&sc).unwrap();
         assert_eq!(second.wall_ms, 0.0, "serving a hit costs nothing");
@@ -633,7 +761,7 @@ mod tests {
 
     #[test]
     fn cache_hits_are_keyed_on_content_not_name() {
-        let mut runner = CampaignRunner::new();
+        let runner = CampaignRunner::new();
         let a = runner
             .run_scenario(&tiny("original", &["lognormal:0.4"], 5))
             .unwrap();
@@ -681,7 +809,7 @@ mod tests {
                 tiny("b", &["lognormal:0.2"], 2),
             ],
         );
-        let mut runner = CampaignRunner::new();
+        let runner = CampaignRunner::new();
         let report = runner.run_campaign_report(&campaign, None).unwrap();
         assert_eq!((report.total, report.completed, report.failed), (3, 3, 0));
         assert_eq!(report.cache_served, 1, "the alias is memo-served");

@@ -97,6 +97,25 @@ pub struct CompactionSummary {
     pub dropped_truncated: bool,
 }
 
+/// What [`ResultStore::merge_from`] did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MergeSummary {
+    /// How many input stores were merged.
+    pub inputs: usize,
+    /// Total records read across all inputs (pre-dedup).
+    pub records: usize,
+    /// Records surviving in the merged, compacted store.
+    pub kept: usize,
+    /// Duplicates (same `(digest, seed)`) folded during compaction.
+    pub dropped_duplicates: usize,
+    /// Reproducibility conflicts: `(digest, seed)` groups whose payloads
+    /// disagreed across inputs. The merge keeps the latest record but
+    /// never silently — each conflict is described here.
+    pub conflicts: Vec<String>,
+    /// Warnings from tolerant input loading (truncated crash tails).
+    pub warnings: Vec<String>,
+}
+
 /// Result of comparing all stored runs that share a `(digest, seed)` key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompareGroup {
@@ -493,6 +512,95 @@ impl ResultStore {
         })
     }
 
+    /// Replaces this store with the union of `inputs` — the cross-process
+    /// half of campaign sharding. Each `campaign run --shard-index i
+    /// --shard-count n` process persists its owned scenarios *with their
+    /// full-campaign positions*; merging stable-sorts the concatenated
+    /// records by that persisted `report.scenario_index`, which
+    /// reconstructs the exact append order of a serial run, then compacts.
+    /// The merged, compacted store is therefore **byte-identical** to a
+    /// serial `campaign run` store of the same campaign.
+    ///
+    /// Conflicting records — same `(digest, seed)` but diverging
+    /// `best_alpha`/`best_objective` payloads — are never dropped
+    /// silently: the merge runs the [`ResultStore::compare`]
+    /// reproducibility audit on the pre-compaction union and reports each
+    /// disagreeing group in [`MergeSummary::conflicts`] (compaction then
+    /// keeps the latest record, as always).
+    ///
+    /// Records without a persisted position (already-compacted inputs)
+    /// sort after positioned ones, preserving input order among
+    /// themselves.
+    ///
+    /// The merged pre-compaction file is written atomically
+    /// (write-then-rename) under the store lock; any previous content of
+    /// this store is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ResultStore::load_lenient`] errors from the inputs,
+    /// and returns [`CampaignError::Io`] on filesystem failures and
+    /// [`CampaignError::Locked`] if another writer holds this store's lock
+    /// past the bounded wait.
+    pub fn merge_from(&self, inputs: &[ResultStore]) -> Result<MergeSummary, CampaignError> {
+        let mut records: Vec<StoredRecord> = Vec::new();
+        let mut warnings = Vec::new();
+        for input in inputs {
+            let (mut recs, mut warns) = input.load_lenient()?;
+            records.append(&mut recs);
+            warnings.append(&mut warns);
+        }
+        let total = records.len();
+        // Stable sort: ties (re-runs of the same position) keep input
+        // order, so "latest wins" during compaction means the last input
+        // store listed.
+        records.sort_by_key(|r| persisted_position(&r.raw).unwrap_or(u64::MAX));
+        {
+            let _lock = self.lock()?;
+            if let Some(parent) = self.path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    fs::create_dir_all(parent)?;
+                }
+            }
+            let mut text = String::new();
+            for record in &records {
+                text.push_str(&serde_json::to_string(&record.raw));
+                text.push('\n');
+            }
+            let tmp = self.path.with_extension("jsonl.merge-tmp");
+            {
+                let mut file = File::create(&tmp)?;
+                file.write_all(text.as_bytes())?;
+                file.sync_all()?;
+            }
+            fs::rename(&tmp, &self.path)?;
+            // Guard drops here: `compare`/`compact` below take their own
+            // locks, and two descriptors in one process *do* conflict.
+        }
+        let conflicts: Vec<String> = self
+            .compare()?
+            .into_iter()
+            .filter(|g| g.runs > 1 && !g.identical)
+            .map(|g| {
+                format!(
+                    "{} (digest {}, seed {}): {} stored runs disagree on \
+                     best_alpha/best_objective; inputs are not reproductions of \
+                     each other (latest record kept)",
+                    g.scenario, g.digest, g.seed, g.runs,
+                )
+            })
+            .collect();
+        let compaction = self.compact()?;
+        Ok(MergeSummary {
+            inputs: inputs.len(),
+            records: total,
+            kept: compaction.kept,
+            dropped_duplicates: compaction.dropped_duplicates,
+            conflicts,
+            warnings,
+        })
+    }
+
     /// Groups every stored run by `(digest, seed)` and checks that runs
     /// sharing a key reproduced bit-identical best-α vectors — the
     /// reproducibility audit behind `campaign compare`.
@@ -545,6 +653,12 @@ impl ResultStore {
         }
         Ok(groups)
     }
+}
+
+/// The full-campaign position a pre-compaction record was produced at
+/// (`report.scenario_index`); `None` once compaction has stripped it.
+fn persisted_position(raw: &Value) -> Option<u64> {
+    raw.get("report")?.get("scenario_index")?.as_u64()
 }
 
 /// Exact f64 equality, except that NaN reproduces NaN — diverged results

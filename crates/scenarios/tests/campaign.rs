@@ -90,7 +90,7 @@ fn store_round_trips_and_compare_confirms_reproducibility() {
 
     // Two independent runs with the same seeds, both persisted.
     for _ in 0..2 {
-        let mut runner = CampaignRunner::new();
+        let runner = CampaignRunner::new();
         for run in runner.run_campaign(&campaign) {
             store.append(&campaign.name, &run.result.unwrap()).unwrap();
         }
@@ -122,7 +122,7 @@ fn store_round_trips_and_compare_confirms_reproducibility() {
 fn compare_detects_divergence() {
     let campaign = Campaign::new("div", vec![tiny("ln", &["lognormal:0.5"], 3)]);
     let store = temp_store("divergence");
-    let mut runner = CampaignRunner::new();
+    let runner = CampaignRunner::new();
     let outcome = runner.run_scenario(&campaign.scenarios[0]).unwrap();
     store.append(&campaign.name, &outcome).unwrap();
     // Tamper with a second copy: same digest and seed, different best α.
@@ -151,7 +151,7 @@ fn memoization_spans_a_campaign() {
             tiny("alias-of-first", &["lognormal:0.5"], 3),
         ],
     );
-    let mut runner = CampaignRunner::new();
+    let runner = CampaignRunner::new();
     let runs = runner.run_campaign(&campaign);
     let a = runs[0].result.as_ref().unwrap();
     let b = runs[1].result.as_ref().unwrap();
@@ -187,7 +187,7 @@ fn shard_sweep_produces_byte_identical_compacted_stores() {
     let mut compacted: Vec<Vec<u8>> = Vec::new();
     for shards in [1usize, 2, 5] {
         let store = temp_store(&format!("shards{shards}"));
-        let mut runner = CampaignRunner::new().shards(shards);
+        let runner = CampaignRunner::new().shards(shards);
         let report = runner.run_campaign_report(&campaign, Some(&store)).unwrap();
         assert_eq!(report.shards, shards.min(campaign.scenarios.len()));
         assert_eq!(report.completed, 4, "shards={shards}");
@@ -215,6 +215,72 @@ fn shard_sweep_produces_byte_identical_compacted_stores() {
         "5-shard compacted store diverged from serial"
     );
     assert!(!compacted[0].is_empty());
+}
+
+/// Cross-process sharding: N runners with `shard_of(i, n)` slices writing
+/// to N separate stores, merged back into one — the `campaign run
+/// --shard-index` / `campaign merge` flow, in-process.
+#[test]
+fn shard_slices_merge_to_serial_bytes() {
+    let campaign = shard_campaign();
+
+    // Reference: a plain serial run, compacted.
+    let serial_store = temp_store("slice-serial");
+    CampaignRunner::new()
+        .run_campaign_report(&campaign, Some(&serial_store))
+        .unwrap();
+    serial_store.compact().unwrap();
+    let serial_bytes = std::fs::read(serial_store.path()).unwrap();
+
+    // "Two processes": independent runners (no shared cache), each owning
+    // half the scenario indices, each persisting to its own store.
+    let slice_stores: Vec<ResultStore> = (0..2)
+        .map(|index| {
+            let store = temp_store(&format!("slice{index}"));
+            let runner = CampaignRunner::new().shard_of(index, 2).unwrap();
+            let report = runner.run_campaign_report(&campaign, Some(&store)).unwrap();
+            assert_eq!(report.completed, 2, "slice {index} owns half");
+            assert_eq!(report.skipped, 2, "the other half belongs to the sibling");
+            assert_eq!(report.failed, 0);
+            assert!(!report.cancelled);
+            // Owned scenarios keep their full-campaign positions.
+            for run in &report.runs {
+                assert_eq!(run.index % 2, index);
+                assert_eq!(run.total, 4);
+            }
+            store
+        })
+        .collect();
+
+    // Merge order must not matter: the persisted campaign positions, not
+    // input order, reconstruct the serial append order.
+    for (tag, inputs) in [("fwd", [0, 1]), ("rev", [1, 0])] {
+        let merged = temp_store(&format!("slice-merged-{tag}"));
+        let ordered: Vec<ResultStore> = inputs.iter().map(|&i| slice_stores[i].clone()).collect();
+        let summary = merged.merge_from(&ordered).unwrap();
+        assert_eq!(summary.inputs, 2);
+        assert_eq!(summary.records, 4);
+        assert_eq!(summary.kept, 3, "the alias folds into its original");
+        assert_eq!(summary.dropped_duplicates, 1);
+        assert!(summary.conflicts.is_empty(), "{:?}", summary.conflicts);
+        assert_eq!(
+            std::fs::read(merged.path()).unwrap(),
+            serial_bytes,
+            "merged {tag} store diverged from the serial reference"
+        );
+        let _ = std::fs::remove_file(merged.path());
+    }
+
+    assert!(
+        CampaignRunner::new().shard_of(2, 2).is_err(),
+        "shard index out of range must be rejected"
+    );
+    assert!(CampaignRunner::new().shard_of(0, 0).is_err());
+
+    let _ = std::fs::remove_file(serial_store.path());
+    for store in &slice_stores {
+        let _ = std::fs::remove_file(store.path());
+    }
 }
 
 #[test]
@@ -254,7 +320,7 @@ fn resume_runs_only_the_missing_scenarios_and_matches_serial_bytes() {
     )
     .unwrap();
 
-    let mut runner = CampaignRunner::new()
+    let runner = CampaignRunner::new()
         .shards(2)
         .resume_from(&resumed_store)
         .unwrap();
@@ -361,7 +427,7 @@ fn nan_records_replay_under_resume() {
     );
     std::fs::write(store.path(), format!("{}\n", serde_json::to_string(&value))).unwrap();
 
-    let mut runner = CampaignRunner::new().resume_from(&store).unwrap();
+    let runner = CampaignRunner::new().resume_from(&store).unwrap();
     assert_eq!(
         runner.resumable_runs(),
         1,

@@ -315,3 +315,144 @@ fn leftover_lock_file_from_dead_holder_does_not_wedge_the_store() {
     drop(guard);
     let _ = fs::remove_file(store.lock_path());
 }
+
+/// Injects the pre-compaction campaign position into a record line, the
+/// way a sharded `campaign run` persists it.
+fn line_at(pos: usize, digest: &str, seed: u64, scenario: &str, objective: f64) -> String {
+    line(digest, seed, scenario, objective, 10.0).replace(
+        "\"report\":{",
+        &format!("\"report\":{{\"scenario_index\":{pos},\"scenario_total\":4,"),
+    )
+}
+
+#[test]
+fn merge_reconstructs_campaign_order_from_persisted_positions() {
+    // Two "processes" partitioned one 4-scenario campaign by index
+    // parity; each store holds its owned half in campaign order.
+    let odd = ResultStore::open(temp_path("merge-odd"));
+    fs::write(
+        odd.path(),
+        format!(
+            "{}\n{}\n",
+            line_at(1, "bbbb", 1, "s1", 0.6),
+            line_at(3, "dddd", 1, "s3", 0.8),
+        ),
+    )
+    .unwrap();
+    let even = ResultStore::open(temp_path("merge-even"));
+    fs::write(
+        even.path(),
+        format!(
+            "{}\n{}\n",
+            line_at(0, "aaaa", 1, "s0", 0.5),
+            line_at(2, "cccc", 1, "s2", 0.7),
+        ),
+    )
+    .unwrap();
+
+    // Input order is the "wrong" one on purpose: the persisted positions,
+    // not the argument order, dictate the merged order.
+    let merged = ResultStore::open(temp_path("merge-out"));
+    let summary = merged.merge_from(&[odd.clone(), even.clone()]).unwrap();
+    assert_eq!(summary.inputs, 2);
+    assert_eq!(summary.records, 4);
+    assert_eq!(summary.kept, 4);
+    assert_eq!(summary.dropped_duplicates, 0);
+    assert!(summary.conflicts.is_empty());
+
+    let records = merged.load().unwrap();
+    let order: Vec<&str> = records.iter().map(|r| r.scenario.as_str()).collect();
+    assert_eq!(order, ["s0", "s1", "s2", "s3"], "campaign order restored");
+    // The merged store is compacted: positions are stripped like any
+    // other volatile field.
+    assert!(records[0]
+        .raw
+        .get("report")
+        .unwrap()
+        .get("scenario_index")
+        .is_none());
+
+    for store in [&odd, &even, &merged] {
+        let _ = fs::remove_file(store.path());
+    }
+}
+
+#[test]
+fn merge_surfaces_conflicting_payloads_instead_of_silently_keeping_one() {
+    // Both inputs claim the same (digest, seed); one "reproduction"
+    // diverged. The merge must keep going (latest wins) but say so.
+    let a = ResultStore::open(temp_path("conflict-a"));
+    fs::write(
+        a.path(),
+        format!(
+            "{}\n{}\n",
+            line("aaaa", 1, "shared", 0.5, 10.0),
+            line("bbbb", 2, "clean", 0.6, 11.0),
+        ),
+    )
+    .unwrap();
+    let b = ResultStore::open(temp_path("conflict-b"));
+    fs::write(
+        b.path(),
+        format!(
+            "{}\n{}\n",
+            line("aaaa", 1, "shared", 0.9, 12.0), // diverged payload
+            line("bbbb", 2, "clean", 0.6, 13.0),  // faithful reproduction
+        ),
+    )
+    .unwrap();
+
+    let merged = ResultStore::open(temp_path("conflict-out"));
+    let summary = merged.merge_from(&[a.clone(), b.clone()]).unwrap();
+    assert_eq!(summary.records, 4);
+    assert_eq!(summary.kept, 2);
+    assert_eq!(summary.dropped_duplicates, 2);
+    assert_eq!(
+        summary.conflicts.len(),
+        1,
+        "only the diverged group is a conflict: {:?}",
+        summary.conflicts
+    );
+    assert!(
+        summary.conflicts[0].contains("aaaa") && summary.conflicts[0].contains("shared"),
+        "the conflict names the group: {}",
+        summary.conflicts[0]
+    );
+
+    // Latest record won (input order breaks the no-position tie).
+    let records = merged.load().unwrap();
+    let shared = records.iter().find(|r| r.scenario == "shared").unwrap();
+    assert_eq!(shared.best_objective, 0.9);
+
+    for store in [&a, &b, &merged] {
+        let _ = fs::remove_file(store.path());
+    }
+}
+
+#[test]
+fn second_writer_queues_behind_a_held_lock_instead_of_failing() {
+    use std::time::{Duration, Instant};
+
+    let store = ResultStore::open(temp_path("lock-queue"));
+    let guard = store.try_lock().unwrap().unwrap();
+    let path = store.path().to_path_buf();
+    let waiter = std::thread::spawn(move || {
+        let other = ResultStore::open(path);
+        let started = Instant::now();
+        let _guard = other
+            .lock_waiting(Duration::from_secs(5))
+            .expect("a queued writer must eventually acquire, not fail");
+        started.elapsed()
+    });
+    // Hold the lock long enough that an error-on-contention implementation
+    // would have failed, then release.
+    std::thread::sleep(Duration::from_millis(200));
+    drop(guard);
+    let waited = waiter.join().unwrap();
+    assert!(
+        waited >= Duration::from_millis(150),
+        "the second writer should have queued behind the holder, waited {waited:?}"
+    );
+    let _ = fs::remove_file(store.path());
+    let _ = fs::remove_file(store.lock_path());
+}

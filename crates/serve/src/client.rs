@@ -1,0 +1,154 @@
+//! The client half of the campaign service protocol: one TCP connection,
+//! blocking request/response, plus the streaming `watch` verb.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+
+use serde_json::Value;
+
+use crate::protocol::{write_line, Request};
+use crate::ServeError;
+
+/// A connected campaign-service client. One connection serves any number
+/// of sequential requests; `watch` occupies it until the job terminates.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:4850`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the connection fails.
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads one response line, surfacing a
+    /// daemon refusal (`"ok": false`) as [`ServeError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failure (including the daemon
+    /// closing the connection), [`ServeError::Protocol`] on a malformed
+    /// response line, [`ServeError::Remote`] on refusal.
+    pub fn request(&mut self, request: &Request) -> Result<Value, ServeError> {
+        write_line(&mut self.writer, &request.to_value())?;
+        let response = self.read_value()?;
+        Self::require_ok(response)
+    }
+
+    fn read_value(&mut self) -> Result<Value, ServeError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::Io("daemon closed the connection".into()));
+        }
+        serde_json::from_str(line.trim())
+            .map_err(|e| ServeError::Protocol(format!("bad response line: {e}")))
+    }
+
+    fn require_ok(response: Value) -> Result<Value, ServeError> {
+        if response.get("ok").and_then(Value::as_bool) == Some(true) {
+            Ok(response)
+        } else {
+            let message = response
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("request refused")
+                .to_string();
+            Err(ServeError::Remote(message))
+        }
+    }
+
+    /// Liveness probe; the response carries queue depth.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn ping(&mut self) -> Result<Value, ServeError> {
+        self.request(&Request::Ping)
+    }
+
+    /// Submits a campaign document and returns the assigned job ID.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; a full queue or invalid campaign comes
+    /// back as [`ServeError::Remote`].
+    pub fn submit(&mut self, campaign: Value) -> Result<String, ServeError> {
+        let response = self.request(&Request::Submit { campaign })?;
+        response
+            .get("job")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::Protocol("submit response is missing 'job'".into()))
+    }
+
+    /// One job's status (by ID) or the full job listing (`None`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn status(&mut self, job: Option<&str>) -> Result<Value, ServeError> {
+        self.request(&Request::Status {
+            job: job.map(str::to_string),
+        })
+    }
+
+    /// Cancels a job; the response carries its new state.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn cancel(&mut self, job: &str) -> Result<Value, ServeError> {
+        self.request(&Request::Cancel {
+            job: job.to_string(),
+        })
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<Value, ServeError> {
+        self.request(&Request::Shutdown)
+    }
+
+    /// Subscribes to a job's event stream: replays its history, then
+    /// streams live events into `on_event` until the terminal `"done"`
+    /// event, which is also returned.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; additionally [`ServeError::Io`] if the
+    /// stream ends before a terminal event arrives.
+    pub fn watch(
+        &mut self,
+        job: &str,
+        mut on_event: impl FnMut(&Value),
+    ) -> Result<Value, ServeError> {
+        write_line(
+            &mut self.writer,
+            &Request::Watch {
+                job: job.to_string(),
+            }
+            .to_value(),
+        )?;
+        Self::require_ok(self.read_value()?)?;
+        loop {
+            let event = self.read_value()?;
+            on_event(&event);
+            if event.get("event").and_then(Value::as_str) == Some("done") {
+                return Ok(event);
+            }
+        }
+    }
+}

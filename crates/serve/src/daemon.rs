@@ -1,0 +1,666 @@
+//! The `campaign serve` daemon: a bounded job queue, a worker pool over
+//! one shared [`CampaignRunner`], and a connection loop speaking the
+//! [`protocol`](crate::protocol) grammar.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::Duration;
+
+use scenarios::{
+    Campaign, CampaignError, CampaignReport, CampaignRunner, ResultStore, RunControl, ScenarioRun,
+};
+use serde_json::Value;
+
+use crate::protocol::{err_response, ok_response, write_line, Request};
+
+/// How long idle waits (worker queue, watcher events, accept loop,
+/// connection reads) sleep before re-checking the shutdown flag.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// How the daemon runs: store, pool sizes, and queue bounds.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Path of the shared result store every job persists through.
+    pub store: String,
+    /// Worker threads draining the job queue. `0` is accept-only (jobs
+    /// queue but never run — useful for deterministic queue tests).
+    pub workers: usize,
+    /// Work-stealing shards *within* each job (passed to
+    /// [`CampaignRunner::shards`]).
+    pub shards: usize,
+    /// Training parallelism within each scenario.
+    pub parallelism: usize,
+    /// Maximum queued (not yet running) jobs; submissions beyond this are
+    /// refused, never silently dropped.
+    pub queue_capacity: usize,
+    /// Clamp every scenario to smoke budgets (`BENCH_QUICK=1`).
+    pub quick: bool,
+    /// Prime the runner from the store at startup so a restarted daemon
+    /// serves already-persisted scenarios instead of recomputing them.
+    pub resume: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            store: "campaign_results.jsonl".into(),
+            workers: 1,
+            shards: 1,
+            parallelism: 1,
+            queue_capacity: 64,
+            quick: false,
+            resume: true,
+        }
+    }
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// In the FIFO queue, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Every scenario produced an outcome.
+    Done,
+    /// The campaign ran but at least one scenario failed, or persistence
+    /// failed.
+    Failed,
+    /// Cancelled before (or while) running; the store keeps whatever
+    /// campaign-order prefix completed.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can never change state again.
+    pub fn terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// One submitted campaign and everything observers need to follow it.
+struct Job {
+    id: String,
+    campaign: Campaign,
+    state: JobState,
+    /// Cooperative cancel flag, checked by the runner between scenarios.
+    cancel: Arc<AtomicBool>,
+    /// Full event history, replayed to watchers that subscribe late.
+    events: Vec<Value>,
+    error: Option<String>,
+}
+
+struct DaemonState {
+    jobs: Vec<Job>,
+    /// Indices into `jobs`, FIFO.
+    queue: VecDeque<usize>,
+    /// Warnings from store priming at startup (crash-tail truncation).
+    startup_warnings: Vec<String>,
+}
+
+struct Shared {
+    runner: CampaignRunner,
+    store: ResultStore,
+    config: ServeConfig,
+    state: Mutex<DaemonState>,
+    /// Wakes workers when the queue grows (or shutdown starts).
+    job_cv: Condvar,
+    /// Wakes watchers when any job gains events or terminates.
+    event_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The campaign service: bind once, then [`Daemon::run`] until a client
+/// sends `shutdown`.
+///
+/// All jobs share one [`CampaignRunner`] — and therefore one memo cache
+/// and one in-flight reservation set — so two clients submitting
+/// content-aliased campaigns cost a single engine run, with both stores'
+/// records bit-identical. All jobs persist through one locked
+/// [`ResultStore`], in campaign order per job, so an abrupt kill leaves
+/// each job's completed prefix resumable.
+pub struct Daemon {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Binds the listener and primes the runner from the store.
+    ///
+    /// With [`ServeConfig::resume`] set (the default), a partial trailing
+    /// line left by a killed predecessor is truncated and every persisted
+    /// scenario becomes servable without recomputation — the daemon's
+    /// restart-recovery path is exactly the campaign CLI's `--resume`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] if the address cannot be bound or the
+    /// store cannot be read, and propagates store lock/parse failures from
+    /// resume priming.
+    pub fn bind(addr: &str, config: ServeConfig) -> Result<Daemon, CampaignError> {
+        let store = ResultStore::open(&config.store);
+        let mut startup_warnings = Vec::new();
+        let mut runner = CampaignRunner::new()
+            .parallelism(config.parallelism)
+            .shards(config.shards)
+            .quick(config.quick);
+        if config.resume {
+            if let Some(dropped) = store.drop_partial_tail()? {
+                startup_warnings.push(dropped);
+            }
+            runner = runner.resume_from(&store)?;
+        }
+        let listener = TcpListener::bind(addr).map_err(CampaignError::from)?;
+        // Non-blocking accept: the loop must notice the shutdown flag even
+        // when no client ever connects again.
+        listener.set_nonblocking(true)?;
+        Ok(Daemon {
+            listener,
+            shared: Arc::new(Shared {
+                runner,
+                store,
+                config,
+                state: Mutex::new(DaemonState {
+                    jobs: Vec::new(),
+                    queue: VecDeque::new(),
+                    startup_warnings,
+                }),
+                job_cv: Condvar::new(),
+                event_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address — the way to learn the port after binding `:0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the socket is gone.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// How many scenarios the resume priming can serve without
+    /// recomputation.
+    pub fn resumable_runs(&self) -> usize {
+        self.shared.runner.resumable_runs()
+    }
+
+    /// Serves until a client sends `shutdown`, then drains: queued jobs
+    /// are already cancelled by the shutdown request, running jobs finish
+    /// (their campaign-order prefix discipline makes interrupting them
+    /// pointless — finishing is as safe as stopping), watchers receive
+    /// their terminal events, and every thread is joined before return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] only for accept-loop failures other
+    /// than `WouldBlock`; per-connection errors just close that
+    /// connection.
+    pub fn run(self) -> Result<(), CampaignError> {
+        let shared = self.shared;
+        let workers: Vec<_> = (0..shared.config.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("campaign-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn campaign worker")
+            })
+            .collect();
+        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&shared);
+                    connections.push(thread::spawn(move || {
+                        let _ = serve_connection(stream, &shared);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(IDLE_TICK),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+            connections.retain(|handle| !handle.is_finished());
+        }
+        shared.job_cv.notify_all();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        shared.event_cv.notify_all();
+        for handle in connections {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Worker: pop jobs FIFO until shutdown empties the queue for good.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job_ix = {
+            let mut st = lock_state(shared);
+            loop {
+                if let Some(ix) = st.queue.pop_front() {
+                    break Some(ix);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                st = shared
+                    .job_cv
+                    .wait_timeout(st, IDLE_TICK)
+                    .expect("daemon state poisoned")
+                    .0;
+            }
+        };
+        match job_ix {
+            Some(ix) => run_job(shared, ix),
+            None => return,
+        }
+    }
+}
+
+/// Executes one dequeued job through the shared runner, streaming events.
+fn run_job(shared: &Shared, ix: usize) {
+    let (campaign, cancel, id) = {
+        let mut st = lock_state(shared);
+        let job = &mut st.jobs[ix];
+        // A cancel can land between dequeue and here; honor it before
+        // spending compute.
+        if job.cancel.load(Ordering::SeqCst) {
+            job.state = JobState::Cancelled;
+            let event = done_event(&job.id, JobState::Cancelled);
+            job.events.push(event);
+            drop(st);
+            shared.event_cv.notify_all();
+            return;
+        }
+        job.state = JobState::Running;
+        let mut event = Value::object();
+        event.insert("event", "state");
+        event.insert("job", job.id.as_str());
+        event.insert("state", JobState::Running.as_str());
+        event.insert("total", job.campaign.scenarios.len());
+        job.events.push(event);
+        (
+            job.campaign.clone(),
+            Arc::clone(&job.cancel),
+            job.id.clone(),
+        )
+    };
+    shared.event_cv.notify_all();
+
+    let observer = |run: &ScenarioRun| {
+        let mut event = Value::object();
+        event.insert("event", "scenario");
+        event.insert("job", id.as_str());
+        event.insert("name", run.name.as_str());
+        event.insert("index", run.index);
+        event.insert("total", run.total);
+        match &run.result {
+            Ok(outcome) => {
+                event.insert("ok", true);
+                event.insert("from_cache", outcome.from_cache);
+                event.insert("from_store", outcome.from_store);
+                event.insert("best_objective", outcome.report.best_objective);
+                event.insert("wall_ms", outcome.wall_ms);
+            }
+            Err(e) => {
+                event.insert("ok", false);
+                event.insert("error", e.to_string());
+            }
+        }
+        lock_state(shared).jobs[ix].events.push(event);
+        shared.event_cv.notify_all();
+    };
+    let ctl = RunControl {
+        cancel: Some(&cancel),
+        observer: Some(&observer),
+    };
+    let result = shared
+        .runner
+        .run_campaign_report_with(&campaign, Some(&shared.store), ctl);
+
+    let mut st = lock_state(shared);
+    let job = &mut st.jobs[ix];
+    match result {
+        Ok(report) => {
+            for warning in &report.warnings {
+                let mut event = Value::object();
+                event.insert("event", "warning");
+                event.insert("job", job.id.as_str());
+                event.insert("message", warning.as_str());
+                job.events.push(event);
+            }
+            job.state = if report.cancelled {
+                JobState::Cancelled
+            } else if report.failed > 0 {
+                JobState::Failed
+            } else {
+                JobState::Done
+            };
+            let mut event = done_event(&job.id, job.state);
+            report_counters(&mut event, &report);
+            job.events.push(event);
+        }
+        Err(e) => {
+            job.state = JobState::Failed;
+            job.error = Some(e.to_string());
+            let mut event = done_event(&job.id, JobState::Failed);
+            event.insert("error", e.to_string());
+            job.events.push(event);
+        }
+    }
+    drop(st);
+    shared.event_cv.notify_all();
+}
+
+fn lock_state(shared: &Shared) -> MutexGuard<'_, DaemonState> {
+    shared.state.lock().expect("daemon state poisoned")
+}
+
+fn done_event(id: &str, state: JobState) -> Value {
+    let mut event = Value::object();
+    event.insert("event", "done");
+    event.insert("job", id);
+    event.insert("state", state.as_str());
+    event
+}
+
+/// Flattens the campaign report's accounting into a `done` event.
+fn report_counters(event: &mut Value, report: &CampaignReport) {
+    event.insert("total", report.total);
+    event.insert("completed", report.completed);
+    event.insert("failed", report.failed);
+    event.insert("cache_served", report.cache_served);
+    event.insert("store_served", report.store_served);
+    event.insert("skipped", report.skipped);
+    event.insert("cancelled", report.cancelled);
+    event.insert("wall_ms", report.wall_ms);
+    event.insert(
+        "shard_wall_ms",
+        Value::Array(report.shard_wall_ms.iter().map(|&ms| ms.into()).collect()),
+    );
+}
+
+/// One connection: read request lines, answer each with one line (or an
+/// event stream for `watch`), until EOF — or until shutdown finds the
+/// connection idle.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    // Bounded reads so an idle connection re-checks the shutdown flag.
+    stream.set_read_timeout(Some(IDLE_TICK))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Accumulate one full line; a timeout mid-line keeps the partial
+        // bytes in `line` and retries.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()),
+                Ok(_) => break,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if shared.shutdown.load(Ordering::SeqCst) && line.is_empty() {
+                        return Ok(());
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Err(message) => write_line(&mut writer, &err_response(&message))?,
+            Ok(Request::Watch { job }) => watch_job(&mut writer, shared, &job)?,
+            Ok(request) => {
+                let response = handle_request(shared, request);
+                write_line(&mut writer, &response)?;
+            }
+        }
+    }
+}
+
+/// Everything except `watch`: one response line per request.
+fn handle_request(shared: &Shared, request: Request) -> Value {
+    match request {
+        Request::Ping => {
+            let st = lock_state(shared);
+            let mut response = ok_response();
+            response.insert("service", "campaign");
+            response.insert("queued", st.queue.len());
+            response.insert(
+                "running",
+                st.jobs
+                    .iter()
+                    .filter(|j| j.state == JobState::Running)
+                    .count(),
+            );
+            response
+        }
+        Request::Submit { campaign } => submit(shared, &campaign),
+        Request::Status { job } => status(shared, job.as_deref()),
+        Request::Cancel { job } => cancel(shared, &job),
+        Request::Watch { .. } => unreachable!("watch is dispatched by the caller"),
+        Request::Shutdown => shutdown(shared),
+    }
+}
+
+fn submit(shared: &Shared, campaign: &Value) -> Value {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return err_response("daemon is shutting down; not accepting submissions");
+    }
+    let campaign = match Campaign::from_json(campaign) {
+        Ok(campaign) => campaign,
+        Err(e) => return err_response(&format!("invalid campaign: {e}")),
+    };
+    let mut st = lock_state(shared);
+    if st.queue.len() >= shared.config.queue_capacity {
+        return err_response(&format!(
+            "queue full ({} queued, capacity {})",
+            st.queue.len(),
+            shared.config.queue_capacity,
+        ));
+    }
+    let ix = st.jobs.len();
+    let id = format!("job-{}", ix + 1);
+    let mut event = Value::object();
+    event.insert("event", "state");
+    event.insert("job", id.as_str());
+    event.insert("state", JobState::Queued.as_str());
+    event.insert("total", campaign.scenarios.len());
+    let mut response = ok_response();
+    response.insert("job", id.as_str());
+    response.insert("position", st.queue.len());
+    response.insert("scenarios", campaign.scenarios.len());
+    st.jobs.push(Job {
+        id,
+        campaign,
+        state: JobState::Queued,
+        cancel: Arc::new(AtomicBool::new(false)),
+        events: vec![event],
+        error: None,
+    });
+    st.queue.push_back(ix);
+    drop(st);
+    shared.job_cv.notify_one();
+    shared.event_cv.notify_all();
+    response
+}
+
+fn job_summary(job: &Job) -> Value {
+    let mut value = Value::object();
+    value.insert("job", job.id.as_str());
+    value.insert("state", job.state.as_str());
+    value.insert("campaign", job.campaign.name.as_str());
+    value.insert("scenarios", job.campaign.scenarios.len());
+    value.insert("events", job.events.len());
+    if let Some(error) = &job.error {
+        value.insert("error", error.as_str());
+    }
+    value
+}
+
+fn status(shared: &Shared, job: Option<&str>) -> Value {
+    let st = lock_state(shared);
+    match job {
+        Some(id) => match st.jobs.iter().find(|j| j.id == id) {
+            None => err_response(&format!("unknown job '{id}'")),
+            Some(job) => {
+                let mut response = ok_response();
+                response.insert("job", job_summary(job));
+                response
+            }
+        },
+        None => {
+            let mut response = ok_response();
+            response.insert(
+                "jobs",
+                Value::Array(st.jobs.iter().map(job_summary).collect()),
+            );
+            response.insert("queued", st.queue.len());
+            response.insert(
+                "running",
+                st.jobs
+                    .iter()
+                    .filter(|j| j.state == JobState::Running)
+                    .count(),
+            );
+            response.insert(
+                "warnings",
+                Value::Array(
+                    st.startup_warnings
+                        .iter()
+                        .map(|w| Value::String(w.clone()))
+                        .collect(),
+                ),
+            );
+            response
+        }
+    }
+}
+
+fn cancel(shared: &Shared, id: &str) -> Value {
+    let mut st = lock_state(shared);
+    let Some(ix) = st.jobs.iter().position(|j| j.id == id) else {
+        return err_response(&format!("unknown job '{id}'"));
+    };
+    let state = st.jobs[ix].state;
+    if state.terminal() {
+        let mut response = ok_response();
+        response.insert("job", id);
+        response.insert("state", state.as_str());
+        response.insert("already_terminal", true);
+        return response;
+    }
+    st.jobs[ix].cancel.store(true, Ordering::SeqCst);
+    if state == JobState::Queued {
+        // Never reaches a worker: finalize it here.
+        st.queue.retain(|&queued| queued != ix);
+        let job = &mut st.jobs[ix];
+        job.state = JobState::Cancelled;
+        let event = done_event(&job.id, JobState::Cancelled);
+        job.events.push(event);
+    }
+    let new_state = st.jobs[ix].state;
+    drop(st);
+    shared.event_cv.notify_all();
+    let mut response = ok_response();
+    response.insert("job", id);
+    response.insert("state", new_state.as_str());
+    response
+}
+
+fn shutdown(shared: &Shared) -> Value {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    let mut st = lock_state(shared);
+    // Queued jobs are cancelled, not silently dropped: their submitters
+    // get a terminal event, and a restarted daemon re-running them will
+    // resume from whatever prefix older jobs persisted.
+    while let Some(ix) = st.queue.pop_front() {
+        let job = &mut st.jobs[ix];
+        job.cancel.store(true, Ordering::SeqCst);
+        job.state = JobState::Cancelled;
+        let event = done_event(&job.id, JobState::Cancelled);
+        job.events.push(event);
+    }
+    let draining = st
+        .jobs
+        .iter()
+        .filter(|j| j.state == JobState::Running)
+        .count();
+    drop(st);
+    shared.job_cv.notify_all();
+    shared.event_cv.notify_all();
+    let mut response = ok_response();
+    response.insert("draining", draining);
+    response
+}
+
+/// The streaming verb: acknowledge, replay the job's event history, then
+/// stream live events until the terminal `done`.
+fn watch_job(writer: &mut TcpStream, shared: &Shared, id: &str) -> std::io::Result<()> {
+    let ix = {
+        let st = lock_state(shared);
+        match st.jobs.iter().position(|j| j.id == id) {
+            None => {
+                return write_line(writer, &err_response(&format!("unknown job '{id}'")));
+            }
+            Some(ix) => ix,
+        }
+    };
+    let mut acknowledged = ok_response();
+    acknowledged.insert("job", id);
+    acknowledged.insert("watching", true);
+    write_line(writer, &acknowledged)?;
+    let mut sent = 0;
+    loop {
+        let (batch, finished) = {
+            let mut st = lock_state(shared);
+            loop {
+                let job = &st.jobs[ix];
+                if job.events.len() > sent {
+                    let batch = job.events[sent..].to_vec();
+                    sent = job.events.len();
+                    break (batch, job.state.terminal());
+                }
+                if job.state.terminal() {
+                    break (Vec::new(), true);
+                }
+                st = shared
+                    .event_cv
+                    .wait_timeout(st, IDLE_TICK)
+                    .expect("daemon state poisoned")
+                    .0;
+            }
+        };
+        for event in &batch {
+            write_line(writer, event)?;
+        }
+        if finished {
+            return Ok(());
+        }
+    }
+}

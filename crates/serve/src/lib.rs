@@ -1,0 +1,63 @@
+//! Multi-tenant campaign service over the [`scenarios`] subsystem.
+//!
+//! The rest of the workspace answers one campaign at a time; this crate
+//! turns it into a long-running daemon that multiplexes many concurrent
+//! campaigns — submitted by many clients — over one consistent, locked
+//! [`ResultStore`](scenarios::ResultStore):
+//!
+//! * [`Daemon`] — `campaign serve`: a TCP server speaking a hand-rolled
+//!   line-delimited JSON protocol (the image is offline; no framework
+//!   deps), with a bounded FIFO job queue, per-job IDs, and a worker pool
+//!   that drives [`CampaignRunner`](scenarios::CampaignRunner) jobs
+//!   through one shared memo cache — content-aliased scenarios across
+//!   *different* clients still resolve to a single engine run.
+//! * [`Client`] — `campaign submit`/`status`/`watch`/`cancel`/`shutdown`:
+//!   the same protocol from the other end, streaming per-scenario
+//!   progress events for watched jobs.
+//! * [`protocol`] — the request/response/event grammar both sides share.
+//!
+//! Crash-safety is inherited, not reimplemented: jobs persist through the
+//! locked store in campaign order, so killing the daemon mid-campaign
+//! leaves a resumable prefix, and a restarted daemon
+//! ([`ServeConfig::resume`]) serves completed scenarios from the store
+//! instead of recomputing them. Graceful shutdown drains in-flight jobs
+//! and cancels queued ones for the same reason — whatever is persisted is
+//! exactly a campaign-order prefix.
+
+mod client;
+mod daemon;
+pub mod protocol;
+
+use std::fmt;
+
+pub use client::Client;
+pub use daemon::{Daemon, JobState, ServeConfig};
+
+/// Everything that can go wrong on the client side of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The TCP transport failed (connect, read, write, or peer hangup).
+    Io(String),
+    /// The peer sent a line that is not valid protocol JSON.
+    Protocol(String),
+    /// The daemon processed the request and refused it (`"ok": false`).
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "connection: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ServeError::Remote(msg) => write!(f, "daemon: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,159 @@
+//! The campaign service's wire protocol.
+//!
+//! One JSON object per `\n`-terminated line, in both directions — the
+//! same grammar as the result store, so the whole system stays greppable
+//! with standard line tools.
+//!
+//! **Requests** carry a `"cmd"` field:
+//!
+//! ```text
+//! {"cmd": "ping"}
+//! {"cmd": "submit", "campaign": {…campaign.json document…}}
+//! {"cmd": "status"}                 — all jobs
+//! {"cmd": "status", "job": "job-1"} — one job
+//! {"cmd": "watch",  "job": "job-1"}
+//! {"cmd": "cancel", "job": "job-1"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! **Responses** are exactly one line per request: `{"ok": true, …}` on
+//! success, `{"ok": false, "error": "…"}` on refusal. `watch` is the one
+//! streaming verb: after its `{"ok": true}` acknowledgement the daemon
+//! replays the job's full event history and then streams live events —
+//! `{"event": "state" | "scenario" | "warning" | "done", "job": …, …}` —
+//! until the terminal `"done"` event, after which the connection is ready
+//! for the next request.
+
+use serde_json::Value;
+
+/// Where the daemon listens (and clients connect) unless told otherwise.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4850";
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe; also returns queue depth.
+    Ping,
+    /// Enqueue a campaign (the `campaign.json` document, inline).
+    Submit {
+        /// The campaign document, unparsed.
+        campaign: Value,
+    },
+    /// Report one job (by ID) or every job the daemon knows.
+    Status {
+        /// Job ID, or `None` for the full listing.
+        job: Option<String>,
+    },
+    /// Subscribe to a job's event stream until it terminates.
+    Watch {
+        /// Job ID.
+        job: String,
+    },
+    /// Cancel a queued job outright, or ask a running one to stop at the
+    /// next scenario boundary.
+    Cancel {
+        /// Job ID.
+        job: String,
+    },
+    /// Stop accepting work, cancel the queue, drain running jobs, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message (sent back as the `"error"`
+    /// field) for malformed JSON, a missing/unknown `"cmd"`, or missing
+    /// operands.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value: Value =
+            serde_json::from_str(line.trim()).map_err(|e| format!("bad request JSON: {e}"))?;
+        let cmd = value
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "request is missing 'cmd'".to_string())?;
+        let job = |value: &Value| -> Result<String, String> {
+            value
+                .get("job")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("'{cmd}' needs a 'job' id"))
+        };
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "submit" => Ok(Request::Submit {
+                campaign: value
+                    .get("campaign")
+                    .cloned()
+                    .ok_or_else(|| "'submit' needs a 'campaign' document".to_string())?,
+            }),
+            "status" => Ok(Request::Status {
+                job: value.get("job").and_then(Value::as_str).map(str::to_string),
+            }),
+            "watch" => Ok(Request::Watch { job: job(&value)? }),
+            "cancel" => Ok(Request::Cancel { job: job(&value)? }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd '{other}'")),
+        }
+    }
+
+    /// Serializes the request to its wire form (without the newline).
+    pub fn to_value(&self) -> Value {
+        let mut value = Value::object();
+        match self {
+            Request::Ping => {
+                value.insert("cmd", "ping");
+            }
+            Request::Submit { campaign } => {
+                value.insert("cmd", "submit");
+                value.insert("campaign", campaign.clone());
+            }
+            Request::Status { job } => {
+                value.insert("cmd", "status");
+                if let Some(job) = job {
+                    value.insert("job", job.as_str());
+                }
+            }
+            Request::Watch { job } => {
+                value.insert("cmd", "watch");
+                value.insert("job", job.as_str());
+            }
+            Request::Cancel { job } => {
+                value.insert("cmd", "cancel");
+                value.insert("job", job.as_str());
+            }
+            Request::Shutdown => {
+                value.insert("cmd", "shutdown");
+            }
+        }
+        value
+    }
+}
+
+/// A fresh `{"ok": true}` response to extend with fields.
+pub fn ok_response() -> Value {
+    let mut value = Value::object();
+    value.insert("ok", true);
+    value
+}
+
+/// A complete `{"ok": false, "error": …}` refusal.
+pub fn err_response(message: &str) -> Value {
+    let mut value = Value::object();
+    value.insert("ok", false);
+    value.insert("error", message);
+    value
+}
+
+/// Writes `value` as one `\n`-terminated line.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_line(writer: &mut impl std::io::Write, value: &Value) -> std::io::Result<()> {
+    let mut text = serde_json::to_string(value);
+    text.push('\n');
+    writer.write_all(text.as_bytes())
+}

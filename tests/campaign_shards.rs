@@ -68,7 +68,7 @@ fn store_backed_resume_serves_persisted_scenarios_across_processes() {
 
     // Second "process": a fresh runner (empty memo cache) resumes from
     // the store and computes nothing.
-    let mut resumed = CampaignRunner::new().shards(3).resume_from(&store).unwrap();
+    let resumed = CampaignRunner::new().shards(3).resume_from(&store).unwrap();
     let report = resumed
         .run_campaign_report(&campaign, Some(&store))
         .unwrap();

@@ -14,8 +14,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use baselines::train_step;
-use models::{set_dropout_rates, LeNet5, Mlp, MlpConfig};
-use nn::{Layer, Optimizer, Sgd, Workspace};
+use datasets::ped_scenes;
+use models::{set_dropout_rates, DetectionLoss, LeNet5, Mlp, MlpConfig, TinyDetector};
+use nn::{Layer, Mode, Optimizer, Sgd, Workspace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tensor::Tensor;
@@ -162,6 +163,45 @@ fn steady_state_training_step_allocates_nothing() {
         a1 - a0,
         0,
         "steady-state LeNet epochs allocated {} times ({} bytes)",
+        a1 - a0,
+        b1 - b0,
+    );
+
+    // --- TinyDetector: pooled detection loss gradient + target scratch. ---
+    let scenes = ped_scenes(4, 24, 2, &mut rng);
+    let mut det = TinyDetector::new(24, &mut rng);
+    set_dropout_rates(&mut det, &[0.2, 0.1]);
+    let loss_fn = DetectionLoss::default();
+    let mut data = Vec::new();
+    for scene in scenes.scenes() {
+        data.extend_from_slice(scene.image.as_slice());
+    }
+    let images = Tensor::from_vec(data, &[4, 3, 24, 24]).unwrap();
+    let mut opt = Sgd::new(0.05).momentum(0.9).clip_norm(5.0);
+    let mut ws = Workspace::new();
+    let det_step = |det: &mut TinyDetector, opt: &mut Sgd, ws: &mut Workspace| -> f32 {
+        let raw = det.forward_ws(&images, Mode::Train, ws);
+        let (loss, grad) = loss_fn.loss_and_grad_ws(&raw, scenes.scenes(), 24, ws);
+        ws.recycle(raw);
+        let gin = det.backward_ws(&grad, ws);
+        ws.recycle(grad);
+        ws.recycle(gin);
+        opt.step(det);
+        loss
+    };
+    for _ in 0..2 {
+        acc += det_step(&mut det, &mut opt, &mut ws);
+    }
+    let (a0, b0) = allocs();
+    for _ in 0..4 {
+        acc += det_step(&mut det, &mut opt, &mut ws);
+    }
+    let (a1, b1) = allocs();
+    assert!(acc.is_finite());
+    assert_eq!(
+        a1 - a0,
+        0,
+        "steady-state detector train steps allocated {} times ({} bytes)",
         a1 - a0,
         b1 - b0,
     );
