@@ -146,10 +146,16 @@ impl<K: Kernel + Clone> BayesOpt<K> {
             return Ok(lhs.swap_remove(finite.len() % 2));
         }
         let mut gp = GaussianProcess::new(self.kernel.clone(), self.noise);
-        gp.fit(
-            finite.iter().map(|o| o.x.clone()).collect(),
-            finite.iter().map(|o| o.y).collect(),
-        )?;
+        {
+            let _s = telemetry::Span::enter(
+                "bayesopt.gp_fit",
+                telemetry::duration_histogram!("bayesopt_gp_fit_seconds"),
+            );
+            gp.fit(
+                finite.iter().map(|o| o.x.clone()).collect(),
+                finite.iter().map(|o| o.y).collect(),
+            )?;
+        }
         let best = self
             .best_observed()
             .map(|(_, y)| y)
@@ -170,6 +176,10 @@ impl<K: Kernel + Clone> BayesOpt<K> {
             }
         }
 
+        let _s = telemetry::Span::enter(
+            "bayesopt.acquisition",
+            telemetry::duration_histogram!("bayesopt_acquisition_seconds"),
+        );
         let mut best_score = f64::NEG_INFINITY;
         let mut best_point = candidates[0].clone();
         for c in candidates {

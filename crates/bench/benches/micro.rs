@@ -446,6 +446,49 @@ fn bench_campaign(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Cost of the telemetry primitives the instrumented kernels pay per
+/// call — a counter bump, a histogram observation, and the full
+/// `Timer`/`Span` enter+drop pairs — against the bare `Instant::now()`
+/// pair a hand-rolled timer would cost anyway. No trace sink is
+/// installed, so spans take the cheap path (the production default).
+fn bench_telemetry(c: &mut Criterion) {
+    let counter = telemetry::static_counter!("bench_telemetry_ops_total");
+    let hist = telemetry::duration_histogram!("bench_telemetry_seconds");
+
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(samples(40));
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("histogram_observe", |b| b.iter(|| hist.observe(1.25e-4)));
+    group.bench_function("timer_start_drop", |b| {
+        b.iter(|| telemetry::Timer::start(hist))
+    });
+    group.bench_function("span_enter_drop_no_sink", |b| {
+        b.iter(|| telemetry::Span::enter("bench.span", hist))
+    });
+    // The stripped baseline: what the same timing window costs with the
+    // telemetry layer deleted (two clock reads, nothing recorded).
+    group.bench_function("bare_instant_pair", |b| {
+        b.iter(|| std::time::Instant::now().elapsed())
+    });
+    group.finish();
+
+    // Steady-state allocator traffic: recording must be allocation-free
+    // (registration above was the only allocating step).
+    let iters = 4096u64;
+    let before = BYTES.load(Ordering::SeqCst);
+    for _ in 0..iters {
+        counter.inc();
+        let _t = telemetry::Timer::start(hist);
+        let _s = telemetry::Span::enter("bench.span", hist);
+    }
+    let bytes = BYTES.load(Ordering::SeqCst) - before;
+    record_metric(
+        "telemetry/bytes_per_instrumented_op",
+        bytes as f64 / iters as f64,
+        "bytes/iter",
+    );
+}
+
 criterion_group!(
     benches,
     bench_drift_injection,
@@ -455,6 +498,7 @@ criterion_group!(
     bench_gp,
     bench_conv,
     bench_matmul,
-    bench_campaign
+    bench_campaign,
+    bench_telemetry
 );
 criterion_main!(benches);

@@ -361,19 +361,37 @@ impl Engine {
         let mut trials = Vec::with_capacity(cfg.trials);
         for t in 0..cfg.trials {
             let mark = Instant::now();
-            let alpha = bo.suggest(&mut suggest_rng)?;
+            let alpha = {
+                let _s = telemetry::Span::enter(
+                    "engine.suggest",
+                    telemetry::duration_histogram!("engine_suggest_seconds"),
+                );
+                bo.suggest(&mut suggest_rng)?
+            };
             timings.suggest_ms += ms_since(mark);
 
             space.apply(net.as_mut(), &alpha)?;
 
             let mark = Instant::now();
-            let _ = train_epochs(net.as_mut(), train, &epoch_cfg);
+            {
+                let _s = telemetry::Span::enter(
+                    "engine.train",
+                    telemetry::duration_histogram!("engine_train_seconds"),
+                );
+                let _ = train_epochs(net.as_mut(), train, &epoch_cfg);
+            }
             timings.train_ms += ms_since(mark);
 
             let ctx = EvalCtx::new(t, mix_seed(cfg.seed, EVAL_STREAM.wrapping_add(t as u64)))
                 .parallelism(cfg.parallelism);
             let mark = Instant::now();
-            let stats = objective.evaluate(net.as_mut(), val, &ctx);
+            let stats = {
+                let _s = telemetry::Span::enter(
+                    "engine.eval",
+                    telemetry::duration_histogram!("engine_eval_seconds"),
+                );
+                objective.evaluate(net.as_mut(), val, &ctx)
+            };
             timings.eval_ms += ms_since(mark);
 
             bo.tell(alpha.clone(), stats.mean as f64);
@@ -396,7 +414,13 @@ impl Engine {
             ..cfg.train.clone()
         };
         let mark = Instant::now();
-        let _ = train_epochs(net.as_mut(), train, &final_cfg);
+        {
+            let _s = telemetry::Span::enter(
+                "engine.finetune",
+                telemetry::duration_histogram!("engine_finetune_seconds"),
+            );
+            let _ = train_epochs(net.as_mut(), train, &final_cfg);
+        }
         timings.finetune_ms = ms_since(mark);
         timings.total_ms = ms_since(run_start);
 

@@ -553,6 +553,7 @@ impl CampaignRunner {
                 meta.name = scenario.name.clone();
                 meta.position = position;
             }
+            telemetry::static_counter!("campaign_store_hits_total").inc();
             return Ok(ScenarioOutcome {
                 digest,
                 report,
@@ -588,6 +589,7 @@ impl CampaignRunner {
                     meta.name = scenario.name.clone();
                     meta.position = position;
                 }
+                telemetry::static_counter!("campaign_cache_hits_total").inc();
                 return Ok(outcome);
             }
             if in_flight.insert(key.clone()) {
@@ -624,6 +626,11 @@ impl CampaignRunner {
         position: Option<(usize, usize)>,
         shard: usize,
     ) -> Result<ScenarioOutcome, CampaignError> {
+        telemetry::static_counter!("campaign_engine_runs_total").inc();
+        let _span = telemetry::Span::enter(
+            "campaign.scenario",
+            telemetry::duration_histogram!("campaign_scenario_seconds"),
+        );
         let scenario = scenario.clone();
         let started = Instant::now();
         let (train, val, mut net) = build_task(&scenario);

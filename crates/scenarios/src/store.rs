@@ -135,9 +135,16 @@ pub struct CompareGroup {
     pub best_alpha: Vec<f64>,
     /// The first run's best objective value.
     pub best_objective: f64,
-    /// Real compute cost of the group in ms: the first *computed* (not
-    /// cache-served) wall-clock observed, falling back to the preserved
-    /// `compute_wall_ms` of cache/store hits. 0 when the store only holds
+    /// Real compute cost of the group in ms: the **sum** of
+    /// `compute_wall_ms` over the group's *fresh* records (neither
+    /// cache- nor store-served) — every fresh record paid for its own
+    /// engine run, so summing counts each run exactly once across
+    /// re-runs, resumes, and shard merges, while cache/store hits (which
+    /// merely *preserve* the original run's timing) are excluded to avoid
+    /// double-counting. When the group has no fresh records (every record
+    /// is a replay, or compaction stripped provenance), falls back to the
+    /// **max** preserved `compute_wall_ms` — the cost of the one engine
+    /// run all those replays point back to. 0 when the store only holds
     /// compacted records.
     pub compute_wall_ms: f64,
 }
@@ -244,6 +251,7 @@ impl ResultStore {
     /// dead holder's lock), and [`CampaignError::Io`] on filesystem
     /// failures.
     pub fn lock_waiting(&self, max_wait: Duration) -> Result<StoreLock, CampaignError> {
+        let _t = telemetry::Timer::start(telemetry::duration_histogram!("store_lock_wait_seconds"));
         let deadline = Instant::now() + max_wait;
         loop {
             if let Some(guard) = self.try_lock()? {
@@ -291,6 +299,8 @@ impl ResultStore {
     /// [`CampaignError::Locked`] if another writer holds the store lock
     /// past the bounded wait.
     pub fn append(&self, campaign: &str, outcome: &ScenarioOutcome) -> Result<(), CampaignError> {
+        let _t = telemetry::Timer::start(telemetry::duration_histogram!("store_append_seconds"));
+        telemetry::static_counter!("store_appends_total").inc();
         let _lock = self.lock()?;
         let mut line = Value::object();
         line.insert("campaign", campaign);
@@ -320,7 +330,10 @@ impl ResultStore {
             .append(true)
             .open(&self.path)?;
         file.write_all(text.as_bytes())?;
-        file.sync_data()?;
+        {
+            let _t = telemetry::Timer::start(telemetry::duration_histogram!("store_fsync_seconds"));
+            file.sync_data()?;
+        }
         Ok(())
     }
 
@@ -613,26 +626,35 @@ impl ResultStore {
     pub fn compare(&self) -> Result<Vec<CompareGroup>, CampaignError> {
         let records = self.load()?;
         let mut groups: Vec<CompareGroup> = Vec::new();
+        // Per-group cost accumulators (sum over fresh records, max over
+        // all records), folded into `compute_wall_ms` at the end — see
+        // the field's docs for the aggregation semantics.
+        let mut costs: Vec<(f64, f64)> = Vec::new();
         for record in &records {
+            let fresh = !record.from_cache && !record.from_store;
+            let fresh_ms = if fresh { record.compute_wall_ms } else { 0.0 };
             match groups
-                .iter_mut()
-                .find(|g| g.digest == record.digest && g.seed == record.seed)
+                .iter()
+                .position(|g| g.digest == record.digest && g.seed == record.seed)
             {
-                None => groups.push(CompareGroup {
-                    scenario: record.scenario.clone(),
-                    digest: record.digest.clone(),
-                    seed: record.seed,
-                    runs: 1,
-                    identical: true,
-                    best_alpha: record.best_alpha.clone(),
-                    best_objective: record.best_objective,
-                    compute_wall_ms: record.compute_wall_ms,
-                }),
-                Some(group) => {
+                None => {
+                    groups.push(CompareGroup {
+                        scenario: record.scenario.clone(),
+                        digest: record.digest.clone(),
+                        seed: record.seed,
+                        runs: 1,
+                        identical: true,
+                        best_alpha: record.best_alpha.clone(),
+                        best_objective: record.best_objective,
+                        compute_wall_ms: 0.0,
+                    });
+                    costs.push((fresh_ms, record.compute_wall_ms));
+                }
+                Some(i) => {
+                    let group = &mut groups[i];
                     group.runs += 1;
-                    if group.compute_wall_ms == 0.0 {
-                        group.compute_wall_ms = record.compute_wall_ms;
-                    }
+                    costs[i].0 += fresh_ms;
+                    costs[i].1 = costs[i].1.max(record.compute_wall_ms);
                     // Bit-identical means exact f64 equality, nothing
                     // fuzzier — except that two NaN results (stored as
                     // JSON null) count as reproducing each other: the
@@ -650,6 +672,13 @@ impl ResultStore {
                     }
                 }
             }
+        }
+        for (group, (fresh_sum, max_preserved)) in groups.iter_mut().zip(costs) {
+            group.compute_wall_ms = if fresh_sum > 0.0 {
+                fresh_sum
+            } else {
+                max_preserved
+            };
         }
         Ok(groups)
     }

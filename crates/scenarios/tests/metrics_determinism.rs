@@ -1,0 +1,64 @@
+//! Telemetry counters are deterministic per campaign: running the same
+//! campaign through two fresh runners moves `campaign_engine_runs_total`
+//! by the same amount, and re-running through the *same* runner converts
+//! every engine run into a cache hit.
+//!
+//! This file holds exactly one test: the counters are process-global, so
+//! sharing a binary with concurrently-running tests would make the deltas
+//! racy. As its own integration test it owns the whole process.
+
+use scenarios::{Campaign, CampaignRunner, Scenario, TaskKind};
+
+fn campaign() -> Campaign {
+    let tiny = |name: &str, sigma: &str, seed: u64| {
+        Scenario::new(name, vec![format!("lognormal:{sigma}").parse().unwrap()])
+            .seed(seed)
+            .budgets(3, 2, 1, 1)
+            .task(TaskKind::Moons {
+                samples: 80,
+                noise: 0.1,
+            })
+    };
+    Campaign::new(
+        "determinism",
+        vec![tiny("a", "0.3", 5), tiny("b", "0.6", 5)],
+    )
+}
+
+#[test]
+fn engine_run_and_cache_hit_counters_are_deterministic() {
+    let engine_runs = telemetry::static_counter!("campaign_engine_runs_total");
+    let cache_hits = telemetry::static_counter!("campaign_cache_hits_total");
+    let campaign = campaign();
+
+    // Same campaign, two fresh runners: identical counter deltas.
+    let mut deltas = Vec::new();
+    for _ in 0..2 {
+        let runner = CampaignRunner::new().quick(true);
+        let before = (engine_runs.get(), cache_hits.get());
+        let report = runner.run_campaign_report(&campaign, None).unwrap();
+        assert_eq!(report.completed, 2);
+        deltas.push((engine_runs.get() - before.0, cache_hits.get() - before.1));
+    }
+    assert_eq!(
+        deltas[0], deltas[1],
+        "the same campaign must move the counters identically on every fresh run"
+    );
+    assert_eq!(
+        deltas[0],
+        (2, 0),
+        "two distinct scenarios: two engine runs, no cache hits"
+    );
+
+    // Same runner again: the memo cache serves everything.
+    let runner = CampaignRunner::new().quick(true);
+    let _ = runner.run_campaign_report(&campaign, None).unwrap();
+    let before = (engine_runs.get(), cache_hits.get());
+    let report = runner.run_campaign_report(&campaign, None).unwrap();
+    assert_eq!(report.cache_served, 2);
+    assert_eq!(
+        (engine_runs.get() - before.0, cache_hits.get() - before.1),
+        (0, 2),
+        "a warm runner re-running the campaign must be all cache hits"
+    );
+}

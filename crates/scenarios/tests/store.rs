@@ -249,6 +249,42 @@ fn compare_reports_real_compute_cost_across_cache_hits() {
 }
 
 #[test]
+fn compare_sums_fresh_compute_cost_and_falls_back_to_max_for_replays() {
+    let store = ResultStore::open(temp_path("cost-agg"));
+    // Two *fresh* engine runs of the same key (a re-run without --resume)
+    // both paid real compute: the group's cost is their SUM, not the
+    // first non-zero value.
+    let text = format!(
+        "{}\n{}\n",
+        line("aaaa", 1, "s0", 0.5, 10.0),
+        line("aaaa", 1, "s0", 0.5, 7.0),
+    );
+    fs::write(store.path(), text).unwrap();
+    let groups = store.compare().unwrap();
+    assert_eq!(groups.len(), 1);
+    assert_eq!(
+        groups[0].compute_wall_ms, 17.0,
+        "every fresh run paid for its own engine run; the group cost sums them"
+    );
+
+    // All-replay group (e.g. two --resume passes): every record merely
+    // preserves the original run's timing, so summing would double-count.
+    // The group cost falls back to the max preserved value.
+    let replay = |ms: f64| {
+        line("bbbb", 2, "s1", 0.5, ms).replace(r#""from_store":false"#, r#""from_store":true"#)
+    };
+    fs::write(store.path(), format!("{}\n{}\n", replay(9.0), replay(9.0))).unwrap();
+    let groups = store.compare().unwrap();
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].runs, 2);
+    assert_eq!(
+        groups[0].compute_wall_ms, 9.0,
+        "replays preserve one original run's cost; max, not sum, avoids double-counting"
+    );
+    let _ = fs::remove_file(store.path());
+}
+
+#[test]
 fn held_lock_blocks_a_second_writer() {
     let store = ResultStore::open(temp_path("lock"));
     let _ = fs::remove_file(store.path());

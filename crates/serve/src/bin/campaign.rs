@@ -5,6 +5,7 @@
 //! campaign run <campaign.json> [--store <path>] [--shards <n>]
 //!              [--resume <path>] [--parallelism <n>]
 //!              [--shard-index <i> --shard-count <n>]
+//!              [--trace <file>] [--progress]
 //! campaign merge <out> <in...>
 //! campaign serve [--listen <addr>] [--store <path>] [--workers <n>]
 //!                [--shards <n>] [--parallelism <n>] [--queue <n>]
@@ -12,6 +13,7 @@
 //! campaign status [<job>] [--addr <addr>]
 //! campaign watch <job> [--addr <addr>]
 //! campaign cancel <job> [--addr <addr>]
+//! campaign metrics [--addr <addr>]
 //! campaign shutdown [--addr <addr>]
 //! campaign list [--store <path>]
 //! campaign compare [--store <path>]
@@ -30,9 +32,17 @@
 //! persisted in that store instead of recomputing them. `BENCH_QUICK=1`
 //! clamps every scenario to smoke-test budgets.
 //!
+//! `run --progress` prints one line per finished scenario as it lands
+//! (completion order, before the summary table); `run --trace <file>`
+//! records every span — per-scenario, engine stages, GP fit/acquisition —
+//! as a Chrome-trace-event JSON array loadable in `chrome://tracing` or
+//! Perfetto.
+//!
 //! `serve` runs the campaign service daemon; `submit`/`status`/`watch`/
-//! `cancel`/`shutdown` are its client verbs (line-delimited JSON over
-//! TCP, `--addr` defaulting to `127.0.0.1:4850`).
+//! `cancel`/`metrics`/`shutdown` are its client verbs (line-delimited
+//! JSON over TCP, `--addr` defaulting to `127.0.0.1:4850`). `metrics`
+//! prints the daemon's telemetry snapshot in Prometheus text exposition
+//! format.
 //!
 //! `list` prints the stored records; `compare` groups them by
 //! `(scenario-digest, seed)` and verifies that repeated runs reproduced
@@ -43,7 +53,7 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use scenarios::{Campaign, CampaignRunner, ResultStore};
+use scenarios::{Campaign, CampaignRunner, ResultStore, RunControl, ScenarioRun};
 use serde_json::Value;
 use serve::protocol::DEFAULT_ADDR;
 use serve::{Client, Daemon, ServeConfig};
@@ -64,6 +74,7 @@ fn main() -> ExitCode {
         "status" => cmd_status(&args[1..]),
         "watch" => cmd_watch(&args[1..]),
         "cancel" => cmd_cancel(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
         "shutdown" => cmd_shutdown(&args[1..]),
         "list" => cmd_list(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
@@ -87,6 +98,7 @@ const USAGE: &str = "usage:
   campaign run <campaign.json> [--store <path>] [--shards <n>]
                [--resume <path>] [--parallelism <n>]
                [--shard-index <i> --shard-count <n>]
+               [--trace <file>] [--progress]
   campaign merge <out> <in...>
   campaign serve [--listen <addr>] [--store <path>] [--workers <n>]
                  [--shards <n>] [--parallelism <n>] [--queue <n>]
@@ -94,6 +106,7 @@ const USAGE: &str = "usage:
   campaign status [<job>] [--addr <addr>]
   campaign watch <job> [--addr <addr>]
   campaign cancel <job> [--addr <addr>]
+  campaign metrics [--addr <addr>]
   campaign shutdown [--addr <addr>]
   campaign list [--store <path>]
   campaign compare [--store <path>]
@@ -106,6 +119,9 @@ const USAGE: &str = "usage:
                  'merge' unions their stores byte-identically
 --resume path    serve scenarios already persisted in this store instead
                  of recomputing them (implies --store path)
+--trace file     record telemetry spans as a Chrome trace-event JSON
+                 array (load in chrome://tracing or Perfetto)
+--progress       print one line per finished scenario, as it lands
 --addr a         daemon address for the client verbs (127.0.0.1:4850)
 BENCH_QUICK=1    clamps run budgets to smoke-test scale";
 
@@ -180,8 +196,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "resume",
             "shard-index",
             "shard-count",
+            "trace",
         ],
-        &[],
+        &["progress"],
     )?;
     let [path] = positional.as_slice() else {
         return Err(format!("'run' takes exactly one campaign file\n{USAGE}"));
@@ -212,6 +229,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     }
     let store = ResultStore::open(&store_path);
     let quick = quick_from_env();
+    let trace_path = flag(&flags, "trace").map(str::to_string);
+    if let Some(trace) = &trace_path {
+        telemetry::install_trace(std::path::Path::new(trace))
+            .map_err(|e| format!("cannot open trace file {trace}: {e}"))?;
+    }
+    let progress = flag(&flags, "progress").is_some();
 
     println!(
         "campaign '{}': {} scenario(s), {} shard(s){}{}{} -> {}",
@@ -247,9 +270,44 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             runner.resumable_runs()
         );
     }
+    // Completion-order progress lines via the same observer hook the
+    // daemon streams to `watch` subscribers.
+    let progress_observer = |run: &ScenarioRun| match &run.result {
+        Ok(outcome) => {
+            let served = if outcome.from_store {
+                " [store]"
+            } else if outcome.from_cache {
+                " [cache]"
+            } else {
+                ""
+            };
+            println!(
+                "[{}/{}] {}: best obj {:.4} in {:.0} ms{}",
+                run.index + 1,
+                run.total,
+                run.name,
+                outcome.report.best_objective,
+                outcome.compute_wall_ms,
+                served,
+            );
+        }
+        Err(e) => println!(
+            "[{}/{}] {}: FAILED: {e}",
+            run.index + 1,
+            run.total,
+            run.name
+        ),
+    };
+    let ctl = RunControl {
+        cancel: None,
+        observer: progress.then_some(&progress_observer as &(dyn Fn(&ScenarioRun) + Sync)),
+    };
     let report = runner
-        .run_campaign_report(&campaign, Some(&store))
+        .run_campaign_report_with(&campaign, Some(&store), ctl)
         .map_err(|e| e.to_string())?;
+    if trace_path.is_some() {
+        telemetry::finish_trace().map_err(|e| format!("finishing trace: {e}"))?;
+    }
     for warning in &report.warnings {
         eprintln!("warning: {warning}");
     }
@@ -308,6 +366,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         report.wall_ms,
         shard_walls.join(", "),
     );
+    if let Some(trace) = &trace_path {
+        println!("trace: {trace} (load in chrome://tracing or Perfetto)");
+    }
     if report.failed > 0 {
         eprintln!("{} scenario(s) failed", report.failed);
         return Ok(ExitCode::FAILURE);
@@ -557,6 +618,17 @@ fn cmd_cancel(args: &[String]) -> Result<ExitCode, String> {
         "{job}: {}",
         response.get("state").and_then(Value::as_str).unwrap_or("?"),
     );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_metrics(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args, &["addr"], &[])?;
+    if !positional.is_empty() {
+        return Err(format!("'metrics' takes no positional arguments\n{USAGE}"));
+    }
+    let mut client = connect(&flags)?;
+    let snapshot = client.metrics().map_err(|e| e.to_string())?;
+    print!("{snapshot}");
     Ok(ExitCode::SUCCESS)
 }
 

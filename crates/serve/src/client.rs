@@ -113,6 +113,21 @@ impl Client {
         })
     }
 
+    /// Fetches the daemon's telemetry snapshot in Prometheus text
+    /// exposition format.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let response = self.request(&Request::Metrics)?;
+        response
+            .get("metrics")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::Protocol("metrics response is missing 'metrics'".into()))
+    }
+
     /// Asks the daemon to drain and exit.
     ///
     /// # Errors

@@ -8,14 +8,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use scenarios::{
     Campaign, CampaignError, CampaignReport, CampaignRunner, ResultStore, RunControl, ScenarioRun,
 };
 use serde_json::Value;
 
-use crate::protocol::{err_response, ok_response, write_line, Request};
+use crate::protocol::{err_response, ok_response, Request};
 
 /// How long idle waits (worker queue, watcher events, accept loop,
 /// connection reads) sleep before re-checking the shutdown flag.
@@ -106,6 +106,20 @@ struct Job {
     /// Full event history, replayed to watchers that subscribe late.
     events: Vec<Value>,
     error: Option<String>,
+    /// When `submit` accepted the job; end-to-end latency (submission to
+    /// terminal state) lands in the `daemon_job_seconds` histogram.
+    submitted: Instant,
+}
+
+/// Publish the current queue depth; call after every queue mutation.
+fn sync_queue_depth(st: &DaemonState) {
+    telemetry::static_gauge!("daemon_queue_depth").set(st.queue.len() as i64);
+}
+
+/// Record a job's submission-to-terminal latency. Call exactly once, at
+/// the transition into a terminal state.
+fn observe_job_terminal(job: &Job) {
+    telemetry::duration_histogram!("daemon_job_seconds").observe_duration(job.submitted.elapsed());
 }
 
 struct DaemonState {
@@ -223,7 +237,7 @@ impl Daemon {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("campaign-worker-{w}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, w))
                     .expect("spawn campaign worker")
             })
             .collect();
@@ -255,12 +269,18 @@ impl Daemon {
 }
 
 /// Worker: pop jobs FIFO until shutdown empties the queue for good.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
+    // Labelled per-worker utilization counter; registered once per
+    // worker thread, then pure atomics.
+    let busy_ms = telemetry::counter(&format!(
+        "daemon_worker_busy_ms_total{{worker=\"{worker}\"}}"
+    ));
     loop {
         let job_ix = {
             let mut st = lock_state(shared);
             loop {
                 if let Some(ix) = st.queue.pop_front() {
+                    sync_queue_depth(&st);
                     break Some(ix);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -274,7 +294,11 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match job_ix {
-            Some(ix) => run_job(shared, ix),
+            Some(ix) => {
+                let started = Instant::now();
+                run_job(shared, ix);
+                busy_ms.add(started.elapsed().as_millis() as u64);
+            }
             None => return,
         }
     }
@@ -289,6 +313,7 @@ fn run_job(shared: &Shared, ix: usize) {
         // spending compute.
         if job.cancel.load(Ordering::SeqCst) {
             job.state = JobState::Cancelled;
+            observe_job_terminal(job);
             let event = done_event(&job.id, JobState::Cancelled);
             job.events.push(event);
             drop(st);
@@ -362,6 +387,7 @@ fn run_job(shared: &Shared, ix: usize) {
             let mut event = done_event(&job.id, job.state);
             report_counters(&mut event, &report);
             job.events.push(event);
+            observe_job_terminal(job);
         }
         Err(e) => {
             job.state = JobState::Failed;
@@ -369,6 +395,7 @@ fn run_job(shared: &Shared, ix: usize) {
             let mut event = done_event(&job.id, JobState::Failed);
             event.insert("error", e.to_string());
             job.events.push(event);
+            observe_job_terminal(job);
         }
     }
     drop(st);
@@ -429,18 +456,28 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
                 Err(e) => return Err(e),
             }
         }
+        telemetry::static_counter!("daemon_bytes_read_total").add(line.len() as u64);
         if line.trim().is_empty() {
             continue;
         }
         match Request::parse(&line) {
-            Err(message) => write_line(&mut writer, &err_response(&message))?,
+            Err(message) => send(&mut writer, &err_response(&message))?,
             Ok(Request::Watch { job }) => watch_job(&mut writer, shared, &job)?,
             Ok(request) => {
                 let response = handle_request(shared, request);
-                write_line(&mut writer, &response)?;
+                send(&mut writer, &response)?;
             }
         }
     }
+}
+
+/// [`crate::protocol::write_line`] with the daemon's bytes-on-wire
+/// accounting.
+fn send(writer: &mut impl std::io::Write, value: &Value) -> std::io::Result<()> {
+    let mut text = serde_json::to_string(value);
+    text.push('\n');
+    telemetry::static_counter!("daemon_bytes_written_total").add(text.len() as u64);
+    writer.write_all(text.as_bytes())
 }
 
 /// Everything except `watch`: one response line per request.
@@ -464,6 +501,11 @@ fn handle_request(shared: &Shared, request: Request) -> Value {
         Request::Status { job } => status(shared, job.as_deref()),
         Request::Cancel { job } => cancel(shared, &job),
         Request::Watch { .. } => unreachable!("watch is dispatched by the caller"),
+        Request::Metrics => {
+            let mut response = ok_response();
+            response.insert("metrics", Value::String(telemetry::render_prometheus()));
+            response
+        }
         Request::Shutdown => shutdown(shared),
     }
 }
@@ -502,8 +544,11 @@ fn submit(shared: &Shared, campaign: &Value) -> Value {
         cancel: Arc::new(AtomicBool::new(false)),
         events: vec![event],
         error: None,
+        submitted: Instant::now(),
     });
     st.queue.push_back(ix);
+    telemetry::static_counter!("daemon_jobs_submitted_total").inc();
+    sync_queue_depth(&st);
     drop(st);
     shared.job_cv.notify_one();
     shared.event_cv.notify_all();
@@ -579,8 +624,10 @@ fn cancel(shared: &Shared, id: &str) -> Value {
     if state == JobState::Queued {
         // Never reaches a worker: finalize it here.
         st.queue.retain(|&queued| queued != ix);
+        sync_queue_depth(&st);
         let job = &mut st.jobs[ix];
         job.state = JobState::Cancelled;
+        observe_job_terminal(job);
         let event = done_event(&job.id, JobState::Cancelled);
         job.events.push(event);
     }
@@ -603,9 +650,11 @@ fn shutdown(shared: &Shared) -> Value {
         let job = &mut st.jobs[ix];
         job.cancel.store(true, Ordering::SeqCst);
         job.state = JobState::Cancelled;
+        observe_job_terminal(job);
         let event = done_event(&job.id, JobState::Cancelled);
         job.events.push(event);
     }
+    sync_queue_depth(&st);
     let draining = st
         .jobs
         .iter()
@@ -626,7 +675,7 @@ fn watch_job(writer: &mut TcpStream, shared: &Shared, id: &str) -> std::io::Resu
         let st = lock_state(shared);
         match st.jobs.iter().position(|j| j.id == id) {
             None => {
-                return write_line(writer, &err_response(&format!("unknown job '{id}'")));
+                return send(writer, &err_response(&format!("unknown job '{id}'")));
             }
             Some(ix) => ix,
         }
@@ -634,7 +683,7 @@ fn watch_job(writer: &mut TcpStream, shared: &Shared, id: &str) -> std::io::Resu
     let mut acknowledged = ok_response();
     acknowledged.insert("job", id);
     acknowledged.insert("watching", true);
-    write_line(writer, &acknowledged)?;
+    send(writer, &acknowledged)?;
     let mut sent = 0;
     loop {
         let (batch, finished) = {
@@ -657,7 +706,7 @@ fn watch_job(writer: &mut TcpStream, shared: &Shared, id: &str) -> std::io::Resu
             }
         };
         for event in &batch {
-            write_line(writer, event)?;
+            send(writer, event)?;
         }
         if finished {
             return Ok(());

@@ -11,9 +11,10 @@
 //!   that drives [`CampaignRunner`](scenarios::CampaignRunner) jobs
 //!   through one shared memo cache — content-aliased scenarios across
 //!   *different* clients still resolve to a single engine run.
-//! * [`Client`] — `campaign submit`/`status`/`watch`/`cancel`/`shutdown`:
-//!   the same protocol from the other end, streaming per-scenario
-//!   progress events for watched jobs.
+//! * [`Client`] — `campaign submit`/`status`/`watch`/`cancel`/`metrics`/
+//!   `shutdown`: the same protocol from the other end, streaming
+//!   per-scenario progress events for watched jobs and snapshotting the
+//!   daemon's [`telemetry`] registry in Prometheus text format.
 //! * [`protocol`] — the request/response/event grammar both sides share.
 //!
 //! Crash-safety is inherited, not reimplemented: jobs persist through the

@@ -13,6 +13,7 @@
 //! {"cmd": "status", "job": "job-1"} — one job
 //! {"cmd": "watch",  "job": "job-1"}
 //! {"cmd": "cancel", "job": "job-1"}
+//! {"cmd": "metrics"}                — telemetry snapshot (Prometheus text)
 //! {"cmd": "shutdown"}
 //! ```
 //!
@@ -55,6 +56,9 @@ pub enum Request {
         /// Job ID.
         job: String,
     },
+    /// Snapshot every process-wide telemetry metric; the response carries
+    /// the Prometheus text exposition in its `"metrics"` field.
+    Metrics,
     /// Stop accepting work, cancel the queue, drain running jobs, exit.
     Shutdown,
 }
@@ -94,6 +98,7 @@ impl Request {
             }),
             "watch" => Ok(Request::Watch { job: job(&value)? }),
             "cancel" => Ok(Request::Cancel { job: job(&value)? }),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown cmd '{other}'")),
         }
@@ -123,6 +128,9 @@ impl Request {
             Request::Cancel { job } => {
                 value.insert("cmd", "cancel");
                 value.insert("job", job.as_str());
+            }
+            Request::Metrics => {
+                value.insert("cmd", "metrics");
             }
             Request::Shutdown => {
                 value.insert("cmd", "shutdown");

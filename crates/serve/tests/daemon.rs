@@ -322,3 +322,117 @@ fn restarted_daemon_resumes_from_the_persisted_prefix() {
     let _ = std::fs::remove_file(&store_path);
     let _ = std::fs::remove_file(&direct_path);
 }
+
+#[test]
+fn status_stays_consistent_under_concurrent_submissions() {
+    // No workers: every accepted job stays queued, so the status listing
+    // is deterministic no matter how the submissions raced.
+    let store_path = temp_store("concurrent-status");
+    let mut config = config(&store_path, 0);
+    config.queue_capacity = 16;
+    let (addr, daemon) = start(config);
+
+    const CLIENTS: usize = 6;
+    let submitters: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let campaign = Campaign::new(
+                    format!("c{i}"),
+                    vec![tiny(&format!("s{i}"), &["lognormal:0.4"], i as u64 + 1)],
+                );
+                let mut client = Client::connect(&addr).unwrap();
+                client.submit(campaign.to_json()).unwrap()
+            })
+        })
+        .collect();
+    let mut ids: Vec<String> = submitters.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every submitter got a distinct job ID from the contiguous range.
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), CLIENTS, "job IDs must be unique: {ids:?}");
+    for ix in 1..=CLIENTS {
+        assert!(
+            ids.contains(&format!("job-{ix}")),
+            "missing job-{ix}: {ids:?}"
+        );
+    }
+
+    // One status snapshot sees all of them, each exactly once, all queued.
+    let mut client = Client::connect(&addr).unwrap();
+    let status = client.status(None).unwrap();
+    assert_eq!(u64_field(&status, "queued"), CLIENTS as u64);
+    let jobs = status.get("jobs").and_then(Value::as_array).unwrap();
+    assert_eq!(jobs.len(), CLIENTS);
+    for job in jobs {
+        assert_eq!(job.get("state").and_then(Value::as_str), Some("queued"));
+    }
+
+    // Per-job status agrees with the listing for every ID.
+    for id in &ids {
+        let one = client.status(Some(id)).unwrap();
+        assert_eq!(
+            one.get("job")
+                .and_then(|j| j.get("state"))
+                .and_then(Value::as_str),
+            Some("queued")
+        );
+    }
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&store_path);
+}
+
+#[test]
+fn metrics_verb_returns_a_prometheus_snapshot() {
+    let store_path = temp_store("metrics");
+    let (addr, daemon) = start(config(&store_path, 1));
+    let campaign = Campaign::new("observed", vec![tiny("only", &["lognormal:0.5"], 11)]);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit(campaign.to_json()).unwrap();
+    let done = client.watch(&job, |_| {}).unwrap();
+    assert_eq!(done.get("state").and_then(Value::as_str), Some("done"));
+
+    let text = client.metrics().unwrap();
+    // Counters, gauges, and histograms covering runner, store, and daemon
+    // — with their TYPE declarations.
+    for family in [
+        "campaign_engine_runs_total",
+        "store_appends_total",
+        "daemon_jobs_submitted_total",
+        "daemon_bytes_read_total",
+        "daemon_bytes_written_total",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} counter\n")),
+            "missing counter {family} in:\n{text}"
+        );
+    }
+    assert!(text.contains("# TYPE daemon_queue_depth gauge\n"));
+    assert!(text.contains("daemon_queue_depth 0\n"), "queue drained");
+    for family in [
+        "daemon_job_seconds",
+        "campaign_scenario_seconds",
+        "store_append_seconds",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} histogram\n")),
+            "missing histogram {family} in:\n{text}"
+        );
+        assert!(text.contains(&format!("{family}_bucket{{le=\"+Inf\"}}")));
+        assert!(text.contains(&format!("{family}_sum")));
+        assert!(text.contains(&format!("{family}_count")));
+    }
+    // Per-worker utilization carries a worker label.
+    assert!(
+        text.contains("daemon_worker_busy_ms_total{worker=\"0\"}"),
+        "missing per-worker counter in:\n{text}"
+    );
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&store_path);
+}

@@ -109,6 +109,7 @@ pub fn im2col(image: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
 ///
 /// Panics if either slice length disagrees with the geometry.
 pub fn im2col_into(src: &[f32], dst: &mut [f32], spec: &Conv2dSpec, h: usize, w: usize) {
+    let _t = telemetry::Timer::start(telemetry::duration_histogram!("tensor_im2col_seconds"));
     let (oh, ow) = spec.output_hw(h, w);
     let k = spec.kernel;
     assert_eq!(
@@ -179,6 +180,7 @@ pub fn col2im(col: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
 ///
 /// Panics if either slice length disagrees with the geometry.
 pub fn col2im_into(src: &[f32], dst: &mut [f32], spec: &Conv2dSpec, h: usize, w: usize) {
+    let _t = telemetry::Timer::start(telemetry::duration_histogram!("tensor_col2im_seconds"));
     let (oh, ow) = spec.output_hw(h, w);
     let k = spec.kernel;
     assert_eq!(

@@ -78,6 +78,7 @@ fn axpy_row(s: f32, b: &[f32], c: &mut [f32]) {
 ///
 /// Panics if slice lengths disagree with `m`, `k`, `n`.
 pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = telemetry::Timer::start(telemetry::duration_histogram!("tensor_gemm_seconds"));
     assert_eq!(a.len(), m * k, "gemm_into lhs length mismatch");
     assert_eq!(b.len(), k * n, "gemm_into rhs length mismatch");
     assert_eq!(c.len(), m * n, "gemm_into output length mismatch");
@@ -99,6 +100,7 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
 ///
 /// See [`gemm_into`] for zeroing and panic behaviour.
 pub fn gemm_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = telemetry::Timer::start(telemetry::duration_histogram!("tensor_gemm_seconds"));
     assert_eq!(a.len(), k * m, "gemm_tn_into lhs length mismatch");
     assert_eq!(b.len(), k * n, "gemm_tn_into rhs length mismatch");
     assert_eq!(c.len(), m * n, "gemm_tn_into output length mismatch");
@@ -128,6 +130,7 @@ pub fn gemm_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: 
 /// The variants still agree bitwise — the `nn`/`tn` skip only fires when
 /// it is numerically transparent.
 pub fn gemm_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = telemetry::Timer::start(telemetry::duration_histogram!("tensor_gemm_seconds"));
     assert_eq!(a.len(), m * k, "gemm_nt_into lhs length mismatch");
     assert_eq!(b.len(), n * k, "gemm_nt_into rhs length mismatch");
     assert_eq!(c.len(), m * n, "gemm_nt_into output length mismatch");

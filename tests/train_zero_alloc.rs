@@ -9,6 +9,13 @@
 //! everything executes on the main thread, so the process-wide allocation
 //! counters see no concurrent harness activity (libtest's waiting main
 //! thread allocates channel wakeups mid-window otherwise).
+//!
+//! The hot path is *instrumented*: every gemm/im2col/col2im call records
+//! into a `telemetry` histogram. Metric registration (the only allocating
+//! telemetry step) happens during warm-up, so the zero-allocation
+//! assertions double as proof that recording itself — `Instant::now` plus
+//! a few relaxed atomics — allocates nothing; the final check confirms
+//! the instrumentation was actually live inside the measured window.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -205,4 +212,40 @@ fn steady_state_training_step_allocates_nothing() {
         a1 - a0,
         b1 - b0,
     );
+
+    // --- Telemetry is live AND allocation-free in the steady state. ---
+    // The kernels above record into these histograms on every call; if
+    // instrumentation were compiled out (or the timers allocated), one of
+    // the two assertions below would fail.
+    let gemm = telemetry::duration_histogram!("tensor_gemm_seconds");
+    let im2col = telemetry::duration_histogram!("tensor_im2col_seconds");
+    // Fresh optimizer/workspace for the LeNet (the detector's momentum
+    // buffers have detector shapes); warm-up re-fills both.
+    let mut opt = Sgd::new(0.05).momentum(0.9).clip_norm(5.0);
+    let mut ws = Workspace::new();
+    for _ in 0..2 {
+        acc += epoch(&mut lenet, &img_batches, &mut opt, &mut ws);
+    }
+    let gemm_before = gemm.count();
+    let im2col_before = im2col.count();
+    let (a0, b0) = allocs();
+    acc += epoch(&mut lenet, &img_batches, &mut opt, &mut ws);
+    let (a1, b1) = allocs();
+    assert!(acc.is_finite());
+    assert_eq!(
+        a1 - a0,
+        0,
+        "instrumented LeNet epoch allocated {} times ({} bytes)",
+        a1 - a0,
+        b1 - b0,
+    );
+    assert!(
+        gemm.count() > gemm_before,
+        "gemm kernels must record into tensor_gemm_seconds during the measured epoch"
+    );
+    assert!(
+        im2col.count() > im2col_before,
+        "conv lowering must record into tensor_im2col_seconds during the measured epoch"
+    );
+    assert!(gemm.sum() > 0.0 && gemm.sum().is_finite());
 }
