@@ -293,6 +293,7 @@ mod tests {
                     let x: Vec<f64> = (0..2).map(|_| rng.gen::<f64>()).collect();
                     objective(&x)
                 })
+                // lint:allow(R2, reason = "test objective is a finite polynomial; maxNum fold is fine")
                 .fold(f64::NEG_INFINITY, f64::max);
             rand_best_sum += best;
         }

@@ -220,16 +220,34 @@ mod tests {
         assert_eq!(batches[0].0.row(0), &[0.0, 1.0]);
     }
 
+    /// NaN-total canonical ordering for multiset comparison. total_cmp
+    /// (not partial_cmp().unwrap()) so a NaN feature value yields a
+    /// comparison failure with a diff, not a panic inside the sort.
+    fn canonical(values: &[f32]) -> Vec<f32> {
+        let mut v = values.to_vec();
+        v.sort_by(|x, y| x.total_cmp(y));
+        v
+    }
+
     #[test]
     fn shuffled_preserves_multiset() {
         let d = toy();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let s = d.shuffled(&mut rng);
-        let mut a: Vec<f32> = d.images().as_slice().to_vec();
-        let mut b: Vec<f32> = s.images().as_slice().to_vec();
-        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let a = canonical(d.images().as_slice());
+        let b = canonical(s.images().as_slice());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_ordering_survives_nan_features() {
+        // Regression: partial_cmp(..).unwrap() panicked here instead of
+        // reporting a multiset mismatch when a feature was NaN.
+        let v = canonical(&[2.0, f32::NAN, -1.0, f32::NEG_INFINITY]);
+        assert_eq!(v[0], f32::NEG_INFINITY);
+        assert_eq!(v[1], -1.0);
+        assert_eq!(v[2], 2.0);
+        assert!(v[3].is_nan(), "total_cmp ranks (positive) NaN above +inf");
     }
 
     #[test]

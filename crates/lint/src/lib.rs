@@ -1,0 +1,83 @@
+//! Workspace invariant linter.
+//!
+//! The compiler cannot check the three contracts PRs 3–7 earned — hot
+//! paths stay allocation-free, float rankings stay NaN-total, and the
+//! daemon never panics on client bytes — so this crate does, with the
+//! same hand-rolled, dependency-free style as the JSON parser and the
+//! telemetry registry. See the README's "Static analysis" section for
+//! the rule catalog and the suppression contract.
+//!
+//! Pipeline: [`tokenizer`] (comment/string/raw-string aware) →
+//! [`scan`] (fn items, test regions, `lint:allow` directives) →
+//! [`rules`] (R1–R4 over an intra-crate call-graph approximation).
+
+pub mod rules;
+pub mod scan;
+pub mod tokenizer;
+
+use std::path::Path;
+
+pub use rules::{Config, Finding, Report};
+
+/// Lints in-memory sources; `(path, source, force_test)` per file.
+/// The unit tests and fixture suite drive this directly.
+pub fn lint_sources(sources: &[(String, String, bool)], cfg: &Config) -> Report {
+    let files: Vec<scan::FileScan> = sources
+        .iter()
+        .map(|(path, src, force_test)| {
+            scan::scan_file(path.clone(), tokenizer::tokenize(src), *force_test)
+        })
+        .collect();
+    rules::run(&files, cfg)
+}
+
+/// Reads and lints files from disk. Paths are reported relative to
+/// `root` with `/` separators; files under a `tests/` directory are
+/// treated as test code wholesale.
+///
+/// # Errors
+///
+/// Returns the first I/O error; unreadable files are findings-level
+/// problems the caller should surface, not skip.
+pub fn lint_paths(
+    root: &Path,
+    paths: &[std::path::PathBuf],
+    cfg: &Config,
+) -> std::io::Result<Report> {
+    let mut sources = Vec::with_capacity(paths.len());
+    for path in paths {
+        let src = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        // Integration-test trees are test code wholesale — except lint
+        // fixtures, which model production code on purpose.
+        let force_test =
+            (rel.contains("/tests/") || rel.starts_with("tests/")) && !rel.contains("/fixtures/");
+        sources.push((rel, src, force_test));
+    }
+    Ok(lint_sources(&sources, cfg))
+}
+
+/// Renders the allow summary table: one row per suppression in force,
+/// so every escape hatch and its written reason stays visible.
+pub fn render_allow_summary(report: &Report) -> String {
+    if report.allows_in_force.is_empty() {
+        return "suppressions in force: none\n".to_string();
+    }
+    let mut out = format!("suppressions in force: {}\n", report.allows_in_force.len());
+    let width = report
+        .allows_in_force
+        .iter()
+        .map(|a| format!("{}:{}", a.path, a.line).len())
+        .max()
+        .unwrap_or(0);
+    for a in &report.allows_in_force {
+        let loc = format!("{}:{}", a.path, a.line);
+        out.push_str(&format!("  {loc:width$}  {}  {}\n", a.rule, a.reason));
+    }
+    out
+}

@@ -1,0 +1,199 @@
+//! `cargo run -p lint` — lint the workspace; nonzero exit on findings.
+//!
+//! ```text
+//! lint [--root DIR] [--self-check] [FILE…]
+//! ```
+//!
+//! With no file arguments, walks the workspace's own source trees
+//! (`crates/*/{src,tests}`, root `src/`, `tests/`, `examples/`),
+//! skipping `vendor/`, `target/`, and the linter's own trip-fixtures.
+//! `--self-check` instead asserts the rule engine still fires on its
+//! trip fixtures and stays quiet on its pass fixtures — the CI gate
+//! runs it first so the gate itself cannot silently rot.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lint::rules::Config;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut self_check = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--self-check" => self_check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: lint [--root DIR] [--self-check] [FILE…]");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    if self_check {
+        return run_self_check(&root);
+    }
+    if files.is_empty() {
+        files = workspace_files(&root);
+        if files.is_empty() {
+            eprintln!("lint: no source files found under {}", root.display());
+            return ExitCode::from(2);
+        }
+    }
+    let report = match lint::lint_paths(&root, &files, &Config::default()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{}", finding.render());
+    }
+    print!("{}", lint::render_allow_summary(&report));
+    if report.clean() {
+        println!("lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("lint: {} finding(s)", report.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: nearest ancestor of the linter's manifest dir
+/// holding a `Cargo.toml` with a `[workspace]` table (falls back to the
+/// current directory so `lint --root` stays optional everywhere).
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Source trees the workspace invariants cover.
+fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            collect_rs(&dir.join("src"), &mut files);
+            let tests = dir.join("tests");
+            // The linter's fixtures are *supposed* to trip rules.
+            if dir.file_name().is_some_and(|n| n == "lint") {
+                collect_rs_filtered(&tests, &mut files, &|p| {
+                    !p.components().any(|c| c.as_os_str() == "fixtures")
+                });
+            } else {
+                collect_rs(&tests, &mut files);
+            }
+        }
+    }
+    collect_rs(&root.join("src"), &mut files);
+    collect_rs(&root.join("tests"), &mut files);
+    collect_rs(&root.join("examples"), &mut files);
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    collect_rs_filtered(dir, out, &|_| true);
+}
+
+fn collect_rs_filtered(dir: &Path, out: &mut Vec<PathBuf>, keep: &dyn Fn(&Path) -> bool) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_filtered(&path, out, keep);
+        } else if path.extension().is_some_and(|e| e == "rs") && keep(&path) {
+            out.push(path);
+        }
+    }
+}
+
+/// Asserts the gate still gates: every `*_trip.rs` fixture must produce
+/// at least one finding of its rule, every `*_pass.rs` fixture none,
+/// and the allow fixture must suppress R2 while reporting its
+/// reason-less directive. Exit nonzero on any miss.
+fn run_self_check(root: &Path) -> ExitCode {
+    let fixtures = root.join("crates/lint/tests/fixtures");
+    let mut failures = Vec::new();
+    let cfg = Config {
+        // Fixtures live outside the real service paths; scope R3 onto
+        // them so its trip/pass pair is exercised.
+        r3_paths: vec!["fixtures/r3".into()],
+        r4_exempt: Vec::new(),
+    };
+    for rule in ["r1", "r2", "r3", "r4"] {
+        let rule_id = rule.to_uppercase();
+        for (suffix, want_findings) in [("trip", true), ("pass", false)] {
+            let path = fixtures.join(format!("{rule}_{suffix}.rs"));
+            let report = match lint::lint_paths(root, std::slice::from_ref(&path), &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    failures.push(format!("{}: {e}", path.display()));
+                    continue;
+                }
+            };
+            let hits = report.findings.iter().filter(|f| f.rule == rule_id).count();
+            if want_findings && hits == 0 {
+                failures.push(format!(
+                    "{rule}_{suffix}.rs: expected {rule_id} findings, got none — the \
+                     rule has gone blind"
+                ));
+            }
+            if !want_findings && !report.findings.is_empty() {
+                failures.push(format!(
+                    "{rule}_{suffix}.rs: expected a clean pass, got: {}",
+                    report
+                        .findings
+                        .iter()
+                        .map(lint::Finding::render)
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                ));
+            }
+        }
+    }
+    let allow_path = fixtures.join("allow.rs");
+    match lint::lint_paths(root, &[allow_path], &cfg) {
+        Ok(report) => {
+            if report.allows_in_force.is_empty() {
+                failures.push("allow.rs: expected a suppression in force".into());
+            }
+            if !report.findings.iter().any(|f| f.rule == "R0") {
+                failures.push("allow.rs: expected the reason-less directive to be reported".into());
+            }
+        }
+        Err(e) => failures.push(format!("allow.rs: {e}")),
+    }
+    if failures.is_empty() {
+        println!("lint self-check: fixtures trip and pass as designed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("lint self-check FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,626 @@
+//! The four rule families, run over scanned files.
+//!
+//! - **R1 alloc-in-hot-path** — allocation calls inside `*_ws` /
+//!   `*_into` / `*_into_ws` functions and their same-crate callees.
+//! - **R2 nan-unsafe-ordering** — `partial_cmp`, comparator-less
+//!   `max_by`/`min_by`, and `f32::max`-style folds on floats.
+//! - **R3 panic-on-input** — `unwrap`/`expect`/`panic!`/literal
+//!   indexing in service code that handles client requests or
+//!   persisted records.
+//! - **R4 telemetry-hygiene** — metric names must be lowercase
+//!   snake-case with conventional suffixes and registered through the
+//!   `static_*!` / `duration_histogram!` macros, never ad-hoc.
+//!
+//! Plus **R0**: a malformed suppression (`lint:allow` without a
+//! written reason, or one that matches nothing) is itself a finding —
+//! the escape hatch must never rot silently.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::scan::{is_keyword, FileScan};
+use crate::tokenizer::{Tok, TokKind};
+
+/// How the linter is scoped to a workspace.
+pub struct Config {
+    /// Path substrings where R3 (panic-on-input) applies.
+    pub r3_paths: Vec<String>,
+    /// Path substrings where R4 is off (the telemetry registry itself).
+    pub r4_exempt: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            // The daemon's request-handling surface and the persisted
+            // record store: exactly the code a malicious or corrupt
+            // input reaches.
+            r3_paths: vec![
+                "crates/serve/src/protocol.rs".into(),
+                "crates/serve/src/daemon.rs".into(),
+                "crates/scenarios/src/store.rs".into(),
+            ],
+            r4_exempt: vec!["crates/telemetry/".into()],
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug)]
+pub struct Finding {
+    /// Rule ID (`R0`–`R4`).
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl Finding {
+    /// The canonical one-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {} {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A suppression that matched at least one finding — surfaced in the
+/// summary table so the allow inventory stays auditable.
+#[derive(Debug)]
+pub struct AllowRecord {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub reason: String,
+}
+
+/// Everything one lint run produced.
+#[derive(Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub allows_in_force: Vec<AllowRecord>,
+}
+
+impl Report {
+    /// True when the run should exit zero.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+const RULES: [&str; 4] = ["R1", "R2", "R3", "R4"];
+
+/// Is this function a zero-alloc hot-path root by naming convention?
+fn is_hot_root(name: &str) -> bool {
+    name.ends_with("_ws") || name.ends_with("_into") || name.ends_with("_into_ws")
+}
+
+/// Runs every rule over the scanned files and resolves suppressions.
+pub fn run(files: &[FileScan], cfg: &Config) -> Report {
+    let mut raw: Vec<Finding> = Vec::new();
+    rule_r1(files, &mut raw);
+    for file in files {
+        rule_r2(file, &mut raw);
+        if cfg.r3_paths.iter().any(|p| file.path.contains(p.as_str())) {
+            rule_r3(file, &mut raw);
+        }
+        if !cfg.r4_exempt.iter().any(|p| file.path.contains(p.as_str())) {
+            rule_r4(file, &mut raw);
+        }
+    }
+    apply_allows(files, raw)
+}
+
+/// Matches findings against `lint:allow` directives, producing the
+/// final report: suppressed findings become allow records, reason-less
+/// or unused directives become R0 findings.
+fn apply_allows(files: &[FileScan], raw: Vec<Finding>) -> Report {
+    let mut report = Report::default();
+    // (path, applies_line, rule) -> directive bookkeeping.
+    let mut used: HashMap<(String, u32), Vec<bool>> = HashMap::new();
+    for file in files {
+        for (ai, allow) in file.allows.iter().enumerate() {
+            used.entry((file.path.clone(), allow.applies_line))
+                .or_insert_with(|| vec![false; file.allows.len()])
+                .resize(file.allows.len().max(ai + 1), false);
+        }
+    }
+    for finding in raw {
+        let mut suppressed = false;
+        if let Some(file) = files.iter().find(|f| f.path == finding.path) {
+            for (ai, allow) in file.allows.iter().enumerate() {
+                if allow.applies_line == finding.line
+                    && allow.rules.iter().any(|r| r == finding.rule)
+                {
+                    if let Some(flags) = used.get_mut(&(file.path.clone(), allow.applies_line)) {
+                        flags[ai] = true;
+                    }
+                    report.allows_in_force.push(AllowRecord {
+                        path: file.path.clone(),
+                        line: allow.line,
+                        rule: RULES
+                            .iter()
+                            .find(|r| **r == finding.rule)
+                            .copied()
+                            .unwrap_or("R?"),
+                        reason: allow.reason.clone().unwrap_or_default(),
+                    });
+                    suppressed = true;
+                    break;
+                }
+            }
+        }
+        if !suppressed {
+            report.findings.push(finding);
+        }
+    }
+    // Directive hygiene: every allow needs a reason, and must suppress
+    // something.
+    for file in files {
+        for (ai, allow) in file.allows.iter().enumerate() {
+            let was_used = used
+                .get(&(file.path.clone(), allow.applies_line))
+                .and_then(|flags| flags.get(ai))
+                .copied()
+                .unwrap_or(false);
+            if allow.reason.is_none() {
+                report.findings.push(Finding {
+                    rule: "R0",
+                    path: file.path.clone(),
+                    line: allow.line,
+                    col: 1,
+                    message: "suppression-missing-reason: every `lint:allow` must carry \
+                              `reason = \"…\"` explaining why the rule does not apply"
+                        .into(),
+                });
+            } else if !was_used {
+                report.findings.push(Finding {
+                    rule: "R0",
+                    path: file.path.clone(),
+                    line: allow.line,
+                    col: 1,
+                    message: format!(
+                        "unused-suppression: `lint:allow({})` matched no finding — delete it \
+                         or move it next to the code it excuses",
+                        allow.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    report
+        .allows_in_force
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report.allows_in_force.dedup_by(|a, b| {
+        a.path == b.path && a.line == b.line && a.rule == b.rule && a.reason == b.reason
+    });
+    report
+}
+
+/// The crate a file belongs to, for intra-crate call resolution:
+/// `crates/<name>/…` → `<name>`, everything else → the root package.
+fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("root")
+}
+
+// ---------------------------------------------------------------------
+// R1: alloc-in-hot-path
+// ---------------------------------------------------------------------
+
+/// A bare `name(` call site (not `.name(`, not `path::name(`, not
+/// `name!`): the only calls the intra-crate graph can resolve without
+/// type information. Method and cross-crate calls are out of scope by
+/// design — documented in the README.
+fn bare_calls(code: &[Tok], body: std::ops::Range<usize>) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in body.clone() {
+        let t = &code[i];
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            continue;
+        }
+        if !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if i > 0 && (code[i - 1].is_punct('.') || code[i - 1].is_punct(':')) {
+            continue;
+        }
+        out.push(t.text.clone());
+    }
+    out
+}
+
+/// Function name → definition sites (file index, fn index) in one crate.
+type FnIndex<'a> = HashMap<&'a str, Vec<(usize, usize)>>;
+
+fn rule_r1(files: &[FileScan], out: &mut Vec<Finding>) {
+    // name -> (file index, fn index) per crate, for call resolution.
+    let mut by_crate: HashMap<&str, FnIndex> = HashMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        let map = by_crate.entry(crate_of(&file.path)).or_default();
+        for (ni, f) in file.fns.iter().enumerate() {
+            map.entry(f.name.as_str()).or_default().push((fi, ni));
+        }
+    }
+    // BFS from hot roots through bare intra-crate calls. `hot` maps a
+    // function to the root whose zero-alloc contract it inherits.
+    let mut hot: HashMap<(usize, usize), String> = HashMap::new();
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ni, f) in file.fns.iter().enumerate() {
+            if is_hot_root(&f.name) && !f.in_test_code {
+                hot.insert((fi, ni), f.name.clone());
+                queue.push_back((fi, ni));
+            }
+        }
+    }
+    while let Some((fi, ni)) = queue.pop_front() {
+        let root = hot[&(fi, ni)].clone();
+        let file = &files[fi];
+        let f = &file.fns[ni];
+        let krate = crate_of(&file.path);
+        for callee in bare_calls(&file.code, f.body.clone()) {
+            if let Some(defs) = by_crate.get(krate).and_then(|m| m.get(callee.as_str())) {
+                for &(cfi, cni) in defs {
+                    if files[cfi].fns[cni].in_test_code {
+                        continue;
+                    }
+                    if let std::collections::hash_map::Entry::Vacant(e) = hot.entry((cfi, cni)) {
+                        e.insert(root.clone());
+                        queue.push_back((cfi, cni));
+                    }
+                }
+            }
+        }
+    }
+    // Scan every hot body for allocation tokens.
+    let mut seen: HashSet<(usize, u32, u32)> = HashSet::new();
+    for (&(fi, ni), root) in &hot {
+        let file = &files[fi];
+        let f = &file.fns[ni];
+        let code = &file.code;
+        for i in f.body.clone() {
+            let t = &code[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let path_head = |name: &str| {
+                i >= 2
+                    && code[i - 1].is_punct(':')
+                    && code[i - 2].is_punct(':')
+                    && i >= 3
+                    && code[i - 3].is_ident(name)
+            };
+            let method = || i > 0 && code[i - 1].is_punct('.');
+            let what: Option<String> = match t.text.as_str() {
+                "new" if path_head("Vec") => Some("Vec::new".into()),
+                "new" if path_head("Box") => Some("Box::new".into()),
+                "new" if path_head("String") => Some("String::new".into()),
+                "from" if path_head("String") => Some("String::from".into()),
+                "with_capacity" => Some("with_capacity".into()),
+                "vec" | "format" if code.get(i + 1).is_some_and(|n| n.is_punct('!')) => {
+                    Some(format!("{}!", t.text))
+                }
+                "to_vec" | "to_string" if method() => Some(format!(".{}()", t.text)),
+                "clone" | "collect"
+                    if method()
+                        && code
+                            .get(i + 1)
+                            .is_some_and(|n| n.is_punct('(') || n.is_punct(':')) =>
+                {
+                    Some(format!(".{}()", t.text))
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                if seen.insert((fi, t.line, t.col)) {
+                    let via = if is_hot_root(&f.name) {
+                        String::new()
+                    } else {
+                        format!(" (reachable from hot root `{root}`)")
+                    };
+                    out.push(Finding {
+                        rule: "R1",
+                        path: file.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "alloc-in-hot-path: `{what}` inside `{}`{via} — hot-path \
+                             functions must take buffers from the `Workspace` pool",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R2: nan-unsafe-ordering
+// ---------------------------------------------------------------------
+
+fn rule_r2(file: &FileScan, out: &mut Vec<Finding>) {
+    let code = &file.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "partial_cmp" => out.push(Finding {
+                rule: "R2",
+                path: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: "nan-unsafe-ordering: `partial_cmp` on floats panics or \
+                          tie-poisons on NaN — use `total_cmp`, `tensor::nan_low_cmp` \
+                          (f32), or `bayesopt::nan_low_cmp` (f64)"
+                    .into(),
+            }),
+            "max" | "min"
+                if i >= 3
+                    && code[i - 1].is_punct(':')
+                    && code[i - 2].is_punct(':')
+                    && (code[i - 3].is_ident("f32") || code[i - 3].is_ident("f64")) =>
+            {
+                out.push(Finding {
+                    rule: "R2",
+                    path: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "nan-unsafe-ordering: `{}::{}` silently drops NaN operands — \
+                         if NaN must not vanish, compare via `total_cmp`/`nan_low_cmp`; \
+                         if dropping NaN is intended, say so in a `lint:allow` reason",
+                        code[i - 3].text,
+                        t.text
+                    ),
+                });
+            }
+            "max_by" | "min_by" if code.get(i + 1).is_some_and(|n| n.is_punct('(')) => {
+                // Only flag when the comparator is not visibly
+                // NaN-total; a `partial_cmp` inside fires on its own.
+                let mut depth = 0u32;
+                let mut j = i + 1;
+                let mut safe = false;
+                while j < code.len() {
+                    let a = &code[j];
+                    if a.is_punct('(') {
+                        depth += 1;
+                    } else if a.is_punct(')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if a.is_ident("total_cmp")
+                        || a.is_ident("nan_low_cmp")
+                        || a.is_ident("partial_cmp")
+                        // `.cmp(` is Ord::cmp — total by definition. A
+                        // path segment like `std::cmp::Ordering` is not.
+                        || (a.is_ident("cmp") && j > 0 && code[j - 1].is_punct('.'))
+                    {
+                        safe = true;
+                    }
+                    j += 1;
+                }
+                if !safe {
+                    out.push(Finding {
+                        rule: "R2",
+                        path: file.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "nan-unsafe-ordering: `{}` with a comparator that is not \
+                             visibly NaN-total — rank through `total_cmp` or `nan_low_cmp`",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R3: panic-on-input
+// ---------------------------------------------------------------------
+
+fn rule_r3(file: &FileScan, out: &mut Vec<Finding>) {
+    let code = &file.code;
+    // Token index -> enclosing test-ness: skip findings inside
+    // #[cfg(test)] code; service-path tests may unwrap freely.
+    let in_test = |i: usize| {
+        file.fns
+            .iter()
+            .filter(|f| f.body.contains(&i))
+            .any(|f| f.in_test_code)
+    };
+    for (i, t) in code.iter().enumerate() {
+        let finding = match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "unwrap" | "expect"
+                    if i > 0
+                        && code[i - 1].is_punct('.')
+                        && code.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+                {
+                    Some(format!(
+                        ".{}() can panic on malformed input — return a protocol error \
+                         response (`{{\"ok\":false,…}}`) or propagate a Result",
+                        t.text
+                    ))
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if code.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+                {
+                    Some(format!(
+                        "`{}!` in service code aborts the worker on unexpected input — \
+                         convert to an error response",
+                        t.text
+                    ))
+                }
+                _ => None,
+            },
+            TokKind::Punct if t.is_punct('[') => {
+                // Literal indexing `x[0]` panics when the shape
+                // assumption breaks; array literals `[0; 4]`/`[0]` on
+                // the value side are rare enough to allow explicitly.
+                if code.get(i + 1).is_some_and(|n| n.kind == TokKind::Num)
+                    && code.get(i + 2).is_some_and(|n| n.is_punct(']'))
+                    && i > 0
+                    && (code[i - 1].kind == TokKind::Ident && !is_keyword(&code[i - 1].text)
+                        || code[i - 1].is_punct(')')
+                        || code[i - 1].is_punct(']'))
+                {
+                    Some(format!(
+                        "indexing by literal `[{}]` panics when the input is shorter \
+                         than assumed — use `.get({})` and answer with an error",
+                        code[i + 1].text,
+                        code[i + 1].text
+                    ))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(message) = finding {
+            if !in_test(i) {
+                out.push(Finding {
+                    rule: "R3",
+                    path: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!("panic-on-input: {message}"),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R4: telemetry hygiene
+// ---------------------------------------------------------------------
+
+/// Validates a metric name literal against the house conventions.
+/// Returns a complaint, or `None` when the name conforms.
+fn metric_name_problem(kind: &str, name: &str) -> Option<String> {
+    let (base, label) = match name.find('{') {
+        Some(b) => (&name[..b], Some(&name[b..])),
+        None => (name, None),
+    };
+    if base.is_empty()
+        || !base.as_bytes()[0].is_ascii_lowercase()
+        || !base
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+    {
+        return Some(format!(
+            "metric name `{base}` must match [a-z][a-z0-9_]* — lowercase snake-case only"
+        ));
+    }
+    if let Some(label) = label {
+        if !label.ends_with('}') || !label.contains("=\"") {
+            return Some(format!(
+                "label block `{label}` must look like {{key=\"value\"}}"
+            ));
+        }
+    }
+    match kind {
+        "counter" if !(base.ends_with("_total") || base.ends_with("_bytes")) => Some(format!(
+            "counter `{base}` must end in `_total` (or `_bytes` for byte counters)"
+        )),
+        "histogram" if !(base.ends_with("_seconds") || base.ends_with("_ms")) => Some(format!(
+            "duration histogram `{base}` must end in `_seconds` or `_ms`"
+        )),
+        _ => None,
+    }
+}
+
+fn rule_r4(file: &FileScan, out: &mut Vec<Finding>) {
+    let code = &file.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let kind = match t.text.as_str() {
+            "static_counter" => "counter",
+            "static_gauge" => "gauge",
+            "duration_histogram" => "histogram",
+            "counter" | "gauge" | "histogram"
+                if i >= 3
+                    && code[i - 1].is_punct(':')
+                    && code[i - 2].is_punct(':')
+                    && code[i - 3].is_ident("telemetry")
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                // Ad-hoc registration bypasses the once-cached static
+                // handle and invites runtime-formatted names.
+                let arg = code.get(i + 2);
+                let name_note = match arg.map(|a| (&a.kind, a.text.as_str())) {
+                    Some((TokKind::Str | TokKind::RawStr, name)) => {
+                        metric_name_problem(&t.text, name)
+                            .map(|p| format!("; additionally: {p}"))
+                            .unwrap_or_default()
+                    }
+                    _ => "; the name is not even a literal, so the registry \
+                          cannot be audited statically"
+                        .to_string(),
+                };
+                out.push(Finding {
+                    rule: "R4",
+                    path: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "telemetry-hygiene: ad-hoc `telemetry::{}()` registration — use \
+                         `static_{}!`/`duration_histogram!` so the handle is cached and \
+                         the name is a static literal{name_note}",
+                        t.text,
+                        if t.text == "histogram" {
+                            "counter".to_string()
+                        } else {
+                            t.text.clone()
+                        },
+                    ),
+                });
+                continue;
+            }
+            _ => continue,
+        };
+        // Macro form: `static_counter!("name")`.
+        if !(code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && code.get(i + 2).is_some_and(|n| n.is_punct('(')))
+        {
+            continue;
+        }
+        match code.get(i + 3) {
+            Some(arg) if matches!(arg.kind, TokKind::Str | TokKind::RawStr) => {
+                if let Some(problem) = metric_name_problem(kind, &arg.text) {
+                    out.push(Finding {
+                        rule: "R4",
+                        path: file.path.clone(),
+                        line: arg.line,
+                        col: arg.col,
+                        message: format!("telemetry-hygiene: {problem}"),
+                    });
+                }
+            }
+            Some(arg) => out.push(Finding {
+                rule: "R4",
+                path: file.path.clone(),
+                line: arg.line,
+                col: arg.col,
+                message: "telemetry-hygiene: metric name must be a string literal so the \
+                          registry is statically auditable"
+                    .into(),
+            }),
+            None => {}
+        }
+    }
+}

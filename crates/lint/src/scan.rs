@@ -1,0 +1,399 @@
+//! Per-file structure recovery: function items (name + body token
+//! range), test-code regions, and `lint:allow` suppression directives.
+//!
+//! This is an approximation, not a parser: it tracks brace depth and a
+//! few keyword/attribute patterns, which is enough to attribute every
+//! token to the innermost enclosing `fn` and to know whether that code
+//! is `#[cfg(test)]`-gated. It degrades safely — unrecognized syntax
+//! just means a token belongs to no function, never a crash.
+
+use crate::tokenizer::{Tok, TokKind};
+
+/// One `fn` item recovered from a file.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's bare name (`forward_ws`, not the impl path).
+    pub name: String,
+    /// Code-token index range of the body, *inside* the braces.
+    pub body: std::ops::Range<usize>,
+    /// Where the `fn` keyword sits.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` module or under `#[test]`.
+    pub in_test_code: bool,
+}
+
+/// A parsed `// lint:allow(R1, R2, reason = "…")` directive.
+#[derive(Debug)]
+pub struct Allow {
+    /// Rule IDs this directive suppresses (`R1`…`R4`).
+    pub rules: Vec<String>,
+    /// The mandatory human-written justification.
+    pub reason: Option<String>,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Line the directive covers: its own line if code shares it,
+    /// otherwise the next line holding code.
+    pub applies_line: u32,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileScan {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Code tokens only (comments stripped), in source order.
+    pub code: Vec<Tok>,
+    pub fns: Vec<FnItem>,
+    pub allows: Vec<Allow>,
+}
+
+/// Keywords that look like calls when followed by `(`.
+pub fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "in"
+            | "as"
+            | "move"
+            | "ref"
+            | "mut"
+            | "let"
+            | "fn"
+            | "pub"
+            | "impl"
+            | "trait"
+            | "struct"
+            | "enum"
+            | "mod"
+            | "use"
+            | "where"
+            | "unsafe"
+            | "async"
+            | "await"
+            | "dyn"
+            | "self"
+            | "Self"
+            | "super"
+            | "crate"
+            | "true"
+            | "false"
+            | "const"
+            | "static"
+            | "type"
+    )
+}
+
+/// Scans one tokenized file. `force_test` marks the whole file as test
+/// code (integration-test trees, fixtures).
+pub fn scan_file(path: String, toks: Vec<Tok>, force_test: bool) -> FileScan {
+    let mut code: Vec<Tok> = Vec::with_capacity(toks.len());
+    let mut comments: Vec<Tok> = Vec::new();
+    for t in toks {
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => comments.push(t),
+            _ => code.push(t),
+        }
+    }
+    let allows = parse_allows(&comments, &code);
+    let fns = scan_fns(&code, force_test);
+    FileScan {
+        path,
+        code,
+        fns,
+        allows,
+    }
+}
+
+/// Tracks an open function body on the scan stack.
+struct OpenFn {
+    fn_index: usize,
+    depth_at_open: u32,
+}
+
+/// Tracks an open `#[cfg(test)]` module.
+struct OpenTestMod {
+    depth_at_open: u32,
+}
+
+fn scan_fns(code: &[Tok], force_test: bool) -> Vec<FnItem> {
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut open_fns: Vec<OpenFn> = Vec::new();
+    let mut open_test_mods: Vec<OpenTestMod> = Vec::new();
+    let mut depth: u32 = 0;
+    // Set by `#[cfg(test)]` / `#[test]`, consumed by the next `fn`/`mod`.
+    let mut pending_test_attr = false;
+    // Set after `fn name …`, consumed by the body's `{` (or dropped at
+    // `;` for trait method declarations).
+    let mut pending_fn: Option<(String, u32, bool)> = None;
+    // Set after `mod name`, consumed by `{` or `;`.
+    let mut pending_mod_test: Option<bool> = None;
+    // Inside the parenthesized part of a pending signature.
+    let mut paren_depth: u32 = 0;
+
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "(" => paren_depth += 1,
+                ")" => paren_depth = paren_depth.saturating_sub(1),
+                "{" => {
+                    depth += 1;
+                    if paren_depth == 0 {
+                        if let Some((name, line, is_test)) = pending_fn.take() {
+                            fns.push(FnItem {
+                                name,
+                                body: i + 1..i + 1, // end patched on close
+                                line,
+                                in_test_code: is_test,
+                            });
+                            open_fns.push(OpenFn {
+                                fn_index: fns.len() - 1,
+                                depth_at_open: depth,
+                            });
+                        }
+                        if let Some(is_test) = pending_mod_test.take() {
+                            if is_test {
+                                open_test_mods.push(OpenTestMod {
+                                    depth_at_open: depth,
+                                });
+                            }
+                        }
+                    }
+                }
+                "}" => {
+                    while let Some(open) = open_fns.last() {
+                        if open.depth_at_open == depth {
+                            fns[open.fn_index].body.end = i;
+                            open_fns.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    while let Some(open) = open_test_mods.last() {
+                        if open.depth_at_open == depth {
+                            open_test_mods.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ";" if paren_depth == 0 => {
+                    pending_fn = None;
+                    pending_mod_test = None;
+                }
+                // Attribute: `#[…]`. Recognize `test` / `cfg(test)`
+                // anywhere inside the brackets; skip the group so its
+                // contents never look like items.
+                "#" if code.get(i + 1).is_some_and(|n| n.is_punct('[')) => {
+                    let mut j = i + 2;
+                    let mut bracket = 1u32;
+                    let mut saw_test = false;
+                    while j < code.len() && bracket > 0 {
+                        let a = &code[j];
+                        if a.is_punct('[') {
+                            bracket += 1;
+                        } else if a.is_punct(']') {
+                            bracket -= 1;
+                        } else if a.is_ident("test") {
+                            saw_test = true;
+                        }
+                        j += 1;
+                    }
+                    if saw_test {
+                        pending_test_attr = true;
+                    }
+                    i = j;
+                    continue;
+                }
+                _ => {}
+            },
+            TokKind::Ident => match t.text.as_str() {
+                "fn" => {
+                    if let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        let in_test = force_test || pending_test_attr || !open_test_mods.is_empty();
+                        pending_fn = Some((name.text.clone(), t.line, in_test));
+                        pending_test_attr = false;
+                        i += 2;
+                        continue;
+                    }
+                }
+                "mod" if code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                    pending_mod_test = Some(pending_test_attr || !open_test_mods.is_empty());
+                    pending_test_attr = false;
+                    i += 2;
+                    continue;
+                }
+                "struct" | "enum" | "impl" | "trait" | "use" | "static" | "const" => {
+                    // Any other item consumes a stray test attribute so
+                    // `#[cfg(test)] struct Fixture` doesn't leak onto the
+                    // next fn.
+                    pending_test_attr = false;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unclosed bodies (torn input) extend to end-of-file.
+    for open in open_fns {
+        fns[open.fn_index].body.end = code.len();
+    }
+    fns
+}
+
+/// Extracts `lint:allow(...)` directives from comment tokens.
+///
+/// A directive on the same line as code covers that line; a directive on
+/// its own line covers the next line that holds code (so long findings
+/// lines survive rustfmt).
+fn parse_allows(comments: &[Tok], code: &[Tok]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        // A directive is the whole comment: `// lint:allow(…)`. Prose
+        // that merely *mentions* lint:allow (docs, this linter's own
+        // source) is not a directive.
+        let Some(body) = c.text.trim_start().strip_prefix("lint:allow(") else {
+            continue;
+        };
+        // Last `)` so a reason like "bounded (checked above)" survives.
+        let Some(end) = body.rfind(')') else {
+            // Malformed: surfaces as a reason-less allow, which the
+            // rules report.
+            allows.push(Allow {
+                rules: Vec::new(),
+                reason: None,
+                line: c.line,
+                applies_line: c.line,
+            });
+            continue;
+        };
+        let inner = &body[..end];
+        // Rules come before `reason = "…"`; the reason is the quoted
+        // string (commas inside it are part of the reason, so split the
+        // two zones before splitting rules on commas).
+        let (rules_part, reason_part) = match inner.find("reason") {
+            Some(pos) => (&inner[..pos], Some(&inner[pos..])),
+            None => (inner, None),
+        };
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(str::to_string)
+            .collect();
+        let reason = reason_part.and_then(|tail| {
+            let q0 = tail.find('"')?;
+            let q1 = tail[q0 + 1..].find('"')?;
+            let full = &tail[q0 + 1..q0 + 1 + q1];
+            (!full.is_empty()).then(|| full.to_string())
+        });
+        let same_line_code = code.iter().any(|t| t.line == c.line);
+        let applies_line = if same_line_code {
+            c.line
+        } else {
+            code.iter()
+                .map(|t| t.line)
+                .filter(|&l| l > c.line)
+                .min()
+                .unwrap_or(c.line)
+        };
+        allows.push(Allow {
+            rules,
+            reason,
+            line: c.line,
+            applies_line,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn scan(src: &str) -> FileScan {
+        scan_file("test.rs".into(), tokenize(src), false)
+    }
+
+    #[test]
+    fn recovers_fn_names_and_bodies() {
+        let s = scan("fn alpha() { beta(); }\nfn beta() -> usize { 1 }\n");
+        let names: Vec<_> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+        let alpha = &s.fns[0];
+        let body: Vec<_> = s.code[alpha.body.clone()]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, ["beta", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn nested_fn_bodies_both_recorded() {
+        let s = scan("fn outer() { fn inner() { x(); } inner(); }");
+        assert_eq!(s.fns.len(), 2);
+        let outer = s.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = s.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.body.start < inner.body.start && inner.body.end < outer.body.end);
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns_as_test_code() {
+        let s = scan(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn check() {}\n    fn helper() {}\n}\nfn prod2() {}\n",
+        );
+        let by_name = |n: &str| s.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("prod").in_test_code);
+        assert!(by_name("check").in_test_code);
+        assert!(by_name("helper").in_test_code);
+        assert!(!by_name("prod2").in_test_code);
+    }
+
+    #[test]
+    fn trait_method_declaration_has_no_body() {
+        let s = scan("trait T { fn decl(&self) -> usize; fn with_default(&self) { x(); } }");
+        let names: Vec<_> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_default"]);
+    }
+
+    #[test]
+    fn allow_on_same_line_and_standalone() {
+        let s = scan(
+            "fn f() {\n    bad(); // lint:allow(R2, reason = \"tested upstream\")\n    // lint:allow(R1, R3, reason = \"pool growth, warm-up only\")\n    other();\n}\n",
+        );
+        assert_eq!(s.allows.len(), 2);
+        assert_eq!(s.allows[0].rules, ["R2"]);
+        assert_eq!(s.allows[0].applies_line, 2);
+        assert_eq!(s.allows[0].reason.as_deref(), Some("tested upstream"));
+        assert_eq!(s.allows[1].rules, ["R1", "R3"]);
+        assert_eq!(s.allows[1].applies_line, 4);
+        assert_eq!(
+            s.allows[1].reason.as_deref(),
+            Some("pool growth, warm-up only")
+        );
+    }
+
+    #[test]
+    fn allow_reason_may_contain_commas() {
+        let s = scan("bad(); // lint:allow(R3, reason = \"poison, not input\")\n");
+        assert_eq!(s.allows[0].reason.as_deref(), Some("poison, not input"));
+        assert_eq!(s.allows[0].rules, ["R3"]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_recorded_reasonless() {
+        let s = scan("bad(); // lint:allow(R2)\n");
+        assert_eq!(s.allows[0].rules, ["R2"]);
+        assert!(s.allows[0].reason.is_none());
+    }
+}

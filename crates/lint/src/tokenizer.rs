@@ -1,0 +1,464 @@
+//! A lossless-enough Rust tokenizer for static analysis.
+//!
+//! This is not a full lexer: it recovers exactly what the lint rules
+//! need — identifiers, punctuation, literals, and comments — with
+//! correct `line:col` positions, and it never mistakes the *inside* of
+//! a string, raw string, char literal, or comment for code. The tricky
+//! cases it must get right (each pinned by a unit test):
+//!
+//! - `"// not a comment"` — comment markers inside string literals;
+//! - `r#"she said "hi""#` — raw strings with arbitrary `#` fences;
+//! - `/* outer /* inner */ still out */` — nested block comments;
+//! - `'a'` vs `'a` — char literals vs lifetimes;
+//! - `b"bytes"`, `br##"raw bytes"##`, `r#ident` raw identifiers.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Vec`, `partial_cmp`, …).
+    Ident,
+    /// One punctuation character (`.`, `:`, `(`, `!`, …).
+    Punct,
+    /// `"…"` or `b"…"` string literal (text excludes the quotes).
+    Str,
+    /// `r"…"` / `r#"…"#` / `br#"…"#` raw string (text excludes fences).
+    RawStr,
+    /// `'x'` or `b'x'` char literal.
+    Char,
+    /// Numeric literal (`0`, `1_000`, `0.4f32`, `0xff`).
+    Num,
+    /// `'a` lifetime.
+    Lifetime,
+    /// `// …` line comment (text excludes the `//`).
+    LineComment,
+    /// `/* … */` block comment, nesting-aware (text excludes fences).
+    BlockComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line/col. Multi-byte UTF-8
+    /// continuation bytes do not advance the column, so columns count
+    /// characters on ASCII-dominated lines and stay sane elsewhere.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`, keeping comments (the allow-directive scanner needs
+/// them). Unterminated constructs consume to end-of-file rather than
+/// erroring: a linter must degrade gracefully on torn input.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                toks.push(tok(TokKind::LineComment, src, start, cur.pos, line, col));
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'/' && cur.peek_at(1) == Some(b'*') {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    } else if c == b'*' && cur.peek_at(1) == Some(b'/') {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            end = cur.pos - 2;
+                            break;
+                        }
+                    } else {
+                        cur.bump();
+                    }
+                    end = cur.pos;
+                }
+                toks.push(tok(TokKind::BlockComment, src, start, end, line, col));
+            }
+            b'r' | b'b' if starts_raw_string(&cur) => {
+                // br / rb prefix then `#…"`.
+                while matches!(cur.peek(), Some(b'r') | Some(b'b')) {
+                    cur.bump();
+                }
+                let mut fence = 0usize;
+                while cur.peek() == Some(b'#') {
+                    fence += 1;
+                    cur.bump();
+                }
+                cur.bump(); // opening quote
+                let start = cur.pos;
+                let mut end = cur.src.len();
+                'outer: while let Some(c) = cur.peek() {
+                    if c == b'"' {
+                        let close = cur.pos;
+                        for i in 0..fence {
+                            if cur.peek_at(1 + i) != Some(b'#') {
+                                cur.bump();
+                                continue 'outer;
+                            }
+                        }
+                        for _ in 0..=fence {
+                            cur.bump();
+                        }
+                        end = close;
+                        break;
+                    }
+                    cur.bump();
+                }
+                toks.push(tok(TokKind::RawStr, src, start, end, line, col));
+            }
+            b'b' if cur.peek_at(1) == Some(b'"') => {
+                cur.bump();
+                lex_string(&mut cur, src, &mut toks, line, col);
+            }
+            b'b' if cur.peek_at(1) == Some(b'\'') => {
+                cur.bump();
+                lex_char(&mut cur, src, &mut toks, line, col);
+            }
+            b'r' if cur.peek_at(1) == Some(b'#') && cur.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#match`.
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                toks.push(tok(TokKind::Ident, src, start, cur.pos, line, col));
+            }
+            b'"' => lex_string(&mut cur, src, &mut toks, line, col),
+            b'\'' => {
+                // Char literal or lifetime. `'\…'` and `'x'` are chars;
+                // `'ident` (no closing quote right after one char) is a
+                // lifetime.
+                let is_char = cur.peek_at(1) == Some(b'\\')
+                    || (cur.peek_at(1).is_some_and(|c| c != b'\'') && char_closes(&cur));
+                if is_char {
+                    lex_char(&mut cur, src, &mut toks, line, col);
+                } else {
+                    cur.bump();
+                    let start = cur.pos;
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    toks.push(tok(TokKind::Lifetime, src, start, cur.pos, line, col));
+                }
+            }
+            b'0'..=b'9' => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        cur.bump();
+                    } else if c == b'.'
+                        && cur.peek_at(1) != Some(b'.')
+                        && !cur.peek_at(1).is_some_and(is_ident_start)
+                    {
+                        // `1.5` continues the number; `0..n` and
+                        // `1.max(2)` do not.
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(tok(TokKind::Num, src, start, cur.pos, line, col));
+            }
+            c if is_ident_start(c) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                toks.push(tok(TokKind::Ident, src, start, cur.pos, line, col));
+            }
+            _ => {
+                let start = cur.pos;
+                cur.bump();
+                toks.push(tok(TokKind::Punct, src, start, cur.pos, line, col));
+            }
+        }
+    }
+    toks
+}
+
+/// Does `'X` close with a quote after exactly one (possibly multi-byte)
+/// character? Distinguishes `'a'` from `'a` without lookahead tables.
+fn char_closes(cur: &Cursor<'_>) -> bool {
+    let bytes = &cur.src[cur.pos + 1..];
+    let Some(&first) = bytes.first() else {
+        return false;
+    };
+    let width = match first {
+        _ if first < 0x80 => 1,
+        _ if first >= 0xF0 => 4,
+        _ if first >= 0xE0 => 3,
+        _ => 2,
+    };
+    bytes.get(width) == Some(&b'\'')
+}
+
+fn starts_raw_string(cur: &Cursor<'_>) -> bool {
+    // `r"`, `r#…"`, `br"`, `br#…"`.
+    let mut i = 0;
+    if cur.peek_at(i) == Some(b'b') {
+        i += 1;
+    }
+    if cur.peek_at(i) != Some(b'r') {
+        return false;
+    }
+    i += 1;
+    while cur.peek_at(i) == Some(b'#') {
+        i += 1;
+    }
+    cur.peek_at(i) == Some(b'"')
+}
+
+fn lex_string(cur: &mut Cursor<'_>, src: &str, toks: &mut Vec<Tok>, line: u32, col: u32) {
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    let mut end = cur.src.len();
+    while let Some(c) = cur.peek() {
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+        } else if c == b'"' {
+            end = cur.pos;
+            cur.bump();
+            break;
+        } else {
+            cur.bump();
+        }
+    }
+    toks.push(tok(TokKind::Str, src, start, end, line, col));
+}
+
+fn lex_char(cur: &mut Cursor<'_>, src: &str, toks: &mut Vec<Tok>, line: u32, col: u32) {
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    let mut end = cur.src.len();
+    while let Some(c) = cur.peek() {
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+        } else if c == b'\'' {
+            end = cur.pos;
+            cur.bump();
+            break;
+        } else {
+            cur.bump();
+        }
+    }
+    toks.push(tok(TokKind::Char, src, start, end, line, col));
+}
+
+fn tok(kind: TokKind, src: &str, start: usize, end: usize, line: u32, col: u32) -> Tok {
+    let end = end.max(start).min(src.len());
+    Tok {
+        kind,
+        text: src[start..end].to_string(),
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comment_marker_inside_string_is_not_a_comment() {
+        let toks = kinds(r#"let url = "https://example.com"; x()"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "https://example.com"));
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::LineComment));
+        // Code after the string still tokenizes.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn raw_string_with_fences_and_embedded_quotes() {
+        let toks = kinds(r###"let s = r#"she said "hi" // nope"#; done()"###);
+        let raw = toks
+            .iter()
+            .find(|(k, _)| *k == TokKind::RawStr)
+            .expect("raw string token");
+        assert_eq!(raw.1, r#"she said "hi" // nope"#);
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::LineComment));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "done"));
+    }
+
+    #[test]
+    fn double_fence_raw_string() {
+        let toks = kinds(r####"r##"inner "# still inside"##"####);
+        let raw = toks
+            .iter()
+            .find(|(k, _)| *k == TokKind::RawStr)
+            .expect("raw string token");
+        assert_eq!(raw.1, r##"inner "# still inside"##);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("before /* outer /* inner */ still out */ after");
+        let comment = toks
+            .iter()
+            .find(|(k, _)| *k == TokKind::BlockComment)
+            .expect("block comment");
+        assert_eq!(comment.1, " outer /* inner */ still out ");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["before", "after"]);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("let c = 'x'; fn f<'a>(v: &'a str) { let q = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).count(),
+            2,
+            "{toks:?}"
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b = br#"raw // bytes"#;"##);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t == "bytes"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStr && t == "raw // bytes"));
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::LineComment));
+    }
+
+    #[test]
+    fn line_comment_text_and_position() {
+        let toks = tokenize("x\n  // lint:allow(R2, reason = \"test\")\ny");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .expect("comment");
+        assert_eq!(c.text, " lint:allow(R2, reason = \"test\")");
+        assert_eq!(c.line, 2);
+        assert_eq!(c.col, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("for i in 0..10 { let x = 1.5f32.max(2.0); }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "10"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "1.5f32"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let toks = kinds(r#"let s = "a \" b"; next()"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == r#"a \" b"#));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "next"));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_line_tracked() {
+        let toks = tokenize("fn main() {\n    body();\n}");
+        let body = toks.iter().find(|t| t.is_ident("body")).expect("body");
+        assert_eq!((body.line, body.col), (2, 5));
+    }
+}

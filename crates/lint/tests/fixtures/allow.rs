@@ -1,0 +1,12 @@
+//! Suppression mechanics: a reasoned allow silences its finding and
+//! lands in the summary table; a reason-less allow is itself reported.
+
+pub fn median(mut values: Vec<f32>) -> f32 {
+    // lint:allow(R2, reason = "inputs validated finite at the API boundary")
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values[values.len() / 2]
+}
+
+pub fn worst(values: &[f32]) -> f32 {
+    values.iter().copied().fold(f32::INFINITY, f32::min) // lint:allow(R2)
+}

@@ -1,0 +1,31 @@
+//! R1 must stay quiet: hot-path bodies write into caller-provided
+//! buffers, and allocation stays in functions outside the hot graph.
+
+pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+pub fn forward_ws(input: &[f32], out: &mut [f32]) {
+    inner_kernel(input, out);
+}
+
+// Hot through the call graph, but clean: only slice writes.
+fn inner_kernel(input: &[f32], out: &mut [f32]) {
+    for (o, i) in out.iter_mut().zip(input) {
+        *o = i.max(0.0);
+    }
+}
+
+// Allocates freely — but nothing hot calls it, so R1 ignores it.
+pub fn build_report(values: &[f32]) -> String {
+    let doubled: Vec<f32> = values.iter().map(|v| v * 2.0).collect();
+    format!("{} values, first {:?}", doubled.len(), doubled.first())
+}

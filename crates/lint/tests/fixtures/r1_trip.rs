@@ -1,0 +1,25 @@
+//! R1 must fire: allocations inside hot-path functions and in a
+//! same-crate callee reachable from a hot root.
+
+pub fn scale_into(src: &[f32], out: &mut Vec<f32>) {
+    let tmp = Vec::new(); // direct allocation in a `_into` fn
+    let _ = tmp.len();
+    let copied = src.to_vec(); // `.to_vec()` in a hot body
+    out.extend_from_slice(&copied);
+    stage(src, out);
+}
+
+// Not hot by name, but called (bare) from `scale_into`, so it inherits
+// the zero-alloc contract through the call graph.
+fn stage(src: &[f32], out: &mut Vec<f32>) {
+    let staged: Vec<f32> = src.iter().map(|v| v * 2.0).collect();
+    out.extend_from_slice(&staged);
+    let label = format!("staged {} values", staged.len());
+    let _ = label;
+}
+
+pub fn forward_ws(input: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(input.len());
+    out.extend_from_slice(input);
+    out.clone()
+}

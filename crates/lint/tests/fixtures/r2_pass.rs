@@ -1,0 +1,29 @@
+//! R2 must stay quiet: NaN-total orderings throughout.
+
+use std::cmp::Ordering;
+
+pub fn nan_low_cmp(a: f32, b: f32) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+pub fn rank(mut scores: Vec<f32>) -> Vec<f32> {
+    scores.sort_by(|a, b| a.total_cmp(b));
+    scores
+}
+
+pub fn best(scores: &[(usize, f32)]) -> Option<usize> {
+    scores
+        .iter()
+        .max_by(|a, b| nan_low_cmp(a.1, b.1))
+        .map(|(i, _)| *i)
+}
+
+pub fn count_max(values: &[u64]) -> Option<u64> {
+    // Integer max_by is NaN-free by construction: `cmp` is total.
+    values.iter().copied().max_by(|a, b| a.cmp(b))
+}

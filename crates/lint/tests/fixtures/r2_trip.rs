@@ -1,0 +1,35 @@
+//! R2 must fire: every NaN-unsafe ranking idiom the workspace has
+//! historically grown.
+
+pub fn rank(mut scores: Vec<f32>) -> Vec<f32> {
+    // Panics outright on NaN.
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores
+}
+
+pub fn best(scores: &[(usize, f32)]) -> Option<usize> {
+    // Tie-poisons: NaN compares Equal to everything.
+    scores
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| *i)
+}
+
+pub fn spread(values: &[f32]) -> f32 {
+    // Silently drops NaN operands.
+    values.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+pub fn closest(values: &[(f32, f32)], target: f32) -> Option<f32> {
+    // Comparator not visibly NaN-total.
+    values
+        .iter()
+        .min_by(|a, b| {
+            if (a.0 - target).abs() < (b.0 - target).abs() {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        })
+        .map(|v| v.1)
+}

@@ -1,0 +1,25 @@
+//! R3 must stay quiet: every malformed input becomes an error value.
+
+pub fn handle(line: &str) -> Result<String, String> {
+    let mut fields = line.split(',');
+    let cmd = fields.next().ok_or("missing command")?;
+    match cmd {
+        "ping" => Ok("pong".to_string()),
+        "echo" => {
+            let arg = fields.next().ok_or("'echo' needs an argument")?;
+            let arg: u64 = arg.parse().map_err(|e| format!("bad argument: {e}"))?;
+            Ok(arg.to_string())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics in test code are fine: tests *should* assert hard.
+    #[test]
+    fn echo_roundtrip() {
+        let out = super::handle("echo,7").unwrap();
+        assert_eq!(out, "7");
+    }
+}

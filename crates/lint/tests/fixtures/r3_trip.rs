@@ -1,0 +1,17 @@
+//! R3 must fire: request handling that panics on malformed input.
+
+pub fn handle(line: &str) -> String {
+    let fields: Vec<&str> = line.split(',').collect();
+    // Literal indexing: one-field request aborts the worker.
+    let cmd = fields[0];
+    // unwrap/expect on client-controlled content.
+    let arg: u64 = fields.get(1).unwrap().parse().expect("numeric arg");
+    if cmd.is_empty() {
+        panic!("empty command");
+    }
+    match cmd {
+        "ping" => "pong".to_string(),
+        "echo" => arg.to_string(),
+        _ => unreachable!("unknown command"),
+    }
+}

@@ -1,0 +1,9 @@
+//! R4 must stay quiet: conventional names through the static macros.
+
+pub fn record(n: u64, bytes: u64) {
+    telemetry::static_counter!("daemon_jobs_submitted_total").inc();
+    telemetry::static_counter!("daemon_bytes_read_total").add(bytes);
+    telemetry::static_gauge!("daemon_queue_depth").set(n as i64);
+    telemetry::duration_histogram!("daemon_job_seconds").observe(0.5);
+    telemetry::static_counter!(r#"daemon_worker_busy_ms_total{worker="0"}"#).add(n);
+}

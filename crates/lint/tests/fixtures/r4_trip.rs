@@ -1,0 +1,12 @@
+//! R4 must fire: malformed metric names and ad-hoc registration.
+
+pub fn record(worker: usize, n: u64) {
+    // Not snake-case.
+    telemetry::static_counter!("DaemonJobs").inc();
+    // Counter without the `_total` suffix.
+    telemetry::static_counter!("daemon_jobs").add(n);
+    // Duration histogram without `_seconds`/`_ms`.
+    telemetry::duration_histogram!("job_latency").observe(0.5);
+    // Ad-hoc registration with a runtime-formatted name.
+    telemetry::counter(&format!("worker_{worker}_busy_total")).add(n);
+}

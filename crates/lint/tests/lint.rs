@@ -1,0 +1,237 @@
+//! Fixture-driven integration tests: each rule has a fixture that must
+//! trip it and one that must pass clean, plus the suppression fixture
+//! exercising `lint:allow` and the allow-summary output.
+
+use std::path::{Path, PathBuf};
+
+use lint::rules::Config;
+use lint::Report;
+
+fn fixtures_root() -> (PathBuf, PathBuf) {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    (root, manifest.join("tests/fixtures"))
+}
+
+fn fixture_cfg() -> Config {
+    Config {
+        r3_paths: vec!["fixtures/r3".into()],
+        r4_exempt: Vec::new(),
+    }
+}
+
+fn lint_fixture(name: &str) -> Report {
+    let (root, fixtures) = fixtures_root();
+    lint::lint_paths(&root, &[fixtures.join(name)], &fixture_cfg()).expect("fixture readable")
+}
+
+fn rules_of(report: &Report) -> Vec<&'static str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn r1_trip_fires_on_direct_and_call_graph_allocations() {
+    let report = lint_fixture("r1_trip.rs");
+    assert!(
+        report.findings.iter().all(|f| f.rule == "R1"),
+        "{:?}",
+        rules_of(&report)
+    );
+    // Direct hits in scale_into (Vec::new, to_vec) and forward_ws
+    // (with_capacity, clone), plus `stage`'s collect/format! via the
+    // call graph.
+    assert!(report.findings.len() >= 6, "{:#?}", report.findings);
+    let via_graph: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.message.contains("reachable from hot root `scale_into`"))
+        .collect();
+    assert!(
+        via_graph.len() >= 2,
+        "call-graph propagation missing: {:#?}",
+        report.findings
+    );
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("`Vec::new`") && f.message.contains("`scale_into`")));
+}
+
+#[test]
+fn r1_pass_is_clean() {
+    let report = lint_fixture("r1_pass.rs");
+    assert!(report.clean(), "{:#?}", report.findings);
+}
+
+#[test]
+fn r2_trip_fires_on_every_nan_unsafe_idiom() {
+    let report = lint_fixture("r2_trip.rs");
+    assert!(report.findings.iter().all(|f| f.rule == "R2"));
+    // Two partial_cmp, one f32::max fold, one comparator-less min_by.
+    assert_eq!(report.findings.len(), 4, "{:#?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("`f32::max`")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("`min_by`")));
+}
+
+#[test]
+fn r2_pass_is_clean() {
+    let report = lint_fixture("r2_pass.rs");
+    assert!(report.clean(), "{:#?}", report.findings);
+}
+
+#[test]
+fn r3_trip_fires_on_panics_and_literal_indexing() {
+    let report = lint_fixture("r3_trip.rs");
+    assert!(report.findings.iter().all(|f| f.rule == "R3"));
+    let msgs: Vec<_> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains(".unwrap()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains(".expect()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`panic!`")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("`unreachable!`")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("indexing by literal")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn r3_pass_is_clean_including_its_test_module() {
+    let report = lint_fixture("r3_pass.rs");
+    assert!(report.clean(), "{:#?}", report.findings);
+}
+
+#[test]
+fn r3_does_not_apply_outside_its_scoped_paths() {
+    // The same panicking source under a path R3 is not scoped to.
+    let (_, fixtures) = fixtures_root();
+    let src = std::fs::read_to_string(fixtures.join("r3_trip.rs")).unwrap();
+    let report = lint::lint_sources(
+        &[("crates/models/src/whatever.rs".into(), src, false)],
+        &fixture_cfg(),
+    );
+    assert!(
+        report.findings.iter().all(|f| f.rule != "R3"),
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn r4_trip_fires_on_names_and_adhoc_registration() {
+    let report = lint_fixture("r4_trip.rs");
+    assert!(report.findings.iter().all(|f| f.rule == "R4"));
+    let msgs: Vec<_> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`DaemonJobs`")), "{msgs:?}");
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`daemon_jobs` must end in `_total`")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`job_latency` must end in `_seconds`")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("ad-hoc `telemetry::counter()`")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn r4_pass_is_clean_including_labeled_raw_string_names() {
+    let report = lint_fixture("r4_pass.rs");
+    assert!(report.clean(), "{:#?}", report.findings);
+}
+
+#[test]
+fn allow_suppresses_with_reason_and_reports_reasonless() {
+    let report = lint_fixture("allow.rs");
+    // The reasoned allow suppresses its partial_cmp finding…
+    assert!(
+        report
+            .allows_in_force
+            .iter()
+            .any(|a| a.rule == "R2" && a.reason.contains("validated finite")),
+        "{:#?}",
+        report.allows_in_force
+    );
+    // …and nothing R2 leaks through.
+    assert!(
+        report.findings.iter().all(|f| f.rule != "R2"),
+        "{:#?}",
+        report.findings
+    );
+    // The reason-less allow is itself a finding.
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "R0" && f.message.contains("suppression-missing-reason")),
+        "{:#?}",
+        report.findings
+    );
+    // The summary table renders one row per suppression in force.
+    let summary = lint::render_allow_summary(&report);
+    assert!(summary.contains("validated finite"), "{summary}");
+    assert!(summary.starts_with("suppressions in force:"), "{summary}");
+}
+
+#[test]
+fn unused_allow_is_reported() {
+    let report = lint::lint_sources(
+        &[(
+            "crates/x/src/lib.rs".into(),
+            "pub fn fine() -> u32 {\n    // lint:allow(R2, reason = \"nothing here\")\n    1\n}\n"
+                .into(),
+            false,
+        )],
+        &fixture_cfg(),
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "R0" && f.message.contains("unused-suppression")),
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn hot_roots_in_test_code_do_not_propagate() {
+    // A `_into` helper defined inside #[cfg(test)] may allocate.
+    let src = "#[cfg(test)]\nmod tests {\n    fn build_into(out: &mut Vec<f32>) {\n        let v: Vec<f32> = (0..4).map(|i| i as f32).collect();\n        out.extend(v);\n    }\n}\n";
+    let report = lint::lint_sources(
+        &[("crates/x/src/lib.rs".into(), src.into(), false)],
+        &fixture_cfg(),
+    );
+    assert!(report.clean(), "{:#?}", report.findings);
+}
+
+#[test]
+fn findings_carry_file_line_col() {
+    let report = lint_fixture("r2_trip.rs");
+    let f = &report.findings[0];
+    assert!(f.path.ends_with("fixtures/r2_trip.rs"), "{}", f.path);
+    assert!(f.line > 0 && f.col > 0);
+    let rendered = f.render();
+    assert!(
+        rendered.contains(&format!("{}:{}:{}: R2", f.path, f.line, f.col)),
+        "{rendered}"
+    );
+}

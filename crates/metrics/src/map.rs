@@ -42,11 +42,11 @@ pub fn average_precision(
         return 0.0;
     }
     let mut dets: Vec<&Detection> = detections.iter().collect();
-    dets.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // Descending by score with NaN ranked *last*: a NaN-scored detection
+    // is the least credible, and must not tie-poison the comparator the
+    // way partial_cmp's Equal fallback did (which made the ranking — and
+    // hence AP — depend on the input order).
+    dets.sort_by(|a, b| tensor::nan_low_cmp(b.score, a.score));
 
     let mut matched: Vec<Vec<bool>> = ground_truth.iter().map(|g| vec![false; g.len()]).collect();
     let mut tp = Vec::with_capacity(dets.len());
@@ -86,6 +86,7 @@ pub fn average_precision(
     let mut ap = 0.0f32;
     let mut prev_recall = 0.0f32;
     for i in 0..points.len() {
+        // lint:allow(R2, reason = "precision is a ratio of counts, never NaN; fold semantics are fine")
         let max_prec_after = points[i..].iter().map(|&(_, p)| p).fold(0.0f32, f32::max);
         let (recall, _) = points[i];
         if recall > prev_recall {
@@ -207,5 +208,35 @@ mod tests {
     fn empty_ground_truth_is_zero() {
         assert_eq!(average_precision(&[], &[], 0.5), 0.0);
         assert_eq!(mean_average_precision(&[], &[vec![]]), 0.0);
+    }
+
+    #[test]
+    fn nan_scored_detection_ranks_last_and_cannot_poison_ap() {
+        // Regression for the partial_cmp(..).unwrap_or(Equal) ranking:
+        // a NaN score made every comparison against it a tie, so the
+        // global ranking (and the AP) depended on detection order.
+        let gt = vec![vec![bb(0.0, 0.0, 10.0, 10.0)]];
+        let hit = Detection {
+            image: 0,
+            bbox: bb(0.0, 0.0, 10.0, 10.0),
+            score: 0.9,
+        };
+        let poison = Detection {
+            image: 0,
+            bbox: bb(50.0, 50.0, 60.0, 60.0),
+            score: f32::NAN,
+        };
+        // NaN ranks below every finite score, so the true positive is
+        // scanned first and AP stays 1.0 — for both input orders.
+        let ap_a = average_precision(&[hit, poison], &gt, 0.5);
+        let ap_b = average_precision(&[poison, hit], &gt, 0.5);
+        assert!(ap_a.is_finite() && (ap_a - 1.0).abs() < 1e-6, "ap {ap_a}");
+        assert_eq!(ap_a, ap_b, "AP must not depend on detection order");
+        // And it matches the same list with the poison detection scored
+        // strictly worst instead of NaN.
+        let mut worst = poison;
+        worst.score = f32::NEG_INFINITY;
+        let ap_c = average_precision(&[hit, worst], &gt, 0.5);
+        assert_eq!(ap_a, ap_c);
     }
 }

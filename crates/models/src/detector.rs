@@ -91,8 +91,10 @@ impl TinyDetector {
                 ));
             }
         }
-        // Greedy NMS at IoU 0.4.
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Greedy NMS at IoU 0.4. Descending with NaN ranked last: a
+        // NaN-scored box (drift-corrupted head output) must not win the
+        // suppression contest by tie-ing against every real score.
+        out.sort_by(|a, b| tensor::nan_low_cmp(b.1, a.1));
         let mut kept: Vec<(BBox, f32)> = Vec::new();
         for (bbox, score) in out {
             if kept.iter().all(|(k, _)| k.iou(&bbox) < 0.4) {
@@ -271,6 +273,31 @@ mod tests {
         assert!(score > 0.99);
         let (cx, cy) = bbox.center();
         assert!((cx - 14.0).abs() < 0.1 && (cy - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn nan_scored_cell_cannot_win_nms() {
+        // Regression for the partial_cmp(..).unwrap_or(Equal) NMS sort:
+        // a NaN objectness logit produces a NaN score that passed the
+        // `score < threshold` gate (NaN comparisons are false) and then
+        // tied against every real detection, leaving the winner to
+        // input order. With nan_low_cmp the NaN box sorts last, so the
+        // overlapping real box wins suppression deterministically.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let det = TinyDetector::new(24, &mut rng);
+        let mut raw = Tensor::full(&[5, 6, 6], -10.0);
+        // Two adjacent confident cells decoding to overlapping boxes;
+        // the earlier (scan-order) one is NaN-corrupted.
+        for (cell, logit) in [(2usize, f32::NAN), (3usize, 10.0)] {
+            *raw.at_mut(&[0, 2, cell]) = logit;
+            *raw.at_mut(&[1, 2, cell]) = 0.0;
+            *raw.at_mut(&[2, 2, cell]) = 0.0;
+            *raw.at_mut(&[3, 2, cell]) = 2.0; // wide boxes → IoU > 0.4
+            *raw.at_mut(&[4, 2, cell]) = 2.0;
+        }
+        let dets = det.decode(&raw, 0.5);
+        assert_eq!(dets.len(), 1, "overlapping pair must collapse to one");
+        assert!(dets[0].1 > 0.99, "the real box must win, got {}", dets[0].1);
     }
 
     #[test]

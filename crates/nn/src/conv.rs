@@ -354,6 +354,7 @@ impl MaxPool2d {
             let dst_seg = &mut dst[i * out_per_sample..(i + 1) * out_per_sample];
             if mode == Mode::Train {
                 if self.argmax.len() <= i {
+                    // lint:allow(R1, reason = "argmax tape grows to the batch high-water mark once; steady state resizes in place")
                     self.argmax.push(vec![0; out_per_sample]);
                 } else {
                     self.argmax[i].resize(out_per_sample, 0);

@@ -136,6 +136,7 @@ pub(crate) fn cache_into(slot: &mut Option<Tensor>, src: &[f32], dims: &[usize])
             t.as_mut_slice().copy_from_slice(src);
         }
         None => {
+            // lint:allow(R1, reason = "cold-start fill only; steady-state steps take the in-place Some arm")
             *slot = Some(Tensor::from_vec(src.to_vec(), dims).expect("cache dims match source"));
         }
     }

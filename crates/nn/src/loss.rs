@@ -75,6 +75,7 @@ fn softmax_cross_entropy_impl(mut grad: Tensor, labels: &[usize]) -> LossOutput 
     // `Tensor::softmax_rows` (max-shift, exp, normalize).
     for r in 0..n {
         let row = grad.row_mut(r);
+        // lint:allow(R2, reason = "stability shift only: a NaN logit still poisons the row through exp(NaN), matching Tensor::softmax_rows bit-for-bit")
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut z = 0.0;
         for v in row.iter_mut() {

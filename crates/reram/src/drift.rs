@@ -548,6 +548,15 @@ mod tests {
         (0..n).map(|_| model.perturb(value, &mut rng)).collect()
     }
 
+    /// Median via a NaN-total sort: if a drift model ever emits NaN, the
+    /// sort must not panic mid-test — total_cmp ranks NaN above +∞, so a
+    /// poisoned sample set skews the median and fails the *assertion*
+    /// instead of aborting in the comparator.
+    fn median(mut s: Vec<f32>) -> f32 {
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    }
+
     #[test]
     fn zero_sigma_is_identity() {
         assert_eq!(
@@ -577,13 +586,19 @@ mod tests {
             "multiplicative drift keeps sign"
         );
         // Median of θ·e^λ is θ (λ symmetric around 0).
-        let mut sorted = s.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = sorted[sorted.len() / 2];
+        let median = median(s.clone());
         assert!((median - 2.0).abs() < 0.1, "median {median}");
         // Mean is θ·e^{σ²/2} ≈ 2·1.377 = 2.754.
         let mean: f32 = s.iter().sum::<f32>() / s.len() as f32;
         assert!((mean - 2.0 * (0.32f32).exp()).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn median_helper_survives_nan_samples() {
+        // Regression: the old comparator was partial_cmp(..).unwrap(),
+        // which aborts the test process the moment one sample is NaN.
+        let m = median(vec![1.0, f32::NAN, 3.0, 2.0, f32::NAN]);
+        assert_eq!(m, 3.0, "NaN sorts above +inf, shifting the median up");
     }
 
     #[test]
@@ -743,6 +758,7 @@ mod tests {
         // makes digital storage brittle without ECC.
         let model = BitFlipFault::new(0.2, 4, 1.0);
         let s = samples(&model, 0.8, 5_000);
+        // lint:allow(R2, reason = "absolute errors of finite bit-flipped codes are never NaN")
         let max_err = s.iter().map(|v| (v - 0.8f32).abs()).fold(0.0f32, f32::max);
         assert!(
             max_err > 0.5,

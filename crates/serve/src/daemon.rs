@@ -21,6 +21,11 @@ use crate::protocol::{err_response, ok_response, Request};
 /// connection reads) sleep before re-checking the shutdown flag.
 const IDLE_TICK: Duration = Duration::from_millis(50);
 
+/// Hard cap on one request line. Beyond this the rest of the line is
+/// drained and discarded and the client gets an error response, so a
+/// newline-less (or simply huge) request cannot balloon daemon memory.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
 /// How the daemon runs: store, pool sizes, and queue bounds.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -238,6 +243,7 @@ impl Daemon {
                 thread::Builder::new()
                     .name(format!("campaign-worker-{w}"))
                     .spawn(move || worker_loop(&shared, w))
+                    // lint:allow(R3, reason = "startup thread spawn; no client bytes involved and the process cannot serve without its workers")
                     .expect("spawn campaign worker")
             })
             .collect();
@@ -272,6 +278,7 @@ impl Daemon {
 fn worker_loop(shared: &Shared, worker: usize) {
     // Labelled per-worker utilization counter; registered once per
     // worker thread, then pure atomics.
+    // lint:allow(R4, reason = "per-worker label needs a runtime-formatted name; registered once per worker thread, not per observation")
     let busy_ms = telemetry::counter(&format!(
         "daemon_worker_busy_ms_total{{worker=\"{worker}\"}}"
     ));
@@ -289,6 +296,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 st = shared
                     .job_cv
                     .wait_timeout(st, IDLE_TICK)
+                    // lint:allow(R3, reason = "poison means another thread already panicked mid-update; aborting beats serving torn state")
                     .expect("daemon state poisoned")
                     .0;
             }
@@ -403,6 +411,7 @@ fn run_job(shared: &Shared, ix: usize) {
 }
 
 fn lock_state(shared: &Shared) -> MutexGuard<'_, DaemonState> {
+    // lint:allow(R3, reason = "poison means another thread already panicked mid-update; aborting beats serving torn state")
     shared.state.lock().expect("daemon state poisoned")
 }
 
@@ -430,6 +439,86 @@ fn report_counters(event: &mut Value, report: &CampaignReport) {
     );
 }
 
+/// Outcome of reading one request line from a connection.
+enum LineRead {
+    /// A complete UTF-8 request line (without the trailing newline).
+    Line(String),
+    /// The line exceeded [`MAX_REQUEST_BYTES`]; its tail was drained and
+    /// discarded, leaving the stream positioned at the next line.
+    Oversized,
+    /// The line's bytes were not valid UTF-8.
+    BadUtf8,
+    /// Clean EOF, or shutdown observed mid-connection.
+    Closed,
+}
+
+/// Reads one newline-terminated request line with a hard size cap.
+///
+/// Malformed input is a response, not a panic and not a silently dropped
+/// connection: oversized lines are drained without buffering them and
+/// invalid UTF-8 is reported as such, in both cases leaving the stream
+/// at the next line so the client can keep talking.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        // A timeout mid-line keeps the partial bytes in `buf` and
+        // retries, re-checking the shutdown flag each tick.
+        let (done, used) = {
+            let available = match reader.fill_buf() {
+                Ok(bytes) => bytes,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        // A half-received request at shutdown can never
+                        // be answered; don't hold the join hostage.
+                        return Ok(LineRead::Closed);
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF — mid-line EOF included: a truncated request line
+                // is not a request.
+                return Ok(LineRead::Closed);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !oversized {
+                        buf.extend_from_slice(&available[..pos]);
+                    }
+                    (true, pos + 1)
+                }
+                None => {
+                    if !oversized {
+                        buf.extend_from_slice(available);
+                    }
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        telemetry::static_counter!("daemon_bytes_read_total").add(used as u64);
+        if buf.len() > MAX_REQUEST_BYTES {
+            oversized = true;
+            buf = Vec::new(); // release the memory, not just the length
+        }
+        if done {
+            if oversized {
+                return Ok(LineRead::Oversized);
+            }
+            return Ok(match String::from_utf8(buf) {
+                Ok(line) => LineRead::Line(line),
+                Err(_) => LineRead::BadUtf8,
+            });
+        }
+    }
+}
+
 /// One connection: read request lines, answer each with one line (or an
 /// event stream for `watch`), until EOF — or until shutdown finds the
 /// connection idle.
@@ -438,25 +527,23 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IDLE_TICK))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
     loop {
-        line.clear();
-        // Accumulate one full line; a timeout mid-line keeps the partial
-        // bytes in `line` and retries.
-        loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => return Ok(()),
-                Ok(_) => break,
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if shared.shutdown.load(Ordering::SeqCst) && line.is_empty() {
-                        return Ok(());
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+        let line = match read_request_line(&mut reader, shared)? {
+            LineRead::Line(line) => line,
+            LineRead::Oversized => {
+                let message = format!("request line exceeds the {MAX_REQUEST_BYTES}-byte limit");
+                send(&mut writer, &err_response(&message))?;
+                continue;
             }
-        }
-        telemetry::static_counter!("daemon_bytes_read_total").add(line.len() as u64);
+            LineRead::BadUtf8 => {
+                send(
+                    &mut writer,
+                    &err_response("request line is not valid UTF-8"),
+                )?;
+                continue;
+            }
+            LineRead::Closed => return Ok(()),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -500,7 +587,12 @@ fn handle_request(shared: &Shared, request: Request) -> Value {
         Request::Submit { campaign } => submit(shared, &campaign),
         Request::Status { job } => status(shared, job.as_deref()),
         Request::Cancel { job } => cancel(shared, &job),
-        Request::Watch { .. } => unreachable!("watch is dispatched by the caller"),
+        // Dispatched by serve_connection before reaching here; if a new
+        // call site ever forgets that, answer with an error rather than
+        // panicking a connection thread over a routing bug.
+        Request::Watch { .. } => {
+            err_response("'watch' streams events and must be dispatched on its own connection")
+        }
         Request::Metrics => {
             let mut response = ok_response();
             response.insert("metrics", Value::String(telemetry::render_prometheus()));
@@ -701,6 +793,7 @@ fn watch_job(writer: &mut TcpStream, shared: &Shared, id: &str) -> std::io::Resu
                 st = shared
                     .event_cv
                     .wait_timeout(st, IDLE_TICK)
+                    // lint:allow(R3, reason = "poison means another thread already panicked mid-update; aborting beats serving torn state")
                     .expect("daemon state poisoned")
                     .0;
             }

@@ -386,6 +386,69 @@ fn status_stays_consistent_under_concurrent_submissions() {
 }
 
 #[test]
+fn malformed_requests_get_error_responses_and_the_daemon_survives() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let store_path = temp_store("malformed");
+    let (addr, daemon) = start(config(&store_path, 1));
+
+    let raw = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut writer = raw;
+    // Each probe must produce exactly one {"ok":false,...} line — never a
+    // dropped connection, never a daemon panic.
+    let mut expect_error = |payload: &[u8], what: &str| {
+        writer.write_all(payload).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response: Value = serde_json::from_str(line.trim())
+            .unwrap_or_else(|e| panic!("{what}: unparseable response {line:?}: {e}"));
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "{what} must be refused, got {line:?}"
+        );
+        assert!(
+            response.get("error").and_then(Value::as_str).is_some(),
+            "{what} refusal must carry an error message: {line:?}"
+        );
+    };
+
+    expect_error(b"this is not json\n", "garbage text");
+    expect_error(b"{\"cmd\":\"no-such-cmd\"}\n", "unknown cmd");
+    expect_error(b"{\"cmd\":\"submit\"\n", "truncated JSON");
+    expect_error(b"{\"cmd\": \xff\xfe\"ping\"}\n", "invalid UTF-8");
+    // Oversized: two megabytes of 'x' with no newline until the end.
+    let mut huge = vec![b'x'; 2 << 20];
+    huge.push(b'\n');
+    expect_error(&huge, "oversized line");
+
+    // The abused connection still serves real requests…
+    writer.write_all(b"{\"cmd\":\"ping\"}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let pong: Value = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(
+        pong.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "ping after abuse must succeed, got {line:?}"
+    );
+
+    // …and a connection dying mid-line doesn't wedge the daemon.
+    let mut half = TcpStream::connect(&addr).unwrap();
+    half.write_all(b"{\"cmd\":\"stat").unwrap();
+    drop(half);
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&store_path);
+}
+
+#[test]
 fn metrics_verb_returns_a_prometheus_snapshot() {
     let store_path = temp_store("metrics");
     let (addr, daemon) = start(config(&store_path, 1));

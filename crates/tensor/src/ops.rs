@@ -2,6 +2,32 @@
 
 use crate::Tensor;
 
+/// A NaN-total order for `f32` that ranks NaN *below* every other value
+/// (NaN < −∞ < finite < +∞), so "pick the best" selections never crown a
+/// poisoned value and "sort descending" rankings push NaN to the end.
+///
+/// The f32 sibling of `bayesopt::nan_low_cmp`; the workspace linter's R2
+/// rule points NaN-unsafe orderings here.
+///
+/// # Example
+///
+/// ```
+/// use tensor::nan_low_cmp;
+///
+/// let mut v = vec![0.3_f32, f32::NAN, f32::NEG_INFINITY, 0.7];
+/// v.sort_by(|a, b| nan_low_cmp(*a, *b));
+/// assert!(v[0].is_nan());
+/// assert_eq!(v[1..], [f32::NEG_INFINITY, 0.3, 0.7]);
+/// ```
+pub fn nan_low_cmp(a: f32, b: f32) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
 impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
@@ -131,19 +157,23 @@ impl Tensor {
         }
     }
 
-    /// Maximum element (negative infinity for an empty tensor).
+    /// Maximum element (negative infinity for an empty tensor; NaN
+    /// elements are skipped, matching `f32::max`).
     pub fn max(&self) -> f32 {
         self.as_slice()
             .iter()
             .copied()
+            // lint:allow(R2, reason = "documented IEEE maxNum semantics: NaN elements are skipped, not ranked")
             .fold(f32::NEG_INFINITY, f32::max)
     }
 
-    /// Minimum element (positive infinity for an empty tensor).
+    /// Minimum element (positive infinity for an empty tensor; NaN
+    /// elements are skipped, matching `f32::min`).
     pub fn min(&self) -> f32 {
         self.as_slice()
             .iter()
             .copied()
+            // lint:allow(R2, reason = "documented IEEE minNum semantics: NaN elements are skipped, not ranked")
             .fold(f32::INFINITY, f32::min)
     }
 
@@ -180,7 +210,10 @@ impl Tensor {
                 let row = self.row(r);
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    // NaN-low: a NaN logit never wins the argmax (unless
+                    // the whole row is NaN), and can't tie-poison the
+                    // comparator the way partial_cmp's Equal fallback did.
+                    .max_by(|a, b| nan_low_cmp(*a.1, *b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
@@ -207,6 +240,7 @@ impl Tensor {
         let mut out = self.clone();
         for r in 0..self.dims()[0] {
             let row = out.row_mut(r);
+            // lint:allow(R2, reason = "stability shift only: a NaN logit still poisons the row through exp(NaN), so ranking is not load-bearing")
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut z = 0.0;
             for v in row.iter_mut() {
@@ -293,6 +327,39 @@ mod tests {
     fn argmax_rows_picks_largest() {
         let a = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], &[2, 3]).unwrap();
         assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_rows_never_crowns_nan() {
+        // Regression: the partial_cmp(..).unwrap_or(Equal) ranking let a
+        // NaN logit tie with everything, making the winner depend on
+        // element order. NaN-low ranking picks the best finite logit at
+        // every NaN position…
+        let a = Tensor::from_vec(
+            vec![f32::NAN, 0.9, 0.0, 0.7, f32::NAN, 0.1, 0.2, 0.1, f32::NAN],
+            &[3, 3],
+        )
+        .unwrap();
+        assert_eq!(a.argmax_rows(), vec![1, 0, 0]);
+        // …and an all-NaN row still answers deterministically (max_by
+        // keeps the last of all-equal elements).
+        let nan_row = Tensor::from_vec(vec![f32::NAN; 3], &[1, 3]).unwrap();
+        assert_eq!(nan_row.argmax_rows(), vec![2]);
+    }
+
+    #[test]
+    fn nan_low_cmp_is_a_total_order_with_nan_lowest() {
+        let mut v = [0.3_f32, f32::NAN, f32::NEG_INFINITY, 0.7, f32::INFINITY];
+        v.sort_by(|a, b| nan_low_cmp(*a, *b));
+        assert!(v[0].is_nan());
+        assert_eq!(v[1..], [f32::NEG_INFINITY, 0.3, 0.7, f32::INFINITY]);
+        // Descending with NaN last: the idiom the detector NMS and mAP
+        // ranking use.
+        let mut d = [0.3_f32, f32::NAN, 0.7];
+        d.sort_by(|a, b| nan_low_cmp(*b, *a));
+        assert_eq!(d[0], 0.7);
+        assert_eq!(d[1], 0.3);
+        assert!(d[2].is_nan());
     }
 
     #[test]
