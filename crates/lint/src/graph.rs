@@ -1,0 +1,518 @@
+//! Workspace-wide call-graph approximation.
+//!
+//! PR 8's graph followed bare `name(` calls inside one crate only. This
+//! module resolves the call forms that graph dropped — `self.method(…)`
+//! via the enclosing `impl` block, `Type::assoc(…)` via a workspace
+//! type→method index, `path::fn(…)` via crate names and `use` imports —
+//! and makes every edge cross-crate (workspace modules only; `vendor/`
+//! never enters the file set).
+//!
+//! Resolution is name-based, not type-checked, so it over-approximates:
+//! a method name defined on two workspace types resolves to both in
+//! precise mode and to neither in lenient mode. That bias is deliberate
+//! — R1 wants every plausible callee, R5's lock summaries want only
+//! confident ones.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::scan::{is_keyword, FileScan};
+use crate::tokenizer::TokKind;
+
+/// A function definition site: (file index, fn index).
+pub type FnRef = (usize, usize);
+
+/// One call site recovered from a function body.
+#[derive(Debug)]
+pub enum CallSite {
+    /// `name(…)` — free fn in the same crate, or `use`-imported.
+    Bare { name: String },
+    /// `self.name(…)` — method on the enclosing impl type.
+    SelfMethod { name: String },
+    /// `seg::…::name(…)` — associated fn (uppercase head) or a module
+    /// path rooted at a crate name, alias, or import.
+    Qualified { path: Vec<String>, name: String },
+    /// `recv.name(…)` on an arbitrary receiver — resolved only in
+    /// lenient mode, when the name is distinctive, workspace-unique,
+    /// and the argument count matches the candidate's parameter list
+    /// (which keeps `OpenOptions::append(true)` away from
+    /// `ResultStore::append(campaign, outcome)`).
+    Method { name: String, args: usize },
+}
+
+/// A call site plus the token index of its name (for diagnostics and
+/// for R5's guard-extent analysis).
+#[derive(Debug)]
+pub struct Call {
+    pub site: CallSite,
+    pub tok: usize,
+}
+
+/// Method names too generic to trust in lenient resolution: std
+/// containers define them all, so a same-named workspace method being
+/// unique proves nothing about the receiver.
+const GENERIC_METHOD_NAMES: [&str; 20] = [
+    "get", "insert", "remove", "len", "is_empty", "push", "pop", "clone", "next", "iter",
+    "contains", "new", "drain", "clear", "take", "set", "send", "recv", "join", "flush",
+];
+
+/// Counts a call's arguments: commas at group depth 1 between the
+/// opening paren after `name_tok` and its close. Commas inside nested
+/// groups don't count; bare multi-param closure headers (`|a, b|`) do,
+/// overcounting — which only disables lenient resolution, never
+/// misdirects it.
+fn call_arg_count(code: &[crate::tokenizer::Tok], name_tok: usize) -> usize {
+    let mut depth = 0u32;
+    let mut args = 0usize;
+    let mut seg_tokens = 0usize;
+    let mut j = name_tok + 1;
+    while j < code.len() {
+        let a = &code[j];
+        if a.is_punct('(') || a.is_punct('[') || a.is_punct('{') {
+            if depth > 0 {
+                seg_tokens += 1;
+            }
+            depth += 1;
+        } else if a.is_punct(')') || a.is_punct(']') || a.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            seg_tokens += 1;
+        } else if a.is_punct(',') && depth == 1 {
+            args += 1;
+            seg_tokens = 0;
+        } else {
+            seg_tokens += 1;
+        }
+        j += 1;
+    }
+    if seg_tokens > 0 {
+        args += 1;
+    }
+    args
+}
+
+/// The crate a file belongs to: `crates/<name>/…` → `<name>`,
+/// everything else → the root package.
+pub fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("root")
+}
+
+/// The workspace call graph: definition indexes over every scanned
+/// file, plus per-file import maps.
+pub struct Graph<'a> {
+    files: &'a [FileScan],
+    /// Crate dirs present in the file set.
+    crates: HashSet<String>,
+    /// Package-name → crate-dir aliases (`bayesft` → `core`).
+    aliases: HashMap<String, String>,
+    /// crate dir → fn name → definition sites.
+    fn_by_crate: HashMap<String, HashMap<String, Vec<FnRef>>>,
+    /// (self type, method name) → definition sites, workspace-wide.
+    type_methods: HashMap<(String, String), Vec<FnRef>>,
+    /// method name → definition sites (methods only).
+    method_defs: HashMap<String, Vec<FnRef>>,
+    /// method name → distinct self types defining it.
+    method_types: HashMap<String, HashSet<String>>,
+}
+
+impl<'a> Graph<'a> {
+    pub fn build(files: &'a [FileScan], aliases: &[(String, String)]) -> Self {
+        let mut g = Graph {
+            files,
+            crates: HashSet::new(),
+            aliases: aliases.iter().cloned().collect(),
+            fn_by_crate: HashMap::new(),
+            type_methods: HashMap::new(),
+            method_defs: HashMap::new(),
+            method_types: HashMap::new(),
+        };
+        for (fi, file) in files.iter().enumerate() {
+            let krate = crate_of(&file.path).to_string();
+            g.crates.insert(krate.clone());
+            let by_name = g.fn_by_crate.entry(krate).or_default();
+            for (ni, f) in file.fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push((fi, ni));
+                if let Some(ty) = &f.self_type {
+                    g.type_methods
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push((fi, ni));
+                    g.method_defs
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push((fi, ni));
+                    g.method_types
+                        .entry(f.name.clone())
+                        .or_default()
+                        .insert(ty.clone());
+                }
+            }
+        }
+        g
+    }
+
+    pub fn files(&self) -> &'a [FileScan] {
+        self.files
+    }
+
+    /// Extracts every call site in a token range. Macros (`name!`) are
+    /// not calls; keywords and turbofish tails are skipped.
+    pub fn calls_in(&self, fi: usize, body: std::ops::Range<usize>) -> Vec<Call> {
+        let code = &self.files[fi].code;
+        let mut out = Vec::new();
+        for i in body {
+            let t = &code[i];
+            if t.kind != TokKind::Ident || is_keyword(&t.text) {
+                continue;
+            }
+            if !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            if i > 0 && code[i - 1].is_punct('.') {
+                let site = if i >= 2 && code[i - 2].is_ident("self") {
+                    CallSite::SelfMethod {
+                        name: t.text.clone(),
+                    }
+                } else {
+                    CallSite::Method {
+                        name: t.text.clone(),
+                        args: call_arg_count(code, i),
+                    }
+                };
+                out.push(Call { site, tok: i });
+                continue;
+            }
+            if i >= 3 && code[i - 1].is_punct(':') && code[i - 2].is_punct(':') {
+                let mut segs: Vec<String> = Vec::new();
+                let mut k = i;
+                while k >= 3
+                    && code[k - 1].is_punct(':')
+                    && code[k - 2].is_punct(':')
+                    && code[k - 3].kind == TokKind::Ident
+                {
+                    segs.push(code[k - 3].text.clone());
+                    k -= 3;
+                }
+                segs.reverse();
+                if segs.is_empty() {
+                    // `::name(` or a turbofish tail — treat as bare.
+                    out.push(Call {
+                        site: CallSite::Bare {
+                            name: t.text.clone(),
+                        },
+                        tok: i,
+                    });
+                } else {
+                    out.push(Call {
+                        site: CallSite::Qualified {
+                            path: segs,
+                            name: t.text.clone(),
+                        },
+                        tok: i,
+                    });
+                }
+                continue;
+            }
+            out.push(Call {
+                site: CallSite::Bare {
+                    name: t.text.clone(),
+                },
+                tok: i,
+            });
+        }
+        out
+    }
+
+    /// Maps a path head segment to a crate dir, when it names one:
+    /// `crate`/`self`/`super` → the caller's crate, a workspace package
+    /// name or alias → its dir, an imported module → its crate.
+    fn head_crate(&self, fi: usize, head: &str) -> Option<String> {
+        if matches!(head, "crate" | "self" | "super") {
+            return Some(crate_of(&self.files[fi].path).to_string());
+        }
+        let dir = self.aliases.get(head).map(String::as_str).unwrap_or(head);
+        if self.crates.contains(dir) {
+            return Some(dir.to_string());
+        }
+        // `use scenarios::store; … store::open(…)` — head is a local
+        // module alias; chase one import hop.
+        let import = self.files[fi].uses.iter().find(|u| u.local == head)?;
+        let first = import.path.first()?;
+        if first == head {
+            return None; // no progress — avoid cycles
+        }
+        self.head_crate(fi, first)
+    }
+
+    /// Parameter count of a definition, `self` excluded. Counted over
+    /// the signature tokens with bracket groups and generics skipped;
+    /// pathological closure-typed params may undercount, which only
+    /// makes lenient resolution skip (the safe direction).
+    fn param_count(&self, (fi, ni): FnRef) -> usize {
+        let f = &self.files[fi].fns[ni];
+        let code = &self.files[fi].code;
+        let mut group = 0u32;
+        let mut angle = 0u32;
+        let mut params = 0usize;
+        let mut seg_tokens = 0usize;
+        let mut seg_self = false;
+        let mut started = false;
+        for j in f.sig.clone() {
+            let a = &code[j];
+            if !started {
+                if a.is_punct('(') {
+                    started = true;
+                    group = 1;
+                }
+                continue;
+            }
+            if a.is_punct('(') || a.is_punct('[') || a.is_punct('{') {
+                group += 1;
+                seg_tokens += 1;
+            } else if a.is_punct(')') || a.is_punct(']') || a.is_punct('}') {
+                group -= 1;
+                if group == 0 {
+                    break;
+                }
+                seg_tokens += 1;
+            } else if a.is_punct('<') {
+                angle += 1;
+                seg_tokens += 1;
+            } else if a.is_punct('>') {
+                // Saturating: the `>` of a `->` in a closure-typed
+                // param must not wedge the comma counter.
+                angle = angle.saturating_sub(1);
+                seg_tokens += 1;
+            } else if a.is_punct(',') && group == 1 && angle == 0 {
+                if seg_tokens > 0 && !seg_self {
+                    params += 1;
+                }
+                seg_tokens = 0;
+                seg_self = false;
+            } else {
+                if group == 1 && a.is_ident("self") {
+                    seg_self = true;
+                }
+                seg_tokens += 1;
+            }
+        }
+        if seg_tokens > 0 && !seg_self {
+            params += 1;
+        }
+        params
+    }
+
+    fn crate_defs(&self, krate: &str, name: &str) -> &[FnRef] {
+        self.fn_by_crate
+            .get(krate)
+            .and_then(|m| m.get(name))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Resolves a call site to its possible workspace definitions.
+    /// `self_type` is the caller's enclosing impl type. In lenient mode
+    /// (lock summaries), bare `recv.method(…)` calls resolve too, when
+    /// the method name is distinctive and defined by exactly one type.
+    pub fn resolve(
+        &self,
+        fi: usize,
+        self_type: Option<&str>,
+        site: &CallSite,
+        lenient: bool,
+    ) -> Vec<FnRef> {
+        let mut out: Vec<FnRef> = Vec::new();
+        match site {
+            CallSite::Bare { name } => {
+                let krate = crate_of(&self.files[fi].path);
+                out.extend_from_slice(self.crate_defs(krate, name));
+                for import in &self.files[fi].uses {
+                    let matches_name = import.local == *name;
+                    let is_glob = import.local == "*";
+                    if !matches_name && !is_glob {
+                        continue;
+                    }
+                    let Some(head) = import.path.first() else {
+                        continue;
+                    };
+                    let Some(target) = self.head_crate(fi, head) else {
+                        continue;
+                    };
+                    // Through `as` renames the definition keeps its
+                    // original (path-leaf) name; globs import `name`.
+                    let def_name = if is_glob {
+                        name.as_str()
+                    } else {
+                        import.path.last().map(String::as_str).unwrap_or(name)
+                    };
+                    out.extend_from_slice(self.crate_defs(&target, def_name));
+                }
+            }
+            CallSite::SelfMethod { name } => {
+                if let Some(ty) = self_type {
+                    if let Some(defs) = self.type_methods.get(&(ty.to_string(), name.clone())) {
+                        out.extend_from_slice(defs);
+                    }
+                }
+            }
+            CallSite::Qualified { path, name } => {
+                let last = path.last().map(String::as_str).unwrap_or_default();
+                let is_type_head = last == "Self" || last.starts_with(char::is_uppercase);
+                if is_type_head {
+                    let ty = if last == "Self" {
+                        self_type.unwrap_or(last)
+                    } else {
+                        last
+                    };
+                    if let Some(defs) = self.type_methods.get(&(ty.to_string(), name.clone())) {
+                        out.extend_from_slice(defs);
+                    }
+                } else if let Some(target) = self.head_crate(fi, &path[0]) {
+                    out.extend_from_slice(self.crate_defs(&target, name));
+                }
+            }
+            CallSite::Method { name, args } => {
+                if lenient
+                    && !GENERIC_METHOD_NAMES.contains(&name.as_str())
+                    && self.method_types.get(name).is_some_and(|t| t.len() == 1)
+                {
+                    if let Some(defs) = self.method_defs.get(name) {
+                        out.extend(
+                            defs.iter()
+                                .copied()
+                                .filter(|&d| self.param_count(d) == *args),
+                        );
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_file;
+    use crate::tokenizer::tokenize;
+
+    fn ws(sources: &[(&str, &str)]) -> Vec<FileScan> {
+        sources
+            .iter()
+            .map(|(p, s)| scan_file(p.to_string(), tokenize(s), false))
+            .collect()
+    }
+
+    fn names(files: &[FileScan], refs: &[FnRef]) -> Vec<String> {
+        refs.iter()
+            .map(|&(fi, ni)| format!("{}::{}", crate_of(&files[fi].path), files[fi].fns[ni].name))
+            .collect()
+    }
+
+    #[test]
+    fn self_method_resolves_through_impl_block() {
+        let files = ws(&[(
+            "crates/a/src/lib.rs",
+            "struct Runner;\nimpl Runner {\n    fn exec(&self) { self.compute(); }\n    fn compute(&self) {}\n}\n",
+        )]);
+        let g = Graph::build(&files, &[]);
+        let exec = &files[0].fns[0];
+        let calls = g.calls_in(0, exec.body.clone());
+        assert_eq!(calls.len(), 1);
+        let defs = g.resolve(0, exec.self_type.as_deref(), &calls[0].site, false);
+        assert_eq!(names(&files, &defs), ["a::compute"]);
+    }
+
+    #[test]
+    fn cross_crate_bare_call_resolves_via_use_import() {
+        let files = ws(&[
+            (
+                "crates/nn/src/layer.rs",
+                "use tensor::gemm_into;\nfn forward_ws() { gemm_into(); }\n",
+            ),
+            ("crates/tensor/src/ops.rs", "pub fn gemm_into() {}\n"),
+        ]);
+        let g = Graph::build(&files, &[]);
+        let calls = g.calls_in(0, files[0].fns[0].body.clone());
+        let defs = g.resolve(0, None, &calls[0].site, false);
+        assert_eq!(names(&files, &defs), ["tensor::gemm_into"]);
+    }
+
+    #[test]
+    fn qualified_type_and_module_paths_resolve() {
+        let files = ws(&[
+            (
+                "crates/serve/src/daemon.rs",
+                "fn run() { telemetry::Timer::start(); scenarios::store::open(); crate::local(); }\nfn local() {}\n",
+            ),
+            (
+                "crates/telemetry/src/lib.rs",
+                "pub struct Timer;\nimpl Timer {\n    pub fn start() {}\n}\n",
+            ),
+            ("crates/scenarios/src/store.rs", "pub fn open() {}\n"),
+        ]);
+        let g = Graph::build(&files, &[]);
+        let calls = g.calls_in(0, files[0].fns[0].body.clone());
+        let all: Vec<String> = calls
+            .iter()
+            .flat_map(|c| names(&files, &g.resolve(0, None, &c.site, false)))
+            .collect();
+        assert!(all.contains(&"telemetry::start".to_string()), "{all:?}");
+        assert!(all.contains(&"scenarios::open".to_string()), "{all:?}");
+        assert!(all.contains(&"serve::local".to_string()), "{all:?}");
+    }
+
+    #[test]
+    fn package_alias_maps_to_crate_dir() {
+        let files = ws(&[
+            (
+                "tests/zero_alloc.rs",
+                "use bayesft::engine::fit;\nfn drive() { fit(); }\n",
+            ),
+            ("crates/core/src/engine.rs", "pub fn fit() {}\n"),
+        ]);
+        let g = Graph::build(&files, &[("bayesft".into(), "core".into())]);
+        let calls = g.calls_in(0, files[0].fns[0].body.clone());
+        let defs = g.resolve(0, None, &calls[0].site, false);
+        assert_eq!(names(&files, &defs), ["core::fit"]);
+    }
+
+    #[test]
+    fn lenient_method_resolution_requires_unique_distinctive_name() {
+        let files = ws(&[(
+            "crates/scenarios/src/runner.rs",
+            "struct St;\nimpl St {\n    fn flush_prefix(&self) {}\n    fn get(&self) {}\n}\nfn go(st: &St) { st.flush_prefix(); st.get(); }\n",
+        )]);
+        let g = Graph::build(&files, &[]);
+        let go = files[0].fns.iter().position(|f| f.name == "go").unwrap();
+        let calls = g.calls_in(0, files[0].fns[go].body.clone());
+        let strict: Vec<_> = calls
+            .iter()
+            .flat_map(|c| g.resolve(0, None, &c.site, false))
+            .collect();
+        assert!(strict.is_empty(), "{strict:?}");
+        let lenient: Vec<String> = calls
+            .iter()
+            .flat_map(|c| names(&files, &g.resolve(0, None, &c.site, true)))
+            .collect();
+        // `flush_prefix` is distinctive and unique; `get` is generic.
+        assert_eq!(lenient, ["scenarios::flush_prefix"]);
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let files = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn hot_into() { format!(\"x\"); vec![1]; real(); }\nfn real() {}\n",
+        )]);
+        let g = Graph::build(&files, &[]);
+        let calls = g.calls_in(0, files[0].fns[0].body.clone());
+        assert_eq!(calls.len(), 1);
+        assert!(matches!(&calls[0].site, CallSite::Bare { name } if name == "real"));
+    }
+}

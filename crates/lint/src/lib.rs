@@ -8,9 +8,14 @@
 //! the rule catalog and the suppression contract.
 //!
 //! Pipeline: [`tokenizer`] (comment/string/raw-string aware) →
-//! [`scan`] (fn items, test regions, `lint:allow` directives) →
-//! [`rules`] (R1–R4 over an intra-crate call-graph approximation).
+//! [`scan`] (fn/impl/use/lock-field items, test regions, `lint:allow`
+//! directives) → [`graph`] (workspace-wide call-graph resolution:
+//! bare, `self.method`, `Type::assoc`, `path::fn`, cross-crate) →
+//! [`rules`] (R1–R7) with [`locks`] supplying the R5 lock-order
+//! analysis.
 
+pub mod graph;
+pub mod locks;
 pub mod rules;
 pub mod scan;
 pub mod tokenizer;
@@ -78,6 +83,84 @@ pub fn render_allow_summary(report: &Report) -> String {
     for a in &report.allows_in_force {
         let loc = format!("{}:{}", a.path, a.line);
         out.push_str(&format!("  {loc:width$}  {}  {}\n", a.rule, a.reason));
+    }
+    out
+}
+
+/// Renders the report as JSON for machine consumers (CI artifacts).
+///
+/// The schema is stable: `findings` is every diagnostic — suppressed
+/// ones included, marked `"suppressed": true` — each with `file`,
+/// `line`, `col`, `rule`, `message`; `suppressions` lists the allow
+/// directives in force with their written reasons; `clean` mirrors the
+/// process exit status.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"clean\": ");
+    out.push_str(if report.clean() { "true" } else { "false" });
+    out.push_str(",\n  \"findings\": [");
+    let mut first = true;
+    let mut push_finding = |out: &mut String, f: &Finding, suppressed: bool| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"suppressed\": {}}}",
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            f.rule,
+            json_escape(&f.message),
+            suppressed
+        ));
+    };
+    for f in &report.findings {
+        push_finding(&mut out, f, false);
+    }
+    for f in &report.suppressed {
+        push_finding(&mut out, f, true);
+    }
+    out.push_str(
+        if report.findings.is_empty() && report.suppressed.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        },
+    );
+    out.push_str("  \"suppressions\": [");
+    for (i, a) in report.allows_in_force.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}",
+            json_escape(&a.path),
+            a.line,
+            a.rule,
+            json_escape(&a.reason)
+        ));
+    }
+    out.push_str(if report.allows_in_force.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
     out
 }

@@ -1,0 +1,838 @@
+//! R5 lock-discipline analysis over the workspace call graph.
+//!
+//! Lock identities are recovered by *name*, not by type: a `Mutex`/
+//! `RwLock` struct field (`cache`, `in_flight`, `state`) names a lock,
+//! a guard handed out by a fn (`registry().lock()`) is named after the
+//! fn, and the advisory kernel file lock behind `ResultStore` is one
+//! identity per type. Same-named fields in different structs merge into
+//! one identity — a deliberate over-approximation that keeps the
+//! analysis dependency-free; the README documents it.
+//!
+//! Three checks run over guard extents and per-fn lock summaries:
+//!
+//! 1. **Order graph + cycles** — every "lock B acquired while guard of
+//!    A is live" records an edge A→B; a cycle in that graph is a
+//!    deadlock waiting for the right interleaving.
+//! 2. **Double-acquisition** — re-locking a lock already held on the
+//!    same path deadlocks a `std::sync::Mutex` outright.
+//! 3. **Guard across blocking ops** — a guard live across `fsync`,
+//!    socket/file reads and writes, `thread::sleep`, `JoinHandle::
+//!    join`, channel `recv`, or a condvar wait (other than the waited
+//!    guard itself) serializes every contender behind that I/O. The
+//!    file-lock identity is exempt from file-I/O ops: covering its own
+//!    file's write+fsync is exactly what an advisory file lock is for.
+//!
+//! Summaries are interprocedural: a call into a fn that (transitively)
+//! acquires locks or blocks is an acquisition/blocking event at the
+//! call site. Calls resolve through the precise graph plus lenient
+//! unique-method resolution, so `st.flush_prefix(…)` → `store.append`
+//! → file lock is seen.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::graph::{Call, CallSite, FnRef, Graph};
+use crate::rules::{Config, Finding};
+use crate::scan::{FileScan, LockKind};
+use crate::tokenizer::{Tok, TokKind};
+
+/// One lock identity in the order graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockId {
+    /// A `Mutex`/`RwLock` struct field (or a same-named local), by name.
+    Field(String),
+    /// A guard source fn: `registry().lock()` → `registry`.
+    Source(String),
+    /// The advisory file lock behind a guard-handing type.
+    File(String),
+}
+
+impl std::fmt::Display for LockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockId::Field(n) => write!(f, "{n}"),
+            LockId::Source(n) => write!(f, "{n}()"),
+            LockId::File(t) => write!(f, "{t} file lock"),
+        }
+    }
+}
+
+/// One edge in the lock-acquisition order graph, with an example site.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub path: String,
+    pub line: u32,
+}
+
+/// What the R5 pass produced: findings plus the order graph itself
+/// (surfaced in the report so tests can assert the documented order).
+#[derive(Debug, Default)]
+pub struct LockAnalysis {
+    pub findings: Vec<Finding>,
+    pub edges: Vec<LockEdge>,
+}
+
+/// How a blocking operation blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum BlockKind {
+    /// File/socket I/O incl. fsync — exempt under a `File` lock guard.
+    Io,
+    /// Parks the thread: sleep, join, recv, accept, condvar wait.
+    Park,
+}
+
+/// Per-fn lock behavior, computed to fixpoint over the call graph.
+#[derive(Default, Clone)]
+struct FnSummary {
+    /// Every lock this fn (transitively) acquires.
+    locks: BTreeSet<LockId>,
+    /// Blocking kinds this fn (transitively) performs, with an example
+    /// op name for the message.
+    blocking: BTreeMap<BlockKind, String>,
+    /// Returns a live guard (`MutexGuard`/`StoreLock`/… in signature).
+    guard_returning: bool,
+}
+
+/// A primitive acquisition recovered from a body.
+struct Prim {
+    tok: usize,
+    lock: LockId,
+}
+
+/// A guard live over a token range (start exclusive at its own site).
+struct GuardSpan {
+    lock: LockId,
+    binding: Option<String>,
+    start: usize,
+    end: usize,
+    line: u32,
+}
+
+/// An event evaluated against the active guard spans.
+enum Ev {
+    Acquire {
+        tok: usize,
+        locks: Vec<LockId>,
+        line: u32,
+        col: u32,
+    },
+    Block {
+        tok: usize,
+        kind: BlockKind,
+        op: String,
+        exempt: Option<String>,
+        line: u32,
+        col: u32,
+    },
+}
+
+impl Ev {
+    fn tok(&self) -> usize {
+        match self {
+            Ev::Acquire { tok, .. } | Ev::Block { tok, .. } => *tok,
+        }
+    }
+}
+
+/// Method names that acquire the file lock on a `file_lock_types` type.
+const FILE_LOCK_METHODS: [&str; 3] = ["lock", "try_lock", "lock_waiting"];
+/// Lock-primitive method names — their tokens never resolve as calls.
+const LOCK_PRIMITIVES: [&str; 4] = ["lock", "try_lock", "read", "write"];
+
+/// Guard types whose appearance in a signature marks a fn as handing
+/// its caller a live guard.
+const GUARD_TYPES: [&str; 4] = [
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "StoreLock",
+];
+
+/// Blocking method names (`.name(`), with their kind and whether they
+/// only count with an empty argument list (distinguishes `h.join()`
+/// from `path.join("x")`, channel `rx.recv()` from `sock.recv(buf)`).
+const BLOCKING_METHODS: [(&str, BlockKind, bool); 14] = [
+    ("write_all", BlockKind::Io, false),
+    ("read_exact", BlockKind::Io, false),
+    ("read_line", BlockKind::Io, false),
+    ("read_until", BlockKind::Io, false),
+    ("read_to_end", BlockKind::Io, false),
+    ("read_to_string", BlockKind::Io, false),
+    ("fill_buf", BlockKind::Io, true),
+    ("sync_all", BlockKind::Io, true),
+    ("sync_data", BlockKind::Io, true),
+    ("accept", BlockKind::Park, true),
+    ("connect", BlockKind::Park, false),
+    ("recv", BlockKind::Park, true),
+    ("recv_timeout", BlockKind::Park, false),
+    ("join", BlockKind::Park, true),
+];
+
+pub fn analyze(graph: &Graph<'_>, cfg: &Config) -> LockAnalysis {
+    let files = graph.files();
+    let ctx = Ctx::new(files, cfg);
+
+    // ---- pass 1: per-fn primitives, calls, direct blocking ----------
+    let mut prims: HashMap<FnRef, Vec<Prim>> = HashMap::new();
+    let mut calls: HashMap<FnRef, Vec<(usize, Vec<FnRef>)>> = HashMap::new();
+    let mut summaries: HashMap<FnRef, FnSummary> = HashMap::new();
+    let mut fn_refs: Vec<FnRef> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ni, f) in file.fns.iter().enumerate() {
+            if f.in_test_code {
+                continue;
+            }
+            let fref = (fi, ni);
+            fn_refs.push(fref);
+            let mut summary = FnSummary {
+                guard_returning: file.code[f.sig.clone()]
+                    .iter()
+                    .any(|t| GUARD_TYPES.iter().any(|g| t.is_ident(g))),
+                ..FnSummary::default()
+            };
+            // Seeded file-lock implementation methods: their summary is
+            // the file lock itself and their bodies (the poll loop, the
+            // kernel call) are not analyzed further.
+            if let Some(ty) = f.self_type.as_deref() {
+                if ctx.file_lock_types.iter().any(|t| t == ty)
+                    && FILE_LOCK_METHODS.contains(&f.name.as_str())
+                {
+                    summary.locks.insert(LockId::File(ty.to_string()));
+                    summary.guard_returning = true;
+                    summaries.insert(fref, summary);
+                    continue;
+                }
+            }
+            let fn_prims = ctx.find_primitives(file, f.body.clone(), f.self_type.as_deref());
+            let prim_toks: HashSet<usize> = fn_prims.iter().map(|p| p.tok).collect();
+            for p in &fn_prims {
+                summary.locks.insert(p.lock.clone());
+            }
+            for (kind, name) in direct_blocking(&file.code, f.body.clone()) {
+                summary.blocking.entry(kind).or_insert(name);
+            }
+            let mut fn_calls = Vec::new();
+            for call in graph.calls_in(fi, f.body.clone()) {
+                if prim_toks.contains(&call.tok) || is_primitive_site(&call) {
+                    continue;
+                }
+                let targets: Vec<FnRef> = graph
+                    .resolve(fi, f.self_type.as_deref(), &call.site, true)
+                    .into_iter()
+                    .filter(|&(tfi, tni)| !files[tfi].fns[tni].in_test_code)
+                    .collect();
+                if !targets.is_empty() {
+                    fn_calls.push((call.tok, targets));
+                }
+            }
+            prims.insert(fref, fn_prims);
+            calls.insert(fref, fn_calls);
+            summaries.insert(fref, summary);
+        }
+    }
+
+    // ---- pass 2: summaries to fixpoint ------------------------------
+    loop {
+        let mut changed = false;
+        for &fref in &fn_refs {
+            let Some(call_list) = calls.get(&fref) else {
+                continue;
+            };
+            let mut merged = summaries[&fref].clone();
+            for (_, targets) in call_list {
+                for t in targets {
+                    if let Some(ts) = summaries.get(t) {
+                        for l in &ts.locks {
+                            merged.locks.insert(l.clone());
+                        }
+                        for (k, op) in &ts.blocking {
+                            merged.blocking.entry(*k).or_insert_with(|| op.clone());
+                        }
+                    }
+                }
+            }
+            let cur = summaries.get_mut(&fref).expect("summary exists");
+            if merged.locks.len() != cur.locks.len() || merged.blocking.len() != cur.blocking.len()
+            {
+                changed = true;
+                *cur = merged;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- pass 3: guard extents + events per fn ----------------------
+    let mut out = LockAnalysis::default();
+    let mut edge_seen: HashMap<(LockId, LockId), (String, u32)> = HashMap::new();
+    let mut edge_order: Vec<(LockId, LockId)> = Vec::new();
+    for &(fi, ni) in &fn_refs {
+        let file = &files[fi];
+        let f = &file.fns[ni];
+        if !summaries.contains_key(&(fi, ni)) || f.body.is_empty() {
+            continue;
+        }
+        let body = f.body.clone();
+        let geom = Geometry::new(&file.code, body.clone());
+        let mut spans: Vec<GuardSpan> = Vec::new();
+        let mut events: Vec<Ev> = Vec::new();
+
+        for p in prims.get(&(fi, ni)).map(Vec::as_slice).unwrap_or(&[]) {
+            let t = &file.code[p.tok];
+            events.push(Ev::Acquire {
+                tok: p.tok,
+                locks: vec![p.lock.clone()],
+                line: t.line,
+                col: t.col,
+            });
+            if let Some((binding, start, end)) = geom.guard_extent(p.tok) {
+                spans.push(GuardSpan {
+                    lock: p.lock.clone(),
+                    binding,
+                    start,
+                    end,
+                    line: t.line,
+                });
+            }
+        }
+        for (tok, targets) in calls.get(&(fi, ni)).map(Vec::as_slice).unwrap_or(&[]) {
+            let mut locks: BTreeSet<LockId> = BTreeSet::new();
+            let mut blocking: BTreeMap<BlockKind, String> = BTreeMap::new();
+            let mut guard_ret = false;
+            for t in targets {
+                if let Some(s) = summaries.get(t) {
+                    locks.extend(s.locks.iter().cloned());
+                    for (k, op) in &s.blocking {
+                        blocking.entry(*k).or_insert_with(|| op.clone());
+                    }
+                    guard_ret |= s.guard_returning;
+                }
+            }
+            let t = &file.code[*tok];
+            if !locks.is_empty() {
+                events.push(Ev::Acquire {
+                    tok: *tok,
+                    locks: locks.iter().cloned().collect(),
+                    line: t.line,
+                    col: t.col,
+                });
+                if guard_ret {
+                    if let Some((binding, start, end)) = geom.guard_extent(*tok) {
+                        for l in &locks {
+                            spans.push(GuardSpan {
+                                lock: l.clone(),
+                                binding: binding.clone(),
+                                start,
+                                end,
+                                line: t.line,
+                            });
+                        }
+                    }
+                }
+            }
+            for (kind, op) in blocking {
+                events.push(Ev::Block {
+                    tok: *tok,
+                    kind,
+                    op: format!("{op} (via `{}`)", t.text),
+                    exempt: None,
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        }
+        for ev in blocking_events(&file.code, body.clone()) {
+            events.push(ev);
+        }
+        events.sort_by_key(Ev::tok);
+
+        // Evaluate events against live spans.
+        for ev in &events {
+            let at = ev.tok();
+            let active = || {
+                spans
+                    .iter()
+                    .filter(move |s| s.start < at && at <= s.end && s.start != at)
+            };
+            match ev {
+                Ev::Acquire {
+                    locks, line, col, ..
+                } => {
+                    for span in active() {
+                        for lock in locks {
+                            if span.lock == *lock {
+                                out.findings.push(Finding {
+                                    rule: "R5",
+                                    path: file.path.clone(),
+                                    line: *line,
+                                    col: *col,
+                                    message: format!(
+                                        "lock-discipline: double-acquisition of `{lock}` — \
+                                         already held since line {} in `{}`; re-locking a \
+                                         `std::sync` lock on one path deadlocks",
+                                        span.line, f.name
+                                    ),
+                                });
+                            } else {
+                                let key = (span.lock.clone(), lock.clone());
+                                if !edge_seen.contains_key(&key) {
+                                    edge_seen.insert(key.clone(), (file.path.clone(), *line));
+                                    edge_order.push(key);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ev::Block {
+                    kind,
+                    op,
+                    exempt,
+                    line,
+                    col,
+                    ..
+                } => {
+                    for span in active() {
+                        if span.binding.is_some() && span.binding == *exempt {
+                            continue; // the condvar releases this guard
+                        }
+                        if *kind == BlockKind::Io && matches!(span.lock, LockId::File(_)) {
+                            continue; // the file lock's own critical section
+                        }
+                        out.findings.push(Finding {
+                            rule: "R5",
+                            path: file.path.clone(),
+                            line: *line,
+                            col: *col,
+                            message: format!(
+                                "lock-discipline: guard of `{}` (line {}) is live across \
+                                 blocking `{op}` in `{}` — every contender stalls behind \
+                                 this I/O; release the guard first",
+                                span.lock, span.line, f.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- pass 4: order-graph cycles ---------------------------------
+    for key in &edge_order {
+        let (path, line) = &edge_seen[key];
+        out.edges.push(LockEdge {
+            from: key.0.to_string(),
+            to: key.1.to_string(),
+            path: path.clone(),
+            line: *line,
+        });
+    }
+    out.edges
+        .sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+    for cycle in find_cycles(&edge_order) {
+        let names: Vec<String> = cycle.iter().map(LockId::to_string).collect();
+        let key = (cycle[0].clone(), cycle[1].clone());
+        let (path, line) = edge_seen[&key].clone();
+        out.findings.push(Finding {
+            rule: "R5",
+            path,
+            line,
+            col: 1,
+            message: format!(
+                "lock-discipline: lock-order cycle `{} → {}` — two threads taking these \
+                 locks in opposite order deadlock; fix one site to follow the documented \
+                 order",
+                names.join(" → "),
+                names[0]
+            ),
+        });
+    }
+    out
+}
+
+/// Shared lookup state: field-name → lock kind, plus config knobs.
+struct Ctx {
+    mutex_fields: HashSet<String>,
+    rwlock_fields: HashSet<String>,
+    file_lock_types: Vec<String>,
+}
+
+impl Ctx {
+    fn new(files: &[FileScan], cfg: &Config) -> Self {
+        let mut mutex_fields = HashSet::new();
+        let mut rwlock_fields = HashSet::new();
+        for file in files {
+            for lf in &file.lock_fields {
+                match lf.kind {
+                    LockKind::Mutex => mutex_fields.insert(lf.name.clone()),
+                    LockKind::RwLock => rwlock_fields.insert(lf.name.clone()),
+                };
+            }
+        }
+        Ctx {
+            mutex_fields,
+            rwlock_fields,
+            file_lock_types: cfg.file_lock_types.clone(),
+        }
+    }
+
+    /// Primitive acquisitions in a body: `recv.lock()`, `rw.read()`,
+    /// `rw.write()`, `source().lock()`, `self.lock()` on a file-lock
+    /// type. Unknown receivers are skipped — a documented gap, not a
+    /// guess.
+    fn find_primitives(
+        &self,
+        file: &FileScan,
+        body: std::ops::Range<usize>,
+        self_type: Option<&str>,
+    ) -> Vec<Prim> {
+        let code = &file.code;
+        let mut out = Vec::new();
+        for i in body {
+            let t = &code[i];
+            if t.kind != TokKind::Ident
+                || !LOCK_PRIMITIVES.contains(&t.text.as_str())
+                || !code.get(i + 1).is_some_and(|n| n.is_punct('('))
+                || i == 0
+                || !code[i - 1].is_punct('.')
+            {
+                continue;
+            }
+            let is_rw = matches!(t.text.as_str(), "read" | "write");
+            let lock = match receiver(code, i) {
+                Recv::SelfDot => match self_type {
+                    Some(ty)
+                        if self.file_lock_types.iter().any(|f| f == ty)
+                            && FILE_LOCK_METHODS.contains(&t.text.as_str()) =>
+                    {
+                        Some(LockId::File(ty.to_string()))
+                    }
+                    _ => None,
+                },
+                Recv::Ident(name) => {
+                    if is_rw {
+                        self.rwlock_fields
+                            .contains(&name)
+                            .then_some(LockId::Field(name))
+                    } else {
+                        (self.mutex_fields.contains(&name) || self.rwlock_fields.contains(&name))
+                            .then_some(LockId::Field(name))
+                    }
+                }
+                Recv::CallOf(name) if !is_rw => Some(LockId::Source(name)),
+                _ => None,
+            };
+            if let Some(lock) = lock {
+                out.push(Prim { tok: i, lock });
+            }
+        }
+        out
+    }
+}
+
+/// What sits before the `.` of a method call.
+enum Recv {
+    SelfDot,
+    Ident(String),
+    CallOf(String),
+    Unknown,
+}
+
+fn receiver(code: &[Tok], method_tok: usize) -> Recv {
+    let Some(prev) = method_tok.checked_sub(2) else {
+        return Recv::Unknown;
+    };
+    let p = &code[prev];
+    if p.is_ident("self") {
+        return Recv::SelfDot;
+    }
+    if p.kind == TokKind::Ident {
+        return Recv::Ident(p.text.clone());
+    }
+    if p.is_punct(')') {
+        // Walk back over the call's parens to the fn name.
+        let mut depth = 0i32;
+        let mut k = prev;
+        loop {
+            if code[k].is_punct(')') {
+                depth += 1;
+            } else if code[k].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            let Some(nk) = k.checked_sub(1) else {
+                return Recv::Unknown;
+            };
+            k = nk;
+        }
+        if let Some(name) = k.checked_sub(1).map(|j| &code[j]) {
+            if name.kind == TokKind::Ident && !crate::scan::is_keyword(&name.text) {
+                return Recv::CallOf(name.text.clone());
+            }
+        }
+    }
+    Recv::Unknown
+}
+
+/// True for call sites that are really lock primitives on receivers we
+/// could not name — never let lenient resolution guess those.
+fn is_primitive_site(call: &Call) -> bool {
+    match &call.site {
+        CallSite::Method { name, .. } | CallSite::SelfMethod { name } => {
+            LOCK_PRIMITIVES.contains(&name.as_str())
+        }
+        _ => false,
+    }
+}
+
+/// Direct blocking ops for the summary (no exemption bookkeeping).
+fn direct_blocking(code: &[Tok], body: std::ops::Range<usize>) -> Vec<(BlockKind, String)> {
+    blocking_events(code, body)
+        .into_iter()
+        .filter_map(|ev| match ev {
+            Ev::Block { kind, op, .. } => Some((kind, op)),
+            Ev::Acquire { .. } => None,
+        })
+        .collect()
+}
+
+/// Blocking-op events in a body, with condvar-wait guard exemptions.
+fn blocking_events(code: &[Tok], body: std::ops::Range<usize>) -> Vec<Ev> {
+    let mut out = Vec::new();
+    for i in body {
+        let t = &code[i];
+        if t.kind != TokKind::Ident || !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let is_method = i > 0 && code[i - 1].is_punct('.');
+        let zero_arg = code.get(i + 2).is_some_and(|n| n.is_punct(')'));
+        let name = t.text.as_str();
+        // `thread::sleep(…)` (or bare `sleep(…)`) parks regardless of
+        // call form.
+        if name == "sleep" && !is_method {
+            out.push(Ev::Block {
+                tok: i,
+                kind: BlockKind::Park,
+                op: "thread::sleep".into(),
+                exempt: None,
+                line: t.line,
+                col: t.col,
+            });
+            continue;
+        }
+        if !is_method {
+            continue;
+        }
+        if matches!(name, "wait" | "wait_timeout" | "wait_while") {
+            // The waited guard is *released* by the condvar — exempt it.
+            let exempt = code
+                .get(i + 2)
+                .filter(|a| a.kind == TokKind::Ident)
+                .map(|a| a.text.clone());
+            out.push(Ev::Block {
+                tok: i,
+                kind: BlockKind::Park,
+                op: format!("Condvar::{name}"),
+                exempt,
+                line: t.line,
+                col: t.col,
+            });
+            continue;
+        }
+        if let Some((_, kind, _)) = BLOCKING_METHODS
+            .iter()
+            .find(|(n, _, needs_zero)| *n == name && (!needs_zero || zero_arg))
+        {
+            out.push(Ev::Block {
+                tok: i,
+                kind: *kind,
+                op: format!(".{name}()"),
+                exempt: None,
+                line: t.line,
+                col: t.col,
+            });
+        }
+    }
+    out
+}
+
+/// Brace/statement geometry for one fn body: guard-extent recovery.
+struct Geometry<'a> {
+    code: &'a [Tok],
+    body: std::ops::Range<usize>,
+    /// Brace depth *before* each token, indexed from `body.start`.
+    depth: Vec<u32>,
+    /// Paren+bracket group depth before each token.
+    group: Vec<u32>,
+}
+
+impl<'a> Geometry<'a> {
+    fn new(code: &'a [Tok], body: std::ops::Range<usize>) -> Self {
+        let mut depth = Vec::with_capacity(body.len());
+        let mut group = Vec::with_capacity(body.len());
+        let (mut d, mut g) = (0u32, 0u32);
+        for i in body.clone() {
+            depth.push(d);
+            group.push(g);
+            let t = &code[i];
+            if t.is_punct('{') {
+                d += 1;
+            } else if t.is_punct('}') {
+                d = d.saturating_sub(1);
+            } else if t.is_punct('(') || t.is_punct('[') {
+                g += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                g = g.saturating_sub(1);
+            }
+        }
+        Geometry {
+            code,
+            body,
+            depth,
+            group,
+        }
+    }
+
+    fn depth_at(&self, i: usize) -> u32 {
+        self.depth[i - self.body.start]
+    }
+
+    fn group_at(&self, i: usize) -> u32 {
+        self.group[i - self.body.start]
+    }
+
+    /// First index after `i` closing the enclosing block, or body end.
+    fn block_end(&self, i: usize) -> usize {
+        let d = self.depth_at(i);
+        (i + 1..self.body.end)
+            .find(|&k| self.code[k].is_punct('}') && self.depth_at(k) == d)
+            .unwrap_or(self.body.end)
+    }
+
+    /// First `;` after `i` at the same brace+group depth, capped at the
+    /// block end.
+    fn statement_end(&self, i: usize) -> usize {
+        let (d, g) = (self.depth_at(i), self.group_at(i));
+        let cap = self.block_end(i);
+        (i + 1..cap)
+            .find(|&k| self.code[k].is_punct(';') && self.depth_at(k) == d && self.group_at(k) == g)
+            .unwrap_or(cap)
+    }
+
+    /// The guard extent for an acquisition at token `i`:
+    /// `(binding, start, end)` — `None` when the guard dies instantly
+    /// (`let _ = …`).
+    fn guard_extent(&self, i: usize) -> Option<(Option<String>, usize, usize)> {
+        // Statement start: walk back to the nearest `;`/`{`/`}`.
+        let mut j = i;
+        let mut let_at: Option<usize> = None;
+        while j > self.body.start {
+            j -= 1;
+            let t = &self.code[j];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            if t.is_ident("let") {
+                let_at = Some(j);
+            }
+        }
+        match let_at {
+            Some(l) => {
+                let scrutinee = l > self.body.start
+                    && (self.code[l - 1].is_ident("if") || self.code[l - 1].is_ident("while"));
+                if scrutinee {
+                    // Guard lives for the block following the condition.
+                    let mut g = 0u32;
+                    let mut k = i + 1;
+                    while k < self.body.end {
+                        let t = &self.code[k];
+                        if t.is_punct('(') || t.is_punct('[') {
+                            g += 1;
+                        } else if t.is_punct(')') || t.is_punct(']') {
+                            g = g.saturating_sub(1);
+                        } else if t.is_punct('{') && g == 0 {
+                            return Some((None, i, self.block_end(k + 1).min(self.body.end)));
+                        }
+                        k += 1;
+                    }
+                    return Some((None, i, self.body.end));
+                }
+                // `let [mut] name = …` — name `_` drops the guard now.
+                let mut k = l + 1;
+                while self.code.get(k).is_some_and(|t| t.is_ident("mut")) {
+                    k += 1;
+                }
+                let name = self
+                    .code
+                    .get(k)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                if name.as_deref() == Some("_") {
+                    return None;
+                }
+                let mut end = self.block_end(l);
+                if let Some(n) = &name {
+                    // An explicit `drop(name)` ends the extent early.
+                    let mut d = i;
+                    while d + 3 < end {
+                        if self.code[d].is_ident("drop")
+                            && self.code[d + 1].is_punct('(')
+                            && self.code[d + 2].is_ident(n)
+                            && self.code[d + 3].is_punct(')')
+                        {
+                            end = d;
+                            break;
+                        }
+                        d += 1;
+                    }
+                }
+                Some((name, i, end))
+            }
+            // Temporary guard: lives to the end of the statement.
+            None => Some((None, i, self.statement_end(i))),
+        }
+    }
+}
+
+/// Finds simple cycles in the order graph via DFS; each cycle is
+/// reported once, as the node sequence along the back edge.
+fn find_cycles(edges: &[(LockId, LockId)]) -> Vec<Vec<LockId>> {
+    let mut adj: BTreeMap<&LockId, Vec<&LockId>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut cycles = Vec::new();
+    let mut done: HashSet<&LockId> = HashSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        if done.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<(&LockId, usize)> = vec![(start, 0)];
+        let mut path: Vec<&LockId> = vec![start];
+        let mut on_path: HashSet<&LockId> = [start].into();
+        while let Some((node, next)) = stack.last_mut() {
+            let succs = adj.get(*node).map(Vec::as_slice).unwrap_or(&[]);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if on_path.contains(s) {
+                    let pos = path.iter().position(|n| *n == s).expect("on path");
+                    cycles.push(path[pos..].iter().map(|n| (*n).clone()).collect());
+                } else if !done.contains(s) {
+                    stack.push((s, 0));
+                    path.push(s);
+                    on_path.insert(s);
+                }
+            } else {
+                done.insert(node);
+                on_path.remove(*node);
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+    cycles
+}

@@ -1,7 +1,7 @@
 //! `cargo run -p lint` — lint the workspace; nonzero exit on findings.
 //!
 //! ```text
-//! lint [--root DIR] [--self-check] [FILE…]
+//! lint [--root DIR] [--format human|json] [--self-check] [FILE…]
 //! ```
 //!
 //! With no file arguments, walks the workspace's own source trees
@@ -19,6 +19,7 @@ use lint::rules::Config;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut self_check = false;
+    let mut json = false;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,9 +31,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                _ => {
+                    eprintln!("--format needs `human` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
             "--self-check" => self_check = true,
             "--help" | "-h" => {
-                eprintln!("usage: lint [--root DIR] [--self-check] [FILE…]");
+                eprintln!("usage: lint [--root DIR] [--format human|json] [--self-check] [FILE…]");
                 return ExitCode::SUCCESS;
             }
             _ => files.push(PathBuf::from(arg)),
@@ -56,6 +65,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if json {
+        print!("{}", lint::render_json(&report));
+        return if report.clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for finding in &report.findings {
         println!("{}", finding.render());
     }
@@ -139,12 +156,15 @@ fn run_self_check(root: &Path) -> ExitCode {
     let fixtures = root.join("crates/lint/tests/fixtures");
     let mut failures = Vec::new();
     let cfg = Config {
-        // Fixtures live outside the real service paths; scope R3 onto
-        // them so its trip/pass pair is exercised.
+        // Fixtures live outside the real service paths; scope R3 and
+        // the R6 relaxed-only policy onto them so each trip/pass pair
+        // is exercised.
         r3_paths: vec!["fixtures/r3".into()],
         r4_exempt: Vec::new(),
+        r6_relaxed_paths: vec!["fixtures/r6".into()],
+        ..Config::default()
     };
-    for rule in ["r1", "r2", "r3", "r4"] {
+    for rule in ["r1", "r2", "r3", "r4", "r5", "r6", "r7"] {
         let rule_id = rule.to_uppercase();
         for (suffix, want_findings) in [("trip", true), ("pass", false)] {
             let path = fixtures.join(format!("{rule}_{suffix}.rs"));

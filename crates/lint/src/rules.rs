@@ -1,7 +1,9 @@
-//! The four rule families, run over scanned files.
+//! The rule families, run over scanned files.
 //!
 //! - **R1 alloc-in-hot-path** — allocation calls inside `*_ws` /
-//!   `*_into` / `*_into_ws` functions and their same-crate callees.
+//!   `*_into` / `*_into_ws` functions and their callees, resolved over
+//!   the workspace call graph (bare, `self.method`, `Type::assoc`, and
+//!   `path::fn` edges, cross-crate).
 //! - **R2 nan-unsafe-ordering** — `partial_cmp`, comparator-less
 //!   `max_by`/`min_by`, and `f32::max`-style folds on floats.
 //! - **R3 panic-on-input** — `unwrap`/`expect`/`panic!`/literal
@@ -10,6 +12,14 @@
 //! - **R4 telemetry-hygiene** — metric names must be lowercase
 //!   snake-case with conventional suffixes and registered through the
 //!   `static_*!` / `duration_histogram!` macros, never ad-hoc.
+//! - **R5 lock-discipline** — lock-order cycles, double-acquisition,
+//!   and guards live across blocking ops (see [`crate::locks`]).
+//! - **R6 atomic-ordering** — telemetry/hot-path atomics stay
+//!   `Relaxed`, CAS calls carry two literal orderings, and cross-thread
+//!   `AtomicBool` flags document their ordering where they are
+//!   declared.
+//! - **R7 thread-hygiene** — dropped `JoinHandle`s, and spawn+join
+//!   pairs that should be `thread::scope`.
 //!
 //! Plus **R0**: a malformed suppression (`lint:allow` without a
 //! written reason, or one that matches nothing) is itself a finding —
@@ -17,6 +27,8 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use crate::graph::{FnRef, Graph};
+use crate::locks::{self, LockEdge};
 use crate::scan::{is_keyword, FileScan};
 use crate::tokenizer::{Tok, TokKind};
 
@@ -26,6 +38,15 @@ pub struct Config {
     pub r3_paths: Vec<String>,
     /// Path substrings where R4 is off (the telemetry registry itself).
     pub r4_exempt: Vec<String>,
+    /// Package-name → crate-dir aliases for cross-crate resolution
+    /// (the `core` dir builds the `bayesft` package).
+    pub crate_aliases: Vec<(String, String)>,
+    /// Types whose `lock`/`try_lock`/`lock_waiting` methods hand out an
+    /// advisory *file* lock rather than an in-process mutex guard.
+    pub file_lock_types: Vec<String>,
+    /// Path substrings where every atomic op must stay `Relaxed` (the
+    /// telemetry hot path).
+    pub r6_relaxed_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -40,6 +61,12 @@ impl Default for Config {
                 "crates/scenarios/src/store.rs".into(),
             ],
             r4_exempt: vec!["crates/telemetry/".into()],
+            crate_aliases: vec![
+                ("bayesft".into(), "core".into()),
+                ("bayesft_repro".into(), "root".into()),
+            ],
+            file_lock_types: vec!["ResultStore".into()],
+            r6_relaxed_paths: vec!["crates/telemetry/".into()],
         }
     }
 }
@@ -47,7 +74,7 @@ impl Default for Config {
 /// One diagnostic.
 #[derive(Debug)]
 pub struct Finding {
-    /// Rule ID (`R0`–`R4`).
+    /// Rule ID (`R0`–`R7`).
     pub rule: &'static str,
     pub path: String,
     pub line: u32,
@@ -79,7 +106,12 @@ pub struct AllowRecord {
 #[derive(Default)]
 pub struct Report {
     pub findings: Vec<Finding>,
+    /// Findings silenced by a reasoned `lint:allow` — kept so `--format
+    /// json` can publish them with `"suppressed": true`.
+    pub suppressed: Vec<Finding>,
     pub allows_in_force: Vec<AllowRecord>,
+    /// The lock-acquisition order graph R5 recovered (deduped edges).
+    pub lock_edges: Vec<LockEdge>,
 }
 
 impl Report {
@@ -89,7 +121,7 @@ impl Report {
     }
 }
 
-const RULES: [&str; 4] = ["R1", "R2", "R3", "R4"];
+const RULES: [&str; 7] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"];
 
 /// Is this function a zero-alloc hot-path root by naming convention?
 fn is_hot_root(name: &str) -> bool {
@@ -98,9 +130,13 @@ fn is_hot_root(name: &str) -> bool {
 
 /// Runs every rule over the scanned files and resolves suppressions.
 pub fn run(files: &[FileScan], cfg: &Config) -> Report {
+    let graph = Graph::build(files, &cfg.crate_aliases);
     let mut raw: Vec<Finding> = Vec::new();
-    rule_r1(files, &mut raw);
-    for file in files {
+    let mut edge_allows: Vec<(usize, u32)> = Vec::new();
+    let hot = rule_r1(&graph, &mut raw, &mut edge_allows);
+    let lock = locks::analyze(&graph, cfg);
+    raw.extend(lock.findings);
+    for (fi, file) in files.iter().enumerate() {
         rule_r2(file, &mut raw);
         if cfg.r3_paths.iter().any(|p| file.path.contains(p.as_str())) {
             rule_r3(file, &mut raw);
@@ -108,14 +144,18 @@ pub fn run(files: &[FileScan], cfg: &Config) -> Report {
         if !cfg.r4_exempt.iter().any(|p| file.path.contains(p.as_str())) {
             rule_r4(file, &mut raw);
         }
+        rule_r6(fi, file, &hot, cfg, &mut raw);
+        rule_r7(file, &mut raw);
     }
-    apply_allows(files, raw)
+    let mut report = apply_allows(files, raw, &edge_allows);
+    report.lock_edges = lock.edges;
+    report
 }
 
 /// Matches findings against `lint:allow` directives, producing the
 /// final report: suppressed findings become allow records, reason-less
 /// or unused directives become R0 findings.
-fn apply_allows(files: &[FileScan], raw: Vec<Finding>) -> Report {
+fn apply_allows(files: &[FileScan], raw: Vec<Finding>, edge_allows: &[(usize, u32)]) -> Report {
     let mut report = Report::default();
     // (path, applies_line, rule) -> directive bookkeeping.
     let mut used: HashMap<(String, u32), Vec<bool>> = HashMap::new();
@@ -151,8 +191,28 @@ fn apply_allows(files: &[FileScan], raw: Vec<Finding>) -> Report {
                 }
             }
         }
-        if !suppressed {
+        if suppressed {
+            report.suppressed.push(finding);
+        } else {
             report.findings.push(finding);
+        }
+    }
+    // Allows consumed as R1 edge cuts (a reasoned allow on a call line
+    // stops hot propagation through that call) count as in force.
+    for &(fi, line) in edge_allows {
+        let file = &files[fi];
+        for (ai, allow) in file.allows.iter().enumerate() {
+            if allow.applies_line == line && allow.rules.iter().any(|r| r == "R1") {
+                if let Some(flags) = used.get_mut(&(file.path.clone(), allow.applies_line)) {
+                    flags[ai] = true;
+                }
+                report.allows_in_force.push(AllowRecord {
+                    path: file.path.clone(),
+                    line: allow.line,
+                    rule: "R1",
+                    reason: allow.reason.clone().unwrap_or_default(),
+                });
+            }
         }
     }
     // Directive hygiene: every allow needs a reason, and must suppress
@@ -193,6 +253,9 @@ fn apply_allows(files: &[FileScan], raw: Vec<Finding>) -> Report {
         .findings
         .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
     report
+        .suppressed
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    report
         .allows_in_force
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     report.allows_in_force.dedup_by(|a, b| {
@@ -201,56 +264,27 @@ fn apply_allows(files: &[FileScan], raw: Vec<Finding>) -> Report {
     report
 }
 
-/// The crate a file belongs to, for intra-crate call resolution:
-/// `crates/<name>/…` → `<name>`, everything else → the root package.
-fn crate_of(path: &str) -> &str {
-    path.strip_prefix("crates/")
-        .and_then(|rest| rest.split('/').next())
-        .unwrap_or("root")
-}
-
 // ---------------------------------------------------------------------
 // R1: alloc-in-hot-path
 // ---------------------------------------------------------------------
 
-/// A bare `name(` call site (not `.name(`, not `path::name(`, not
-/// `name!`): the only calls the intra-crate graph can resolve without
-/// type information. Method and cross-crate calls are out of scope by
-/// design — documented in the README.
-fn bare_calls(code: &[Tok], body: std::ops::Range<usize>) -> Vec<String> {
-    let mut out = Vec::new();
-    for i in body.clone() {
-        let t = &code[i];
-        if t.kind != TokKind::Ident || is_keyword(&t.text) {
-            continue;
-        }
-        if !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
-            continue;
-        }
-        if i > 0 && (code[i - 1].is_punct('.') || code[i - 1].is_punct(':')) {
-            continue;
-        }
-        out.push(t.text.clone());
-    }
-    out
-}
-
-/// Function name → definition sites (file index, fn index) in one crate.
-type FnIndex<'a> = HashMap<&'a str, Vec<(usize, usize)>>;
-
-fn rule_r1(files: &[FileScan], out: &mut Vec<Finding>) {
-    // name -> (file index, fn index) per crate, for call resolution.
-    let mut by_crate: HashMap<&str, FnIndex> = HashMap::new();
-    for (fi, file) in files.iter().enumerate() {
-        let map = by_crate.entry(crate_of(&file.path)).or_default();
-        for (ni, f) in file.fns.iter().enumerate() {
-            map.entry(f.name.as_str()).or_default().push((fi, ni));
-        }
-    }
-    // BFS from hot roots through bare intra-crate calls. `hot` maps a
-    // function to the root whose zero-alloc contract it inherits.
-    let mut hot: HashMap<(usize, usize), String> = HashMap::new();
-    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+/// BFS from hot roots through resolved call edges; returns the hot map
+/// (fn → root whose zero-alloc contract it inherits) for R6's use.
+///
+/// A reasoned `lint:allow(R1)` on a *call line* cuts propagation
+/// through that edge — the idiom for cold-start allocations: the
+/// decision to allocate lives at the call site, so that is where the
+/// suppression (and its written reason) belongs. Consumed edge cuts
+/// are pushed to `edge_allows` as `(file index, applies line)` so the
+/// directive registers as in force rather than unused.
+fn rule_r1(
+    graph: &Graph<'_>,
+    out: &mut Vec<Finding>,
+    edge_allows: &mut Vec<(usize, u32)>,
+) -> HashMap<FnRef, String> {
+    let files = graph.files();
+    let mut hot: HashMap<FnRef, String> = HashMap::new();
+    let mut queue: VecDeque<FnRef> = VecDeque::new();
     for (fi, file) in files.iter().enumerate() {
         for (ni, f) in file.fns.iter().enumerate() {
             if is_hot_root(&f.name) && !f.in_test_code {
@@ -261,19 +295,24 @@ fn rule_r1(files: &[FileScan], out: &mut Vec<Finding>) {
     }
     while let Some((fi, ni)) = queue.pop_front() {
         let root = hot[&(fi, ni)].clone();
-        let file = &files[fi];
-        let f = &file.fns[ni];
-        let krate = crate_of(&file.path);
-        for callee in bare_calls(&file.code, f.body.clone()) {
-            if let Some(defs) = by_crate.get(krate).and_then(|m| m.get(callee.as_str())) {
-                for &(cfi, cni) in defs {
-                    if files[cfi].fns[cni].in_test_code {
-                        continue;
-                    }
-                    if let std::collections::hash_map::Entry::Vacant(e) = hot.entry((cfi, cni)) {
-                        e.insert(root.clone());
-                        queue.push_back((cfi, cni));
-                    }
+        let f = &files[fi].fns[ni];
+        for call in graph.calls_in(fi, f.body.clone()) {
+            let call_line = files[fi].code[call.tok].line;
+            if files[fi]
+                .allows
+                .iter()
+                .any(|a| a.applies_line == call_line && a.rules.iter().any(|r| r == "R1"))
+            {
+                edge_allows.push((fi, call_line));
+                continue;
+            }
+            for (cfi, cni) in graph.resolve(fi, f.self_type.as_deref(), &call.site, false) {
+                if files[cfi].fns[cni].in_test_code {
+                    continue;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = hot.entry((cfi, cni)) {
+                    e.insert(root.clone());
+                    queue.push_back((cfi, cni));
                 }
             }
         }
@@ -339,6 +378,7 @@ fn rule_r1(files: &[FileScan], out: &mut Vec<Finding>) {
             }
         }
     }
+    hot
 }
 
 // ---------------------------------------------------------------------
@@ -622,5 +662,315 @@ fn rule_r4(file: &FileScan, out: &mut Vec<Finding>) {
             }),
             None => {}
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R6: atomic-ordering policy
+// ---------------------------------------------------------------------
+
+const ATOMIC_OPS: [&str; 14] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn rule_r6(
+    fi: usize,
+    file: &FileScan,
+    hot: &HashMap<FnRef, String>,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    let code = &file.code;
+    let relaxed_file = cfg
+        .r6_relaxed_paths
+        .iter()
+        .any(|p| file.path.contains(p.as_str()));
+
+    // (a) per-op ordering policy, attributed to the enclosing fn.
+    for (ni, f) in file.fns.iter().enumerate() {
+        if f.in_test_code {
+            continue;
+        }
+        let hot_root = hot.get(&(fi, ni));
+        for i in f.body.clone() {
+            let t = &code[i];
+            if t.kind != TokKind::Ident
+                || !ATOMIC_OPS.contains(&t.text.as_str())
+                || !code.get(i + 1).is_some_and(|n| n.is_punct('('))
+                || i == 0
+                || !code[i - 1].is_punct('.')
+            {
+                continue;
+            }
+            // Collect ordering literals among the call's arguments.
+            let mut depth = 0u32;
+            let mut j = i + 1;
+            let mut orderings: Vec<&str> = Vec::new();
+            while j < code.len() {
+                let a = &code[j];
+                if a.is_punct('(') {
+                    depth += 1;
+                } else if a.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.kind == TokKind::Ident {
+                    if let Some(o) = ORDERINGS.iter().find(|o| a.is_ident(o)) {
+                        orderings.push(o);
+                    }
+                }
+                j += 1;
+            }
+            let is_cas = matches!(
+                t.text.as_str(),
+                "compare_exchange" | "compare_exchange_weak" | "fetch_update"
+            );
+            if is_cas && orderings.len() < 2 {
+                out.push(Finding {
+                    rule: "R6",
+                    path: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "atomic-ordering: `{}` needs its success *and* failure orderings \
+                         spelled as `Ordering::…` literals at the call site — an ordering \
+                         smuggled through a variable cannot be audited",
+                        t.text
+                    ),
+                });
+            }
+            let must_relax = relaxed_file || hot_root.is_some();
+            if must_relax {
+                if let Some(strong) = orderings.iter().find(|o| **o != "Relaxed") {
+                    let why = match hot_root {
+                        Some(root) => format!("inside hot path of `{root}`"),
+                        None => "on the telemetry hot path".into(),
+                    };
+                    out.push(Finding {
+                        rule: "R6",
+                        path: file.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "atomic-ordering: `{}` uses `Ordering::{strong}` {why} — \
+                             counters and gauges are monotonic noise, `Relaxed` is \
+                             sufficient and fences here cost real latency",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // (b) cross-thread flags document their ordering at the declaration.
+    for flag in &file.atomic_flags {
+        if flag.in_test {
+            continue;
+        }
+        let documented = file.comments.iter().any(|c| {
+            c.line + 3 >= flag.line
+                && c.line <= flag.line
+                && c.text.to_ascii_lowercase().contains("ordering")
+        });
+        if !documented {
+            out.push(Finding {
+                rule: "R6",
+                path: file.path.clone(),
+                line: flag.line,
+                col: 1,
+                message: format!(
+                    "atomic-ordering: cross-thread flag `{}` must document its chosen \
+                     memory ordering in a comment at the declaration site (say \
+                     \"ordering:\" and why that strength is right)",
+                    flag.name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R7: thread hygiene
+// ---------------------------------------------------------------------
+
+fn rule_r7(file: &FileScan, out: &mut Vec<Finding>) {
+    let code = &file.code;
+    for f in &file.fns {
+        if f.in_test_code {
+            continue;
+        }
+        // `thread::scope(|s| …)` closure params: `s.spawn(…)` hands out
+        // a handle the scope itself joins, so dropping it is fine.
+        let mut scope_params: Vec<&str> = Vec::new();
+        for i in f.body.clone() {
+            if code[i].is_ident("scope")
+                && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && code.get(i + 2).is_some_and(|n| n.is_punct('|'))
+                && code.get(i + 4).is_some_and(|n| n.is_punct('|'))
+            {
+                if let Some(p) = code.get(i + 3).filter(|t| t.kind == TokKind::Ident) {
+                    scope_params.push(&p.text);
+                }
+            }
+        }
+        for i in f.body.clone() {
+            let t = &code[i];
+            let is_spawn_name = t.is_ident("spawn");
+            if !is_spawn_name || !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            if i >= 2
+                && code[i - 1].is_punct('.')
+                && scope_params.iter().any(|p| code[i - 2].is_ident(p))
+            {
+                continue;
+            }
+            // `thread::spawn(`, `Builder…spawn(`, bare `spawn(` — all
+            // produce a JoinHandle the caller must not drop.
+            let head = spawn_head(code, i, f.body.start);
+            // Where does the call's value go? Find the matching `)`.
+            let mut depth = 0u32;
+            let mut j = i + 1;
+            while j < code.len() {
+                if code[j].is_punct('(') {
+                    depth += 1;
+                } else if code[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let after = code.get(j + 1);
+            if after.is_some_and(|n| n.is_punct('.') || n.is_punct('?')) {
+                // Chained — the handle flows onward (collected, joined,
+                // expect()ed); the chain's consumer owns it.
+                continue;
+            }
+            if !after.is_some_and(|n| n.is_punct(';')) {
+                // Inside a larger expression (pushed, returned, mapped)
+                // — the handle escapes.
+                continue;
+            }
+            // Statement form: `…spawn(…);`. Walk back to the statement
+            // boundary looking for a binder.
+            let mut k = head;
+            let mut binder: Option<String> = None;
+            let mut bare = true;
+            while k > f.body.start {
+                k -= 1;
+                let b = &code[k];
+                if b.is_punct(';') || b.is_punct('{') || b.is_punct('}') {
+                    break;
+                }
+                bare = false;
+                if b.is_ident("let") {
+                    let mut n = k + 1;
+                    while code.get(n).is_some_and(|x| x.is_ident("mut")) {
+                        n += 1;
+                    }
+                    binder = code
+                        .get(n)
+                        .filter(|x| x.kind == TokKind::Ident)
+                        .map(|x| x.text.clone());
+                    break;
+                }
+            }
+            if bare || binder.as_deref() == Some("_") {
+                out.push(Finding {
+                    rule: "R7",
+                    path: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "thread-hygiene: `spawn` result dropped in `{}` — a detached \
+                         thread outlives its work, panics vanish, and shutdown can't \
+                         wait for it; keep the `JoinHandle` or use `thread::scope`",
+                        f.name
+                    ),
+                });
+            } else if let Some(name) = binder {
+                // `let h = spawn(…); … h.join()` in the same fn: the
+                // lifetime is block-shaped, so scoped threads fit.
+                let joined = (j..f.body.end).any(|m| {
+                    code[m].is_ident(&name)
+                        && code.get(m + 1).is_some_and(|n| n.is_punct('.'))
+                        && code.get(m + 2).is_some_and(|n| n.is_ident("join"))
+                });
+                if joined {
+                    out.push(Finding {
+                        rule: "R7",
+                        path: file.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "thread-hygiene: `{name}` is spawned and joined inside `{}` — \
+                             prefer `thread::scope`, which joins on every path (including \
+                             panics) and lets the closure borrow locals",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The first token of the spawn expression: walks `thread::spawn` /
+/// `Builder::new().name(…).spawn` chains back to their head.
+fn spawn_head(code: &[Tok], spawn_tok: usize, floor: usize) -> usize {
+    let mut k = spawn_tok;
+    loop {
+        // `X :: spawn` / `chain . spawn`
+        if k >= 2 && (code[k - 1].is_punct('.') || code[k - 1].is_punct(':')) {
+            let mut p = k - 1;
+            while p > floor && code[p].is_punct(':') {
+                p -= 1;
+            }
+            if code[p].is_punct('.') && p > floor {
+                p -= 1;
+            }
+            // Skip a call's parens: `new ( )`.
+            if code[p].is_punct(')') {
+                let mut depth = 0i32;
+                while p > floor {
+                    if code[p].is_punct(')') {
+                        depth += 1;
+                    } else if code[p].is_punct('(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    p -= 1;
+                }
+                if p > floor {
+                    p -= 1;
+                }
+            }
+            if code[p].kind == TokKind::Ident && k != p {
+                k = p;
+                continue;
+            }
+        }
+        return k;
     }
 }

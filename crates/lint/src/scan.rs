@@ -1,5 +1,7 @@
-//! Per-file structure recovery: function items (name + body token
-//! range), test-code regions, and `lint:allow` suppression directives.
+//! Per-file structure recovery: function items (name + signature/body
+//! token ranges + enclosing `impl` type), `use` imports, lock-typed
+//! struct fields, cross-thread atomic flags, test-code regions, and
+//! `lint:allow` suppression directives.
 //!
 //! This is an approximation, not a parser: it tracks brace depth and a
 //! few keyword/attribute patterns, which is enough to attribute every
@@ -14,18 +16,64 @@ use crate::tokenizer::{Tok, TokKind};
 pub struct FnItem {
     /// The function's bare name (`forward_ws`, not the impl path).
     pub name: String,
+    /// Code-token index range of the signature: the `fn` keyword up to
+    /// (excluding) the body's `{`. Rules scan this for guard-returning
+    /// types.
+    pub sig: std::ops::Range<usize>,
     /// Code-token index range of the body, *inside* the braces.
     pub body: std::ops::Range<usize>,
     /// Where the `fn` keyword sits.
     pub line: u32,
     /// Inside a `#[cfg(test)]` module or under `#[test]`.
     pub in_test_code: bool,
+    /// The `impl`/`trait` block's type name, when the fn is a method
+    /// (`impl ResultStore { fn lock(…) }` → `Some("ResultStore")`).
+    pub self_type: Option<String>,
+}
+
+/// One name bound by a `use` declaration, fully expanded: the group
+/// `use scenarios::{store::ResultStore, runner as r};` yields two
+/// imports with `local` = `ResultStore` / `r`.
+#[derive(Debug)]
+pub struct UseImport {
+    /// The name visible in this file (`*` for glob imports).
+    pub local: String,
+    /// Full path segments, first segment included (`["scenarios",
+    /// "store", "ResultStore"]`).
+    pub path: Vec<String>,
+}
+
+/// Lock primitive behind a struct field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+/// A struct field whose type mentions `Mutex` or `RwLock` — the lock
+/// identities R5's order graph is built over.
+#[derive(Debug)]
+pub struct LockField {
+    /// Struct the field belongs to.
+    pub owner: String,
+    pub name: String,
+    pub kind: LockKind,
+    pub line: u32,
+}
+
+/// An `AtomicBool` declaration (struct field or `static`) — the
+/// cross-thread flags R6 requires ordering documentation for.
+#[derive(Debug)]
+pub struct AtomicFlag {
+    pub name: String,
+    pub line: u32,
+    pub in_test: bool,
 }
 
 /// A parsed `// lint:allow(R1, R2, reason = "…")` directive.
 #[derive(Debug)]
 pub struct Allow {
-    /// Rule IDs this directive suppresses (`R1`…`R4`).
+    /// Rule IDs this directive suppresses (`R1`…`R7`).
     pub rules: Vec<String>,
     /// The mandatory human-written justification.
     pub reason: Option<String>,
@@ -42,8 +90,14 @@ pub struct FileScan {
     pub path: String,
     /// Code tokens only (comments stripped), in source order.
     pub code: Vec<Tok>,
+    /// Comment tokens, in source order — R6 checks declaration sites
+    /// for ordering documentation.
+    pub comments: Vec<Tok>,
     pub fns: Vec<FnItem>,
     pub allows: Vec<Allow>,
+    pub uses: Vec<UseImport>,
+    pub lock_fields: Vec<LockField>,
+    pub atomic_flags: Vec<AtomicFlag>,
 }
 
 /// Keywords that look like calls when followed by `(`.
@@ -101,12 +155,16 @@ pub fn scan_file(path: String, toks: Vec<Tok>, force_test: bool) -> FileScan {
         }
     }
     let allows = parse_allows(&comments, &code);
-    let fns = scan_fns(&code, force_test);
+    let items = scan_items(&code, force_test);
     FileScan {
         path,
         code,
-        fns,
+        comments,
+        fns: items.fns,
         allows,
+        uses: items.uses,
+        lock_fields: items.lock_fields,
+        atomic_flags: items.atomic_flags,
     }
 }
 
@@ -121,18 +179,37 @@ struct OpenTestMod {
     depth_at_open: u32,
 }
 
-fn scan_fns(code: &[Tok], force_test: bool) -> Vec<FnItem> {
-    let mut fns: Vec<FnItem> = Vec::new();
+/// Tracks an open `impl`/`trait` block and its self type.
+struct OpenImpl {
+    self_type: String,
+    depth_at_open: u32,
+}
+
+#[derive(Default)]
+struct Items {
+    fns: Vec<FnItem>,
+    uses: Vec<UseImport>,
+    lock_fields: Vec<LockField>,
+    atomic_flags: Vec<AtomicFlag>,
+}
+
+fn scan_items(code: &[Tok], force_test: bool) -> Items {
+    let mut items = Items::default();
     let mut open_fns: Vec<OpenFn> = Vec::new();
     let mut open_test_mods: Vec<OpenTestMod> = Vec::new();
+    let mut open_impls: Vec<OpenImpl> = Vec::new();
     let mut depth: u32 = 0;
     // Set by `#[cfg(test)]` / `#[test]`, consumed by the next `fn`/`mod`.
     let mut pending_test_attr = false;
     // Set after `fn name …`, consumed by the body's `{` (or dropped at
-    // `;` for trait method declarations).
-    let mut pending_fn: Option<(String, u32, bool)> = None;
+    // `;` for trait method declarations). Carries the `fn` token index.
+    let mut pending_fn: Option<(String, u32, bool, usize)> = None;
     // Set after `mod name`, consumed by `{` or `;`.
     let mut pending_mod_test: Option<bool> = None;
+    // Set after `impl`/`trait` headers, consumed by `{` or `;`.
+    let mut pending_impl: Option<String> = None;
+    // Set after `struct name`, consumed by `{` (fields parsed) or `;`.
+    let mut pending_struct: Option<String> = None;
     // Inside the parenthesized part of a pending signature.
     let mut paren_depth: u32 = 0;
 
@@ -146,31 +223,41 @@ fn scan_fns(code: &[Tok], force_test: bool) -> Vec<FnItem> {
                 "{" => {
                     depth += 1;
                     if paren_depth == 0 {
-                        if let Some((name, line, is_test)) = pending_fn.take() {
-                            fns.push(FnItem {
+                        if let Some((name, line, is_test, sig_start)) = pending_fn.take() {
+                            pending_impl = None; // `-> impl Trait` return types
+                            items.fns.push(FnItem {
                                 name,
+                                sig: sig_start..i,
                                 body: i + 1..i + 1, // end patched on close
                                 line,
                                 in_test_code: is_test,
+                                self_type: open_impls.last().map(|o| o.self_type.clone()),
                             });
                             open_fns.push(OpenFn {
-                                fn_index: fns.len() - 1,
+                                fn_index: items.fns.len() - 1,
                                 depth_at_open: depth,
                             });
-                        }
-                        if let Some(is_test) = pending_mod_test.take() {
+                        } else if let Some(is_test) = pending_mod_test.take() {
                             if is_test {
                                 open_test_mods.push(OpenTestMod {
                                     depth_at_open: depth,
                                 });
                             }
+                        } else if let Some(self_type) = pending_impl.take() {
+                            open_impls.push(OpenImpl {
+                                self_type,
+                                depth_at_open: depth,
+                            });
+                        } else if let Some(owner) = pending_struct.take() {
+                            let in_test = force_test || !open_test_mods.is_empty();
+                            scan_struct_fields(code, i, &owner, in_test, &mut items);
                         }
                     }
                 }
                 "}" => {
                     while let Some(open) = open_fns.last() {
                         if open.depth_at_open == depth {
-                            fns[open.fn_index].body.end = i;
+                            items.fns[open.fn_index].body.end = i;
                             open_fns.pop();
                         } else {
                             break;
@@ -183,11 +270,20 @@ fn scan_fns(code: &[Tok], force_test: bool) -> Vec<FnItem> {
                             break;
                         }
                     }
+                    while let Some(open) = open_impls.last() {
+                        if open.depth_at_open == depth {
+                            open_impls.pop();
+                        } else {
+                            break;
+                        }
+                    }
                     depth = depth.saturating_sub(1);
                 }
                 ";" if paren_depth == 0 => {
                     pending_fn = None;
                     pending_mod_test = None;
+                    pending_impl = None;
+                    pending_struct = None;
                 }
                 // Attribute: `#[…]`. Recognize `test` / `cfg(test)`
                 // anywhere inside the brackets; skip the group so its
@@ -219,7 +315,7 @@ fn scan_fns(code: &[Tok], force_test: bool) -> Vec<FnItem> {
                 "fn" => {
                     if let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
                         let in_test = force_test || pending_test_attr || !open_test_mods.is_empty();
-                        pending_fn = Some((name.text.clone(), t.line, in_test));
+                        pending_fn = Some((name.text.clone(), t.line, in_test, i));
                         pending_test_attr = false;
                         i += 2;
                         continue;
@@ -231,9 +327,44 @@ fn scan_fns(code: &[Tok], force_test: bool) -> Vec<FnItem> {
                     i += 2;
                     continue;
                 }
-                "struct" | "enum" | "impl" | "trait" | "use" | "static" | "const" => {
+                // `impl Type {` / `impl Trait for Type {` / `trait T {`
+                // headers (not `-> impl Trait` return types, which sit
+                // under a pending fn, nor `arg: impl Fn()` in parens).
+                "impl" | "trait" if paren_depth == 0 && pending_fn.is_none() => {
+                    pending_test_attr = false;
+                    pending_impl = impl_self_type(code, i + 1);
+                }
+                "struct" if code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                    pending_test_attr = false;
+                    pending_struct = Some(code[i + 1].text.clone());
+                    i += 2;
+                    continue;
+                }
+                "use" if paren_depth == 0 => {
+                    pending_test_attr = false;
+                    // Parse the whole declaration, then skip past its
+                    // `;` so group braces never disturb depth tracking.
+                    let mut j = i + 1;
+                    let mut base = Vec::new();
+                    parse_use_tree(code, &mut j, &mut base, &mut items.uses);
+                    while j < code.len() && !code[j].is_punct(';') {
+                        j += 1;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                "static" => {
+                    pending_test_attr = false;
+                    scan_static_flag(
+                        code,
+                        i,
+                        force_test || !open_test_mods.is_empty(),
+                        &mut items,
+                    );
+                }
+                "enum" | "const" | "type" => {
                     // Any other item consumes a stray test attribute so
-                    // `#[cfg(test)] struct Fixture` doesn't leak onto the
+                    // `#[cfg(test)] enum Fixture` doesn't leak onto the
                     // next fn.
                     pending_test_attr = false;
                 }
@@ -245,9 +376,221 @@ fn scan_fns(code: &[Tok], force_test: bool) -> Vec<FnItem> {
     }
     // Unclosed bodies (torn input) extend to end-of-file.
     for open in open_fns {
-        fns[open.fn_index].body.end = code.len();
+        items.fns[open.fn_index].body.end = code.len();
     }
-    fns
+    items
+}
+
+/// Extracts the self type from an `impl`/`trait` header: the last path
+/// ident outside generics, after `for` when present. `j` points just
+/// past the keyword.
+fn impl_self_type(code: &[Tok], mut j: usize) -> Option<String> {
+    let mut angle: i32 = 0;
+    let mut last: Option<String> = None;
+    while j < code.len() {
+        let t = &code[j];
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | ";" if angle <= 0 => break,
+                // Path separator `::` is two colons; a lone colon at
+                // angle 0 is a supertrait bound — stop before it.
+                ":" if angle == 0 => {
+                    if code.get(j + 1).is_some_and(|n| n.is_punct(':')) {
+                        j += 2;
+                        continue;
+                    }
+                    break;
+                }
+                _ => {}
+            },
+            TokKind::Ident if angle == 0 => match t.text.as_str() {
+                "for" => last = None,
+                "where" => break,
+                "dyn" | "mut" | "const" => {}
+                name if !is_keyword(name) => last = Some(name.to_string()),
+                _ => {}
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    last
+}
+
+/// Recursive-descent over one `use` tree. `base` carries the path
+/// prefix; every leaf appends a [`UseImport`].
+fn parse_use_tree(code: &[Tok], j: &mut usize, base: &mut Vec<String>, out: &mut Vec<UseImport>) {
+    let depth_here = base.len();
+    loop {
+        let Some(t) = code.get(*j) else { return };
+        match (&t.kind, t.text.as_str()) {
+            (TokKind::Ident, "pub") => *j += 1,
+            (TokKind::Ident, seg) => {
+                base.push(seg.to_string());
+                *j += 1;
+                // `::` continues the path; `as local` renames the leaf.
+                if code.get(*j).is_some_and(|n| n.is_punct(':'))
+                    && code.get(*j + 1).is_some_and(|n| n.is_punct(':'))
+                {
+                    *j += 2;
+                    continue;
+                }
+                let local = if code.get(*j).is_some_and(|n| n.is_ident("as")) {
+                    let name = code.get(*j + 1).map(|n| n.text.clone());
+                    *j += 2;
+                    name
+                } else {
+                    None
+                };
+                // `use a::b::{self, c}` — `self` rebinds the parent.
+                let leaf = base.last().cloned().unwrap_or_default();
+                let leaf = if leaf == "self" {
+                    base.pop();
+                    base.last().cloned().unwrap_or_default()
+                } else {
+                    leaf
+                };
+                out.push(UseImport {
+                    local: local.unwrap_or(leaf),
+                    path: base.clone(),
+                });
+                base.truncate(depth_here);
+                return;
+            }
+            (TokKind::Punct, "{") => {
+                *j += 1;
+                loop {
+                    parse_use_tree(code, j, base, out);
+                    match code.get(*j).map(|n| n.text.as_str()) {
+                        Some(",") => *j += 1,
+                        Some("}") => {
+                            *j += 1;
+                            break;
+                        }
+                        _ => return,
+                    }
+                }
+                base.truncate(depth_here);
+                return;
+            }
+            (TokKind::Punct, "*") => {
+                *j += 1;
+                out.push(UseImport {
+                    local: "*".into(),
+                    path: base.clone(),
+                });
+                base.truncate(depth_here);
+                return;
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Walks one struct body (cursor on its `{`) recording `Mutex`/`RwLock`
+/// and `AtomicBool` fields. The main scan re-visits the same tokens; a
+/// second pass here is simpler than threading field state through it.
+fn scan_struct_fields(code: &[Tok], open: usize, owner: &str, in_test: bool, items: &mut Items) {
+    let mut brace = 1u32;
+    let mut paren = 0u32;
+    let mut j = open + 1;
+    while j < code.len() && brace > 0 {
+        let t = &code[j];
+        if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            brace -= 1;
+        } else if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren = paren.saturating_sub(1);
+        } else if brace == 1
+            && paren == 0
+            && t.kind == TokKind::Ident
+            && !is_keyword(&t.text)
+            && code.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && !code.get(j + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            // `name: Type…` — scan the type up to the field separator.
+            let (name, line) = (t.text.clone(), t.line);
+            let mut k = j + 2;
+            let mut angle_or_group = 0u32;
+            let mut kind: Option<LockKind> = None;
+            let mut atomic = false;
+            while k < code.len() {
+                let a = &code[k];
+                if a.is_punct('<') || a.is_punct('(') || a.is_punct('[') {
+                    angle_or_group += 1;
+                } else if a.is_punct('>') || a.is_punct(')') || a.is_punct(']') {
+                    angle_or_group = angle_or_group.saturating_sub(1);
+                } else if a.is_punct(',') && angle_or_group == 0 || a.is_punct('}') {
+                    break;
+                } else if a.is_ident("Mutex") {
+                    kind = Some(LockKind::Mutex);
+                } else if a.is_ident("RwLock") {
+                    kind = Some(LockKind::RwLock);
+                } else if a.is_ident("AtomicBool") {
+                    atomic = true;
+                }
+                k += 1;
+            }
+            if let Some(kind) = kind {
+                if !in_test {
+                    items.lock_fields.push(LockField {
+                        owner: owner.to_string(),
+                        name: name.clone(),
+                        kind,
+                        line,
+                    });
+                }
+            }
+            if atomic && !in_test {
+                items.atomic_flags.push(AtomicFlag {
+                    name,
+                    line,
+                    in_test,
+                });
+            }
+            j = k;
+            continue;
+        }
+        j += 1;
+    }
+}
+
+/// Records `static NAME: …AtomicBool…` declarations (cursor on the
+/// `static` keyword).
+fn scan_static_flag(code: &[Tok], at: usize, in_test: bool, items: &mut Items) {
+    let mut j = at + 1;
+    if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+        j += 1;
+    }
+    let Some(name_tok) = code.get(j).filter(|n| n.kind == TokKind::Ident) else {
+        return;
+    };
+    if !code.get(j + 1).is_some_and(|n| n.is_punct(':')) {
+        return;
+    }
+    let mut k = j + 2;
+    while k < code.len() {
+        let a = &code[k];
+        if a.is_punct('=') || a.is_punct(';') {
+            break;
+        }
+        if a.is_ident("AtomicBool") {
+            if !in_test {
+                items.atomic_flags.push(AtomicFlag {
+                    name: name_tok.text.clone(),
+                    line: name_tok.line,
+                    in_test,
+                });
+            }
+            break;
+        }
+        k += 1;
+    }
 }
 
 /// Extracts `lint:allow(...)` directives from comment tokens.
@@ -364,6 +707,85 @@ mod tests {
         let s = scan("trait T { fn decl(&self) -> usize; fn with_default(&self) { x(); } }");
         let names: Vec<_> = s.fns.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, ["with_default"]);
+        assert_eq!(s.fns[0].self_type.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn methods_carry_their_impl_self_type() {
+        let s = scan(
+            "impl ResultStore {\n    fn lock(&self) {}\n}\nimpl std::fmt::Display for Finding {\n    fn fmt(&self) {}\n}\nimpl<'a> Shard<'a> {\n    fn run(&self) {}\n}\nfn free() {}\n",
+        );
+        let ty = |n: &str| {
+            s.fns
+                .iter()
+                .find(|f| f.name == n)
+                .unwrap()
+                .self_type
+                .as_deref()
+                .map(str::to_string)
+        };
+        assert_eq!(ty("lock").as_deref(), Some("ResultStore"));
+        assert_eq!(ty("fmt").as_deref(), Some("Finding"));
+        assert_eq!(ty("run").as_deref(), Some("Shard"));
+        assert_eq!(ty("free"), None);
+    }
+
+    #[test]
+    fn return_position_impl_trait_is_not_an_impl_block() {
+        let s = scan("fn make() -> impl Iterator<Item = u32> {\n    it()\n}\nfn after() {}\n");
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].self_type, None);
+        assert_eq!(s.fns[1].self_type, None);
+    }
+
+    #[test]
+    fn use_imports_expand_groups_renames_and_globs() {
+        let s = scan(
+            "use scenarios::store::ResultStore;\nuse tensor::{gemm_into, ops::relu as act};\nuse serde::*;\nuse crate::runner::{self, Outcome};\n",
+        );
+        let find = |local: &str| s.uses.iter().find(|u| u.local == local).map(|u| &u.path);
+        assert_eq!(
+            find("ResultStore").unwrap(),
+            &["scenarios", "store", "ResultStore"]
+        );
+        assert_eq!(find("gemm_into").unwrap(), &["tensor", "gemm_into"]);
+        assert_eq!(find("act").unwrap(), &["tensor", "ops", "relu"]);
+        assert_eq!(find("*").unwrap(), &["serde"]);
+        assert_eq!(find("runner").unwrap(), &["crate", "runner"]);
+        assert_eq!(find("Outcome").unwrap(), &["crate", "runner", "Outcome"]);
+    }
+
+    #[test]
+    fn lock_fields_and_atomic_flags_are_indexed() {
+        let s = scan(
+            "pub struct Shared {\n    pub cache: Mutex<HashMap<K, V>>,\n    index: std::sync::RwLock<Vec<u32>>,\n    shutdown: AtomicBool,\n    count: usize,\n}\nstatic TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);\n",
+        );
+        let locks: Vec<_> = s
+            .lock_fields
+            .iter()
+            .map(|l| (l.owner.as_str(), l.name.as_str(), l.kind))
+            .collect();
+        assert_eq!(
+            locks,
+            [
+                ("Shared", "cache", LockKind::Mutex),
+                ("Shared", "index", LockKind::RwLock)
+            ]
+        );
+        let flags: Vec<_> = s.atomic_flags.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(flags, ["shutdown", "TRACE_ACTIVE"]);
+    }
+
+    #[test]
+    fn fn_signature_range_covers_return_type() {
+        let s = scan("fn lock_state(s: &Shared) -> MutexGuard<'_, State> { body() }");
+        let f = &s.fns[0];
+        let sig: Vec<_> = s.code[f.sig.clone()]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(sig.contains(&"MutexGuard"), "{sig:?}");
+        assert!(!sig.contains(&"body"), "{sig:?}");
     }
 
     #[test]

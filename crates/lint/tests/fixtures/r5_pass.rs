@@ -1,0 +1,35 @@
+//! R5 must stay quiet: one consistent lock order, guards dropped
+//! before blocking work, and condvar waits (which release their guard
+//! by design).
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Pipeline {
+    pending: Mutex<u32>,
+    finished: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Pipeline {
+    pub fn shift(&self) -> u32 {
+        let p = self.pending.lock().unwrap();
+        let f = self.finished.lock().unwrap(); // always pending -> finished
+        *p + *f
+    }
+
+    pub fn snapshot(&self) -> u32 {
+        let p = self.pending.lock().unwrap();
+        let n = *p;
+        drop(p);
+        std::thread::sleep(std::time::Duration::from_millis(1)); // no guard held
+        n
+    }
+
+    pub fn wait_done(&self) -> u32 {
+        let mut f = self.finished.lock().unwrap();
+        while *f == 0 {
+            f = self.cv.wait(f).unwrap(); // wait gives `f` back: exempt
+        }
+        *f
+    }
+}

@@ -1,0 +1,35 @@
+//! R5 must fire: double-acquisition of one mutex, a guard held across
+//! a blocking call, and a lock-order cycle between two mutex fields.
+
+use std::sync::Mutex;
+
+pub struct Scheduler {
+    queue: Mutex<u32>,
+    done: Mutex<u32>,
+}
+
+impl Scheduler {
+    pub fn double(&self) -> u32 {
+        let a = self.queue.lock().unwrap();
+        let b = self.queue.lock().unwrap(); // same lock, still held: deadlock
+        *a + *b
+    }
+
+    pub fn forward(&self) -> u32 {
+        let q = self.queue.lock().unwrap();
+        let d = self.done.lock().unwrap(); // order: queue -> done
+        *q + *d
+    }
+
+    pub fn backward(&self) -> u32 {
+        let d = self.done.lock().unwrap();
+        let q = self.queue.lock().unwrap(); // order: done -> queue (cycle!)
+        *q + *d
+    }
+
+    pub fn sleepy(&self) -> u32 {
+        let q = self.queue.lock().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1)); // guard live
+        *q
+    }
+}

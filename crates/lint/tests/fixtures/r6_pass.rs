@@ -1,0 +1,22 @@
+//! R6 must stay quiet: Relaxed-only hot-path atomics, a CAS with both
+//! orderings spelled at the call site, and a flag whose declaration
+//! documents its ordering choice.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+// Ordering: Relaxed everywhere — the flag only gates best-effort trace
+// emission, and a stale read costs at most one dropped event.
+pub static TRACING: AtomicBool = AtomicBool::new(false);
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish(bits: &AtomicU64, next: u64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while let Err(now) =
+        bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+    {
+        cur = now;
+    }
+}

@@ -1,0 +1,18 @@
+//! R6 must fire: a SeqCst counter bump on the relaxed-only path, a CAS
+//! whose orderings hide in variables, and an undocumented cross-thread
+//! flag.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn publish(bits: &AtomicU64, next: u64, success: Ordering, failure: Ordering) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    while let Err(now) = bits.compare_exchange_weak(cur, next, success, failure) {
+        cur = now;
+    }
+}

@@ -1,0 +1,25 @@
+//! R7 must stay quiet: scoped threads, a handle returned to the
+//! caller, and handles collected for a later join.
+
+use std::thread;
+
+pub fn scoped_sum(values: &[u32]) -> u32 {
+    let mut total = 0;
+    thread::scope(|s| {
+        let h = s.spawn(|| values.iter().sum::<u32>());
+        total = h.join().unwrap_or(0);
+    });
+    total
+}
+
+pub fn start_worker() -> thread::JoinHandle<u32> {
+    thread::spawn(|| 7)
+}
+
+pub fn start_pool(n: u32) -> Vec<thread::JoinHandle<u32>> {
+    let mut handles = Vec::new();
+    for i in 0..n {
+        handles.push(thread::spawn(move || i));
+    }
+    handles
+}

@@ -1,0 +1,20 @@
+//! R7 must fire: spawns whose `JoinHandle` is dropped (bare statement
+//! and `let _ =`), and a spawn+join pair that should be a scoped
+//! thread.
+
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| {
+        let _ = 1 + 1;
+    });
+}
+
+pub fn discard_named() {
+    let _ = thread::spawn(|| 2);
+}
+
+pub fn spawn_then_join() -> u32 {
+    let h = thread::spawn(|| 3);
+    h.join().unwrap_or(0)
+}

@@ -96,6 +96,7 @@ impl Conv2d {
         let (oh, ow) = self.spec.output_hw(h, w);
         let dims = [self.spec.patch_len(), oh * ow];
         if self.cols.len() <= i {
+            // lint:allow(R1, reason = "tape grows to the batch high-water mark once; steady-state steps take the reuse_as arm in place")
             self.cols.push(Tensor::zeros(&dims));
         } else {
             self.cols[i].reuse_as(&dims);

@@ -80,6 +80,7 @@ impl Dropout {
                 m.reuse_as(dims);
                 m
             }
+            // lint:allow(R1, reason = "cold-start mask fill only; steady-state steps reuse the mask through the Some arm in place")
             None => Tensor::zeros(dims),
         };
         for m in mask.as_mut_slice() {
@@ -230,6 +231,7 @@ impl AlphaDropout {
                 m.reuse_as(input.dims());
                 m
             }
+            // lint:allow(R1, reason = "cold-start mask fill only; steady-state steps reuse the mask through the Some arm in place")
             None => Tensor::zeros(input.dims()),
         };
         for ((o, &x), m) in out

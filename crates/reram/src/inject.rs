@@ -93,6 +93,7 @@ impl WeightSnapshot {
     /// Returns [`FaultError::SnapshotMismatch`] if the network's parameter
     /// structure differs from what the snapshot captured.
     pub fn restore_into(&self, network: &mut dyn Layer) -> Result<(), FaultError> {
+        // lint:allow(R1, reason = "validate allocates only to describe a structural mismatch; the restore path itself is allocation-free")
         self.validate(network)?;
         let mut idx = 0usize;
         network.visit_params(&mut |p| {

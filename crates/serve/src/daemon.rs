@@ -107,6 +107,10 @@ struct Job {
     campaign: Campaign,
     state: JobState,
     /// Cooperative cancel flag, checked by the runner between scenarios.
+    ///
+    /// Ordering: `SeqCst` both sides — cancel is rare and cold, so the
+    /// strongest ordering costs nothing and keeps it trivially correct
+    /// against the state-mutex handoff.
     cancel: Arc<AtomicBool>,
     /// Full event history, replayed to watchers that subscribe late.
     events: Vec<Value>,
@@ -135,6 +139,10 @@ struct DaemonState {
     startup_warnings: Vec<String>,
 }
 
+/// Lock order: `state` is a leaf — workers release it before entering
+/// the runner, so the runner's `in_flight` → `cache` pair and the
+/// [`ResultStore`] file lock are only ever taken with `state` free, and
+/// nothing held under `state` may block on a client socket or the store.
 struct Shared {
     runner: CampaignRunner,
     store: ResultStore,
@@ -144,6 +152,9 @@ struct Shared {
     job_cv: Condvar,
     /// Wakes watchers when any job gains events or terminates.
     event_cv: Condvar,
+    /// Ordering: `SeqCst` both sides — set once at shutdown, read off
+    /// the accept/worker loops; never on a per-request path, so the
+    /// fence cost is irrelevant and the strongest ordering wins.
     shutdown: AtomicBool,
 }
 
@@ -763,14 +774,15 @@ fn shutdown(shared: &Shared) -> Value {
 /// The streaming verb: acknowledge, replay the job's event history, then
 /// stream live events until the terminal `done`.
 fn watch_job(writer: &mut TcpStream, shared: &Shared, id: &str) -> std::io::Result<()> {
+    // Resolve the job index with the guard already released: the error
+    // response goes to a client socket that may be arbitrarily slow, and
+    // nothing written while holding `state` may block on a peer.
     let ix = {
         let st = lock_state(shared);
-        match st.jobs.iter().position(|j| j.id == id) {
-            None => {
-                return send(writer, &err_response(&format!("unknown job '{id}'")));
-            }
-            Some(ix) => ix,
-        }
+        st.jobs.iter().position(|j| j.id == id)
+    };
+    let Some(ix) = ix else {
+        return send(writer, &err_response(&format!("unknown job '{id}'")));
     };
     let mut acknowledged = ok_response();
     acknowledged.insert("job", id);

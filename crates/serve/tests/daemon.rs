@@ -499,3 +499,82 @@ fn metrics_verb_returns_a_prometheus_snapshot() {
     daemon.join().unwrap().unwrap();
     let _ = std::fs::remove_file(&store_path);
 }
+
+/// Regression for the lock-discipline pass: one client streams `watch`
+/// on a job while a second cancels that same job, and a third submits
+/// while the daemon is draining. Every response must arrive inside the
+/// wall-clock bound — if any handler writes to a client socket while
+/// holding the state mutex, the watcher and the canceller deadlock and
+/// the channel recv below times out instead of hanging CI forever.
+#[test]
+fn watch_cancel_and_submit_while_draining_do_not_deadlock() {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    const BOUND: Duration = Duration::from_secs(60);
+    let campaign = Campaign::new(
+        "race",
+        vec![
+            tiny("one", &["lognormal:0.5"], 5),
+            tiny("two", &["bitflip:0.005"], 5),
+            tiny("three", &["stuckat:0.05,0.02,2"], 5),
+        ],
+    );
+    let store_path = temp_store("race");
+    let (addr, daemon) = start(config(&store_path, 1));
+
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit(campaign.to_json()).unwrap();
+
+    let (tx, rx) = mpsc::channel::<&'static str>();
+    let watcher = {
+        let (addr, job, tx) = (addr.clone(), job.clone(), tx.clone());
+        thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            let done = c.watch(&job, |_| {}).unwrap();
+            let state = done.get("state").and_then(Value::as_str);
+            assert!(
+                state == Some("done") || state == Some("cancelled"),
+                "unexpected terminal state {state:?}"
+            );
+            tx.send("watch").unwrap();
+        })
+    };
+    let canceller = {
+        let (addr, job, tx) = (addr.clone(), job.clone(), tx);
+        thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            // Whether the cancel lands before or after the job finishes,
+            // the daemon must answer it — losing the race is fine,
+            // hanging is the regression.
+            let _ = c.cancel(&job);
+            tx.send("cancel").unwrap();
+        })
+    };
+    for _ in 0..2 {
+        rx.recv_timeout(BOUND)
+            .expect("deadlock: watcher or canceller got no response inside the bound");
+    }
+    watcher.join().unwrap();
+    canceller.join().unwrap();
+
+    // Submit-while-draining: open the connection first, start shutdown,
+    // then submit on the old connection. The drain must refuse the job
+    // promptly rather than park the connection on the state lock.
+    let mut late = Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    let (tx2, rx2) = mpsc::channel::<&'static str>();
+    let submitter = thread::spawn(move || {
+        assert!(
+            late.submit(campaign.to_json()).is_err(),
+            "submissions during shutdown must be refused"
+        );
+        tx2.send("submit").unwrap();
+    });
+    rx2.recv_timeout(BOUND)
+        .expect("deadlock: draining daemon never answered the late submit");
+    submitter.join().unwrap();
+
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&store_path);
+}

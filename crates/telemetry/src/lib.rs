@@ -364,6 +364,9 @@ struct TraceSink {
     epoch: Instant,
 }
 
+// Ordering: `Relaxed` — the flag only gates best-effort span emission
+// on the hot path; a stale read drops or admits at most one event, and
+// the sink mutex orders everything that actually reaches the file.
 static TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);
 
 fn trace_sink() -> &'static Mutex<Option<TraceSink>> {
