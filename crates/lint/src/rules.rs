@@ -52,12 +52,16 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Config {
-            // The daemon's request-handling surface and the persisted
+            // The daemon's request-handling surface, the worker
+            // supervisor (child exit statuses, event-stream bytes, and
+            // fault plans all cross a process boundary), and the
             // record store: exactly the code a malicious or corrupt
             // input reaches.
             r3_paths: vec![
                 "crates/serve/src/protocol.rs".into(),
                 "crates/serve/src/daemon.rs".into(),
+                "crates/serve/src/supervisor.rs".into(),
+                "crates/serve/src/fault.rs".into(),
                 "crates/scenarios/src/store.rs".into(),
             ],
             r4_exempt: vec!["crates/telemetry/".into()],

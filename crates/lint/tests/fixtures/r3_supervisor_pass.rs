@@ -1,0 +1,39 @@
+//! R3 must stay quiet: the same supervisor surface with every
+//! child-process input handled as a value, never a panic.
+
+pub fn classify_exit(raw_status: Option<i32>) -> String {
+    match raw_status {
+        Some(code) => format!("exited with {code}"),
+        None => "killed by a signal".to_string(),
+    }
+}
+
+pub fn parse_event(line: &str) -> Result<(String, u64), String> {
+    let (kind, attempt) = line
+        .split_once(':')
+        .ok_or_else(|| format!("non-protocol line: {line}"))?;
+    let attempt: u64 = attempt
+        .parse()
+        .map_err(|e| format!("bad attempt number: {e}"))?;
+    Ok((kind.to_string(), attempt))
+}
+
+pub fn parse_plan(spec: &str) -> Result<usize, String> {
+    let (_, after) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("malformed fault plan '{spec}'"))?;
+    after
+        .parse()
+        .map_err(|e| format!("fault plan '{spec}': {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics in test code are fine: tests *should* assert hard.
+    #[test]
+    fn signal_death_is_a_value() {
+        assert_eq!(super::classify_exit(None), "killed by a signal");
+        assert!(super::parse_event("garbage").is_err());
+        assert_eq!(super::parse_plan("crash_after:3").unwrap(), 3);
+    }
+}

@@ -1,0 +1,24 @@
+//! R3 must fire: supervisor-shaped code that panics on what a child
+//! process feeds it — exit statuses, event-stream lines, fault plans.
+
+pub fn classify_exit(raw_status: Option<i32>) -> String {
+    // unwrap on a child that was killed by a signal (no exit code).
+    let code = raw_status.unwrap();
+    format!("exited with {code}")
+}
+
+pub fn parse_event(line: &str) -> (String, u64) {
+    let parts: Vec<&str> = line.splitn(2, ':').collect();
+    // Literal indexing: a garbage line without ':' aborts the
+    // supervision thread mid-job.
+    let kind = parts[0].to_string();
+    let attempt: u64 = parts[1].parse().expect("attempt number");
+    (kind, attempt)
+}
+
+pub fn parse_plan(spec: &str) -> usize {
+    let Some((_, after)) = spec.split_once(':') else {
+        panic!("malformed fault plan '{spec}'");
+    };
+    after.parse().expect("scenario count")
+}

@@ -132,6 +132,41 @@ fn r3_does_not_apply_outside_its_scoped_paths() {
 }
 
 #[test]
+fn r3_supervisor_fixtures_trip_and_pass() {
+    let report = lint_fixture("r3_supervisor_trip.rs");
+    assert!(!report.findings.is_empty());
+    assert!(report.findings.iter().all(|f| f.rule == "R3"));
+    let msgs: Vec<_> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains(".unwrap()")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("indexing by literal")),
+        "{msgs:?}"
+    );
+    let report = lint_fixture("r3_supervisor_pass.rs");
+    assert!(report.clean(), "{:#?}", report.findings);
+}
+
+#[test]
+fn r3_default_scope_covers_the_fault_tolerant_service_surface() {
+    // The supervisor and the fault-plan parser both consume bytes from
+    // across a process boundary; losing them from R3's default scope
+    // would quietly re-admit panics on untrusted input.
+    let scope = Config::default().r3_paths;
+    for path in [
+        "crates/serve/src/protocol.rs",
+        "crates/serve/src/daemon.rs",
+        "crates/serve/src/supervisor.rs",
+        "crates/serve/src/fault.rs",
+        "crates/scenarios/src/store.rs",
+    ] {
+        assert!(
+            scope.iter().any(|p| p == path),
+            "R3 default scope lost {path}: {scope:?}"
+        );
+    }
+}
+
+#[test]
 fn r4_trip_fires_on_names_and_adhoc_registration() {
     let report = lint_fixture("r4_trip.rs");
     assert!(report.findings.iter().all(|f| f.rule == "R4"));

@@ -337,6 +337,42 @@ impl ResultStore {
         Ok(())
     }
 
+    /// Appends already-serialized records — e.g. a per-job worker store
+    /// being folded into the daemon's — as one batch: one lock
+    /// acquisition, one `write`, one fsync, so a crash mid-batch leaves
+    /// at most one truncated trailing line exactly like
+    /// [`ResultStore::append`] does.
+    ///
+    /// An empty batch is a no-op (the file is not even created).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] on filesystem failures and
+    /// [`CampaignError::Locked`] if another writer holds the store lock
+    /// past the bounded wait.
+    pub fn append_records(&self, records: &[Value]) -> Result<(), CampaignError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        telemetry::static_counter!("store_appends_total").add(records.len() as u64);
+        let _lock = self.lock()?;
+        let mut text = String::new();
+        for record in records {
+            text.push_str(&serde_json::to_string(record));
+            text.push('\n');
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(text.as_bytes())?;
+        {
+            let _t = telemetry::Timer::start(telemetry::duration_histogram!("store_fsync_seconds"));
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
     /// Reads every stored record, in append order, tolerating a truncated
     /// trailing line. A missing file is an empty store, not an error.
     ///

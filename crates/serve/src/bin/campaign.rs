@@ -52,11 +52,13 @@
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use scenarios::{Campaign, CampaignRunner, ResultStore, RunControl, ScenarioRun};
 use serde_json::Value;
+use serve::fault::{FaultInjector, FaultMode};
 use serve::protocol::DEFAULT_ADDR;
-use serve::{Client, Daemon, ServeConfig};
+use serve::{Client, Daemon, Isolation, ServeConfig};
 
 const DEFAULT_STORE: &str = "campaign_results.jsonl";
 
@@ -96,12 +98,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   campaign run <campaign.json> [--store <path>] [--shards <n>]
-               [--resume <path>] [--parallelism <n>]
+               [--resume <path>] [--prime <path>]... [--parallelism <n>]
                [--shard-index <i> --shard-count <n>]
-               [--trace <file>] [--progress]
+               [--trace <file>] [--progress] [--events]
   campaign merge <out> <in...>
   campaign serve [--listen <addr>] [--store <path>] [--workers <n>]
                  [--shards <n>] [--parallelism <n>] [--queue <n>]
+                 [--isolation thread|process] [--deadline <secs>]
+                 [--retries <n>] [--backoff-ms <n>]
   campaign submit <campaign.json> [--addr <addr>] [--watch]
   campaign status [<job>] [--addr <addr>]
   campaign watch <job> [--addr <addr>]
@@ -119,11 +123,26 @@ const USAGE: &str = "usage:
                  'merge' unions their stores byte-identically
 --resume path    serve scenarios already persisted in this store instead
                  of recomputing them (implies --store path)
+--prime path     like --resume, but from any store (repeatable) and
+                 without binding --store; how a supervised retry replays
+                 the crashed attempt's fsynced prefix
 --trace file     record telemetry spans as a Chrome trace-event JSON
                  array (load in chrome://tracing or Perfetto)
 --progress       print one line per finished scenario, as it lands
+--events         machine mode: stream line-JSON scenario/warning events
+                 and a final report line on stdout instead of the human
+                 output ('campaign serve --isolation process' workers
+                 run this way)
+--isolation m    'thread' (default) runs daemon jobs in-process;
+                 'process' runs each job in supervised 'campaign run'
+                 child processes with deadline/retry/backoff
+--deadline s     kill a supervised job after s seconds wall clock
+--retries n      crashed-worker retries before the job fails (default 2)
+--backoff-ms n   base retry backoff, doubled per attempt with jitter
 --addr a         daemon address for the client verbs (127.0.0.1:4850)
-BENCH_QUICK=1    clamps run budgets to smoke-test scale";
+BENCH_QUICK=1    clamps run budgets to smoke-test scale
+SERVE_FAULT=p    chaos plan for workers: crash_after:<n>, hang_after:<n>,
+                 or garbage_after:<n>, optionally @<attempts>";
 
 /// `(--flag, value)` pairs plus the remaining positional arguments.
 type ParsedArgs = (Vec<(String, String)>, Vec<String>);
@@ -194,11 +213,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "parallelism",
             "shards",
             "resume",
+            "prime",
             "shard-index",
             "shard-count",
             "trace",
         ],
-        &["progress"],
+        &["progress", "events"],
     )?;
     let [path] = positional.as_slice() else {
         return Err(format!("'run' takes exactly one campaign file\n{USAGE}"));
@@ -214,6 +234,11 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         _ => return Err("'--shard-index' and '--shard-count' go together".into()),
     };
     let resume_path = flag(&flags, "resume").map(str::to_string);
+    let prime_paths: Vec<String> = flags
+        .iter()
+        .filter(|(name, _)| name == "prime")
+        .map(|(_, value)| value.clone())
+        .collect();
     let store_path = flag(&flags, "store")
         .map(str::to_string)
         .or_else(|| resume_path.clone())
@@ -235,27 +260,33 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             .map_err(|e| format!("cannot open trace file {trace}: {e}"))?;
     }
     let progress = flag(&flags, "progress").is_some();
+    let events = flag(&flags, "events").is_some();
+    // The env-gated chaos plan: a supervised worker acting out its
+    // fault plan, or `Ok(None)` for every normal invocation.
+    let injector = FaultInjector::from_env()?;
 
-    println!(
-        "campaign '{}': {} scenario(s), {} shard(s){}{}{} -> {}",
-        campaign.name,
-        campaign.scenarios.len(),
-        if shards == 0 {
-            "per-core".to_string()
-        } else {
-            shards.to_string()
-        },
-        if quick { " [quick budgets]" } else { "" },
-        if resume_path.is_some() {
-            " [resuming]"
-        } else {
-            ""
-        },
-        shard_slice
-            .map(|(i, n)| format!(" [process shard {i}/{n}]"))
-            .unwrap_or_default(),
-        store_path,
-    );
+    if !events {
+        println!(
+            "campaign '{}': {} scenario(s), {} shard(s){}{}{} -> {}",
+            campaign.name,
+            campaign.scenarios.len(),
+            if shards == 0 {
+                "per-core".to_string()
+            } else {
+                shards.to_string()
+            },
+            if quick { " [quick budgets]" } else { "" },
+            if resume_path.is_some() {
+                " [resuming]"
+            } else {
+                ""
+            },
+            shard_slice
+                .map(|(i, n)| format!(" [process shard {i}/{n}]"))
+                .unwrap_or_default(),
+            store_path,
+        );
+    }
     let mut runner = CampaignRunner::new()
         .parallelism(parallelism)
         .shards(shards)
@@ -265,48 +296,70 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     }
     if resume_path.is_some() {
         runner = runner.resume_from(&store).map_err(|e| e.to_string())?;
-        println!(
-            "resume: {} replayable record(s) in {store_path}",
-            runner.resumable_runs()
-        );
-    }
-    // Completion-order progress lines via the same observer hook the
-    // daemon streams to `watch` subscribers.
-    let progress_observer = |run: &ScenarioRun| match &run.result {
-        Ok(outcome) => {
-            let served = if outcome.from_store {
-                " [store]"
-            } else if outcome.from_cache {
-                " [cache]"
-            } else {
-                ""
-            };
+        if !events {
             println!(
-                "[{}/{}] {}: best obj {:.4} in {:.0} ms{}",
-                run.index + 1,
-                run.total,
-                run.name,
-                outcome.report.best_objective,
-                outcome.compute_wall_ms,
-                served,
+                "resume: {} replayable record(s) in {store_path}",
+                runner.resumable_runs()
             );
         }
-        Err(e) => println!(
-            "[{}/{}] {}: FAILED: {e}",
-            run.index + 1,
-            run.total,
-            run.name
-        ),
+    }
+    for prime in &prime_paths {
+        runner = runner
+            .resume_from(&ResultStore::open(prime))
+            .map_err(|e| format!("priming from {prime}: {e}"))?;
+    }
+    // Completion-order progress lines via the same observer hook the
+    // daemon streams to `watch` subscribers; under `--events` the same
+    // hook emits machine-readable lines (and acts out the chaos plan).
+    let observer = |run: &ScenarioRun| {
+        if events {
+            emit_event(&scenario_event(run));
+        } else if progress {
+            print_progress_line(run);
+        }
+        if let Some(injector) = &injector {
+            if let Some(mode) = injector.on_scenario() {
+                act_on_fault(mode, events);
+            }
+        }
     };
     let ctl = RunControl {
         cancel: None,
-        observer: progress.then_some(&progress_observer as &(dyn Fn(&ScenarioRun) + Sync)),
+        observer: (events || progress || injector.is_some())
+            .then_some(&observer as &(dyn Fn(&ScenarioRun) + Sync)),
     };
     let report = runner
         .run_campaign_report_with(&campaign, Some(&store), ctl)
         .map_err(|e| e.to_string())?;
     if trace_path.is_some() {
         telemetry::finish_trace().map_err(|e| format!("finishing trace: {e}"))?;
+    }
+    if events {
+        for warning in &report.warnings {
+            let mut event = Value::object();
+            event.insert("event", "warning");
+            event.insert("message", warning.as_str());
+            emit_event(&event);
+        }
+        // The terminal report line is the supervisor's completion
+        // marker: its presence distinguishes "finished (with or without
+        // scenario failures)" from "crashed mid-campaign".
+        let mut event = Value::object();
+        event.insert("event", "report");
+        event.insert("total", report.total);
+        event.insert("completed", report.completed);
+        event.insert("failed", report.failed);
+        event.insert("cache_served", report.cache_served);
+        event.insert("store_served", report.store_served);
+        event.insert("skipped", report.skipped);
+        event.insert("cancelled", report.cancelled);
+        event.insert("wall_ms", report.wall_ms);
+        emit_event(&event);
+        return Ok(if report.failed > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        });
     }
     for warning in &report.warnings {
         eprintln!("warning: {warning}");
@@ -376,6 +429,101 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Writes one event line, flushed immediately: the reader is a pipe (the
+/// daemon's supervisor), and a buffered line would arrive only at exit —
+/// or never, if the chaos plan aborts the process first.
+fn emit_event(event: &Value) {
+    let mut line = serde_json::to_string(event);
+    line.push('\n');
+    // One write_all per line: stdout's own lock makes it atomic across
+    // shard threads without holding a guard over the I/O.
+    let mut out = std::io::stdout();
+    let _ = out.write_all(line.as_bytes());
+    let _ = out.flush();
+}
+
+/// One finished scenario in the daemon's `watch` event shape (minus the
+/// `job` field, which the supervisor adds when forwarding).
+fn scenario_event(run: &ScenarioRun) -> Value {
+    let mut event = Value::object();
+    event.insert("event", "scenario");
+    event.insert("name", run.name.as_str());
+    event.insert("index", run.index);
+    event.insert("total", run.total);
+    match &run.result {
+        Ok(outcome) => {
+            event.insert("ok", true);
+            event.insert("from_cache", outcome.from_cache);
+            event.insert("from_store", outcome.from_store);
+            event.insert("best_objective", outcome.report.best_objective);
+            event.insert("wall_ms", outcome.wall_ms);
+        }
+        Err(e) => {
+            event.insert("ok", false);
+            event.insert("error", e.to_string());
+        }
+    }
+    event
+}
+
+fn print_progress_line(run: &ScenarioRun) {
+    match &run.result {
+        Ok(outcome) => {
+            let served = if outcome.from_store {
+                " [store]"
+            } else if outcome.from_cache {
+                " [cache]"
+            } else {
+                ""
+            };
+            println!(
+                "[{}/{}] {}: best obj {:.4} in {:.0} ms{}",
+                run.index + 1,
+                run.total,
+                run.name,
+                outcome.report.best_objective,
+                outcome.compute_wall_ms,
+                served,
+            );
+        }
+        Err(e) => println!(
+            "[{}/{}] {}: FAILED: {e}",
+            run.index + 1,
+            run.total,
+            run.name
+        ),
+    }
+}
+
+/// Acts out a fired fault plan. `Crash` and `Hang` never return.
+fn act_on_fault(mode: FaultMode, events: bool) {
+    match mode {
+        FaultMode::Crash => {
+            eprintln!("chaos: SERVE_FAULT aborting the worker");
+            std::process::abort();
+        }
+        FaultMode::Hang => {
+            eprintln!("chaos: SERVE_FAULT hanging the worker");
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        FaultMode::Garbage => {
+            // One non-JSON line and one well-formed-but-unknown event
+            // (a single write keeps them contiguous): the supervisor
+            // must shrug off both kinds.
+            if events {
+                let mut out = std::io::stdout();
+                let _ = out.write_all(
+                    b"%%% chaos garbage, not protocol %%%\n\
+                      {\"event\": \"chaos_noise\", \"bogus\": true}\n",
+                );
+                let _ = out.flush();
+            }
+        }
+    }
+}
+
 fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
     let (_, positional) = parse_flags(args, &[], &[])?;
     let [out, inputs @ ..] = positional.as_slice() else {
@@ -418,6 +566,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             "shards",
             "parallelism",
             "queue",
+            "isolation",
+            "deadline",
+            "retries",
+            "backoff-ms",
         ],
         &[],
     )?;
@@ -426,6 +578,15 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     }
     let addr = flag(&flags, "listen").unwrap_or(DEFAULT_ADDR);
     let defaults = ServeConfig::default();
+    let isolation = match flag(&flags, "isolation") {
+        None | Some("thread") => Isolation::InProcess,
+        Some("process") => Isolation::Process,
+        Some(other) => {
+            return Err(format!(
+                "'--isolation {other}' is not 'thread' or 'process'"
+            ))
+        }
+    };
     let config = ServeConfig {
         store: flag(&flags, "store").unwrap_or(DEFAULT_STORE).to_string(),
         workers: count_flag(&flags, "workers")?.unwrap_or(defaults.workers),
@@ -434,6 +595,15 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         queue_capacity: count_flag(&flags, "queue")?.unwrap_or(defaults.queue_capacity),
         quick: quick_from_env(),
         resume: true,
+        isolation,
+        deadline: count_flag(&flags, "deadline")?.map(|secs| Duration::from_secs(secs as u64)),
+        max_retries: count_flag(&flags, "retries")?
+            .map(|n| n as u32)
+            .unwrap_or(defaults.max_retries),
+        backoff_base: count_flag(&flags, "backoff-ms")?
+            .map(|ms| Duration::from_millis(ms as u64))
+            .unwrap_or(defaults.backoff_base),
+        ..defaults
     };
     let store = config.store.clone();
     let daemon = Daemon::bind(addr, config).map_err(|e| e.to_string())?;

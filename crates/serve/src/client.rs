@@ -1,44 +1,106 @@
 //! The client half of the campaign service protocol: one TCP connection,
 //! blocking request/response, plus the streaming `watch` verb.
+//!
+//! Every socket operation is bounded: connects race a connect timeout,
+//! request/response rounds a read/write timeout, and `watch` a longer
+//! idle timeout that the daemon's keepalive pings reset — a hung or
+//! half-dead daemon surfaces as [`ServeError::Timeout`] instead of a
+//! client that blocks forever. Back-pressure refusals surface as
+//! [`ServeError::Busy`] with the daemon's `retry_after_ms` hint, which
+//! [`Client::submit_with_retry`] turns into a bounded, capped retry loop.
 
 use std::io::{BufRead, BufReader};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use serde_json::Value;
 
 use crate::protocol::{write_line, Request};
 use crate::ServeError;
 
+/// Smallest sleep [`Client::submit_with_retry`] accepts from a hint —
+/// tighter would busy-spin against a draining daemon.
+const MIN_RETRY_SLEEP: Duration = Duration::from_millis(10);
+
+/// Largest sleep [`Client::submit_with_retry`] accepts from a hint — a
+/// daemon estimating minutes of queue delay should not pin the client.
+const MAX_RETRY_SLEEP: Duration = Duration::from_millis(5_000);
+
+/// Client-side socket timeouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Ceiling on establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Ceiling on each read/write in a request/response round.
+    pub io_timeout: Duration,
+    /// Ceiling on silence during `watch` — must exceed the daemon's
+    /// keepalive ping interval, so only a dead daemon trips it.
+    pub watch_idle_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(10),
+            watch_idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
 /// A connected campaign-service client. One connection serves any number
 /// of sequential requests; `watch` occupies it until the job terminates.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:4850`).
+    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:4850`) with
+    /// default timeouts ([`ClientConfig::default`]).
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Io`] if the connection fails.
+    /// [`ServeError::Io`] if the connection fails, [`ServeError::Timeout`]
+    /// if it fails to establish within the connect timeout.
     pub fn connect(addr: &str) -> Result<Client, ServeError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeouts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::connect`].
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Client, ServeError> {
+        let mut addrs = addr.to_socket_addrs()?;
+        let addr = addrs
+            .next()
+            .ok_or_else(|| ServeError::Io(format!("'{addr}' resolves to no address")))?;
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+        stream.set_read_timeout(Some(config.io_timeout))?;
+        stream.set_write_timeout(Some(config.io_timeout))?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            config,
         })
     }
 
     /// Sends one request line and reads one response line, surfacing a
-    /// daemon refusal (`"ok": false`) as [`ServeError::Remote`].
+    /// daemon refusal (`"ok": false`) as [`ServeError::Remote`] — or
+    /// [`ServeError::Busy`] when the refusal carries a back-pressure
+    /// hint (`retry_after_ms`).
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] on transport failure (including the daemon
-    /// closing the connection), [`ServeError::Protocol`] on a malformed
-    /// response line, [`ServeError::Remote`] on refusal.
+    /// closing the connection), [`ServeError::Timeout`] when the round
+    /// outlasts the configured io timeout, [`ServeError::Protocol`] on a
+    /// malformed response line, [`ServeError::Remote`]/[`ServeError::Busy`]
+    /// on refusal.
     pub fn request(&mut self, request: &Request) -> Result<Value, ServeError> {
         write_line(&mut self.writer, &request.to_value())?;
         let response = self.read_value()?;
@@ -56,14 +118,24 @@ impl Client {
 
     fn require_ok(response: Value) -> Result<Value, ServeError> {
         if response.get("ok").and_then(Value::as_bool) == Some(true) {
-            Ok(response)
-        } else {
-            let message = response
-                .get("error")
-                .and_then(Value::as_str)
-                .unwrap_or("request refused")
-                .to_string();
-            Err(ServeError::Remote(message))
+            return Ok(response);
+        }
+        let message = response
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("request refused")
+            .to_string();
+        match response.get("retry_after_ms").and_then(Value::as_u64) {
+            Some(retry_after_ms) => Err(ServeError::Busy {
+                message,
+                reason: response
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("busy")
+                    .to_string(),
+                retry_after_ms,
+            }),
+            None => Err(ServeError::Remote(message)),
         }
     }
 
@@ -80,8 +152,9 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// See [`Client::request`]; a full queue or invalid campaign comes
-    /// back as [`ServeError::Remote`].
+    /// See [`Client::request`]; an invalid campaign comes back as
+    /// [`ServeError::Remote`], a full queue or draining daemon as
+    /// [`ServeError::Busy`].
     pub fn submit(&mut self, campaign: Value) -> Result<String, ServeError> {
         let response = self.request(&Request::Submit { campaign })?;
         response
@@ -89,6 +162,47 @@ impl Client {
             .and_then(Value::as_str)
             .map(str::to_string)
             .ok_or_else(|| ServeError::Protocol("submit response is missing 'job'".into()))
+    }
+
+    /// Submits with bounded retries on [`ServeError::Busy`], sleeping
+    /// the daemon's `retry_after_ms` hint (clamped to
+    /// [10 ms, 5 s]) between attempts. Returns the job ID and the number
+    /// of attempts it took.
+    ///
+    /// # Errors
+    ///
+    /// The final [`ServeError::Busy`] once `max_attempts` submissions
+    /// have been refused; any other error immediately (a hard refusal or
+    /// transport failure won't improve with patience).
+    pub fn submit_with_retry(
+        &mut self,
+        campaign: &Value,
+        max_attempts: u32,
+    ) -> Result<(String, u32), ServeError> {
+        let max_attempts = max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.submit(campaign.clone()) {
+                Ok(job) => return Ok((job, attempt)),
+                Err(ServeError::Busy {
+                    message,
+                    reason,
+                    retry_after_ms,
+                }) => {
+                    if attempt >= max_attempts {
+                        return Err(ServeError::Busy {
+                            message,
+                            reason,
+                            retry_after_ms,
+                        });
+                    }
+                    let hint = Duration::from_millis(retry_after_ms);
+                    std::thread::sleep(hint.clamp(MIN_RETRY_SLEEP, MAX_RETRY_SLEEP));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// One job's status (by ID) or the full job listing (`None`).
@@ -141,10 +255,17 @@ impl Client {
     /// streams live events into `on_event` until the terminal `"done"`
     /// event, which is also returned.
     ///
+    /// A long-running job can be legitimately silent for minutes, so the
+    /// watch runs under the longer `watch_idle_timeout`; the daemon's
+    /// periodic `"ping"` keepalives (swallowed here, never passed to
+    /// `on_event`) reset it, so the timeout only fires when the daemon
+    /// is actually gone.
+    ///
     /// # Errors
     ///
     /// See [`Client::request`]; additionally [`ServeError::Io`] if the
-    /// stream ends before a terminal event arrives.
+    /// stream ends, or [`ServeError::Timeout`] if it goes silent, before
+    /// a terminal event arrives.
     pub fn watch(
         &mut self,
         job: &str,
@@ -158,12 +279,27 @@ impl Client {
             .to_value(),
         )?;
         Self::require_ok(self.read_value()?)?;
-        loop {
-            let event = self.read_value()?;
-            on_event(&event);
-            if event.get("event").and_then(Value::as_str) == Some("done") {
-                return Ok(event);
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(Some(self.config.watch_idle_timeout))?;
+        let outcome = loop {
+            let event = match self.read_value() {
+                Ok(event) => event,
+                Err(e) => break Err(e),
+            };
+            match event.get("event").and_then(Value::as_str) {
+                Some("ping") => continue,
+                Some("done") => {
+                    on_event(&event);
+                    break Ok(event);
+                }
+                _ => on_event(&event),
             }
-        }
+        };
+        // Restore the request/response timeout for whatever comes next
+        // on this connection, even when the watch itself failed.
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(self.config.io_timeout))?;
+        outcome
     }
 }

@@ -15,18 +15,48 @@ use scenarios::{
 };
 use serde_json::Value;
 
-use crate::protocol::{err_response, ok_response, Request};
+use crate::protocol::{backoff_refusal, err_response, ok_response, refusal, Request};
+use crate::supervisor;
 
 /// How long idle waits (worker queue, watcher events, accept loop,
 /// connection reads) sleep before re-checking the shutdown flag.
-const IDLE_TICK: Duration = Duration::from_millis(50);
+pub(crate) const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// How long a `watch` stream may sit silent before the daemon emits a
+/// keepalive `{"event": "ping"}` — well under any sane client read
+/// timeout, so a quiet long job is distinguishable from a hung daemon.
+const WATCH_KEEPALIVE: Duration = Duration::from_secs(2);
+
+/// Fallback per-job latency estimate for `retry_after_ms` hints before
+/// the `daemon_job_seconds` histogram has observed a single job.
+const DEFAULT_JOB_MS: f64 = 500.0;
+
+/// Bounds on the `retry_after_ms` back-pressure hint: never so short
+/// that honoring it becomes a busy-loop, never so long that a briefly
+/// full queue strands clients for minutes.
+const MIN_RETRY_AFTER_MS: f64 = 100.0;
+const MAX_RETRY_AFTER_MS: f64 = 60_000.0;
 
 /// Hard cap on one request line. Beyond this the rest of the line is
 /// drained and discarded and the client gets an error response, so a
 /// newline-less (or simply huge) request cannot balloon daemon memory.
 const MAX_REQUEST_BYTES: usize = 1 << 20;
 
-/// How the daemon runs: store, pool sizes, and queue bounds.
+/// Where a job's scenarios execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isolation {
+    /// On the worker thread, through the daemon's shared
+    /// [`CampaignRunner`] — cheapest, shares the memo cache, but a
+    /// wedged or aborting campaign takes the worker (or daemon) with it.
+    InProcess,
+    /// In supervised `campaign run` child processes (one per shard) —
+    /// a crashed, hanging, or garbage-spewing campaign costs a retry,
+    /// never the accept loop. See [`crate::supervisor`].
+    Process,
+}
+
+/// How the daemon runs: store, pool sizes, queue bounds, and the
+/// supervision policy for process-isolated jobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Path of the shared result store every job persists through.
@@ -35,7 +65,8 @@ pub struct ServeConfig {
     /// queue but never run — useful for deterministic queue tests).
     pub workers: usize,
     /// Work-stealing shards *within* each job (passed to
-    /// [`CampaignRunner::shards`]).
+    /// [`CampaignRunner::shards`]); under [`Isolation::Process`], the
+    /// number of child processes the campaign is split across.
     pub shards: usize,
     /// Training parallelism within each scenario.
     pub parallelism: usize,
@@ -47,6 +78,29 @@ pub struct ServeConfig {
     /// Prime the runner from the store at startup so a restarted daemon
     /// serves already-persisted scenarios instead of recomputing them.
     pub resume: bool,
+    /// Where jobs execute (default [`Isolation::InProcess`]).
+    pub isolation: Isolation,
+    /// Binary spawned for [`Isolation::Process`] workers; `None` means
+    /// this process's own executable (the `campaign` binary).
+    pub worker_exe: Option<String>,
+    /// Per-job wall-clock budget under [`Isolation::Process`]: when it
+    /// expires the children are killed and the job is marked
+    /// [`JobState::TimedOut`]. `None` is unlimited.
+    pub deadline: Option<Duration>,
+    /// How many times a crashed (not cleanly failed) child is respawned
+    /// before the job fails; retries resume from the child's fsynced
+    /// store prefix.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per retry up to
+    /// [`ServeConfig::backoff_cap`], with deterministic jitter.
+    pub backoff_base: Duration,
+    /// Upper bound on a single retry backoff.
+    pub backoff_cap: Duration,
+    /// Chaos plan handed to child workers (the [`crate::fault`] grammar,
+    /// e.g. `crash_after:3`). [`Daemon::bind`] defaults it from the
+    /// `SERVE_FAULT` environment variable; `None` scrubs the variable
+    /// from children so ambient chaos cannot leak in.
+    pub chaos: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +113,13 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             quick: false,
             resume: true,
+            isolation: Isolation::InProcess,
+            worker_exe: None,
+            deadline: None,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(500),
+            backoff_cap: Duration::from_secs(10),
+            chaos: None,
         }
     }
 }
@@ -73,11 +134,14 @@ pub enum JobState {
     /// Every scenario produced an outcome.
     Done,
     /// The campaign ran but at least one scenario failed, or persistence
-    /// failed.
+    /// failed, or a crashed worker exhausted its retries.
     Failed,
     /// Cancelled before (or while) running; the store keeps whatever
     /// campaign-order prefix completed.
     Cancelled,
+    /// A process-isolated job out-ran its wall-clock deadline; its
+    /// children were killed and the store keeps the completed prefix.
+    TimedOut,
 }
 
 impl JobState {
@@ -89,6 +153,7 @@ impl JobState {
             JobState::Done => "done",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed_out",
         }
     }
 
@@ -96,28 +161,35 @@ impl JobState {
     pub fn terminal(self) -> bool {
         matches!(
             self,
-            JobState::Done | JobState::Failed | JobState::Cancelled
+            JobState::Done | JobState::Failed | JobState::Cancelled | JobState::TimedOut
         )
     }
 }
 
 /// One submitted campaign and everything observers need to follow it.
-struct Job {
-    id: String,
-    campaign: Campaign,
-    state: JobState,
-    /// Cooperative cancel flag, checked by the runner between scenarios.
+pub(crate) struct Job {
+    pub(crate) id: String,
+    pub(crate) campaign: Campaign,
+    pub(crate) state: JobState,
+    /// Cooperative cancel flag, checked by the runner between scenarios
+    /// (and by the supervisor between child polls).
     ///
     /// Ordering: `SeqCst` both sides — cancel is rare and cold, so the
     /// strongest ordering costs nothing and keeps it trivially correct
     /// against the state-mutex handoff.
-    cancel: Arc<AtomicBool>,
+    pub(crate) cancel: Arc<AtomicBool>,
     /// Full event history, replayed to watchers that subscribe late.
-    events: Vec<Value>,
-    error: Option<String>,
+    pub(crate) events: Vec<Value>,
+    pub(crate) error: Option<String>,
+    /// Child-process attempts spawned for this job (0 for in-process
+    /// jobs); grows past the shard count when the supervisor retries.
+    pub(crate) attempts: u64,
+    /// PIDs of the job's live worker processes, for `status` and the
+    /// chaos harness's aim.
+    pub(crate) worker_pids: Vec<u32>,
     /// When `submit` accepted the job; end-to-end latency (submission to
     /// terminal state) lands in the `daemon_job_seconds` histogram.
-    submitted: Instant,
+    pub(crate) submitted: Instant,
 }
 
 /// Publish the current queue depth; call after every queue mutation.
@@ -127,14 +199,14 @@ fn sync_queue_depth(st: &DaemonState) {
 
 /// Record a job's submission-to-terminal latency. Call exactly once, at
 /// the transition into a terminal state.
-fn observe_job_terminal(job: &Job) {
+pub(crate) fn observe_job_terminal(job: &Job) {
     telemetry::duration_histogram!("daemon_job_seconds").observe_duration(job.submitted.elapsed());
 }
 
-struct DaemonState {
-    jobs: Vec<Job>,
+pub(crate) struct DaemonState {
+    pub(crate) jobs: Vec<Job>,
     /// Indices into `jobs`, FIFO.
-    queue: VecDeque<usize>,
+    pub(crate) queue: VecDeque<usize>,
     /// Warnings from store priming at startup (crash-tail truncation).
     startup_warnings: Vec<String>,
 }
@@ -143,19 +215,19 @@ struct DaemonState {
 /// the runner, so the runner's `in_flight` → `cache` pair and the
 /// [`ResultStore`] file lock are only ever taken with `state` free, and
 /// nothing held under `state` may block on a client socket or the store.
-struct Shared {
-    runner: CampaignRunner,
-    store: ResultStore,
-    config: ServeConfig,
-    state: Mutex<DaemonState>,
+pub(crate) struct Shared {
+    pub(crate) runner: CampaignRunner,
+    pub(crate) store: ResultStore,
+    pub(crate) config: ServeConfig,
+    pub(crate) state: Mutex<DaemonState>,
     /// Wakes workers when the queue grows (or shutdown starts).
-    job_cv: Condvar,
+    pub(crate) job_cv: Condvar,
     /// Wakes watchers when any job gains events or terminates.
-    event_cv: Condvar,
+    pub(crate) event_cv: Condvar,
     /// Ordering: `SeqCst` both sides — set once at shutdown, read off
     /// the accept/worker loops; never on a per-request path, so the
     /// fence cost is irrelevant and the strongest ordering wins.
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
 }
 
 /// The campaign service: bind once, then [`Daemon::run`] until a client
@@ -185,7 +257,19 @@ impl Daemon {
     /// Returns [`CampaignError::Io`] if the address cannot be bound or the
     /// store cannot be read, and propagates store lock/parse failures from
     /// resume priming.
-    pub fn bind(addr: &str, config: ServeConfig) -> Result<Daemon, CampaignError> {
+    pub fn bind(addr: &str, mut config: ServeConfig) -> Result<Daemon, CampaignError> {
+        // An ambient SERVE_FAULT (the CI chaos smoke sets it on the
+        // daemon) becomes an explicit plan here; either way the
+        // supervisor sets the child environment deliberately instead of
+        // letting inheritance decide.
+        if config.chaos.is_none() {
+            config.chaos = std::env::var(crate::fault::FAULT_ENV)
+                .ok()
+                .filter(|s| !s.trim().is_empty());
+        }
+        if let Some(plan) = &config.chaos {
+            crate::fault::FaultPlan::parse(plan).map_err(CampaignError::Parse)?;
+        }
         let store = ResultStore::open(&config.store);
         let mut startup_warnings = Vec::new();
         let mut runner = CampaignRunner::new()
@@ -315,7 +399,10 @@ fn worker_loop(shared: &Shared, worker: usize) {
         match job_ix {
             Some(ix) => {
                 let started = Instant::now();
-                run_job(shared, ix);
+                match shared.config.isolation {
+                    Isolation::InProcess => run_job(shared, ix),
+                    Isolation::Process => supervisor::run_job(shared, ix),
+                }
                 busy_ms.add(started.elapsed().as_millis() as u64);
             }
             None => return,
@@ -323,9 +410,13 @@ fn worker_loop(shared: &Shared, worker: usize) {
     }
 }
 
-/// Executes one dequeued job through the shared runner, streaming events.
-fn run_job(shared: &Shared, ix: usize) {
-    let (campaign, cancel, id) = {
+/// Claims a dequeued job: honors a cancel that landed between dequeue
+/// and execution (finalizing the job, returning `None`), otherwise marks
+/// it [`JobState::Running`], emits the state event, and hands back what
+/// the executor needs. Shared by the in-process path and the
+/// process-isolation supervisor.
+pub(crate) fn begin_job(shared: &Shared, ix: usize) -> Option<(Campaign, Arc<AtomicBool>, String)> {
+    let claimed = {
         let mut st = lock_state(shared);
         let job = &mut st.jobs[ix];
         // A cancel can land between dequeue and here; honor it before
@@ -335,24 +426,31 @@ fn run_job(shared: &Shared, ix: usize) {
             observe_job_terminal(job);
             let event = done_event(&job.id, JobState::Cancelled);
             job.events.push(event);
-            drop(st);
-            shared.event_cv.notify_all();
-            return;
+            None
+        } else {
+            job.state = JobState::Running;
+            let mut event = Value::object();
+            event.insert("event", "state");
+            event.insert("job", job.id.as_str());
+            event.insert("state", JobState::Running.as_str());
+            event.insert("total", job.campaign.scenarios.len());
+            job.events.push(event);
+            Some((
+                job.campaign.clone(),
+                Arc::clone(&job.cancel),
+                job.id.clone(),
+            ))
         }
-        job.state = JobState::Running;
-        let mut event = Value::object();
-        event.insert("event", "state");
-        event.insert("job", job.id.as_str());
-        event.insert("state", JobState::Running.as_str());
-        event.insert("total", job.campaign.scenarios.len());
-        job.events.push(event);
-        (
-            job.campaign.clone(),
-            Arc::clone(&job.cancel),
-            job.id.clone(),
-        )
     };
     shared.event_cv.notify_all();
+    claimed
+}
+
+/// Executes one dequeued job through the shared runner, streaming events.
+fn run_job(shared: &Shared, ix: usize) {
+    let Some((campaign, cancel, id)) = begin_job(shared, ix) else {
+        return;
+    };
 
     let observer = |run: &ScenarioRun| {
         let mut event = Value::object();
@@ -421,12 +519,12 @@ fn run_job(shared: &Shared, ix: usize) {
     shared.event_cv.notify_all();
 }
 
-fn lock_state(shared: &Shared) -> MutexGuard<'_, DaemonState> {
+pub(crate) fn lock_state(shared: &Shared) -> MutexGuard<'_, DaemonState> {
     // lint:allow(R3, reason = "poison means another thread already panicked mid-update; aborting beats serving torn state")
     shared.state.lock().expect("daemon state poisoned")
 }
 
-fn done_event(id: &str, state: JobState) -> Value {
+pub(crate) fn done_event(id: &str, state: JobState) -> Value {
     let mut event = Value::object();
     event.insert("event", "done");
     event.insert("job", id);
@@ -543,13 +641,13 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
             LineRead::Line(line) => line,
             LineRead::Oversized => {
                 let message = format!("request line exceeds the {MAX_REQUEST_BYTES}-byte limit");
-                send(&mut writer, &err_response(&message))?;
+                send(&mut writer, &refusal(&message, "bad_request"))?;
                 continue;
             }
             LineRead::BadUtf8 => {
                 send(
                     &mut writer,
-                    &err_response("request line is not valid UTF-8"),
+                    &refusal("request line is not valid UTF-8", "bad_request"),
                 )?;
                 continue;
             }
@@ -559,7 +657,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
             continue;
         }
         match Request::parse(&line) {
-            Err(message) => send(&mut writer, &err_response(&message))?,
+            Err(message) => send(&mut writer, &refusal(&message, "bad_request"))?,
             Ok(Request::Watch { job }) => watch_job(&mut writer, shared, &job)?,
             Ok(request) => {
                 let response = handle_request(shared, request);
@@ -613,21 +711,53 @@ fn handle_request(shared: &Shared, request: Request) -> Value {
     }
 }
 
+/// Estimate how long a refused client should wait before retrying:
+/// the work ahead of it (queued + running + itself), over the worker
+/// pool, at the recent average job latency — or a fixed default before
+/// the `daemon_job_seconds` histogram has any observations. Clamped so
+/// the hint can neither busy-loop clients nor strand them.
+fn retry_after_ms(shared: &Shared, st: &DaemonState) -> u64 {
+    let hist = telemetry::duration_histogram!("daemon_job_seconds");
+    let avg_ms = if hist.count() > 0 {
+        hist.sum() * 1e3 / hist.count() as f64
+    } else {
+        DEFAULT_JOB_MS
+    };
+    let running = st
+        .jobs
+        .iter()
+        .filter(|j| j.state == JobState::Running)
+        .count();
+    let ahead = (st.queue.len() + running + 1) as f64;
+    let workers = shared.config.workers.max(1) as f64;
+    (avg_ms * ahead / workers).clamp(MIN_RETRY_AFTER_MS, MAX_RETRY_AFTER_MS) as u64
+}
+
 fn submit(shared: &Shared, campaign: &Value) -> Value {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return err_response("daemon is shutting down; not accepting submissions");
+        let hint = retry_after_ms(shared, &lock_state(shared));
+        return backoff_refusal(
+            "daemon is shutting down; not accepting submissions",
+            "draining",
+            hint,
+        );
     }
     let campaign = match Campaign::from_json(campaign) {
         Ok(campaign) => campaign,
-        Err(e) => return err_response(&format!("invalid campaign: {e}")),
+        Err(e) => return refusal(&format!("invalid campaign: {e}"), "invalid_campaign"),
     };
     let mut st = lock_state(shared);
     if st.queue.len() >= shared.config.queue_capacity {
-        return err_response(&format!(
-            "queue full ({} queued, capacity {})",
-            st.queue.len(),
-            shared.config.queue_capacity,
-        ));
+        let hint = retry_after_ms(shared, &st);
+        return backoff_refusal(
+            &format!(
+                "queue full ({} queued, capacity {})",
+                st.queue.len(),
+                shared.config.queue_capacity,
+            ),
+            "queue_full",
+            hint,
+        );
     }
     let ix = st.jobs.len();
     let id = format!("job-{}", ix + 1);
@@ -647,6 +777,8 @@ fn submit(shared: &Shared, campaign: &Value) -> Value {
         cancel: Arc::new(AtomicBool::new(false)),
         events: vec![event],
         error: None,
+        attempts: 0,
+        worker_pids: Vec::new(),
         submitted: Instant::now(),
     });
     st.queue.push_back(ix);
@@ -665,6 +797,13 @@ fn job_summary(job: &Job) -> Value {
     value.insert("campaign", job.campaign.name.as_str());
     value.insert("scenarios", job.campaign.scenarios.len());
     value.insert("events", job.events.len());
+    value.insert("attempts", job.attempts);
+    if !job.worker_pids.is_empty() {
+        value.insert(
+            "worker_pids",
+            Value::Array(job.worker_pids.iter().map(|&pid| pid.into()).collect()),
+        );
+    }
     if let Some(error) = &job.error {
         value.insert("error", error.as_str());
     }
@@ -675,7 +814,7 @@ fn status(shared: &Shared, job: Option<&str>) -> Value {
     let st = lock_state(shared);
     match job {
         Some(id) => match st.jobs.iter().find(|j| j.id == id) {
-            None => err_response(&format!("unknown job '{id}'")),
+            None => refusal(&format!("unknown job '{id}'"), "unknown_job"),
             Some(job) => {
                 let mut response = ok_response();
                 response.insert("job", job_summary(job));
@@ -713,7 +852,7 @@ fn status(shared: &Shared, job: Option<&str>) -> Value {
 fn cancel(shared: &Shared, id: &str) -> Value {
     let mut st = lock_state(shared);
     let Some(ix) = st.jobs.iter().position(|j| j.id == id) else {
-        return err_response(&format!("unknown job '{id}'"));
+        return refusal(&format!("unknown job '{id}'"), "unknown_job");
     };
     let state = st.jobs[ix].state;
     if state.terminal() {
@@ -768,6 +907,9 @@ fn shutdown(shared: &Shared) -> Value {
     shared.event_cv.notify_all();
     let mut response = ok_response();
     response.insert("draining", draining);
+    // Machine-readable drain marker, mirroring the refusal vocabulary:
+    // clients that poll `shutdown` idempotently can branch on it.
+    response.insert("reason", "draining");
     response
 }
 
@@ -789,18 +931,26 @@ fn watch_job(writer: &mut TcpStream, shared: &Shared, id: &str) -> std::io::Resu
     acknowledged.insert("watching", true);
     send(writer, &acknowledged)?;
     let mut sent = 0;
+    // Keepalive clock: a long scenario produces no events, and a silent
+    // stream is indistinguishable from a hung daemon under the client's
+    // idle timeout — so punctuate silence with `{"event": "ping"}` lines
+    // (written outside the state lock, like every other socket write).
+    let mut last_write = Instant::now();
     loop {
-        let (batch, finished) = {
+        let (batch, finished, ping) = {
             let mut st = lock_state(shared);
             loop {
                 let job = &st.jobs[ix];
                 if job.events.len() > sent {
                     let batch = job.events[sent..].to_vec();
                     sent = job.events.len();
-                    break (batch, job.state.terminal());
+                    break (batch, job.state.terminal(), false);
                 }
                 if job.state.terminal() {
-                    break (Vec::new(), true);
+                    break (Vec::new(), true, false);
+                }
+                if last_write.elapsed() >= WATCH_KEEPALIVE {
+                    break (Vec::new(), false, true);
                 }
                 st = shared
                     .event_cv
@@ -810,9 +960,16 @@ fn watch_job(writer: &mut TcpStream, shared: &Shared, id: &str) -> std::io::Resu
                     .0;
             }
         };
+        if ping {
+            let mut event = Value::object();
+            event.insert("event", "ping");
+            event.insert("job", id);
+            send(writer, &event)?;
+        }
         for event in &batch {
             send(writer, event)?;
         }
+        last_write = Instant::now();
         if finished {
             return Ok(());
         }

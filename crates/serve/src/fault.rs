@@ -1,0 +1,236 @@
+//! Env-gated chaos injection for the campaign service's worker processes.
+//!
+//! A fault plan is a one-line spec carried in the [`FAULT_ENV`]
+//! environment variable:
+//!
+//! ```text
+//! SERVE_FAULT=crash_after:3      — abort after the 3rd completed scenario
+//! SERVE_FAULT=hang_after:2       — hang (never exit) after the 2nd
+//! SERVE_FAULT=garbage_after:1@2  — print garbage to the event stream
+//!                                  after the 1st, on attempts 1 and 2
+//! ```
+//!
+//! The optional `@k` suffix bounds the fault to the first `k` supervised
+//! attempts (default 1): the supervisor exports the current attempt
+//! number in [`FAULT_ATTEMPT_ENV`], so a plan fires on the attempts it
+//! covers and the retry that follows runs clean — which is exactly what
+//! lets the chaos tests *prove recovery* rather than just provoke
+//! failure. The parser is in the linter's R3 (panic-free) scope: a
+//! malformed plan is a returned error, never a panic, because the spec
+//! crosses a process boundary like any other untrusted input.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable the fault plan travels in.
+pub const FAULT_ENV: &str = "SERVE_FAULT";
+
+/// Environment variable carrying the supervisor's 1-based attempt
+/// number; absent (e.g. a hand-launched `campaign run`) means attempt 1.
+pub const FAULT_ATTEMPT_ENV: &str = "SERVE_FAULT_ATTEMPT";
+
+/// What the worker does when its plan fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Abort the process (`SIGABRT`) — the supervisor sees a
+    /// signal-killed child with no final report.
+    Crash,
+    /// Stop making progress without exiting — only a deadline frees the
+    /// supervisor.
+    Hang,
+    /// Emit non-protocol garbage lines on the event stream, then keep
+    /// running normally — the supervisor must tolerate and count them.
+    Garbage,
+}
+
+impl FaultMode {
+    /// The mode's name in the plan grammar (without `_after`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultMode::Crash => "crash",
+            FaultMode::Hang => "hang",
+            FaultMode::Garbage => "garbage",
+        }
+    }
+}
+
+/// A parsed `<mode>_after:<n>[@<attempts>]` plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What happens when the plan fires.
+    pub mode: FaultMode,
+    /// Fire after this many completed scenarios (1-based, ≥ 1).
+    pub after: usize,
+    /// Fire only while the supervised attempt number is ≤ this (default
+    /// 1, so a single retry already recovers).
+    pub attempts: u64,
+}
+
+impl FaultPlan {
+    /// Parses a plan spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unknown mode, a missing
+    /// or non-numeric scenario count, a zero count (the plan would never
+    /// fire a *post*-scenario fault), or a malformed `@attempts` suffix.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        let (head, attempts) = match spec.split_once('@') {
+            None => (spec, 1),
+            Some((head, tail)) => (
+                head,
+                tail.parse::<u64>()
+                    .map_err(|_| format!("fault plan '{spec}': '@{tail}' is not a number"))?,
+            ),
+        };
+        let (mode, count) = head
+            .split_once(':')
+            .ok_or_else(|| format!("fault plan '{spec}': expected '<mode>_after:<n>'"))?;
+        let mode = match mode {
+            "crash_after" => FaultMode::Crash,
+            "hang_after" => FaultMode::Hang,
+            "garbage_after" => FaultMode::Garbage,
+            other => {
+                return Err(format!(
+                    "fault plan '{spec}': unknown mode '{other}' \
+                     (crash_after | hang_after | garbage_after)"
+                ))
+            }
+        };
+        let after: usize = count
+            .parse()
+            .map_err(|_| format!("fault plan '{spec}': '{count}' is not a number"))?;
+        if after == 0 {
+            return Err(format!(
+                "fault plan '{spec}': the scenario count must be ≥ 1"
+            ));
+        }
+        if attempts == 0 {
+            return Err(format!(
+                "fault plan '{spec}': '@0' would never fire; omit the plan instead"
+            ));
+        }
+        Ok(FaultPlan {
+            mode,
+            after,
+            attempts,
+        })
+    }
+
+    /// Whether the plan fires on the given 1-based attempt.
+    pub fn armed(&self, attempt: u64) -> bool {
+        attempt <= self.attempts
+    }
+}
+
+/// A per-process trigger: counts completed scenarios and fires its plan
+/// exactly once, on the `after`-th completion.
+#[derive(Debug)]
+pub struct FaultInjector {
+    mode: FaultMode,
+    after: usize,
+    completed: AtomicUsize,
+}
+
+impl FaultInjector {
+    /// Builds the injector for `plan` as seen by `attempt`; `None` when
+    /// the plan no longer covers this attempt (the recovery attempt runs
+    /// clean).
+    pub fn new(plan: FaultPlan, attempt: u64) -> Option<FaultInjector> {
+        plan.armed(attempt).then_some(FaultInjector {
+            mode: plan.mode,
+            after: plan.after,
+            completed: AtomicUsize::new(0),
+        })
+    }
+
+    /// Reads [`FAULT_ENV`] / [`FAULT_ATTEMPT_ENV`] and builds the
+    /// injector, `Ok(None)` when no plan is set or this attempt is past
+    /// the plan's coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for a malformed plan or attempt value —
+    /// a chaos harness that silently no-ops on a typo proves nothing.
+    pub fn from_env() -> Result<Option<FaultInjector>, String> {
+        let Ok(spec) = std::env::var(FAULT_ENV) else {
+            return Ok(None);
+        };
+        if spec.trim().is_empty() {
+            return Ok(None);
+        }
+        let plan = FaultPlan::parse(&spec)?;
+        let attempt = match std::env::var(FAULT_ATTEMPT_ENV) {
+            Err(_) => 1,
+            Ok(raw) => raw
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("{FAULT_ATTEMPT_ENV}='{raw}' is not a number"))?,
+        };
+        Ok(FaultInjector::new(plan, attempt))
+    }
+
+    /// Call once per completed scenario; returns the fault to act on
+    /// when this completion is the plan's `after`-th (and only then —
+    /// the plan fires at most once per process).
+    pub fn on_scenario(&self) -> Option<FaultMode> {
+        let n = self.completed.fetch_add(1, Ordering::SeqCst) + 1;
+        (n == self.after).then_some(self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_parse_with_defaults_and_attempt_bounds() {
+        let plan = FaultPlan::parse("crash_after:3").unwrap();
+        assert_eq!(plan.mode, FaultMode::Crash);
+        assert_eq!(plan.after, 3);
+        assert_eq!(plan.attempts, 1);
+        assert!(plan.armed(1));
+        assert!(!plan.armed(2));
+
+        let plan = FaultPlan::parse(" garbage_after:1@3 ").unwrap();
+        assert_eq!(plan.mode, FaultMode::Garbage);
+        assert_eq!(plan.after, 1);
+        assert!(plan.armed(3));
+        assert!(!plan.armed(4));
+
+        assert_eq!(
+            FaultPlan::parse("hang_after:2").unwrap().mode,
+            FaultMode::Hang
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_errors_not_panics() {
+        for bad in [
+            "",
+            "crash_after",
+            "crash_after:",
+            "crash_after:x",
+            "crash_after:0",
+            "crash_after:1@",
+            "crash_after:1@x",
+            "crash_after:1@0",
+            "explode_after:1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn injector_fires_exactly_once_at_the_nth_completion() {
+        let plan = FaultPlan::parse("crash_after:2").unwrap();
+        let injector = FaultInjector::new(plan, 1).expect("attempt 1 is armed");
+        assert_eq!(injector.on_scenario(), None);
+        assert_eq!(injector.on_scenario(), Some(FaultMode::Crash));
+        assert_eq!(injector.on_scenario(), None);
+        assert!(
+            FaultInjector::new(plan, 2).is_none(),
+            "attempt 2 runs clean"
+        );
+    }
+}

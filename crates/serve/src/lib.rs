@@ -24,33 +24,70 @@
 //! instead of recomputing them. Graceful shutdown drains in-flight jobs
 //! and cancels queued ones for the same reason — whatever is persisted is
 //! exactly a campaign-order prefix.
+//!
+//! Fault tolerance goes one layer further under
+//! [`Isolation::Process`]: jobs run in supervised `campaign run` child
+//! processes (per shard), so a worker crash — a bug, an OOM kill, a
+//! `kill -9` — never takes the daemon down. The supervisor classifies
+//! every exit, enforces per-job wall-clock deadlines, retries crashes
+//! with exponential backoff and deterministic jitter (resuming from the
+//! child's fsynced store prefix), and merges whatever completed back
+//! into the daemon store. The [`fault`] module is the matching
+//! chaos-injection harness: `SERVE_FAULT=crash_after:3` makes a worker
+//! abort mid-campaign so tests (and CI) can prove the recovery path,
+//! not just hope for it.
+
+pub mod fault;
+pub mod protocol;
 
 mod client;
 mod daemon;
-pub mod protocol;
+mod supervisor;
 
 use std::fmt;
 
-pub use client::Client;
-pub use daemon::{Daemon, JobState, ServeConfig};
+pub use client::{Client, ClientConfig};
+pub use daemon::{Daemon, Isolation, JobState, ServeConfig};
 
 /// Everything that can go wrong on the client side of the protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The TCP transport failed (connect, read, write, or peer hangup).
     Io(String),
+    /// A connect/read/write exceeded the client's configured timeout.
+    Timeout(String),
     /// The peer sent a line that is not valid protocol JSON.
     Protocol(String),
     /// The daemon processed the request and refused it (`"ok": false`).
     Remote(String),
+    /// The daemon refused with a back-pressure hint (`retry_after_ms`):
+    /// the queue is full or the daemon is draining — retry later, not
+    /// immediately. [`Client::submit_with_retry`] honors the hint.
+    Busy {
+        /// The daemon's human-readable refusal message.
+        message: String,
+        /// Machine-readable refusal code (`"queue_full"`, `"draining"`).
+        reason: String,
+        /// The daemon's estimate of how long to wait before retrying.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Io(msg) => write!(f, "connection: {msg}"),
+            ServeError::Timeout(msg) => write!(f, "timeout: {msg}"),
             ServeError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ServeError::Remote(msg) => write!(f, "daemon: {msg}"),
+            ServeError::Busy {
+                message,
+                reason,
+                retry_after_ms,
+            } => write!(
+                f,
+                "daemon: {message} ({reason}; retry in {retry_after_ms} ms)"
+            ),
         }
     }
 }
@@ -59,6 +96,11 @@ impl std::error::Error for ServeError {}
 
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
-        ServeError::Io(e.to_string())
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                ServeError::Timeout(e.to_string())
+            }
+            _ => ServeError::Io(e.to_string()),
+        }
     }
 }

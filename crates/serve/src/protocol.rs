@@ -155,6 +155,26 @@ pub fn err_response(message: &str) -> Value {
     value
 }
 
+/// A refusal carrying a machine-readable `reason` code (`"queue_full"`,
+/// `"draining"`, `"unknown_job"`, `"invalid_campaign"`, `"bad_request"`)
+/// alongside the human-readable `error` — clients branch on the code,
+/// humans read the message. Older clients that only know `ok`/`error`
+/// ignore the extra field (see the backward-compat tests below).
+pub fn refusal(message: &str, reason: &str) -> Value {
+    let mut value = err_response(message);
+    value.insert("reason", reason);
+    value
+}
+
+/// A [`refusal`] with a back-pressure hint: the daemon's estimate (from
+/// queue depth and recent job latency) of how long the client should
+/// wait before retrying — the line protocol's 429-plus-`Retry-After`.
+pub fn backoff_refusal(message: &str, reason: &str, retry_after_ms: u64) -> Value {
+    let mut value = refusal(message, reason);
+    value.insert("retry_after_ms", retry_after_ms);
+    value
+}
+
 /// Writes `value` as one `\n`-terminated line.
 ///
 /// # Errors
@@ -164,4 +184,52 @@ pub fn write_line(writer: &mut impl std::io::Write, value: &Value) -> std::io::R
     let mut text = serde_json::to_string(value);
     text.push('\n');
     writer.write_all(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The forward-compat contract both sides rely on: a peer speaking a
+    /// *newer* protocol may attach fields this side has never heard of,
+    /// and parsing must ignore them rather than refuse the request.
+    /// `reason`/`retry_after_ms` shipped exactly this way.
+    #[test]
+    fn requests_tolerate_unknown_fields() {
+        assert!(matches!(
+            Request::parse(r#"{"cmd": "ping", "future_field": 1, "nested": {"x": []}}"#),
+            Ok(Request::Ping)
+        ));
+        let parsed = Request::parse(
+            r#"{"cmd": "submit", "campaign": {"name": "c", "scenarios": []}, "priority": "high"}"#,
+        );
+        assert!(matches!(parsed, Ok(Request::Submit { .. })));
+        assert!(matches!(
+            Request::parse(r#"{"cmd": "cancel", "job": "job-1", "force": true}"#),
+            Ok(Request::Cancel { job }) if job == "job-1"
+        ));
+    }
+
+    /// The response side of the same contract: a client that only knows
+    /// `ok`/`error` reads a `backoff_refusal` exactly as it read the old
+    /// bare refusal, while a hint-aware client finds the new fields.
+    #[test]
+    fn refusals_stay_readable_by_hint_unaware_clients() {
+        let refusal = backoff_refusal("queue full (4 queued, capacity 4)", "queue_full", 1500);
+        let line = serde_json::to_string(&refusal);
+        let reparsed: Value = serde_json::from_str(&line).expect("refusal line parses");
+        assert_eq!(reparsed.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            reparsed.get("error").and_then(Value::as_str),
+            Some("queue full (4 queued, capacity 4)")
+        );
+        assert_eq!(
+            reparsed.get("reason").and_then(Value::as_str),
+            Some("queue_full")
+        );
+        assert_eq!(
+            reparsed.get("retry_after_ms").and_then(Value::as_u64),
+            Some(1500)
+        );
+    }
 }

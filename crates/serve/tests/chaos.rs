@@ -1,0 +1,353 @@
+//! Chaos tests for the fault-tolerant campaign service: supervised
+//! worker processes are crashed, hung, and garbled mid-campaign
+//! (`SERVE_FAULT` plans injected through [`ServeConfig::chaos`]), and
+//! every case must end in a terminal `done` event — with the daemon
+//! answering pings throughout and the compacted store byte-identical to
+//! a serial run whenever the job recovers.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use scenarios::{Campaign, CampaignError, CampaignRunner, ResultStore, Scenario, TaskKind};
+use serde_json::Value;
+use serve::{Client, Daemon, Isolation, ServeConfig, ServeError};
+
+/// The exact binary the daemon supervises in production, resolved by
+/// Cargo for this test build.
+const WORKER_EXE: &str = env!("CARGO_BIN_EXE_campaign");
+
+fn tiny(name: &str, faults: &[&str], seed: u64) -> Scenario {
+    Scenario::new(name, faults.iter().map(|f| f.parse().unwrap()).collect())
+        .seed(seed)
+        .budgets(3, 2, 1, 1)
+        .task(TaskKind::Moons {
+            samples: 80,
+            noise: 0.1,
+        })
+}
+
+fn three_scenarios(tag: &str) -> Campaign {
+    Campaign::new(
+        tag,
+        vec![
+            tiny("lognormal", &["lognormal:0.5"], 3),
+            tiny("defects", &["stuckat:0.05,0.02,2", "bitflip:0.005"], 5),
+            tiny("drift", &["lognormal:0.3"], 7),
+        ],
+    )
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("bayesft-chaos-{}-{tag}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Process-isolated daemon config pointing at this build's `campaign`
+/// binary, with tight chaos-scale retry timing.
+fn chaos_config(store: &Path, plan: &str) -> ServeConfig {
+    ServeConfig {
+        store: store.to_string_lossy().into_owned(),
+        workers: 1,
+        shards: 1,
+        isolation: Isolation::Process,
+        worker_exe: Some(WORKER_EXE.to_string()),
+        chaos: Some(plan.to_string()),
+        max_retries: 2,
+        backoff_base: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(200),
+        ..ServeConfig::default()
+    }
+}
+
+fn start(config: ServeConfig) -> (String, thread::JoinHandle<Result<(), CampaignError>>) {
+    let daemon = Daemon::bind("127.0.0.1:0", config).unwrap();
+    let addr = daemon.local_addr().unwrap().to_string();
+    let handle = thread::spawn(move || daemon.run());
+    (addr, handle)
+}
+
+fn state_of(done: &Value) -> &str {
+    done.get("state").and_then(Value::as_str).unwrap_or("?")
+}
+
+/// Keeps a second connection pinging until `stop`; panics (failing the
+/// test) if the daemon ever stops answering — the whole point of process
+/// isolation is that worker crashes never take the service down.
+fn pinger(addr: String, stop: Arc<AtomicBool>, count: Arc<AtomicUsize>) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let mut client = Client::connect(&addr).expect("pinger connects");
+        while !stop.load(Ordering::SeqCst) {
+            client.ping().expect("daemon answers pings during chaos");
+            count.fetch_add(1, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(20));
+        }
+    })
+}
+
+#[test]
+fn crashed_worker_is_retried_and_the_store_matches_a_serial_run() {
+    let campaign = three_scenarios("chaos-crash");
+    let store_path = temp_store("crash");
+    // The worker aborts (SIGABRT) after its 2nd completed scenario, on
+    // attempt 1 only — the supervised retry must finish the job.
+    let (addr, daemon) = start(chaos_config(&store_path, "crash_after:2"));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let pings = Arc::new(AtomicUsize::new(0));
+    let ping_thread = pinger(addr.clone(), Arc::clone(&stop), Arc::clone(&pings));
+
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit(campaign.to_json()).unwrap();
+    let mut retries = Vec::new();
+    let done = client
+        .watch(&job, |event| {
+            if event.get("event").and_then(Value::as_str) == Some("retry") {
+                retries.push(event.clone());
+            }
+        })
+        .unwrap();
+    assert_eq!(state_of(&done), "done", "retry must recover: {done:?}");
+    assert!(
+        done.get("attempts").and_then(Value::as_u64) >= Some(2),
+        "the crash costs at least one extra attempt: {done:?}"
+    );
+    assert_eq!(
+        retries.len(),
+        1,
+        "exactly one crash, one retry: {retries:?}"
+    );
+    assert!(
+        retries[0]
+            .get("backoff_ms")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 25,
+        "retry waits out a backoff: {:?}",
+        retries[0]
+    );
+    assert!(
+        retries[0]
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("signal"),
+        "the crash is classified as signal death: {:?}",
+        retries[0]
+    );
+
+    // The retry accounting is externally visible in the metrics snapshot.
+    let metrics = client.metrics().unwrap();
+    let retried: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("daemon_job_retries_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    assert!(retried >= 1, "daemon_job_retries_total missing:\n{metrics}");
+
+    stop.store(true, Ordering::SeqCst);
+    ping_thread.join().unwrap();
+    assert!(
+        pings.load(Ordering::SeqCst) > 0,
+        "the pinger must have run during the chaos"
+    );
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+
+    // Acceptance: after a kill-and-retry, the compacted daemon store is
+    // byte-identical to an undisturbed serial run.
+    let direct_path = temp_store("crash-direct");
+    CampaignRunner::new()
+        .run_campaign_report(&campaign, Some(&ResultStore::open(&direct_path)))
+        .unwrap();
+    ResultStore::open(&store_path).compact().unwrap();
+    ResultStore::open(&direct_path).compact().unwrap();
+    let daemon_bytes = std::fs::read(&store_path).unwrap();
+    assert!(!daemon_bytes.is_empty());
+    assert_eq!(
+        daemon_bytes,
+        std::fs::read(&direct_path).unwrap(),
+        "chaos-recovered store diverged from a serial run"
+    );
+    // A recovered job cleans up its per-job scratch files.
+    let shard = format!("{}.{job}.shard0.jsonl", store_path.to_string_lossy());
+    assert!(
+        !Path::new(&shard).exists(),
+        "successful jobs leave no shard stores behind"
+    );
+    let _ = std::fs::remove_file(&store_path);
+    let _ = std::fs::remove_file(&direct_path);
+}
+
+#[test]
+fn hung_worker_is_killed_at_the_deadline() {
+    let campaign = three_scenarios("chaos-hang");
+    let store_path = temp_store("hang");
+    let mut config = chaos_config(&store_path, "hang_after:1");
+    // A hang is not a crash: no retry would help, so none is configured;
+    // only the deadline frees the supervisor.
+    config.max_retries = 0;
+    config.deadline = Some(Duration::from_secs(2));
+    let (addr, daemon) = start(config);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit(campaign.to_json()).unwrap();
+    let started = Instant::now();
+    let done = client.watch(&job, |_| {}).unwrap();
+    assert_eq!(state_of(&done), "timed_out", "deadline must fire: {done:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the kill happens at the deadline, not at test timeout"
+    );
+    let status = client.status(Some(&job)).unwrap();
+    assert_eq!(
+        status
+            .get("job")
+            .and_then(|j| j.get("state"))
+            .and_then(Value::as_str),
+        Some("timed_out")
+    );
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&store_path);
+}
+
+#[test]
+fn retry_exhaustion_fails_the_job_and_keeps_its_partial_prefix() {
+    let campaign = three_scenarios("chaos-exhaust");
+    let store_path = temp_store("exhaust");
+    // `@9` keeps the plan armed on every attempt: the worker crashes
+    // after its 2nd completion each time, so the single retry cannot
+    // save the job — but the 1st scenario's record must survive.
+    let mut config = chaos_config(&store_path, "crash_after:2@9");
+    config.max_retries = 1;
+    let (addr, daemon) = start(config);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit(campaign.to_json()).unwrap();
+    let done = client.watch(&job, |_| {}).unwrap();
+    assert_eq!(state_of(&done), "failed", "budget exhausted: {done:?}");
+    assert_eq!(done.get("attempts").and_then(Value::as_u64), Some(2));
+    let error = done.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(
+        error.contains("crashed on all 2 attempt(s)"),
+        "the error names the exhausted budget: {error}"
+    );
+
+    // Failed ≠ vanished: the fsynced prefix is merged into the daemon
+    // store, and the shard store is kept on disk for forensics.
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    let records = ResultStore::open(&store_path).load().unwrap();
+    assert!(
+        !records.is_empty(),
+        "the partial prefix must be persisted in the daemon store"
+    );
+    assert!(records.iter().all(|r| r.campaign == "chaos-exhaust"));
+    let shard = format!("{}.{job}.shard0.jsonl", store_path.to_string_lossy());
+    assert!(
+        Path::new(&shard).exists(),
+        "failed jobs keep their shard stores for forensics"
+    );
+    let _ = std::fs::remove_file(&store_path);
+    let _ = std::fs::remove_file(&shard);
+    let _ = std::fs::remove_file(format!("{shard}.lock"));
+}
+
+#[test]
+fn garbage_on_the_event_stream_is_tolerated() {
+    let campaign = three_scenarios("chaos-garbage");
+    let store_path = temp_store("garbage");
+    let (addr, daemon) = start(chaos_config(&store_path, "garbage_after:1"));
+
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit(campaign.to_json()).unwrap();
+    let mut warnings = Vec::new();
+    let done = client
+        .watch(&job, |event| {
+            if event.get("event").and_then(Value::as_str) == Some("warning") {
+                warnings.push(
+                    event
+                        .get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                );
+            }
+        })
+        .unwrap();
+    assert_eq!(state_of(&done), "done", "garbage is survivable: {done:?}");
+    assert_eq!(done.get("attempts").and_then(Value::as_u64), Some(1));
+    assert!(
+        warnings.iter().any(|w| w.contains("non-protocol")),
+        "the garbage is surfaced as a warning, not swallowed: {warnings:?}"
+    );
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    let records = ResultStore::open(&store_path).load().unwrap();
+    assert_eq!(records.len(), 3, "all scenarios persisted despite garbage");
+    let _ = std::fs::remove_file(&store_path);
+}
+
+#[test]
+fn submit_with_retry_waits_out_a_briefly_full_queue() {
+    // No workers: queued jobs stay queued until cancelled, so the
+    // one-slot queue is deterministically full.
+    let store_path = temp_store("backpressure");
+    let config = ServeConfig {
+        store: store_path.to_string_lossy().into_owned(),
+        workers: 0,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, daemon) = start(config);
+    let campaign = three_scenarios("chaos-queue");
+
+    let mut client = Client::connect(&addr).unwrap();
+    let first = client.submit(campaign.to_json()).unwrap();
+
+    // A plain submit against the full queue fails fast — with the
+    // machine-readable reason and a usable back-pressure hint.
+    match client.submit(campaign.to_json()) {
+        Err(ServeError::Busy {
+            message,
+            reason,
+            retry_after_ms,
+        }) => {
+            assert!(message.contains("queue full"), "{message}");
+            assert_eq!(reason, "queue_full");
+            assert!(retry_after_ms >= 100, "hint too small: {retry_after_ms}");
+        }
+        other => panic!("full queue must refuse with a Busy hint: {other:?}"),
+    }
+
+    // Free the slot from another connection after a beat; the retrying
+    // submit must ride out the refusals and land.
+    let canceller = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(150));
+            let mut side = Client::connect(&addr).unwrap();
+            side.cancel(&first).unwrap();
+        })
+    };
+    let started = Instant::now();
+    let (job, attempts) = client
+        .submit_with_retry(&campaign.to_json(), 50)
+        .expect("retries outlast the briefly-full queue");
+    canceller.join().unwrap();
+    assert_eq!(job, "job-2");
+    assert!(attempts > 1, "the full queue must cost at least one retry");
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "each retry sleeps the daemon's hint (clamped), not zero"
+    );
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&store_path);
+}
